@@ -1,0 +1,58 @@
+/// Ablation (Sec. 5.4.3): the check-cache-first runtime optimization. For
+/// rule sets of increasing size, runs DM+EE with and without per-pair
+/// re-partitioning of predicates by memo presence, and reports feature
+/// computations and run time. Check-cache-first can only reduce
+/// computations; this quantifies by how much.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+
+namespace emdbg::bench {
+namespace {
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Ablation: check-cache-first (Sec. 5.4.3)", opts, env);
+  const std::vector<size_t> rule_counts{10, 40, 160, 240};
+  std::printf("%6s %14s %14s %12s %12s\n", "rules", "comp_off", "comp_on",
+              "ms_off", "ms_on");
+  for (const size_t n : rule_counts) {
+    if (n > opts.rules) break;
+    size_t comp_off = 0;
+    size_t comp_on = 0;
+    double ms_off = 0.0;
+    double ms_on = 0.0;
+    for (size_t rep = 0; rep < opts.reps; ++rep) {
+      MatchingFunction fn = env.RuleSubset(n, 6000 + rep);
+      const CostModel model =
+          CostModel::EstimateForFunction(fn, *env.ctx, env.sample);
+      ApplyOrdering(fn, OrderingStrategy::kGreedyReduction, model, nullptr);
+      MemoMatcher off(MemoMatcher::Options{.check_cache_first = false});
+      MemoMatcher on(MemoMatcher::Options{.check_cache_first = true});
+      const MatchResult ro = off.Run(fn, env.ds.candidates, *env.ctx);
+      const MatchResult rn = on.Run(fn, env.ds.candidates, *env.ctx);
+      comp_off += ro.stats.feature_computations;
+      comp_on += rn.stats.feature_computations;
+      ms_off += ro.stats.elapsed_ms;
+      ms_on += rn.stats.elapsed_ms;
+    }
+    const double reps = static_cast<double>(opts.reps);
+    std::printf("%6zu %14.0f %14.0f %12.1f %12.1f\n", n,
+                static_cast<double>(comp_off) / reps,
+                static_cast<double>(comp_on) / reps, ms_off / reps,
+                ms_on / reps);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

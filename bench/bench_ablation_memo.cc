@@ -1,0 +1,62 @@
+/// Ablation (Sec. 7.4): dense 2-D array memo versus hash-map memo. The
+/// dense memo has O(1) indexed lookups and pairs x features footprint; the
+/// hash memo only stores what was computed but pays hashing per access.
+/// Reports run time and memory for both on the same rule set.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/memo.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+
+namespace emdbg::bench {
+namespace {
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Ablation: dense vs hash memo (Sec. 7.4)", opts, env);
+  MatchingFunction fn = env.RuleSubset(opts.rules, 7000);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *env.ctx, env.sample);
+  ApplyOrdering(fn, OrderingStrategy::kGreedyReduction, model, nullptr);
+
+  std::printf("%8s %10s %14s %12s %12s\n", "memo", "ms", "computations",
+              "filled", "mem_MB");
+  for (const bool dense : {true, false}) {
+    double ms = 0.0;
+    size_t computations = 0;
+    size_t filled = 0;
+    double mem_mb = 0.0;
+    for (size_t rep = 0; rep < opts.reps; ++rep) {
+      MemoMatcher matcher(
+          MemoMatcher::Options{.check_cache_first = true});
+      std::unique_ptr<Memo> memo;
+      if (dense) {
+        memo = std::make_unique<DenseMemo>(env.ds.candidates.size(),
+                                           env.catalog.size());
+      } else {
+        memo = std::make_unique<HashMemo>();
+      }
+      const MatchResult r =
+          matcher.RunWithMemo(fn, env.ds.candidates, *env.ctx, *memo);
+      ms += r.stats.elapsed_ms;
+      computations += r.stats.feature_computations;
+      filled = memo->FilledCount();
+      mem_mb = static_cast<double>(memo->MemoryBytes()) / 1048576.0;
+    }
+    const double reps = static_cast<double>(opts.reps);
+    std::printf("%8s %10.1f %14.0f %12zu %12.2f\n",
+                dense ? "dense" : "hash", ms / reps,
+                static_cast<double>(computations) / reps, filled, mem_mb);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

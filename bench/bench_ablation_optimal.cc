@@ -1,0 +1,78 @@
+/// Ablation: how close do the greedy heuristics (Algorithms 5/6) come to
+/// the exhaustive model-optimal rule order? The general problem is NP-hard
+/// (Sec. 5.4), so the optimum is only computable for small rule sets; this
+/// sweeps several small instances and reports the modeled per-pair cost of
+/// random / Alg 5 / Alg 6 / optimal orderings plus the measured DM+EE run
+/// time under each.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "src/core/exhaustive_optimizer.h"
+#include "src/core/greedy_cost_optimizer.h"
+#include "src/core/greedy_reduction_optimizer.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg::bench {
+namespace {
+
+double MeasureOrder(const BenchEnv& env, const MatchingFunction& fn,
+                    const std::vector<size_t>& order) {
+  MatchingFunction ordered = fn;
+  ordered.PermuteRules(order);
+  MemoMatcher matcher;
+  Stopwatch timer;
+  matcher.Run(ordered, env.ds.candidates, *env.ctx);
+  return timer.ElapsedMillis();
+}
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Ablation: greedy vs exhaustive-optimal ordering", opts,
+              env);
+  std::printf("%6s | %9s %9s %9s %9s | %8s %8s %8s %8s\n", "seed",
+              "mc_rand", "mc_alg5", "mc_alg6", "mc_opt", "ms_rand",
+              "ms_alg5", "ms_alg6", "ms_opt");
+  const size_t kRules = 7;
+  Rng rng(17);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    MatchingFunction fn = env.RuleSubset(kRules, 9000 + seed);
+    const CostModel model =
+        CostModel::EstimateForFunction(fn, *env.ctx, env.sample);
+    OrderAllRulePredicates(fn, model);
+
+    std::vector<size_t> random_order(fn.num_rules());
+    std::iota(random_order.begin(), random_order.end(), size_t{0});
+    rng.Shuffle(random_order);
+    const std::vector<size_t> alg5 = GreedyCostOrder(fn, model);
+    const std::vector<size_t> alg6 = GreedyReductionOrder(fn, model);
+    auto optimal = ExhaustiveOptimalOrder(fn, model);
+    if (!optimal.ok()) {
+      std::printf("exhaustive search failed: %s\n",
+                  optimal.status().ToString().c_str());
+      return;
+    }
+    std::printf(
+        "%6zu | %9.2f %9.2f %9.2f %9.2f | %8.1f %8.1f %8.1f %8.1f\n",
+        static_cast<size_t>(seed),
+        OrderCostWithMemo(fn, model, random_order),
+        OrderCostWithMemo(fn, model, alg5),
+        OrderCostWithMemo(fn, model, alg6),
+        OrderCostWithMemo(fn, model, *optimal),
+        MeasureOrder(env, fn, random_order), MeasureOrder(env, fn, alg5),
+        MeasureOrder(env, fn, alg6), MeasureOrder(env, fn, *optimal));
+  }
+  std::printf("# mc_* = modeled per-pair cost (us); ms_* = measured DM+EE"
+              " run time\n\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

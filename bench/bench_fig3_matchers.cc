@@ -1,0 +1,91 @@
+/// Regenerates Fig. 3A/3B: matching run time versus rule-set size for the
+/// five strategies — rudimentary baseline (R), early exit (EE), production
+/// precomputation + early exit (PPR+EE), full precomputation + early exit
+/// (FPR+EE), and dynamic memoing + early exit (DM+EE).
+///
+/// As in the paper, each data point averages over random rule subsets of
+/// the given size. The expected shape: R grows steeply (it recomputes
+/// every feature for every predicate), EE is far better but still
+/// recomputes across rules, the precompute variants pay a large up-front
+/// cost (FPR > PPR), and DM+EE dominates. The R and EE columns are capped
+/// at smaller rule counts by default to keep the sweep fast (the paper's
+/// R curve exceeds 10 minutes past ~20 rules).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/early_exit_matcher.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/precompute_matcher.h"
+#include "src/core/rudimentary_matcher.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg::bench {
+namespace {
+
+double TimeMatcher(Matcher& matcher, const MatchingFunction& fn,
+                   const BenchEnv& env) {
+  Stopwatch timer;
+  const MatchResult result =
+      matcher.Run(fn, env.ds.candidates, *env.ctx);
+  (void)result;
+  return timer.ElapsedMillis();
+}
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Figure 3A/3B: run time (ms) vs number of rules", opts, env);
+
+  const std::vector<size_t> rule_counts{5, 10, 20, 40, 80, 160, 240};
+  const size_t kRudimentaryCap = 20;  // paper: R exceeds 10 min past ~20
+  const size_t kEarlyExitCap = 80;
+
+  std::printf("%6s %12s %12s %12s %12s %12s\n", "rules", "R", "EE",
+              "PPR+EE", "FPR+EE", "DM+EE");
+  for (const size_t n : rule_counts) {
+    if (n > opts.rules) break;
+    double r_ms = 0.0;
+    double ee_ms = 0.0;
+    double ppr_ms = 0.0;
+    double fpr_ms = 0.0;
+    double dm_ms = 0.0;
+    for (size_t rep = 0; rep < opts.reps; ++rep) {
+      const MatchingFunction fn = env.RuleSubset(n, 1000 + rep);
+      RudimentaryMatcher rudimentary;
+      EarlyExitMatcher early_exit;
+      PrecomputeMatcher production(PrecomputeMatcher::Scope::kProduction);
+      PrecomputeMatcher full(PrecomputeMatcher::Scope::kFull);
+      MemoMatcher memo;
+      if (n <= kRudimentaryCap) r_ms += TimeMatcher(rudimentary, fn, env);
+      if (n <= kEarlyExitCap) ee_ms += TimeMatcher(early_exit, fn, env);
+      ppr_ms += TimeMatcher(production, fn, env);
+      fpr_ms += TimeMatcher(full, fn, env);
+      dm_ms += TimeMatcher(memo, fn, env);
+    }
+    const double reps = static_cast<double>(opts.reps);
+    char r_buf[32];
+    char ee_buf[32];
+    if (n <= kRudimentaryCap) {
+      std::snprintf(r_buf, sizeof(r_buf), "%12.1f", r_ms / reps);
+    } else {
+      std::snprintf(r_buf, sizeof(r_buf), "%12s", "-");
+    }
+    if (n <= kEarlyExitCap) {
+      std::snprintf(ee_buf, sizeof(ee_buf), "%12.1f", ee_ms / reps);
+    } else {
+      std::snprintf(ee_buf, sizeof(ee_buf), "%12s", "-");
+    }
+    std::printf("%6zu %s %s %12.1f %12.1f %12.1f\n", n, r_buf, ee_buf,
+                ppr_ms / reps, fpr_ms / reps, dm_ms / reps);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// Regenerates Fig. 5A: cost-model accuracy. For rule sets of increasing
+/// size, compares the actual DM+EE run time against the run time predicted
+/// by the Sec. 4.4.4 analytic model (alpha recursion over the 1% sample),
+/// under both a random ordering and the Algorithm 6 ordering. The paper's
+/// claim: the two curves follow each other closely.
+///
+/// We also print the exact sample-replay estimate (SimulatedCostWithMemo)
+/// as a tighter reference.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg::bench {
+namespace {
+
+struct Point {
+  double actual_ms = 0.0;
+  double model_ms = 0.0;
+  double replay_ms = 0.0;
+};
+
+Point Measure(const BenchEnv& env, MatchingFunction fn,
+              OrderingStrategy strategy, const CostModel& model, Rng* rng) {
+  ApplyOrdering(fn, strategy, model, rng);
+  Point p;
+  p.model_ms = model.EstimateRuntimeMs(fn, env.ds.candidates.size(),
+                                       /*with_memo=*/true);
+  p.replay_ms = model.SimulatedCostWithMemo(fn) *
+                static_cast<double>(env.ds.candidates.size()) / 1000.0;
+  MemoMatcher matcher;
+  Stopwatch timer;
+  matcher.Run(fn, env.ds.candidates, *env.ctx);
+  p.actual_ms = timer.ElapsedMillis();
+  return p;
+}
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Figure 5A: actual vs cost-model-estimated run time (ms)",
+              opts, env);
+  const std::vector<size_t> rule_counts{5, 10, 20, 40, 80, 160, 240};
+  std::printf("%6s | %10s %10s %10s | %10s %10s %10s\n", "rules",
+              "rand_act", "rand_model", "rand_replay", "alg6_act",
+              "alg6_model", "alg6_replay");
+  Rng rng(5);
+  for (const size_t n : rule_counts) {
+    if (n > opts.rules) break;
+    Point random_avg;
+    Point alg6_avg;
+    for (size_t rep = 0; rep < opts.reps; ++rep) {
+      const MatchingFunction fn = env.RuleSubset(n, 3000 + rep);
+      const CostModel model =
+          CostModel::EstimateForFunction(fn, *env.ctx, env.sample);
+      const Point r =
+          Measure(env, fn, OrderingStrategy::kRandom, model, &rng);
+      const Point a = Measure(env, fn, OrderingStrategy::kGreedyReduction,
+                              model, &rng);
+      random_avg.actual_ms += r.actual_ms;
+      random_avg.model_ms += r.model_ms;
+      random_avg.replay_ms += r.replay_ms;
+      alg6_avg.actual_ms += a.actual_ms;
+      alg6_avg.model_ms += a.model_ms;
+      alg6_avg.replay_ms += a.replay_ms;
+    }
+    const double reps = static_cast<double>(opts.reps);
+    std::printf("%6zu | %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n", n,
+                random_avg.actual_ms / reps, random_avg.model_ms / reps,
+                random_avg.replay_ms / reps, alg6_avg.actual_ms / reps,
+                alg6_avg.model_ms / reps, alg6_avg.replay_ms / reps);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,155 @@
+/// Regenerates Fig. 6: average incremental run time per type of matching-
+/// function change — add predicate, tighten threshold, relax threshold,
+/// remove predicate, remove rule, add rule — each averaged over random
+/// edits against the full rule set (paper: 100 random edits per type).
+///
+/// Expected shape (paper): edits that make the function stricter (add
+/// predicate, tighten, remove rule) cost single-digit milliseconds, while
+/// relaxing edits (relax, remove predicate, add rule) cost more because
+/// they may compute fresh features for previously-rejected pairs.
+///
+/// Methodology matches the paper: each trial applies the measured edit to
+/// a fully materialized state, then reverts it (unmeasured) so every trial
+/// starts from the same function.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/incremental.h"
+#include "src/util/stats.h"
+
+namespace emdbg::bench {
+namespace {
+
+struct EditStats {
+  RunningStats add_predicate;
+  RunningStats tighten;
+  RunningStats relax;
+  RunningStats remove_predicate;
+  RunningStats remove_rule;
+  RunningStats add_rule;
+};
+
+/// Picks a random (rule position, predicate position) in fn.
+std::pair<size_t, size_t> PickPredicate(const MatchingFunction& fn,
+                                        Rng& rng) {
+  while (true) {
+    const size_t rpos = static_cast<size_t>(rng.Uniform(fn.num_rules()));
+    const Rule& r = fn.rule(rpos);
+    if (r.empty()) continue;
+    return {rpos, static_cast<size_t>(rng.Uniform(r.size()))};
+  }
+}
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Figure 6: avg incremental time per change type (ms)", opts,
+              env);
+  const size_t kTrials = 100;
+
+  IncrementalMatcher inc(*env.ctx, env.ds.candidates);
+  inc.FullRun(env.RuleSubset(opts.rules, 5000));
+  Rng rng(8);
+  EditStats stats;
+
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    // --- add predicate (measured), then remove it (unmeasured). ---
+    {
+      const auto [rpos, _] = PickPredicate(inc.function(), rng);
+      const RuleId rid = inc.function().rule(rpos).id();
+      const Rule donor = env.generator->GenerateRule(rng);
+      auto s = inc.AddPredicate(rid, donor.predicate(0));
+      if (s.ok()) {
+        stats.add_predicate.Add(s->elapsed_ms);
+        (void)inc.RemovePredicate(rid, inc.last_added_predicate_id());
+      }
+    }
+    // --- tighten threshold (measured), revert (unmeasured). ---
+    {
+      const auto [rpos, ppos] = PickPredicate(inc.function(), rng);
+      const Rule& r = inc.function().rule(rpos);
+      const Predicate p = r.predicate(ppos);
+      const double delta = 0.1 * static_cast<double>(rng.UniformInt(1, 5));
+      const double t =
+          IsLowerBound(p.op)
+              ? std::min(1.0, p.threshold + delta)
+              : std::max(0.0, p.threshold - delta);
+      auto s = inc.SetThreshold(r.id(), p.id, t);
+      if (s.ok()) {
+        stats.tighten.Add(s->elapsed_ms);
+        (void)inc.SetThreshold(r.id(), p.id, p.threshold);
+      }
+    }
+    // --- relax threshold (measured), revert (unmeasured). ---
+    {
+      const auto [rpos, ppos] = PickPredicate(inc.function(), rng);
+      const Rule& r = inc.function().rule(rpos);
+      const Predicate p = r.predicate(ppos);
+      const double delta = 0.1 * static_cast<double>(rng.UniformInt(1, 5));
+      const double t =
+          IsLowerBound(p.op)
+              ? std::max(0.0, p.threshold - delta)
+              : std::min(1.0, p.threshold + delta);
+      auto s = inc.SetThreshold(r.id(), p.id, t);
+      if (s.ok()) {
+        stats.relax.Add(s->elapsed_ms);
+        (void)inc.SetThreshold(r.id(), p.id, p.threshold);
+      }
+    }
+    // --- remove predicate (measured), add it back (unmeasured). ---
+    {
+      const auto [rpos, ppos] = PickPredicate(inc.function(), rng);
+      const Rule& r = inc.function().rule(rpos);
+      if (r.size() >= 2) {
+        const Predicate p = r.predicate(ppos);
+        auto s = inc.RemovePredicate(r.id(), p.id);
+        if (s.ok()) {
+          stats.remove_predicate.Add(s->elapsed_ms);
+          (void)inc.AddPredicate(r.id(), p);
+        }
+      }
+    }
+    // --- remove rule (measured), add it back (unmeasured). ---
+    {
+      const size_t rpos =
+          static_cast<size_t>(rng.Uniform(inc.function().num_rules()));
+      const Rule rule = inc.function().rule(rpos);  // copy before removal
+      auto s = inc.RemoveRule(rule.id());
+      if (s.ok()) {
+        stats.remove_rule.Add(s->elapsed_ms);
+        (void)inc.AddRule(rule);
+      }
+    }
+    // --- add rule (measured), remove it (unmeasured). ---
+    {
+      const Rule rule = env.generator->GenerateRule(rng);
+      auto s = inc.AddRule(rule);
+      if (s.ok()) {
+        stats.add_rule.Add(s->elapsed_ms);
+        (void)inc.RemoveRule(inc.last_added_rule_id());
+      }
+    }
+  }
+
+  auto print_row = [](const char* name, const RunningStats& s) {
+    std::printf("%-18s %10.3f %10.3f %10.3f %8zu\n", name, s.mean(),
+                s.min(), s.max(), s.count());
+  };
+  std::printf("%-18s %10s %10s %10s %8s\n", "change", "mean_ms", "min_ms",
+              "max_ms", "trials");
+  print_row("add_predicate", stats.add_predicate);
+  print_row("tighten", stats.tighten);
+  print_row("remove_rule", stats.remove_rule);
+  print_row("relax", stats.relax);
+  print_row("remove_predicate", stats.remove_predicate);
+  print_row("add_rule", stats.add_rule);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Extension bench: multi-threaded DM+EE speedup. Candidate pairs are
+/// independent, so the pair loop parallelizes; this sweeps thread counts
+/// and reports run time and scaling efficiency against the serial
+/// MemoMatcher.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+#include "src/core/parallel_matcher.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg::bench {
+namespace {
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Extension: parallel DM+EE scaling", opts, env);
+  MatchingFunction fn = env.RuleSubset(opts.rules, 12000);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *env.ctx, env.sample);
+  ApplyOrdering(fn, OrderingStrategy::kGreedyReduction, model, nullptr);
+  env.ctx->Prewarm(fn.UsedFeatures());
+
+  double serial_ms = 0.0;
+  for (size_t rep = 0; rep < opts.reps; ++rep) {
+    MemoMatcher serial;
+    Stopwatch timer;
+    serial.Run(fn, env.ds.candidates, *env.ctx);
+    serial_ms += timer.ElapsedMillis();
+  }
+  serial_ms /= static_cast<double>(opts.reps);
+  std::printf("serial DM+EE: %.1f ms\n", serial_ms);
+
+  const size_t hw = std::thread::hardware_concurrency();
+  std::printf("%8s %10s %10s %12s\n", "threads", "ms", "speedup",
+              "efficiency");
+  for (size_t threads = 1; threads <= hw; threads *= 2) {
+    double ms = 0.0;
+    for (size_t rep = 0; rep < opts.reps; ++rep) {
+      ParallelMemoMatcher parallel(
+          ParallelMemoMatcher::Options{.num_threads = threads});
+      Stopwatch timer;
+      parallel.Run(fn, env.ds.candidates, *env.ctx);
+      ms += timer.ElapsedMillis();
+    }
+    ms /= static_cast<double>(opts.reps);
+    const double speedup = serial_ms / ms;
+    std::printf("%8zu %10.1f %10.2f %12.2f\n", threads, ms, speedup,
+                speedup / static_cast<double>(threads));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// Regenerates the paper's Table 2: the six real-world data sets
+/// (synthetic equivalents — see DESIGN.md "Substitutions"). Prints one row
+/// per dataset with table sizes, candidate-pair counts, and rule/feature
+/// counts of the accompanying generated rule set.
+///
+/// By default the datasets are generated at --scale=0.05 of the paper's
+/// sizes so this binary runs in seconds; pass --scale=1 for full Table 2
+/// shapes.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "src/core/rule_generator.h"
+
+namespace emdbg::bench {
+namespace {
+
+void Run(const BenchOptions& opts) {
+  std::printf("## Table 2: data sets used in the experiments\n");
+  std::printf("# scale=%.3g (paper shapes at --scale=1)\n", opts.scale);
+  std::printf("%-12s %9s %9s %12s %8s %7s %7s %7s\n", "dataset", "tableA",
+              "tableB", "candidates", "matches", "rules", "used_f",
+              "total_f");
+  for (const DatasetProfile& base : AllPaperDatasetProfiles()) {
+    const DatasetProfile profile = ScaleProfile(base, opts.scale);
+    const GeneratedDataset ds = GenerateDataset(profile);
+    FeatureCatalog catalog(ds.a.schema(), ds.b.schema());
+    catalog.InternAllSameAttribute();
+    PairContext ctx(ds.a, ds.b, catalog);
+    Rng rng(1);
+    const CandidateSet sample = SamplePairs(ds.candidates, 0.01, rng, 100);
+    RuleGeneratorConfig config;
+    config.num_rules = opts.rules;
+    config.feature_pool = 32;
+    config.seed = 99;
+    RuleGenerator gen(ctx, sample, config);
+    const MatchingFunction fn = gen.Generate();
+    std::printf("%-12s %9zu %9zu %12zu %8zu %7zu %7zu %7zu\n",
+                profile.name.c_str(), ds.a.num_rows(), ds.b.num_rows(),
+                ds.candidates.size(), ds.true_matches.size(),
+                fn.num_rules(), fn.UsedFeatures().size(), catalog.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// Regenerates the paper's Table 3: per-feature computation cost (µs) on
+/// the Products data set, using Google Benchmark. One benchmark per
+/// (similarity function, attribute pair) row of the table, evaluated over
+/// a rotating sample of candidate pairs.
+///
+/// The paper's ordering (Exact Match cheapest ... Soft TF-IDF most
+/// expensive, with cross-attribute modelno x title variants in between)
+/// should reproduce; absolute µs depend on the machine.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/feature.h"
+#include "src/core/pair_context.h"
+#include "src/core/sampler.h"
+#include "src/data/datasets.h"
+
+namespace emdbg {
+namespace {
+
+/// Shared environment, built once.
+struct Table3Env {
+  GeneratedDataset ds;
+  FeatureCatalog catalog;
+  std::unique_ptr<PairContext> ctx;
+  CandidateSet pairs;
+
+  Table3Env() {
+    const DatasetProfile profile =
+        ScaleProfile(PaperDatasetProfile(DatasetId::kProducts), 0.05);
+    ds = GenerateDataset(profile);
+    catalog = FeatureCatalog(ds.a.schema(), ds.b.schema());
+    catalog.InternAllSameAttribute();
+    ctx = std::make_unique<PairContext>(ds.a, ds.b, catalog);
+    Rng rng(3);
+    pairs = SamplePairs(ds.candidates, 0.2, rng, 500);
+    // Warm the TF-IDF corpora so model building is not measured.
+    for (SimFunction fn : {SimFunction::kTfIdf, SimFunction::kSoftTfIdf}) {
+      for (const char* a : {"title", "modelno"}) {
+        for (const char* b : {"title", "modelno"}) {
+          auto id = catalog.InternByName(fn, a, b);
+          if (id.ok()) ctx->ComputeFeature(*id, pairs.pair(0));
+        }
+      }
+    }
+  }
+};
+
+Table3Env& Env() {
+  static Table3Env* env = new Table3Env();
+  return *env;
+}
+
+void BM_Feature(benchmark::State& state, SimFunction fn, const char* attr_a,
+                const char* attr_b) {
+  Table3Env& env = Env();
+  auto feature = env.catalog.InternByName(fn, attr_a, attr_b);
+  if (!feature.ok()) {
+    state.SkipWithError("feature not available");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const PairId pair = env.pairs.pair(i);
+    benchmark::DoNotOptimize(env.ctx->ComputeFeature(*feature, pair));
+    i = (i + 1) % env.pairs.size();
+  }
+}
+
+// The 13 rows of Table 3, same order as the paper (modelno = m,
+// title = t).
+#define TABLE3_ROW(name, fn, a, b) \
+  BENCHMARK_CAPTURE(BM_Feature, name, fn, a, b)->Unit(benchmark::kMicrosecond)
+
+TABLE3_ROW(exact_match_m_m, SimFunction::kExactMatch, "modelno", "modelno");
+TABLE3_ROW(jaro_m_m, SimFunction::kJaro, "modelno", "modelno");
+TABLE3_ROW(jaro_winkler_m_m, SimFunction::kJaroWinkler, "modelno",
+           "modelno");
+TABLE3_ROW(levenshtein_m_m, SimFunction::kLevenshtein, "modelno",
+           "modelno");
+TABLE3_ROW(cosine_m_t, SimFunction::kCosine, "modelno", "title");
+TABLE3_ROW(trigram_m_m, SimFunction::kTrigram, "modelno", "modelno");
+TABLE3_ROW(jaccard_m_t, SimFunction::kJaccard, "modelno", "title");
+TABLE3_ROW(soundex_m_m, SimFunction::kSoundex, "modelno", "modelno");
+TABLE3_ROW(jaccard_t_t, SimFunction::kJaccard, "title", "title");
+TABLE3_ROW(tf_idf_m_t, SimFunction::kTfIdf, "modelno", "title");
+TABLE3_ROW(tf_idf_t_t, SimFunction::kTfIdf, "title", "title");
+TABLE3_ROW(soft_tf_idf_m_t, SimFunction::kSoftTfIdf, "modelno", "title");
+TABLE3_ROW(soft_tf_idf_t_t, SimFunction::kSoftTfIdf, "title", "title");
+
+#undef TABLE3_ROW
+
+}  // namespace
+}  // namespace emdbg
+
+BENCHMARK_MAIN();

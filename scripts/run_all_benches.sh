@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary and tees the combined output — the input for
+# EXPERIMENTS.md. Pass extra flags through, e.g.:
+#   scripts/run_all_benches.sh --scale=0.2 --reps=5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-bench_output.txt}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "build first: cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=== $(basename "$b") $* ===" | tee -a "$OUT"
+  "$b" "$@" 2>&1 | tee -a "$OUT"
+done
+echo "wrote $OUT"

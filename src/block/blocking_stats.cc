@@ -1,0 +1,48 @@
+#include "src/block/blocking_stats.h"
+
+#include <unordered_set>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+std::string BlockingStats::ToString() const {
+  return StrFormat(
+      "candidates=%zu of %zu (reduction %.4f) | matches retained %zu/%zu "
+      "(completeness %.4f)",
+      candidates, cross_product, reduction_ratio, matches_retained,
+      true_matches, pair_completeness);
+}
+
+BlockingStats EvaluateBlocking(const CandidateSet& candidates,
+                               const std::vector<PairId>& true_matches,
+                               size_t rows_a, size_t rows_b) {
+  BlockingStats stats;
+  stats.candidates = candidates.size();
+  stats.cross_product = rows_a * rows_b;
+  stats.true_matches = true_matches.size();
+
+  std::unordered_set<uint64_t> candidate_keys;
+  candidate_keys.reserve(candidates.size() * 2);
+  for (const PairId& p : candidates.pairs()) {
+    candidate_keys.insert((static_cast<uint64_t>(p.a) << 32) | p.b);
+  }
+  for (const PairId& m : true_matches) {
+    if (candidate_keys.count((static_cast<uint64_t>(m.a) << 32) | m.b)) {
+      ++stats.matches_retained;
+    }
+  }
+  stats.pair_completeness =
+      true_matches.empty()
+          ? 1.0
+          : static_cast<double>(stats.matches_retained) /
+                static_cast<double>(true_matches.size());
+  stats.reduction_ratio =
+      stats.cross_product == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(stats.candidates) /
+                      static_cast<double>(stats.cross_product);
+  return stats;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,35 @@
+#ifndef EMDBG_BLOCK_BLOCKING_STATS_H_
+#define EMDBG_BLOCK_BLOCKING_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/block/candidate_pairs.h"
+
+namespace emdbg {
+
+/// Standard blocking-quality metrics: a blocker should retain (almost)
+/// all true matches (pair completeness / recall) while pruning most of
+/// the |A| x |B| cross product (reduction ratio).
+struct BlockingStats {
+  size_t candidates = 0;
+  size_t cross_product = 0;
+  size_t true_matches = 0;
+  size_t matches_retained = 0;
+  /// matches_retained / true_matches (1.0 when there are no matches).
+  double pair_completeness = 1.0;
+  /// 1 - candidates / cross_product.
+  double reduction_ratio = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates `candidates` against the known `true_matches` for tables of
+/// `rows_a` x `rows_b` records.
+BlockingStats EvaluateBlocking(const CandidateSet& candidates,
+                               const std::vector<PairId>& true_matches,
+                               size_t rows_a, size_t rows_b);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_BLOCKING_STATS_H_

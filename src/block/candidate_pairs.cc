@@ -1,0 +1,16 @@
+#include "src/block/candidate_pairs.h"
+
+#include <algorithm>
+
+namespace emdbg {
+
+void CandidateSet::SortAndDedup() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+void CandidateSet::Truncate(size_t n) {
+  if (pairs_.size() > n) pairs_.resize(n);
+}
+
+}  // namespace emdbg

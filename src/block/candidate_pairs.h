@@ -1,0 +1,57 @@
+#ifndef EMDBG_BLOCK_CANDIDATE_PAIRS_H_
+#define EMDBG_BLOCK_CANDIDATE_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bitmap.h"
+
+namespace emdbg {
+
+/// A candidate record pair: row indices into tables A and B.
+struct PairId {
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  friend bool operator==(const PairId& x, const PairId& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const PairId& x, const PairId& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  }
+};
+
+/// The output of blocking: the ordered list of candidate pairs the matcher
+/// evaluates. Pair order is significant — the memo and all incremental
+/// bitmaps are indexed by position in this list.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+  explicit CandidateSet(std::vector<PairId> pairs)
+      : pairs_(std::move(pairs)) {}
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const PairId& pair(size_t i) const { return pairs_[i]; }
+  const std::vector<PairId>& pairs() const { return pairs_; }
+
+  void Add(PairId p) { pairs_.push_back(p); }
+  void Reserve(size_t n) { pairs_.reserve(n); }
+
+  /// Sorts by (a, b) and removes duplicates.
+  void SortAndDedup();
+
+  /// Keeps only the first `n` pairs (no-op if already smaller).
+  void Truncate(size_t n);
+
+ private:
+  std::vector<PairId> pairs_;
+};
+
+/// Ground-truth (or predicted) match labels aligned with a CandidateSet:
+/// bit i set ⇔ pair i is a match.
+using PairLabels = Bitmap;
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_CANDIDATE_PAIRS_H_

@@ -1,0 +1,40 @@
+#include "src/block/key_blocker.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+Result<CandidateSet> KeyBlocker::Block(const Table& a,
+                                       const Table& b) const {
+  Result<AttrIndex> a_attr = a.schema().Find(attribute_);
+  if (!a_attr.ok()) return a_attr.status();
+  Result<AttrIndex> b_attr = b.schema().Find(attribute_);
+  if (!b_attr.ok()) return b_attr.status();
+
+  std::unordered_map<std::string, std::vector<uint32_t>> b_index;
+  for (uint32_t row = 0; row < b.num_rows(); ++row) {
+    std::string key =
+        ToLowerAscii(TrimAscii(b.Value(row, *b_attr)));
+    if (key.empty()) continue;
+    b_index[std::move(key)].push_back(row);
+  }
+
+  CandidateSet out;
+  for (uint32_t row = 0; row < a.num_rows(); ++row) {
+    const std::string key =
+        ToLowerAscii(TrimAscii(a.Value(row, *a_attr)));
+    if (key.empty()) continue;
+    const auto it = b_index.find(key);
+    if (it == b_index.end()) continue;
+    for (uint32_t b_row : it->second) {
+      out.Add(PairId{row, b_row});
+    }
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+}  // namespace emdbg

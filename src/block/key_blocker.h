@@ -1,0 +1,34 @@
+#ifndef EMDBG_BLOCK_KEY_BLOCKER_H_
+#define EMDBG_BLOCK_KEY_BLOCKER_H_
+
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/data/table.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Attribute-equality blocking (Sec. 3 of the paper's "category" example):
+/// a pair (a, b) becomes a candidate iff the two records agree exactly on
+/// the blocking attribute. Comparison is case-insensitive after trimming.
+class KeyBlocker {
+ public:
+  /// `attribute` must exist in both tables' schemas (checked in Block).
+  explicit KeyBlocker(std::string attribute)
+      : attribute_(std::move(attribute)) {}
+
+  /// Produces the candidate set, sorted by (a, b).
+  /// Records with an empty blocking value are skipped (standard EM
+  /// practice: missing keys would otherwise cross-join).
+  Result<CandidateSet> Block(const Table& a, const Table& b) const;
+
+  const std::string& attribute() const { return attribute_; }
+
+ private:
+  std::string attribute_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_KEY_BLOCKER_H_

@@ -1,0 +1,44 @@
+#include "src/block/overlap_blocker.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+Result<CandidateSet> OverlapBlocker::Block(const Table& a,
+                                           const Table& b) const {
+  Result<AttrIndex> a_attr = a.schema().Find(attribute_);
+  if (!a_attr.ok()) return a_attr.status();
+  Result<AttrIndex> b_attr = b.schema().Find(attribute_);
+  if (!b_attr.ok()) return b_attr.status();
+
+  // Inverted index: token -> B rows containing it (unique per row).
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  for (uint32_t row = 0; row < b.num_rows(); ++row) {
+    for (const std::string& tok :
+         ToSortedUnique(AlnumTokenize(b.Value(row, *b_attr)))) {
+      index[tok].push_back(row);
+    }
+  }
+
+  CandidateSet out;
+  std::unordered_map<uint32_t, size_t> overlap;  // B row -> shared tokens
+  for (uint32_t row = 0; row < a.num_rows(); ++row) {
+    overlap.clear();
+    for (const std::string& tok :
+         ToSortedUnique(AlnumTokenize(a.Value(row, *a_attr)))) {
+      const auto it = index.find(tok);
+      if (it == index.end()) continue;
+      for (uint32_t b_row : it->second) ++overlap[b_row];
+    }
+    for (const auto& [b_row, count] : overlap) {
+      if (count >= min_overlap_) out.Add(PairId{row, b_row});
+    }
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,35 @@
+#ifndef EMDBG_BLOCK_OVERLAP_BLOCKER_H_
+#define EMDBG_BLOCK_OVERLAP_BLOCKER_H_
+
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/data/table.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Token-overlap blocking: a pair (a, b) becomes a candidate iff the two
+/// records share at least `min_overlap` word tokens on `attribute`
+/// (lower-cased alphanumeric tokens). Implemented with an inverted index on
+/// table B, so cost is proportional to the number of shared-token pair
+/// occurrences, not |A| x |B|.
+class OverlapBlocker {
+ public:
+  OverlapBlocker(std::string attribute, size_t min_overlap = 1)
+      : attribute_(std::move(attribute)),
+        min_overlap_(min_overlap == 0 ? 1 : min_overlap) {}
+
+  Result<CandidateSet> Block(const Table& a, const Table& b) const;
+
+  const std::string& attribute() const { return attribute_; }
+  size_t min_overlap() const { return min_overlap_; }
+
+ private:
+  std::string attribute_;
+  size_t min_overlap_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_OVERLAP_BLOCKER_H_

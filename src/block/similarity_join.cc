@@ -1,0 +1,150 @@
+#include "src/block/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+namespace {
+
+/// Token ids sorted by the global rarity order, per record.
+struct RecordTokens {
+  uint32_t row = 0;
+  std::vector<uint32_t> tokens;  // sorted ascending by global id
+};
+
+size_t PrefixLength(size_t size, double threshold) {
+  // |t| - ceil(θ|t|) + 1, at least 1 for non-empty sets.
+  const size_t needed =
+      static_cast<size_t>(std::ceil(threshold * static_cast<double>(size)));
+  return size - std::min(size, needed) + 1;
+}
+
+double JaccardOfSorted(const std::vector<uint32_t>& x,
+                       const std::vector<uint32_t>& y) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = x.size() + y.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+JaccardJoinBlocker::JaccardJoinBlocker(std::string attribute,
+                                       double threshold)
+    : attribute_(std::move(attribute)),
+      threshold_(std::clamp(threshold, 1e-9, 1.0)) {}
+
+Result<CandidateSet> JaccardJoinBlocker::Block(const Table& a,
+                                               const Table& b) const {
+  Result<AttrIndex> a_attr = a.schema().Find(attribute_);
+  if (!a_attr.ok()) return a_attr.status();
+  Result<AttrIndex> b_attr = b.schema().Find(attribute_);
+  if (!b_attr.ok()) return b_attr.status();
+
+  // Pass 1: intern tokens and count document frequency across both
+  // tables (the global rarity order).
+  std::unordered_map<std::string, uint32_t> token_ids;
+  std::vector<size_t> frequency;
+  auto intern_tokens = [&](const std::string& text) {
+    std::vector<uint32_t> out;
+    for (const std::string& tok : ToSortedUnique(AlnumTokenize(text))) {
+      auto [it, inserted] =
+          token_ids.emplace(tok, static_cast<uint32_t>(token_ids.size()));
+      if (inserted) frequency.push_back(0);
+      ++frequency[it->second];
+      out.push_back(it->second);
+    }
+    return out;
+  };
+  std::vector<RecordTokens> a_records(a.num_rows());
+  for (uint32_t row = 0; row < a.num_rows(); ++row) {
+    a_records[row] = {row, intern_tokens(a.Value(row, *a_attr))};
+  }
+  std::vector<RecordTokens> b_records(b.num_rows());
+  for (uint32_t row = 0; row < b.num_rows(); ++row) {
+    b_records[row] = {row, intern_tokens(b.Value(row, *b_attr))};
+  }
+
+  // Remap token ids to the rarity order (ascending frequency; ties by
+  // original id for determinism), then sort each record's tokens so the
+  // prefix holds its rarest tokens.
+  std::vector<uint32_t> order(frequency.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    return frequency[x] != frequency[y] ? frequency[x] < frequency[y]
+                                        : x < y;
+  });
+  std::vector<uint32_t> rank(order.size());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    rank[order[pos]] = pos;
+  }
+  auto remap = [&](std::vector<RecordTokens>& records) {
+    for (RecordTokens& r : records) {
+      for (uint32_t& t : r.tokens) t = rank[t];
+      std::sort(r.tokens.begin(), r.tokens.end());
+    }
+  };
+  remap(a_records);
+  remap(b_records);
+
+  // Pass 2: index B's prefixes.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> prefix_index;
+  for (const RecordTokens& r : b_records) {
+    const size_t prefix = PrefixLength(r.tokens.size(), threshold_);
+    for (size_t k = 0; k < prefix && k < r.tokens.size(); ++k) {
+      prefix_index[r.tokens[k]].push_back(r.row);
+    }
+  }
+
+  // Pass 3: probe with A's prefixes, length-filter, verify.
+  CandidateSet out;
+  std::vector<char> seen(b.num_rows(), 0);
+  std::vector<uint32_t> touched;
+  for (const RecordTokens& ra : a_records) {
+    if (ra.tokens.empty()) continue;
+    touched.clear();
+    const size_t prefix = PrefixLength(ra.tokens.size(), threshold_);
+    const double size_a = static_cast<double>(ra.tokens.size());
+    for (size_t k = 0; k < prefix && k < ra.tokens.size(); ++k) {
+      const auto it = prefix_index.find(ra.tokens[k]);
+      if (it == prefix_index.end()) continue;
+      for (const uint32_t b_row : it->second) {
+        if (seen[b_row]) continue;
+        seen[b_row] = 1;
+        touched.push_back(b_row);
+        const double size_b =
+            static_cast<double>(b_records[b_row].tokens.size());
+        if (size_b < threshold_ * size_a ||
+            size_b * threshold_ > size_a) {
+          continue;  // length filter
+        }
+        if (JaccardOfSorted(ra.tokens, b_records[b_row].tokens) >=
+            threshold_) {
+          out.Add(PairId{ra.row, b_row});
+        }
+      }
+    }
+    for (const uint32_t b_row : touched) seen[b_row] = 0;
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,44 @@
+#ifndef EMDBG_BLOCK_SIMILARITY_JOIN_H_
+#define EMDBG_BLOCK_SIMILARITY_JOIN_H_
+
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/data/table.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Set-similarity join blocking: a pair becomes a candidate iff the
+/// Jaccard similarity of the two records' word-token sets on `attribute`
+/// is at least `threshold`. Implemented with the standard AllPairs-style
+/// prefix filter:
+///
+///   * tokens are globally ordered by ascending document frequency
+///     (rarest first), so prefixes carry maximal pruning power;
+///   * a record with |t| tokens only indexes/probes its first
+///     |t| - ceil(θ·|t|) + 1 tokens — two sets with Jaccard ≥ θ must
+///     share at least one prefix token;
+///   * the length filter θ·|a| ≤ |b| ≤ |a|/θ prunes size-incompatible
+///     partners before verification.
+///
+/// Exact: produces precisely the pairs a brute-force Jaccard scan would
+/// (verified by property tests), at index-join cost.
+class JaccardJoinBlocker {
+ public:
+  /// `threshold` is clamped to (0, 1].
+  JaccardJoinBlocker(std::string attribute, double threshold);
+
+  Result<CandidateSet> Block(const Table& a, const Table& b) const;
+
+  const std::string& attribute() const { return attribute_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  std::string attribute_;
+  double threshold_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_SIMILARITY_JOIN_H_

@@ -1,0 +1,39 @@
+#ifndef EMDBG_BLOCK_SORTED_NEIGHBORHOOD_H_
+#define EMDBG_BLOCK_SORTED_NEIGHBORHOOD_H_
+
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/data/table.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Sorted-neighborhood blocking (Hernández & Stolfo): records from both
+/// tables are merged, sorted by a key derived from `attribute` (lower-cased
+/// alphanumeric prefix), and a window of size `window` slides over the
+/// sorted sequence; every A-B pair co-occurring in a window becomes a
+/// candidate. Robust to small key typos that would break equality
+/// blocking, at the cost of a wider candidate set.
+class SortedNeighborhoodBlocker {
+ public:
+  SortedNeighborhoodBlocker(std::string attribute, size_t window = 5,
+                            size_t key_prefix = 8)
+      : attribute_(std::move(attribute)),
+        window_(window < 2 ? 2 : window),
+        key_prefix_(key_prefix == 0 ? 8 : key_prefix) {}
+
+  Result<CandidateSet> Block(const Table& a, const Table& b) const;
+
+  const std::string& attribute() const { return attribute_; }
+  size_t window() const { return window_; }
+
+ private:
+  std::string attribute_;
+  size_t window_;
+  size_t key_prefix_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_SORTED_NEIGHBORHOOD_H_

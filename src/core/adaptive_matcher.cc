@@ -1,0 +1,96 @@
+#include "src/core/adaptive_matcher.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/core/memo.h"
+#include "src/core/rule_profile.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+MatchResult AdaptiveMemoMatcher::Run(const MatchingFunction& fn,
+                                     const CandidateSet& pairs,
+                                     PairContext& ctx) {
+  Stopwatch timer;
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+
+  const size_t n = fn.num_rules();
+  std::vector<RuleProfile> profiles;
+  profiles.reserve(n);
+  for (const Rule& r : fn.rules()) {
+    profiles.push_back(RuleProfile::Build(r, model_));
+  }
+  const double lookup = model_.lookup_cost_us();
+
+  DenseMemo memo(pairs.size(), ctx.catalog().size());
+  std::vector<double> scores(n);
+  std::vector<size_t> rule_order(n);
+  std::vector<size_t> pred_order;
+
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const PairId pair = pairs.pair(i);
+    // Score every rule under the pair's actual memo contents (α ∈ {0,1}).
+    for (size_t r = 0; r < n; ++r) {
+      const RuleProfile& p = profiles[r];
+      double cost = 0.0;
+      for (size_t k = 0; k < p.prefix_sel.size(); ++k) {
+        const double acquire =
+            !p.first_on_feature[k] || memo.Contains(i, p.feature[k])
+                ? lookup
+                : p.feature_cost[k];
+        cost += p.prefix_sel[k] * acquire;
+      }
+      scores[r] = cost;
+    }
+    std::iota(rule_order.begin(), rule_order.end(), size_t{0});
+    std::sort(rule_order.begin(), rule_order.end(),
+              [&](size_t x, size_t y) { return scores[x] < scores[y]; });
+
+    for (const size_t r : rule_order) {
+      const Rule& rule = fn.rule(r);
+      if (rule.empty()) continue;
+      ++result.stats.rule_evaluations;
+      // Check-cache-first within the rule (Sec. 5.4.3).
+      const size_t m = rule.size();
+      pred_order.clear();
+      for (size_t k = 0; k < m; ++k) {
+        if (memo.Contains(i, rule.predicate(k).feature)) {
+          pred_order.push_back(k);
+        }
+      }
+      for (size_t k = 0; k < m; ++k) {
+        if (!memo.Contains(i, rule.predicate(k).feature)) {
+          pred_order.push_back(k);
+        }
+      }
+      bool rule_true = true;
+      for (const size_t k : pred_order) {
+        const Predicate& p = rule.predicate(k);
+        ++result.stats.predicate_evaluations;
+        double value = 0.0;
+        if (memo.Lookup(i, p.feature, &value)) {
+          ++result.stats.memo_hits;
+        } else {
+          value = ctx.ComputeFeature(p.feature, pair);
+          memo.Store(i, p.feature, value);
+          ++result.stats.feature_computations;
+        }
+        if (!p.Test(value)) {
+          rule_true = false;
+          break;
+        }
+      }
+      if (rule_true) {
+        result.matches.Set(i);
+        break;
+      }
+    }
+  }
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

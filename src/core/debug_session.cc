@@ -1,0 +1,263 @@
+#include "src/core/debug_session.h"
+
+#include "src/core/memo_matcher.h"
+#include "src/core/sampler.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+DebugSession::DebugSession(Table a, Table b, CandidateSet pairs,
+                           Options options)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      pairs_(std::move(pairs)),
+      options_(options),
+      catalog_(a_.schema(), b_.schema()),
+      rng_(options.seed) {
+  ctx_ = std::make_unique<PairContext>(a_, b_, catalog_);
+}
+
+const MatchingFunction& DebugSession::function() const {
+  if (started_ && options_.incremental) return inc_->function();
+  return fn_;
+}
+
+void DebugSession::PrepareRule(Rule& rule) {
+  if (model_ == nullptr) return;
+  for (const FeatureId f : rule.Features()) {
+    model_->EnsureFeature(f, *ctx_);
+  }
+  if (options_.ordering != OrderingStrategy::kAsWritten &&
+      options_.ordering != OrderingStrategy::kRandom) {
+    OrderRulePredicates(rule, *model_);
+  }
+}
+
+Result<RuleId> DebugSession::AddRuleText(std::string_view dsl) {
+  Result<Rule> rule = ParseRule(dsl, catalog_);
+  if (!rule.ok()) return rule.status();
+  return AddRule(std::move(*rule));
+}
+
+Result<RuleId> DebugSession::AddRule(Rule rule) {
+  PrepareRule(rule);
+  if (started_ && options_.incremental) {
+    Result<MatchStats> stats = log_.AddRule(*inc_, rule);
+    if (!stats.ok()) return stats.status();
+    last_stats_ = *stats;
+    total_stats_ += *stats;
+    return inc_->last_added_rule_id();
+  }
+  batch_dirty_ = true;
+  return fn_.AddRule(std::move(rule));
+}
+
+Status DebugSession::RemoveRule(RuleId rid) {
+  if (started_ && options_.incremental) {
+    Result<MatchStats> stats = log_.RemoveRule(*inc_, rid);
+    if (!stats.ok()) return stats.status();
+    last_stats_ = *stats;
+    total_stats_ += *stats;
+    return Status::Ok();
+  }
+  batch_dirty_ = true;
+  return fn_.RemoveRule(rid);
+}
+
+Result<PredicateId> DebugSession::AddPredicate(RuleId rid, Predicate p) {
+  if (model_ != nullptr) model_->EnsureFeature(p.feature, *ctx_);
+  if (started_ && options_.incremental) {
+    Result<MatchStats> stats = log_.AddPredicate(*inc_, rid, p);
+    if (!stats.ok()) return stats.status();
+    last_stats_ = *stats;
+    total_stats_ += *stats;
+    return inc_->last_added_predicate_id();
+  }
+  batch_dirty_ = true;
+  return fn_.AddPredicate(rid, p);
+}
+
+Status DebugSession::RemovePredicate(RuleId rid, PredicateId pid) {
+  if (started_ && options_.incremental) {
+    Result<MatchStats> stats = log_.RemovePredicate(*inc_, rid, pid);
+    if (!stats.ok()) return stats.status();
+    last_stats_ = *stats;
+    total_stats_ += *stats;
+    return Status::Ok();
+  }
+  batch_dirty_ = true;
+  return fn_.RemovePredicate(rid, pid);
+}
+
+Status DebugSession::SetThreshold(RuleId rid, PredicateId pid,
+                                  double threshold) {
+  if (started_ && options_.incremental) {
+    Result<MatchStats> stats =
+        log_.SetThreshold(*inc_, rid, pid, threshold);
+    if (!stats.ok()) return stats.status();
+    last_stats_ = *stats;
+    total_stats_ += *stats;
+    return Status::Ok();
+  }
+  batch_dirty_ = true;
+  return fn_.SetThreshold(rid, pid, threshold);
+}
+
+Status DebugSession::Undo() {
+  if (!started_ || !options_.incremental) {
+    return Status::FailedPrecondition(
+        "undo requires a running incremental session");
+  }
+  Result<MatchStats> stats = log_.Undo(*inc_);
+  if (!stats.ok()) return stats.status();
+  last_stats_ = *stats;
+  total_stats_ += *stats;
+  return Status::Ok();
+}
+
+std::string DebugSession::History() const { return log_.Describe(catalog_); }
+
+void DebugSession::FirstRun() {
+  // Estimate the cost model on a small random sample (paper: 1%), order
+  // the rules with the configured strategy, then run fully.
+  const CandidateSet sample =
+      SamplePairs(pairs_, options_.sample_fraction, rng_);
+  model_ = std::make_unique<CostModel>(
+      CostModel::EstimateForFunction(fn_, *ctx_, sample));
+  ApplyOrdering(fn_, options_.ordering, *model_, &rng_);
+
+  if (options_.incremental) {
+    inc_ = std::make_unique<IncrementalMatcher>(
+        *ctx_, pairs_,
+        IncrementalMatcher::Options{
+            .check_cache_first = options_.check_cache_first});
+    last_stats_ = inc_->FullRun(fn_);
+  } else {
+    MemoMatcher matcher(MemoMatcher::Options{
+        .check_cache_first = options_.check_cache_first});
+    last_stats_ =
+        matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_).stats;
+    batch_dirty_ = false;
+  }
+  total_stats_ += last_stats_;
+  started_ = true;
+}
+
+const Bitmap& DebugSession::Run() {
+  if (!started_) {
+    FirstRun();
+  } else if (!options_.incremental && batch_dirty_) {
+    // Non-incremental mode: rerun everything, but keep the memo — the
+    // "precomputation variation" of Sec. 7.6.
+    MemoMatcher matcher(MemoMatcher::Options{
+        .check_cache_first = options_.check_cache_first});
+    last_stats_ =
+        matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_).stats;
+    total_stats_ += last_stats_;
+    batch_dirty_ = false;
+  }
+  return options_.incremental ? inc_->matches() : batch_state_.matches();
+}
+
+QualityMetrics DebugSession::Score(const PairLabels& labels) {
+  return Evaluate(Run(), labels);
+}
+
+std::string DebugSession::MemoryReport() const {
+  const MatchState& state =
+      started_ && options_.incremental ? inc_->state() : batch_state_;
+  return state.MemoryReport();
+}
+
+MatchExplanation DebugSession::Explain(PairId pair) {
+  return ExplainPair(function(), pair, *ctx_);
+}
+
+std::vector<NearMiss> DebugSession::WhyNot(PairId pair, size_t top_k) {
+  return FindNearMisses(function(), pair, *ctx_, top_k);
+}
+
+Status DebugSession::SaveSession(const std::string& prefix) const {
+  if (!started_ || !options_.incremental) {
+    return Status::FailedPrecondition(
+        "saving requires a completed run in incremental mode");
+  }
+  EMDBG_RETURN_IF_ERROR(
+      SaveRulesFile(inc_->function(), catalog_, prefix + ".rules"));
+  return SaveMatchState(inc_->state(), prefix + ".state");
+}
+
+Status DebugSession::ResumeSession(const std::string& prefix) {
+  if (started_) {
+    return Status::FailedPrecondition(
+        "resume must happen before the first run");
+  }
+  if (!options_.incremental) {
+    return Status::FailedPrecondition("resume requires incremental mode");
+  }
+  Result<MatchingFunction> rules =
+      LoadRulesFile(prefix + ".rules", catalog_);
+  if (!rules.ok()) return rules.status();
+  Result<MatchState> state = LoadMatchState(prefix + ".state");
+  if (!state.ok()) return state.status();
+  inc_ = std::make_unique<IncrementalMatcher>(
+      *ctx_, pairs_,
+      IncrementalMatcher::Options{
+          .check_cache_first = options_.check_cache_first});
+  EMDBG_RETURN_IF_ERROR(inc_->Resume(*rules, std::move(*state)));
+  fn_ = *rules;
+  started_ = true;
+  return Status::Ok();
+}
+
+std::string DebugSession::RuleActivityReport() const {
+  if (!started_) return "(no run yet)\n";
+  const MatchState& state =
+      options_.incremental ? inc_->state() : batch_state_;
+  const MatchingFunction& fn = function();
+  std::string out;
+  for (const Rule& rule : fn.rules()) {
+    const Bitmap* fired = state.FindRuleTrue(rule.id());
+    out += StrFormat("%-10s matches %6zu pairs | rejects:",
+                     rule.name().c_str(),
+                     fired == nullptr ? 0 : fired->Count());
+    for (const Predicate& p : rule.predicates()) {
+      const Bitmap* rejected = state.FindPredFalse(p.id);
+      out += StrFormat(" %s=%zu", catalog_.Name(p.feature).c_str(),
+                       rejected == nullptr ? 0 : rejected->Count());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+MatchStats DebugSession::Reoptimize() {
+  MatchingFunction current = function();
+  const CandidateSet sample =
+      SamplePairs(pairs_, options_.sample_fraction, rng_);
+  model_ = std::make_unique<CostModel>(
+      CostModel::EstimateForFunction(current, *ctx_, sample));
+  ApplyOrdering(current, options_.ordering, *model_, &rng_);
+  fn_ = current;
+  if (options_.incremental) {
+    if (inc_ == nullptr) {
+      inc_ = std::make_unique<IncrementalMatcher>(
+          *ctx_, pairs_,
+          IncrementalMatcher::Options{
+              .check_cache_first = options_.check_cache_first});
+    }
+    last_stats_ = inc_->FullRun(fn_);
+  } else {
+    MemoMatcher matcher(MemoMatcher::Options{
+        .check_cache_first = options_.check_cache_first});
+    last_stats_ =
+        matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_).stats;
+    batch_dirty_ = false;
+  }
+  total_stats_ += last_stats_;
+  started_ = true;
+  return last_stats_;
+}
+
+}  // namespace emdbg

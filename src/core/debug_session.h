@@ -1,0 +1,172 @@
+#ifndef EMDBG_CORE_DEBUG_SESSION_H_
+#define EMDBG_CORE_DEBUG_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/block/candidate_pairs.h"
+#include "src/core/cost_model.h"
+#include "src/core/edit_log.h"
+#include "src/core/explain.h"
+#include "src/core/incremental.h"
+#include "src/core/match_result.h"
+#include "src/core/ordering.h"
+#include "src/core/rule_parser.h"
+#include "src/core/state_io.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+
+/// The analyst-facing entry point: owns the two tables, the candidate
+/// pairs, the feature catalog, and the evolving matching function, and
+/// drives the paper's debugging loop (Fig. 1):
+///
+///   DebugSession session(a, b, candidates);
+///   session.AddRuleText("jaccard(title, title) >= 0.7 AND ...");
+///   session.Run();                         // full optimized run
+///   session.Score(labels);                 // inspect quality
+///   session.SetThreshold(rid, pid, 0.8);   // refine (incremental)
+///   session.Score(labels);                 // inspect again
+///
+/// The first Run() estimates the cost model on a random sample, orders
+/// rules/predicates with the configured strategy, and performs a full
+/// DM+EE run. Subsequent edits are applied incrementally (Sec. 6) unless
+/// Options::incremental is false, in which case every Run() re-evaluates
+/// all rules (still reusing the memo — the "precomputation variation" of
+/// Sec. 7.6).
+class DebugSession {
+ public:
+  struct Options {
+    OrderingStrategy ordering = OrderingStrategy::kGreedyReduction;
+    bool check_cache_first = true;
+    bool incremental = true;
+    /// Sample fraction for cost/selectivity estimation (paper: 1%).
+    double sample_fraction = 0.01;
+    uint64_t seed = 42;
+  };
+
+  /// Takes ownership of the data. The candidate pairs index into the
+  /// tables' rows.
+  DebugSession(Table a, Table b, CandidateSet pairs)
+      : DebugSession(std::move(a), std::move(b), std::move(pairs),
+                     Options{}) {}
+  DebugSession(Table a, Table b, CandidateSet pairs, Options options);
+
+  DebugSession(const DebugSession&) = delete;
+  DebugSession& operator=(const DebugSession&) = delete;
+
+  FeatureCatalog& catalog() { return catalog_; }
+  PairContext& context() { return *ctx_; }
+  const CandidateSet& candidates() const { return pairs_; }
+  const Options& options() const { return options_; }
+
+  /// The current matching function (authoritative copy).
+  const MatchingFunction& function() const;
+
+  // ---- Rule editing. Before the first Run() edits are free; afterwards
+  // they are applied to the maintained result (incrementally when
+  // enabled). ----
+
+  /// Parses one DSL rule ("[name:] pred AND pred ...") and adds it.
+  Result<RuleId> AddRuleText(std::string_view dsl);
+  Result<RuleId> AddRule(Rule rule);
+  Status RemoveRule(RuleId rid);
+  Result<PredicateId> AddPredicate(RuleId rid, Predicate p);
+  Status RemovePredicate(RuleId rid, PredicateId pid);
+  Status SetThreshold(RuleId rid, PredicateId pid, double threshold);
+
+  /// Reverts the most recent post-run edit (incremental mode only;
+  /// edits before the first Run() and batch-mode edits are not journaled).
+  Status Undo();
+
+  /// Human-readable journal of post-run edits, oldest first.
+  std::string History() const;
+
+  // ---- Running and inspecting. ----
+
+  /// Ensures the maintained result reflects the current rules. Returns
+  /// the match bitmap (aligned with candidates()).
+  const Bitmap& Run();
+
+  /// True if Run() has been called at least once.
+  bool has_run() const { return started_; }
+
+  /// Work performed by the most recent Run()/edit.
+  const MatchStats& last_stats() const { return last_stats_; }
+
+  /// Cumulative work since construction.
+  const MatchStats& total_stats() const { return total_stats_; }
+
+  /// Quality against ground-truth labels (size must equal candidates()).
+  QualityMetrics Score(const PairLabels& labels);
+
+  /// Sec. 7.4-style memory accounting of the materialized state.
+  std::string MemoryReport() const;
+
+  /// Per-rule activity from the materialized state: how many pairs each
+  /// rule currently matches and how many pairs each of its predicates has
+  /// rejected — the at-a-glance "which rules pull their weight" view.
+  std::string RuleActivityReport() const;
+
+  /// Full decision trace of one candidate pair under the current rules
+  /// (see explain.h).
+  MatchExplanation Explain(PairId pair);
+
+  /// The rules that came closest to matching `pair`, with the smallest
+  /// threshold gaps (see explain.h).
+  std::vector<NearMiss> WhyNot(PairId pair, size_t top_k = 3);
+
+  /// The cost model built at first Run() (null before).
+  const CostModel* cost_model() const { return model_.get(); }
+
+  /// Re-estimates the cost model, re-orders all rules with the configured
+  /// strategy, and performs a fresh full run. Useful after many edits
+  /// have drifted away from the original ordering.
+  MatchStats Reoptimize();
+
+  /// Suspends the session to disk: `<prefix>.rules` (DSL) and
+  /// `<prefix>.state` (binary memo + bitmaps). Requires a completed run
+  /// in incremental mode.
+  Status SaveSession(const std::string& prefix) const;
+
+  /// Restores a suspended session into this (not-yet-run) session. The
+  /// tables and candidate pairs must be the same ones the saved session
+  /// used (e.g. regenerated from the same profile seed or reloaded from
+  /// CSV). No similarity values are recomputed.
+  Status ResumeSession(const std::string& prefix);
+
+ private:
+  /// First-run path: estimate, order, full run.
+  void FirstRun();
+
+  /// Brings the cost model up to date with `fn`'s features and orders a
+  /// freshly added rule's predicates (Lemma 3).
+  void PrepareRule(Rule& rule);
+
+  Table a_;
+  Table b_;
+  CandidateSet pairs_;
+  Options options_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  Rng rng_;
+
+  /// Authoritative function before the first run / in non-incremental
+  /// mode.
+  MatchingFunction fn_;
+  /// Non-incremental mode: persistent state so the memo survives reruns.
+  MatchState batch_state_;
+  bool batch_dirty_ = true;
+
+  std::unique_ptr<IncrementalMatcher> inc_;
+  EditLog log_;
+  std::unique_ptr<CostModel> model_;
+  bool started_ = false;
+  MatchStats last_stats_;
+  MatchStats total_stats_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_DEBUG_SESSION_H_

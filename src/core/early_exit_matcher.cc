@@ -1,0 +1,38 @@
+#include "src/core/early_exit_matcher.h"
+
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+MatchResult EarlyExitMatcher::Run(const MatchingFunction& fn,
+                                  const CandidateSet& pairs,
+                                  PairContext& ctx) {
+  Stopwatch timer;
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const PairId pair = pairs.pair(i);
+    for (const Rule& rule : fn.rules()) {
+      if (rule.empty()) continue;
+      ++result.stats.rule_evaluations;
+      bool rule_true = true;
+      for (const Predicate& p : rule.predicates()) {
+        ++result.stats.predicate_evaluations;
+        ++result.stats.feature_computations;
+        const double value = ctx.ComputeFeature(p.feature, pair);
+        if (!p.Test(value)) {
+          rule_true = false;
+          break;  // early exit: rule is false
+        }
+      }
+      if (rule_true) {
+        result.matches.Set(i);
+        break;  // early exit: pair is a match
+      }
+    }
+  }
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

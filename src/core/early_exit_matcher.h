@@ -1,0 +1,20 @@
+#ifndef EMDBG_CORE_EARLY_EXIT_MATCHER_H_
+#define EMDBG_CORE_EARLY_EXIT_MATCHER_H_
+
+#include "src/core/matcher.h"
+
+namespace emdbg {
+
+/// Algorithm 3: early exit without memoing. A rule stops at its first
+/// false predicate; a pair stops at its first true rule. Every predicate
+/// evaluation still recomputes its similarity value from scratch.
+class EarlyExitMatcher final : public Matcher {
+ public:
+  MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
+                  PairContext& ctx) override;
+  const char* name() const override { return "EE"; }
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_EARLY_EXIT_MATCHER_H_

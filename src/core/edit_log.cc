@@ -1,0 +1,190 @@
+#include "src/core/edit_log.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+RuleId EditLog::ResolveRule(RuleId rid) const {
+  // Chase the remap chain (bounded by the number of undone removals).
+  auto it = rule_remap_.find(rid);
+  while (it != rule_remap_.end()) {
+    rid = it->second;
+    it = rule_remap_.find(rid);
+  }
+  return rid;
+}
+
+PredicateId EditLog::ResolvePredicate(PredicateId pid) const {
+  auto it = predicate_remap_.find(pid);
+  while (it != predicate_remap_.end()) {
+    pid = it->second;
+    it = predicate_remap_.find(pid);
+  }
+  return pid;
+}
+
+Result<MatchStats> EditLog::AddRule(IncrementalMatcher& inc,
+                                    const Rule& rule) {
+  Result<MatchStats> stats = inc.AddRule(rule);
+  if (!stats.ok()) return stats;
+  Entry e;
+  e.kind = Kind::kAddRule;
+  e.rule_id = inc.last_added_rule_id();
+  entries_.push_back(std::move(e));
+  return stats;
+}
+
+Result<MatchStats> EditLog::RemoveRule(IncrementalMatcher& inc,
+                                       RuleId rid) {
+  rid = ResolveRule(rid);
+  const Rule* rule = inc.function().RuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  Entry e;
+  e.kind = Kind::kRemoveRule;
+  e.rule_id = rid;
+  e.rule_snapshot = *rule;
+  Result<MatchStats> stats = inc.RemoveRule(rid);
+  if (!stats.ok()) return stats;
+  entries_.push_back(std::move(e));
+  return stats;
+}
+
+Result<MatchStats> EditLog::AddPredicate(IncrementalMatcher& inc,
+                                         RuleId rid, Predicate p) {
+  rid = ResolveRule(rid);
+  Result<MatchStats> stats = inc.AddPredicate(rid, p);
+  if (!stats.ok()) return stats;
+  Entry e;
+  e.kind = Kind::kAddPredicate;
+  e.rule_id = rid;
+  e.predicate_id = inc.last_added_predicate_id();
+  entries_.push_back(std::move(e));
+  return stats;
+}
+
+Result<MatchStats> EditLog::RemovePredicate(IncrementalMatcher& inc,
+                                            RuleId rid, PredicateId pid) {
+  rid = ResolveRule(rid);
+  pid = ResolvePredicate(pid);
+  const Rule* rule = inc.function().RuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  const size_t pos = rule->FindPredicate(pid);
+  if (pos == rule->size()) {
+    return Status::NotFound(
+        StrFormat("predicate %u not found in rule %u", pid, rid));
+  }
+  Entry e;
+  e.kind = Kind::kRemovePredicate;
+  e.rule_id = rid;
+  e.predicate_id = pid;
+  e.predicate_snapshot = rule->predicate(pos);
+  Result<MatchStats> stats = inc.RemovePredicate(rid, pid);
+  if (!stats.ok()) return stats;
+  entries_.push_back(std::move(e));
+  return stats;
+}
+
+Result<MatchStats> EditLog::SetThreshold(IncrementalMatcher& inc,
+                                         RuleId rid, PredicateId pid,
+                                         double threshold) {
+  rid = ResolveRule(rid);
+  pid = ResolvePredicate(pid);
+  const Rule* rule = inc.function().RuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  const size_t pos = rule->FindPredicate(pid);
+  if (pos == rule->size()) {
+    return Status::NotFound(
+        StrFormat("predicate %u not found in rule %u", pid, rid));
+  }
+  Entry e;
+  e.kind = Kind::kSetThreshold;
+  e.rule_id = rid;
+  e.predicate_id = pid;
+  e.old_threshold = rule->predicate(pos).threshold;
+  e.new_threshold = threshold;
+  Result<MatchStats> stats = inc.SetThreshold(rid, pid, threshold);
+  if (!stats.ok()) return stats;
+  entries_.push_back(std::move(e));
+  return stats;
+}
+
+Result<MatchStats> EditLog::Undo(IncrementalMatcher& inc) {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("edit history is empty");
+  }
+  const Entry e = entries_.back();
+  entries_.pop_back();
+  switch (e.kind) {
+    case Kind::kAddRule:
+      return inc.RemoveRule(ResolveRule(e.rule_id));
+    case Kind::kRemoveRule: {
+      // Re-adding assigns fresh ids; remap the old rule id and the old
+      // predicate ids (positionally — AddRule preserves predicate order).
+      Result<MatchStats> stats = inc.AddRule(e.rule_snapshot);
+      if (!stats.ok()) return stats;
+      const RuleId new_rid = inc.last_added_rule_id();
+      rule_remap_[e.rule_id] = new_rid;
+      const Rule* restored = inc.function().RuleById(new_rid);
+      for (size_t k = 0; k < e.rule_snapshot.size(); ++k) {
+        predicate_remap_[e.rule_snapshot.predicate(k).id] =
+            restored->predicate(k).id;
+      }
+      return stats;
+    }
+    case Kind::kAddPredicate:
+      return inc.RemovePredicate(ResolveRule(e.rule_id),
+                                 ResolvePredicate(e.predicate_id));
+    case Kind::kRemovePredicate: {
+      Result<MatchStats> stats =
+          inc.AddPredicate(ResolveRule(e.rule_id), e.predicate_snapshot);
+      if (!stats.ok()) return stats;
+      predicate_remap_[e.predicate_id] = inc.last_added_predicate_id();
+      return stats;
+    }
+    case Kind::kSetThreshold:
+      return inc.SetThreshold(ResolveRule(e.rule_id),
+                              ResolvePredicate(e.predicate_id),
+                              e.old_threshold);
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string EditLog::Describe(const FeatureCatalog& catalog) const {
+  std::string out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += StrFormat("%3zu. ", i + 1);
+    switch (e.kind) {
+      case Kind::kAddRule:
+        out += StrFormat("add rule #%u", e.rule_id);
+        break;
+      case Kind::kRemoveRule:
+        out += StrFormat("remove rule %s", e.rule_snapshot.name().c_str());
+        break;
+      case Kind::kAddPredicate:
+        out += StrFormat("add predicate #%u to rule #%u", e.predicate_id,
+                         e.rule_id);
+        break;
+      case Kind::kRemovePredicate:
+        out += StrFormat(
+            "remove predicate %s from rule #%u",
+            PredicateToString(e.predicate_snapshot, catalog).c_str(),
+            e.rule_id);
+        break;
+      case Kind::kSetThreshold:
+        out += StrFormat("set threshold of predicate #%u: %.4g -> %.4g",
+                         e.predicate_id, e.old_threshold, e.new_threshold);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace emdbg

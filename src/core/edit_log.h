@@ -1,0 +1,81 @@
+#ifndef EMDBG_CORE_EDIT_LOG_H_
+#define EMDBG_CORE_EDIT_LOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/incremental.h"
+
+namespace emdbg {
+
+/// Recorded, undoable edit history over an IncrementalMatcher — the
+/// session journal of the paper's debugging loop. Route edits through the
+/// log instead of calling the matcher directly:
+///
+///   EditLog log;
+///   log.SetThreshold(inc, rid, pid, 0.8);   // applied incrementally
+///   log.Undo(inc);                          // restored incrementally
+///
+/// Undo re-applies the inverse edit through the same incremental
+/// machinery, so it costs milliseconds, not a full re-run. Rules and
+/// predicates re-created by an undo receive fresh stable ids; the log
+/// transparently remaps older history entries to them.
+class EditLog {
+ public:
+  EditLog() = default;
+
+  // ---- Edits (forwarded to the matcher, recorded on success). ----
+  Result<MatchStats> AddRule(IncrementalMatcher& inc, const Rule& rule);
+  Result<MatchStats> RemoveRule(IncrementalMatcher& inc, RuleId rid);
+  Result<MatchStats> AddPredicate(IncrementalMatcher& inc, RuleId rid,
+                                  Predicate p);
+  Result<MatchStats> RemovePredicate(IncrementalMatcher& inc, RuleId rid,
+                                     PredicateId pid);
+  Result<MatchStats> SetThreshold(IncrementalMatcher& inc, RuleId rid,
+                                  PredicateId pid, double threshold);
+
+  /// Reverts the most recent not-yet-undone edit. FailedPrecondition when
+  /// the history is empty.
+  Result<MatchStats> Undo(IncrementalMatcher& inc);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Human-readable history, most recent last.
+  std::string Describe(const FeatureCatalog& catalog) const;
+
+ private:
+  enum class Kind {
+    kAddRule,
+    kRemoveRule,
+    kAddPredicate,
+    kRemovePredicate,
+    kSetThreshold,
+  };
+
+  struct Entry {
+    Kind kind;
+    RuleId rule_id = kInvalidRule;
+    PredicateId predicate_id = kInvalidPredicate;
+    /// Snapshot for undo: removed rule (kRemoveRule), removed predicate
+    /// (kRemovePredicate).
+    Rule rule_snapshot;
+    Predicate predicate_snapshot;
+    double old_threshold = 0.0;
+    double new_threshold = 0.0;
+  };
+
+  /// Resolve an id recorded earlier through the remap chains (ids change
+  /// when an undo re-creates a rule/predicate).
+  RuleId ResolveRule(RuleId rid) const;
+  PredicateId ResolvePredicate(PredicateId pid) const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<RuleId, RuleId> rule_remap_;
+  std::unordered_map<PredicateId, PredicateId> predicate_remap_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_EDIT_LOG_H_

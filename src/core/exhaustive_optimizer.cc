@@ -1,0 +1,88 @@
+#include "src/core/exhaustive_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/core/rule_profile.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+/// Precomputed evaluation state shared across permutations.
+struct Evaluator {
+  std::vector<RuleProfile> profiles;
+  std::vector<std::vector<char>> truth;  // per rule, per sample pair
+  size_t sample_size = 0;
+  double lookup = 0.0;
+
+  static Evaluator Build(const MatchingFunction& fn,
+                         const CostModel& model) {
+    Evaluator ev;
+    ev.lookup = model.lookup_cost_us();
+    ev.sample_size = model.sample_size();
+    for (const Rule& r : fn.rules()) {
+      ev.profiles.push_back(RuleProfile::Build(r, model));
+      ev.truth.push_back(model.RuleTruthOnSample(r));
+    }
+    return ev;
+  }
+
+  double Cost(const std::vector<size_t>& order) const {
+    std::vector<char> reach(sample_size, 1);
+    size_t reach_count = sample_size;
+    CacheProbabilities cache;
+    double cost = 0.0;
+    for (const size_t idx : order) {
+      const double reach_prob =
+          sample_size == 0
+              ? 1.0
+              : static_cast<double>(reach_count) /
+                    static_cast<double>(sample_size);
+      cost += reach_prob * profiles[idx].CostWithCache(cache, lookup);
+      profiles[idx].UpdateCache(cache);
+      const std::vector<char>& t = truth[idx];
+      for (size_t s = 0; s < sample_size; ++s) {
+        if (reach[s] && t[s]) {
+          reach[s] = 0;
+          --reach_count;
+        }
+      }
+    }
+    return cost;
+  }
+};
+
+}  // namespace
+
+double OrderCostWithMemo(const MatchingFunction& fn, const CostModel& model,
+                         const std::vector<size_t>& order) {
+  return Evaluator::Build(fn, model).Cost(order);
+}
+
+Result<std::vector<size_t>> ExhaustiveOptimalOrder(
+    const MatchingFunction& fn, const CostModel& model, size_t max_rules) {
+  const size_t n = fn.num_rules();
+  if (n > max_rules) {
+    return Status::InvalidArgument(
+        StrFormat("%zu rules exceed the exhaustive-search limit of %zu",
+                  n, max_rules));
+  }
+  const Evaluator ev = Evaluator::Build(fn, model);
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  std::vector<size_t> best = perm;
+  double best_cost = std::numeric_limits<double>::infinity();
+  do {
+    const double cost = ev.Cost(perm);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,35 @@
+#ifndef EMDBG_CORE_EXHAUSTIVE_OPTIMIZER_H_
+#define EMDBG_CORE_EXHAUSTIVE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/matching_function.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Brute-force optimal rule ordering under the Sec. 4.4.4 memo-aware cost
+/// model. The general problem is NP-hard (Sec. 5.4, by reduction from
+/// TSP), so this enumerates all n! permutations and is only admissible for
+/// small rule sets — its purpose is validating how close the greedy
+/// Algorithms 5/6 get to the true model-optimal order (an ablation the
+/// paper does not run but that the cost model makes possible).
+///
+/// Predicate order inside each rule is taken as-is (callers normally apply
+/// Lemma 3 first). Returns InvalidArgument if fn has more than
+/// `max_rules` rules.
+Result<std::vector<size_t>> ExhaustiveOptimalOrder(
+    const MatchingFunction& fn, const CostModel& model,
+    size_t max_rules = 9);
+
+/// Expected per-pair cost (µs) of evaluating the rules in the given
+/// permutation, under the memo-aware model with sample-exact rule-reach
+/// probabilities. Exposed so ablations can score greedy orders with
+/// exactly the same evaluator.
+double OrderCostWithMemo(const MatchingFunction& fn, const CostModel& model,
+                         const std::vector<size_t>& order);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_EXHAUSTIVE_OPTIMIZER_H_

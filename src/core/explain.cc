@@ -1,0 +1,106 @@
+#include "src/core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+std::string MatchExplanation::ToString(const FeatureCatalog& catalog) const {
+  std::string out = StrFormat("pair (a%u, b%u): %s\n", pair.a, pair.b,
+                              matched ? "MATCH" : "no match");
+  for (const RuleTrace& rt : rules) {
+    out += StrFormat("  rule %s [%s]%s\n", rt.rule_name.c_str(),
+                     rt.fired ? "fired" : "false",
+                     rt.rule_id == responsible_rule ? "  <- responsible"
+                                                    : "");
+    for (const PredicateTrace& pt : rt.predicates) {
+      out += StrFormat("    %-46s value=%.4f  %s\n",
+                       PredicateToString(pt.predicate, catalog).c_str(),
+                       pt.value, pt.passed ? "pass" : "FAIL");
+    }
+  }
+  return out;
+}
+
+MatchExplanation ExplainPair(const MatchingFunction& fn, PairId pair,
+                             PairContext& ctx) {
+  MatchExplanation ex;
+  ex.pair = pair;
+  for (const Rule& rule : fn.rules()) {
+    RuleTrace rt;
+    rt.rule_id = rule.id();
+    rt.rule_name = rule.name();
+    rt.fired = !rule.empty();
+    for (const Predicate& p : rule.predicates()) {
+      PredicateTrace pt;
+      pt.predicate = p;
+      pt.value = ctx.ComputeFeature(p.feature, pair);
+      pt.passed = p.Test(pt.value);
+      rt.predicates.push_back(pt);
+      if (!pt.passed) {
+        rt.fired = false;
+        break;  // early exit within the rule, like production evaluation
+      }
+    }
+    if (rt.fired && ex.responsible_rule == kInvalidRule) {
+      ex.matched = true;
+      ex.responsible_rule = rule.id();
+    }
+    ex.rules.push_back(std::move(rt));
+  }
+  return ex;
+}
+
+std::vector<NearMiss> FindNearMisses(const MatchingFunction& fn,
+                                     PairId pair, PairContext& ctx,
+                                     size_t top_k) {
+  std::vector<NearMiss> misses;
+  for (const Rule& rule : fn.rules()) {
+    if (rule.empty()) continue;
+    NearMiss miss;
+    miss.rule_id = rule.id();
+    miss.rule_name = rule.name();
+    double closest_gap = 0.0;
+    for (const Predicate& p : rule.predicates()) {
+      const double value = ctx.ComputeFeature(p.feature, pair);
+      if (p.Test(value)) continue;
+      const double gap = std::fabs(p.threshold - value);
+      if (miss.failing_predicates == 0 || gap < closest_gap) {
+        closest_gap = gap;
+        miss.closest_predicate = p;
+        miss.closest_value = value;
+      }
+      ++miss.failing_predicates;
+      miss.total_gap += gap;
+    }
+    if (miss.failing_predicates > 0) misses.push_back(std::move(miss));
+  }
+  std::stable_sort(misses.begin(), misses.end(),
+                   [](const NearMiss& x, const NearMiss& y) {
+                     if (x.failing_predicates != y.failing_predicates) {
+                       return x.failing_predicates < y.failing_predicates;
+                     }
+                     return x.total_gap < y.total_gap;
+                   });
+  if (misses.size() > top_k) misses.resize(top_k);
+  return misses;
+}
+
+std::string NearMissesToString(const std::vector<NearMiss>& misses,
+                               const FeatureCatalog& catalog) {
+  if (misses.empty()) return "no near misses (some rule fired)\n";
+  std::string out;
+  for (const NearMiss& m : misses) {
+    out += StrFormat(
+        "rule %s: %zu failing predicate(s), total gap %.4f; closest: %s "
+        "(value %.4f)\n",
+        m.rule_name.c_str(), m.failing_predicates, m.total_gap,
+        PredicateToString(m.closest_predicate, catalog).c_str(),
+        m.closest_value);
+  }
+  return out;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,81 @@
+#ifndef EMDBG_CORE_EXPLAIN_H_
+#define EMDBG_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/matching_function.h"
+#include "src/core/pair_context.h"
+
+namespace emdbg {
+
+/// Debugging aids for the analyst loop (Fig. 1): explain exactly how the
+/// matching function decided a candidate pair, and find "near misses" —
+/// the rules that almost fired and the minimal threshold changes that
+/// would flip them. This is the inspect half of the paper's
+/// refine-run-inspect cycle.
+
+/// Evaluation record of one predicate on one pair.
+struct PredicateTrace {
+  Predicate predicate;
+  double value = 0.0;
+  bool passed = false;
+};
+
+/// Evaluation record of one rule on one pair. With early-exit semantics
+/// the trace stops at the first failing predicate; `fired` means every
+/// predicate passed.
+struct RuleTrace {
+  RuleId rule_id = kInvalidRule;
+  std::string rule_name;
+  bool fired = false;
+  std::vector<PredicateTrace> predicates;
+};
+
+/// Full decision trace of one candidate pair.
+struct MatchExplanation {
+  PairId pair;
+  bool matched = false;
+  /// Id of the first rule that fired; kInvalidRule when unmatched.
+  RuleId responsible_rule = kInvalidRule;
+  std::vector<RuleTrace> rules;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const FeatureCatalog& catalog) const;
+};
+
+/// Evaluates every rule of `fn` on `pair` (no cross-rule early exit, so
+/// the analyst sees all rules; within a rule the trace stops at the first
+/// failure, matching production evaluation order).
+MatchExplanation ExplainPair(const MatchingFunction& fn, PairId pair,
+                             PairContext& ctx);
+
+/// A rule that did not fire, with the cheapest threshold fix that would
+/// make it fire for this pair.
+struct NearMiss {
+  RuleId rule_id = kInvalidRule;
+  std::string rule_name;
+  /// Predicates of the rule that fail for this pair.
+  size_t failing_predicates = 0;
+  /// Total |threshold - value| over failing predicates — how far the rule
+  /// is from firing.
+  double total_gap = 0.0;
+  /// The single failing predicate with the smallest gap, and its value.
+  Predicate closest_predicate;
+  double closest_value = 0.0;
+};
+
+/// Rules ranked by how close they came to matching `pair`: fewest failing
+/// predicates first, then smallest total threshold gap. Rules that fired
+/// are excluded. Returns at most `top_k` entries.
+std::vector<NearMiss> FindNearMisses(const MatchingFunction& fn,
+                                     PairId pair, PairContext& ctx,
+                                     size_t top_k = 3);
+
+/// Formats a near-miss list.
+std::string NearMissesToString(const std::vector<NearMiss>& misses,
+                               const FeatureCatalog& catalog);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_EXPLAIN_H_

@@ -1,0 +1,51 @@
+#include "src/core/feature.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+FeatureId FeatureCatalog::Intern(const Feature& f) {
+  const FeatureId existing = Find(f);
+  if (existing != kInvalidFeature) return existing;
+  features_.push_back(f);
+  return static_cast<FeatureId>(features_.size() - 1);
+}
+
+Result<FeatureId> FeatureCatalog::InternByName(SimFunction fn,
+                                               std::string_view attr_a,
+                                               std::string_view attr_b) {
+  Result<AttrIndex> a = schema_a_.Find(attr_a);
+  if (!a.ok()) return a.status();
+  Result<AttrIndex> b = schema_b_.Find(attr_b);
+  if (!b.ok()) return b.status();
+  return Intern(Feature{fn, *a, *b});
+}
+
+FeatureId FeatureCatalog::Find(const Feature& f) const {
+  for (FeatureId id = 0; id < features_.size(); ++id) {
+    if (features_[id] == f) return id;
+  }
+  return kInvalidFeature;
+}
+
+std::string FeatureCatalog::Name(FeatureId id) const {
+  const Feature& f = features_[id];
+  return StrFormat("%s(%s, %s)", GetSimFunctionInfo(f.fn).name,
+                   schema_a_.name(f.attr_a).c_str(),
+                   schema_b_.name(f.attr_b).c_str());
+}
+
+std::vector<FeatureId> FeatureCatalog::InternAllSameAttribute() {
+  std::vector<FeatureId> added;
+  for (AttrIndex a = 0; a < schema_a_.size(); ++a) {
+    const std::string& name = schema_a_.name(a);
+    if (!schema_b_.Contains(name)) continue;
+    const AttrIndex b = *schema_b_.Find(name);
+    for (SimFunction fn : AllSimFunctions()) {
+      added.push_back(Intern(Feature{fn, a, b}));
+    }
+  }
+  return added;
+}
+
+}  // namespace emdbg

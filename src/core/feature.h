@@ -1,0 +1,81 @@
+#ifndef EMDBG_CORE_FEATURE_H_
+#define EMDBG_CORE_FEATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/record.h"
+#include "src/text/similarity_registry.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Identifier of a feature within a FeatureCatalog (dense, 0-based; used to
+/// address memo columns).
+using FeatureId = uint32_t;
+
+inline constexpr FeatureId kInvalidFeature = 0xffffffffu;
+
+/// A feature is a similarity function applied to an attribute of table A
+/// and an attribute of table B — e.g. Jaccard(a.title, b.title) or
+/// TF-IDF(a.modelno, b.title) (cross-attribute features appear in the
+/// paper's Table 3).
+struct Feature {
+  SimFunction fn = SimFunction::kExactMatch;
+  AttrIndex attr_a = 0;
+  AttrIndex attr_b = 0;
+
+  friend bool operator==(const Feature& x, const Feature& y) {
+    return x.fn == y.fn && x.attr_a == y.attr_a && x.attr_b == y.attr_b;
+  }
+};
+
+/// Interning registry of features for one matching task. The catalog is
+/// bound to the two tables' schemas; features are registered once and then
+/// referred to by dense FeatureId everywhere (rules, memo, cost model).
+///
+/// The paper distinguishes "total features" (everything the analyst might
+/// use; Table 2's last column) from "used features" (those appearing in the
+/// current rule set). The catalog is the former; a MatchingFunction's
+/// feature set is the latter.
+class FeatureCatalog {
+ public:
+  FeatureCatalog() = default;
+  FeatureCatalog(Schema schema_a, Schema schema_b)
+      : schema_a_(std::move(schema_a)), schema_b_(std::move(schema_b)) {}
+
+  const Schema& schema_a() const { return schema_a_; }
+  const Schema& schema_b() const { return schema_b_; }
+
+  size_t size() const { return features_.size(); }
+  const Feature& feature(FeatureId id) const { return features_[id]; }
+
+  /// Interns a feature; returns the existing id if already present.
+  FeatureId Intern(const Feature& f);
+
+  /// Interns by names; resolves attributes against both schemas.
+  Result<FeatureId> InternByName(SimFunction fn, std::string_view attr_a,
+                                 std::string_view attr_b);
+
+  /// Finds an already-interned feature; kInvalidFeature if absent.
+  FeatureId Find(const Feature& f) const;
+
+  /// Human-readable form, e.g. "jaccard(title, title)".
+  std::string Name(FeatureId id) const;
+
+  /// Registers every similarity function over every same-name attribute
+  /// pair (skipping TF-IDF-family on purely numeric-kind attrs is the
+  /// caller's business; this is the "total features" superset the analyst
+  /// would pick from). Returns the ids added.
+  std::vector<FeatureId> InternAllSameAttribute();
+
+ private:
+  Schema schema_a_;
+  Schema schema_b_;
+  std::vector<Feature> features_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_FEATURE_H_

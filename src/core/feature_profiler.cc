@@ -1,0 +1,120 @@
+#include "src/core/feature_profiler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+size_t BucketOf(double value) {
+  const size_t b = static_cast<size_t>(value * FeatureProfile::kBuckets);
+  return std::min(b, FeatureProfile::kBuckets - 1);
+}
+
+std::string Bar(size_t count, size_t max_count, size_t width) {
+  if (max_count == 0) return "";
+  const size_t len = count * width / max_count;
+  return std::string(len, '#');
+}
+
+}  // namespace
+
+std::string FeatureProfile::ToString(const FeatureCatalog& catalog) const {
+  std::string out = StrFormat(
+      "%s over %zu matches / %zu non-matches\n"
+      "mean(match)=%.3f mean(non-match)=%.3f AUC=%.3f\n",
+      catalog.Name(feature).c_str(), matches, nonmatches, match_mean,
+      nonmatch_mean, auc);
+  // Normalize each column independently: match and non-match counts are
+  // usually orders of magnitude apart, and the analyst reads the shapes.
+  size_t max_match = 1;
+  size_t max_nonmatch = 1;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    max_match = std::max(max_match, match_hist[b]);
+    max_nonmatch = std::max(max_nonmatch, nonmatch_hist[b]);
+  }
+  out += StrFormat("%11s %-22s %-22s\n", "bucket", "matches",
+                   "non-matches");
+  for (size_t b = 0; b < kBuckets; ++b) {
+    out += StrFormat(
+        "[%.1f, %.1f%c %-22s %-22s\n", static_cast<double>(b) / kBuckets,
+        static_cast<double>(b + 1) / kBuckets,
+        b + 1 == kBuckets ? ']' : ')',
+        Bar(match_hist[b], max_match, 20).c_str(),
+        Bar(nonmatch_hist[b], max_nonmatch, 20).c_str());
+  }
+  return out;
+}
+
+Result<FeatureProfile> ProfileFeature(FeatureId feature,
+                                      const CandidateSet& pairs,
+                                      const PairLabels& labels,
+                                      PairContext& ctx, size_t max_pairs) {
+  if (labels.size() != pairs.size()) {
+    return Status::InvalidArgument("labels size must match pairs size");
+  }
+  if (feature >= ctx.catalog().size()) {
+    return Status::NotFound("feature not in catalog");
+  }
+  FeatureProfile profile;
+  profile.feature = feature;
+
+  // Deterministic stride-based subsample when capped — keeps all matches
+  // (usually rare and the interesting side of the histogram).
+  const size_t n = pairs.size();
+  const size_t step =
+      max_pairs == 0 || n <= max_pairs ? 1 : (n + max_pairs - 1) / max_pairs;
+
+  std::vector<double> match_values;
+  std::vector<double> nonmatch_values;
+  double match_sum = 0.0;
+  double nonmatch_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_match = labels.Get(i);
+    if (!is_match && i % step != 0) continue;
+    const double v = ctx.ComputeFeature(feature, pairs.pair(i));
+    if (is_match) {
+      ++profile.match_hist[BucketOf(v)];
+      match_values.push_back(v);
+      match_sum += v;
+    } else {
+      ++profile.nonmatch_hist[BucketOf(v)];
+      nonmatch_values.push_back(v);
+      nonmatch_sum += v;
+    }
+  }
+  profile.matches = match_values.size();
+  profile.nonmatches = nonmatch_values.size();
+  if (profile.matches > 0) {
+    profile.match_mean = match_sum / static_cast<double>(profile.matches);
+  }
+  if (profile.nonmatches > 0) {
+    profile.nonmatch_mean =
+        nonmatch_sum / static_cast<double>(profile.nonmatches);
+  }
+
+  // AUC via rank statistics: sort non-match values once, then for each
+  // match value count how many non-matches it beats.
+  if (!match_values.empty() && !nonmatch_values.empty()) {
+    std::sort(nonmatch_values.begin(), nonmatch_values.end());
+    double wins = 0.0;
+    for (const double m : match_values) {
+      const auto lo = std::lower_bound(nonmatch_values.begin(),
+                                       nonmatch_values.end(), m);
+      const auto hi = std::upper_bound(nonmatch_values.begin(),
+                                       nonmatch_values.end(), m);
+      const double below =
+          static_cast<double>(lo - nonmatch_values.begin());
+      const double ties = static_cast<double>(hi - lo);
+      wins += below + ties / 2.0;
+    }
+    profile.auc = wins / (static_cast<double>(match_values.size()) *
+                          static_cast<double>(nonmatch_values.size()));
+  }
+  return profile;
+}
+
+}  // namespace emdbg

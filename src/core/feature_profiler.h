@@ -1,0 +1,46 @@
+#ifndef EMDBG_CORE_FEATURE_PROFILER_H_
+#define EMDBG_CORE_FEATURE_PROFILER_H_
+
+#include <array>
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/core/pair_context.h"
+
+namespace emdbg {
+
+/// Distribution of one feature's values over labeled candidate pairs,
+/// split by label — the analyst's view for choosing a threshold: a good
+/// predicate feature separates the match histogram from the non-match
+/// histogram.
+struct FeatureProfile {
+  static constexpr size_t kBuckets = 10;  // [0,0.1), [0.1,0.2), ... [0.9,1]
+
+  FeatureId feature = kInvalidFeature;
+  std::array<size_t, kBuckets> match_hist{};
+  std::array<size_t, kBuckets> nonmatch_hist{};
+  size_t matches = 0;
+  size_t nonmatches = 0;
+  double match_mean = 0.0;
+  double nonmatch_mean = 0.0;
+  /// Fraction of (match, non-match) value pairs where the match's value
+  /// is higher (ties count half) — the AUC of the feature as a 1-D
+  /// classifier; 0.5 = useless, 1.0 = perfectly separating.
+  double auc = 0.5;
+
+  /// ASCII rendering: two mirrored histograms plus summary stats.
+  std::string ToString(const FeatureCatalog& catalog) const;
+};
+
+/// Computes the profile of `feature` over the labeled pairs (sampled down
+/// to at most `max_pairs` for speed; 0 = no cap). `labels` must align
+/// with `pairs`.
+Result<FeatureProfile> ProfileFeature(FeatureId feature,
+                                      const CandidateSet& pairs,
+                                      const PairLabels& labels,
+                                      PairContext& ctx,
+                                      size_t max_pairs = 5000);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_FEATURE_PROFILER_H_

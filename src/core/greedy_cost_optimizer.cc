@@ -1,0 +1,49 @@
+#include "src/core/greedy_cost_optimizer.h"
+
+#include <limits>
+#include <vector>
+
+#include "src/core/ordering.h"
+#include "src/core/rule_profile.h"
+
+namespace emdbg {
+
+std::vector<size_t> GreedyCostOrder(const MatchingFunction& fn,
+                                    const CostModel& model) {
+  const size_t n = fn.num_rules();
+  std::vector<RuleProfile> profiles;
+  profiles.reserve(n);
+  for (const Rule& r : fn.rules()) {
+    profiles.push_back(RuleProfile::Build(r, model));
+  }
+
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<char> emitted(n, 0);
+  CacheProbabilities cache;
+  const double lookup = model.lookup_cost_us();
+
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (emitted[i]) continue;
+      const double cost = profiles[i].CostWithCache(cache, lookup);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    emitted[best] = 1;
+    order.push_back(best);
+    profiles[best].UpdateCache(cache);
+  }
+  return order;
+}
+
+void ApplyGreedyCostOrder(MatchingFunction& fn, const CostModel& model) {
+  OrderAllRulePredicates(fn, model);
+  fn.PermuteRules(GreedyCostOrder(fn, model));
+}
+
+}  // namespace emdbg

@@ -1,0 +1,28 @@
+#ifndef EMDBG_CORE_GREEDY_COST_OPTIMIZER_H_
+#define EMDBG_CORE_GREEDY_COST_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/matching_function.h"
+
+namespace emdbg {
+
+/// Algorithm 5: greedy rule ordering by expected memo-aware cost.
+///
+/// Predicates inside each rule are first ordered by Lemma 3. Then rules
+/// are emitted one at a time: the rule with the minimum expected cost
+/// under the current cache probabilities goes next, after which the cache
+/// probabilities are advanced as if that rule had executed (Sec. 4.4.4
+/// recursion) and the remaining rules are re-scored.
+///
+/// Returns the permutation (indices into fn.rules()) without modifying fn.
+std::vector<size_t> GreedyCostOrder(const MatchingFunction& fn,
+                                    const CostModel& model);
+
+/// Orders predicates (Lemma 3) and applies GreedyCostOrder in place.
+void ApplyGreedyCostOrder(MatchingFunction& fn, const CostModel& model);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_GREEDY_COST_OPTIMIZER_H_

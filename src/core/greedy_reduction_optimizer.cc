@@ -1,0 +1,101 @@
+#include "src/core/greedy_reduction_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ordering.h"
+#include "src/core/rule_profile.h"
+
+namespace emdbg {
+
+// reduction(r) = Σ_{r' remaining, r'≠r} Σ_{f shared} contribution(r', r, f)
+// with contribution(r', r, f) = reach(r', f) · Δ(f, r) · (cost(f) − δ)
+// and Δ(f, r) = (1 − cache(f)) · reach(r, f).
+//
+// The sum decomposes per feature: with S(f) = Σ_{r' remaining ∋ f}
+// reach(r', f),
+//
+//   reduction(r) = Σ_{f ∈ feature(r)} (1 − cache(f)) · reach(r, f) ·
+//                  (cost(f) − δ) · (S(f) − reach(r, f)).
+//
+// Maintaining S(f) incrementally makes each greedy step O(n · preds)
+// instead of O(n² · preds).
+std::vector<size_t> GreedyReductionOrder(const MatchingFunction& fn,
+                                         const CostModel& model) {
+  const size_t n = fn.num_rules();
+  std::vector<RuleProfile> profiles;
+  profiles.reserve(n);
+  for (const Rule& r : fn.rules()) {
+    profiles.push_back(RuleProfile::Build(r, model));
+  }
+  const double lookup = model.lookup_cost_us();
+
+  // Per-feature savings (cost(f) − δ, clamped) and remaining-reach sums.
+  std::unordered_map<FeatureId, double> savings;
+  std::unordered_map<FeatureId, double> reach_sum;
+  for (const RuleProfile& p : profiles) {
+    for (const auto& [f, reach] : p.feature_reach) {
+      if (savings.find(f) == savings.end()) {
+        savings[f] = std::max(model.FeatureCost(f) - lookup, 0.0);
+      }
+      reach_sum[f] += reach;
+    }
+  }
+
+  CacheProbabilities cache;
+  auto reduction_of = [&](const RuleProfile& p) {
+    double total = 0.0;
+    for (const auto& [f, reach] : p.feature_reach) {
+      const auto it = cache.find(f);
+      const double alpha = it == cache.end() ? 0.0 : it->second;
+      const double partner_reach = reach_sum[f] - reach;
+      if (partner_reach <= 0.0) continue;
+      total += (1.0 - alpha) * reach * savings[f] * partner_reach;
+    }
+    return total;
+  };
+
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<char> emitted(n, 0);
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    double best_reduction = -1.0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (emitted[i]) continue;
+      const double reduction = reduction_of(profiles[i]);
+      // Max reduction; ties broken by the Algorithm 5 metric (cheaper
+      // rule first). The cost is only computed on ties.
+      if (reduction > best_reduction) {
+        best_reduction = reduction;
+        best_cost = profiles[i].CostWithCache(cache, lookup);
+        best = i;
+      } else if (reduction == best_reduction) {
+        const double cost = profiles[i].CostWithCache(cache, lookup);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+    }
+    emitted[best] = 1;
+    order.push_back(best);
+    // The emitted rule leaves the "remaining" set and warms the cache.
+    for (const auto& [f, reach] : profiles[best].feature_reach) {
+      reach_sum[f] -= reach;
+    }
+    profiles[best].UpdateCache(cache);
+  }
+  return order;
+}
+
+void ApplyGreedyReductionOrder(MatchingFunction& fn,
+                               const CostModel& model) {
+  OrderAllRulePredicates(fn, model);
+  fn.PermuteRules(GreedyReductionOrder(fn, model));
+}
+
+}  // namespace emdbg

@@ -1,0 +1,33 @@
+#ifndef EMDBG_CORE_GREEDY_REDUCTION_OPTIMIZER_H_
+#define EMDBG_CORE_GREEDY_REDUCTION_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/matching_function.h"
+
+namespace emdbg {
+
+/// Algorithm 6: greedy rule ordering by expected overall cost reduction.
+///
+/// For each not-yet-emitted rule r, reduction(r) sums, over the other
+/// remaining rules r' sharing features with r, the expected savings that
+/// executing r first would give r':
+///
+///   contribution(r', r, f) = sel(pred(f, r')) · Δ · (cost(f) − δ)
+///   Δ = cache(f, after r) − cache(f, before) = (1 − cache(f)) · sel(prev(f, r))
+///
+/// The rule with maximum reduction is emitted next (ties broken by the
+/// Algorithm 5 metric: smaller expected cost first), then the cache
+/// probabilities are advanced and the remaining rules re-scored.
+///
+/// Returns the permutation without modifying fn.
+std::vector<size_t> GreedyReductionOrder(const MatchingFunction& fn,
+                                         const CostModel& model);
+
+/// Orders predicates (Lemma 3) and applies GreedyReductionOrder in place.
+void ApplyGreedyReductionOrder(MatchingFunction& fn, const CostModel& model);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_GREEDY_REDUCTION_OPTIMIZER_H_

@@ -1,0 +1,344 @@
+#include "src/core/incremental.h"
+
+#include <vector>
+
+#include "src/core/memo_matcher.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+IncrementalMatcher::IncrementalMatcher(PairContext& ctx,
+                                       const CandidateSet& pairs,
+                                       Options options)
+    : ctx_(ctx), pairs_(pairs), options_(options) {}
+
+MatchStats IncrementalMatcher::FullRun(const MatchingFunction& fn) {
+  fn_ = fn;
+  MemoMatcher matcher(
+      MemoMatcher::Options{.check_cache_first = options_.check_cache_first});
+  const MatchResult result =
+      matcher.RunWithState(fn_, pairs_, ctx_, state_);
+  has_run_ = true;
+  return result.stats;
+}
+
+Status IncrementalMatcher::Resume(const MatchingFunction& fn,
+                                  MatchState state) {
+  if (!state.initialized() || state.num_pairs() != pairs_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("state has %zu pairs, candidate set has %zu",
+                  state.num_pairs(), pairs_.size()));
+  }
+  fn_ = fn;
+  state_ = std::move(state);
+  has_run_ = true;
+  return Status::Ok();
+}
+
+void IncrementalMatcher::SyncMemoWidth() {
+  state_.memo().GrowFeatures(ctx_.catalog().size());
+}
+
+double IncrementalMatcher::AcquireFeature(FeatureId f, size_t i,
+                                          MatchStats& stats) {
+  double value = 0.0;
+  if (state_.memo().Lookup(i, f, &value)) {
+    ++stats.memo_hits;
+    return value;
+  }
+  value = ctx_.ComputeFeature(f, pairs_.pair(i));
+  state_.memo().Store(i, f, value);
+  ++stats.feature_computations;
+  return value;
+}
+
+bool IncrementalMatcher::EvalRule(const Rule& r, size_t i,
+                                  MatchStats& stats) {
+  // Check-cache-first partition (Sec. 5.4.3), as in MemoMatcher.
+  std::vector<size_t> order;
+  order.reserve(r.size());
+  if (options_.check_cache_first) {
+    for (size_t k = 0; k < r.size(); ++k) {
+      if (state_.memo().Contains(i, r.predicate(k).feature)) {
+        order.push_back(k);
+      }
+    }
+    for (size_t k = 0; k < r.size(); ++k) {
+      if (!state_.memo().Contains(i, r.predicate(k).feature)) {
+        order.push_back(k);
+      }
+    }
+  } else {
+    for (size_t k = 0; k < r.size(); ++k) order.push_back(k);
+  }
+  for (const size_t k : order) {
+    const Predicate& p = r.predicate(k);
+    ++stats.predicate_evaluations;
+    const double value = AcquireFeature(p.feature, i, stats);
+    if (!p.Test(value)) {
+      state_.PredFalse(p.id).Set(i);
+      return false;
+    }
+    // Keep I3 tight: a bit set for a predicate that now passes is stale.
+    state_.PredFalse(p.id).Clear(i);
+  }
+  return true;
+}
+
+bool IncrementalMatcher::RuleKnownFalse(const Rule& r, size_t i) const {
+  for (const Predicate& p : r.predicates()) {
+    const Bitmap* bm = state_.FindPredFalse(p.id);
+    if (bm != nullptr && bm->Get(i)) return true;
+  }
+  return false;
+}
+
+void IncrementalMatcher::RematchPair(size_t i, size_t from,
+                                     MatchStats& stats) {
+  for (size_t pos = from; pos < fn_.num_rules(); ++pos) {
+    const Rule& rule = fn_.rule(pos);
+    if (rule.empty()) continue;
+    if (RuleKnownFalse(rule, i)) continue;
+    ++stats.rule_evaluations;
+    if (EvalRule(rule, i, stats)) {
+      state_.matches().Set(i);
+      state_.RuleTrue(rule.id()).Set(i);
+      return;
+    }
+  }
+}
+
+Result<MatchStats> IncrementalMatcher::AddRule(const Rule& rule) {
+  if (!has_run_) {
+    return Status::FailedPrecondition("FullRun required before edits");
+  }
+  Stopwatch timer;
+  SyncMemoWidth();
+  MatchStats stats;
+  const RuleId rid = fn_.AddRule(rule);
+  last_added_rule_ = rid;
+  const Rule& r = *fn_.RuleById(rid);
+  if (!r.empty()) {
+    // Algorithm 10: only unmatched pairs can be affected.
+    for (size_t i = 0; i < pairs_.size(); ++i) {
+      if (state_.matches().Get(i)) continue;
+      ++stats.rule_evaluations;
+      if (EvalRule(r, i, stats)) {
+        state_.matches().Set(i);
+        state_.RuleTrue(rid).Set(i);
+      }
+    }
+  }
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
+  if (!has_run_) {
+    return Status::FailedPrecondition("FullRun required before edits");
+  }
+  Stopwatch timer;
+  SyncMemoWidth();
+  const Rule* rule = fn_.RuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  MatchStats stats;
+  // Snapshot the pairs this rule was responsible for, then drop its state.
+  std::vector<size_t> affected;
+  if (const Bitmap* bm = state_.FindRuleTrue(rid); bm != nullptr) {
+    affected = bm->ToIndices();
+  }
+  for (const Predicate& p : rule->predicates()) {
+    state_.ErasePredicate(p.id);
+  }
+  state_.EraseRule(rid);
+  EMDBG_RETURN_IF_ERROR(fn_.RemoveRule(rid));
+  // Algorithm 9: re-check the affected pairs against the remaining rules.
+  for (const size_t i : affected) {
+    state_.matches().Clear(i);
+    RematchPair(i, 0, stats);
+  }
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+MatchStats IncrementalMatcher::RecheckMatchedPairs(RuleId rid,
+                                                   const Predicate& p) {
+  MatchStats stats;
+  const std::vector<size_t> affected = state_.RuleTrue(rid).ToIndices();
+  const size_t rule_pos = fn_.FindRule(rid);
+  for (const size_t i : affected) {
+    ++stats.predicate_evaluations;
+    const double value = AcquireFeature(p.feature, i, stats);
+    if (p.Test(value)) {
+      state_.PredFalse(p.id).Clear(i);
+      continue;  // still matched by this rule
+    }
+    state_.PredFalse(p.id).Set(i);
+    state_.RuleTrue(rid).Clear(i);
+    state_.matches().Clear(i);
+    // Algorithm 7 re-checks the rules after r; we additionally skip r
+    // itself and use the known-false shortcut for the earlier rules,
+    // which keeps this correct even after earlier relax edits cleared
+    // some of their bitmap bits.
+    for (size_t pos = 0; pos < fn_.num_rules(); ++pos) {
+      if (pos == rule_pos) continue;
+      const Rule& other = fn_.rule(pos);
+      if (other.empty()) continue;
+      if (RuleKnownFalse(other, i)) continue;
+      ++stats.rule_evaluations;
+      if (EvalRule(other, i, stats)) {
+        state_.matches().Set(i);
+        state_.RuleTrue(other.id()).Set(i);
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+MatchStats IncrementalMatcher::RecheckUnmatchedPairs(
+    RuleId rid, const Bitmap& candidates) {
+  MatchStats stats;
+  const Rule& rule = *fn_.RuleById(rid);
+  for (size_t i = candidates.FindNext(0); i < candidates.size();
+       i = candidates.FindNext(i + 1)) {
+    if (state_.matches().Get(i)) continue;
+    ++stats.rule_evaluations;
+    if (EvalRule(rule, i, stats)) {
+      state_.matches().Set(i);
+      state_.RuleTrue(rid).Set(i);
+    }
+  }
+  return stats;
+}
+
+Result<MatchStats> IncrementalMatcher::AddPredicate(RuleId rid,
+                                                    Predicate p) {
+  if (!has_run_) {
+    return Status::FailedPrecondition("FullRun required before edits");
+  }
+  Stopwatch timer;
+  SyncMemoWidth();
+  const Rule* rule = fn_.RuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  const bool was_empty = rule->empty();
+  Result<PredicateId> pid = fn_.AddPredicate(rid, p);
+  if (!pid.ok()) return pid.status();
+  last_added_predicate_ = *pid;
+  MatchStats stats;
+  if (was_empty) {
+    // Empty rules are false everywhere, so this transition can only add
+    // matches: evaluate like a newly added rule (Algorithm 10).
+    const Rule& r = *fn_.RuleById(rid);
+    for (size_t i = 0; i < pairs_.size(); ++i) {
+      if (state_.matches().Get(i)) continue;
+      ++stats.rule_evaluations;
+      if (EvalRule(r, i, stats)) {
+        state_.matches().Set(i);
+        state_.RuleTrue(rid).Set(i);
+      }
+    }
+  } else {
+    // Algorithm 7: adding a predicate can only shrink the rule's matches.
+    Predicate added = p;
+    added.id = *pid;
+    stats = RecheckMatchedPairs(rid, added);
+  }
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+Result<MatchStats> IncrementalMatcher::RemovePredicate(RuleId rid,
+                                                       PredicateId pid) {
+  if (!has_run_) {
+    return Status::FailedPrecondition("FullRun required before edits");
+  }
+  Stopwatch timer;
+  SyncMemoWidth();
+  const Rule* rule = fn_.RuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  // Snapshot the pairs this predicate rejected before dropping its state.
+  Bitmap rejected(pairs_.size());
+  if (const Bitmap* bm = state_.FindPredFalse(pid); bm != nullptr) {
+    rejected = *bm;
+  }
+  EMDBG_RETURN_IF_ERROR(fn_.RemovePredicate(rid, pid));
+  state_.ErasePredicate(pid);
+
+  MatchStats stats;
+  const Rule* updated = fn_.RuleById(rid);
+  if (updated->empty()) {
+    // The rule degenerated to empty = false everywhere: un-match the
+    // pairs it was responsible for and re-match them elsewhere.
+    const std::vector<size_t> affected = state_.RuleTrue(rid).ToIndices();
+    state_.RuleTrue(rid).Fill(false);
+    for (const size_t i : affected) {
+      state_.matches().Clear(i);
+      RematchPair(i, 0, stats);
+    }
+  } else {
+    // Algorithm 8: only unmatched pairs that the predicate rejected can
+    // become matches.
+    stats = RecheckUnmatchedPairs(rid, rejected);
+  }
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+Result<MatchStats> IncrementalMatcher::SetThreshold(RuleId rid,
+                                                    PredicateId pid,
+                                                    double threshold) {
+  if (!has_run_) {
+    return Status::FailedPrecondition("FullRun required before edits");
+  }
+  Stopwatch timer;
+  SyncMemoWidth();
+  Rule* rule = fn_.MutableRuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  const size_t pos = rule->FindPredicate(pid);
+  if (pos == rule->size()) {
+    return Status::NotFound(
+        StrFormat("predicate %u not found in rule %u", pid, rid));
+  }
+  const Predicate old = rule->predicate(pos);
+  if (old.threshold == threshold) return MatchStats{};
+
+  // A larger threshold tightens lower-bound predicates (>=, >) and
+  // relaxes upper-bound ones (<, <=).
+  const bool tighten = IsLowerBound(old.op) ? threshold > old.threshold
+                                            : threshold < old.threshold;
+  rule->mutable_predicate(pos).threshold = threshold;
+  const Predicate updated = rule->predicate(pos);
+
+  MatchStats stats;
+  if (tighten) {
+    // Algorithm 7 flavour: previously-false pairs stay false; only the
+    // rule's matched pairs need re-checking against the new threshold.
+    stats = RecheckMatchedPairs(rid, updated);
+  } else {
+    // Algorithm 8: pairs the predicate rejected may now pass. All of the
+    // predicate's recorded false-bits are stale under the relaxed
+    // threshold, so clear every one (clear = unknown is always sound for
+    // I3); the unmatched rejected pairs are then re-evaluated, which
+    // re-records fresh outcomes for whatever the evaluation touches.
+    Bitmap rejected(pairs_.size());
+    if (const Bitmap* bm = state_.FindPredFalse(pid); bm != nullptr) {
+      rejected = *bm;
+    }
+    state_.PredFalse(pid).Fill(false);
+    stats = RecheckUnmatchedPairs(rid, rejected);
+  }
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,141 @@
+#ifndef EMDBG_CORE_INCREMENTAL_H_
+#define EMDBG_CORE_INCREMENTAL_H_
+
+#include "src/block/candidate_pairs.h"
+#include "src/core/match_result.h"
+#include "src/core/match_state.h"
+#include "src/core/matching_function.h"
+#include "src/core/pair_context.h"
+
+namespace emdbg {
+
+/// Incremental matching engine (Sec. 6): holds the current matching
+/// function and the materialized state of the last run (memo, per-rule
+/// true bitmaps, per-predicate false bitmaps), and applies rule edits by
+/// re-evaluating only the affected pairs:
+///
+///   * AddPredicate / tightening a threshold  — Algorithm 7
+///   * RemovePredicate / relaxing a threshold — Algorithm 8
+///   * RemoveRule                             — Algorithm 9
+///   * AddRule                                — Algorithm 10
+///
+/// Invariants maintained across edits (verified by property tests against
+/// from-scratch runs):
+///   I1. matches() equals what a full run of the current function would
+///       produce.
+///   I2. A set bit in RuleTrue(r) means rule r is true for that pair
+///       under the current function, and each matched pair has exactly
+///       one responsible rule bit set.
+///   I3. A set bit in PredFalse(p) means predicate p is *currently* false
+///       for that pair (bits are cleared or re-checked whenever an edit
+///       could make them stale), so "some predicate bit set" is a sound
+///       O(1) shortcut for "rule false".
+///
+/// Empty rules are treated as false everywhere (matchers skip them); the
+/// empty→non-empty and non-empty→empty transitions are handled as special
+/// cases of add/remove predicate.
+class IncrementalMatcher {
+ public:
+  struct Options {
+    /// Use the Sec. 5.4.3 check-cache-first predicate order during
+    /// evaluations.
+    bool check_cache_first = true;
+  };
+
+  /// `ctx` and `pairs` must outlive the matcher.
+  IncrementalMatcher(PairContext& ctx, const CandidateSet& pairs)
+      : IncrementalMatcher(ctx, pairs, Options{}) {}
+  IncrementalMatcher(PairContext& ctx, const CandidateSet& pairs,
+                     Options options);
+
+  /// Full run of `fn` (copied in), building all materialized state. The
+  /// memo persists across FullRun calls (Sec. 6 reuse), decision bitmaps
+  /// are rebuilt.
+  MatchStats FullRun(const MatchingFunction& fn);
+
+  /// Adopts previously materialized state (e.g. from LoadMatchState) for
+  /// `fn` without re-running anything; subsequent edits are incremental.
+  /// The state's pair count must match the candidate set, and its stable
+  /// ids must belong to `fn` (they do when rules and state were saved
+  /// together). InvalidArgument on a shape mismatch.
+  Status Resume(const MatchingFunction& fn, MatchState state);
+
+  bool has_run() const { return has_run_; }
+  const MatchingFunction& function() const { return fn_; }
+  const Bitmap& matches() const { return state_.matches(); }
+  const MatchState& state() const { return state_; }
+  MatchState& mutable_state() { return state_; }
+
+  // ---- Incremental edits (each returns the work it performed). ----
+
+  /// Algorithm 10. The rule is appended at the end of the evaluation
+  /// order; only currently-unmatched pairs are evaluated against it.
+  Result<MatchStats> AddRule(const Rule& rule);
+
+  /// Algorithm 9. Pairs matched by the removed rule are re-checked
+  /// against the remaining rules (with the predicate-false bitmap
+  /// shortcut).
+  Result<MatchStats> RemoveRule(RuleId rid);
+
+  /// Algorithm 7. Only pairs previously matched by the rule are
+  /// evaluated against the new predicate.
+  Result<MatchStats> AddPredicate(RuleId rid, Predicate p);
+
+  /// Algorithm 8 (with an always-true replacement). Only unmatched pairs
+  /// that the removed predicate rejected are re-evaluated.
+  Result<MatchStats> RemovePredicate(RuleId rid, PredicateId pid);
+
+  /// Tighten or relax depending on the direction of change relative to
+  /// the predicate's operator (Algorithm 7 or 8). Equal threshold is a
+  /// no-op.
+  Result<MatchStats> SetThreshold(RuleId rid, PredicateId pid,
+                                  double threshold);
+
+  /// Stable id assigned by the most recent successful AddRule /
+  /// AddPredicate.
+  RuleId last_added_rule_id() const { return last_added_rule_; }
+  PredicateId last_added_predicate_id() const {
+    return last_added_predicate_;
+  }
+
+ private:
+  /// Memoized feature acquisition for candidate pair index `i`.
+  double AcquireFeature(FeatureId f, size_t i, MatchStats& stats);
+
+  /// Evaluates rule `r` for pair `i` with memoing; records the first
+  /// false predicate in PredFalse. Does not touch RuleTrue/matches.
+  bool EvalRule(const Rule& r, size_t i, MatchStats& stats);
+
+  /// True if some predicate of `r` has its false-bit set for pair `i`
+  /// (sound "rule is false" shortcut under I3).
+  bool RuleKnownFalse(const Rule& r, size_t i) const;
+
+  /// Re-evaluates pair `i` against rules at positions [from, end) in the
+  /// current order; on the first true rule marks the pair matched and
+  /// sets the responsible-rule bit. Uses the known-false shortcut.
+  void RematchPair(size_t i, size_t from, MatchStats& stats);
+
+  /// Grows the memo if the catalog gained features since initialization.
+  void SyncMemoWidth();
+
+  /// Shared tail of AddPredicate / tighten: re-check pairs in RuleTrue(r)
+  /// against predicate `p` (already updated in fn_).
+  MatchStats RecheckMatchedPairs(RuleId rid, const Predicate& p);
+
+  /// Shared tail of RemovePredicate / relax: re-evaluate unmatched pairs
+  /// in `candidates` (bit indices) against rule `rid`.
+  MatchStats RecheckUnmatchedPairs(RuleId rid, const Bitmap& candidates);
+
+  PairContext& ctx_;
+  const CandidateSet& pairs_;
+  Options options_;
+  MatchingFunction fn_;
+  MatchState state_;
+  bool has_run_ = false;
+  RuleId last_added_rule_ = kInvalidRule;
+  PredicateId last_added_predicate_ = kInvalidPredicate;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_INCREMENTAL_H_

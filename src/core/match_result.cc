@@ -1,0 +1,49 @@
+#include "src/core/match_result.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+std::string MatchStats::ToString() const {
+  return StrFormat(
+      "computations=%zu memo_hits=%zu predicate_evals=%zu rule_evals=%zu "
+      "elapsed=%.2fms",
+      feature_computations, memo_hits, predicate_evaluations,
+      rule_evaluations, elapsed_ms);
+}
+
+std::string QualityMetrics::ToString() const {
+  return StrFormat("P=%.3f R=%.3f F1=%.3f (tp=%zu fp=%zu fn=%zu)", precision,
+                   recall, f1, true_positives, false_positives,
+                   false_negatives);
+}
+
+QualityMetrics Evaluate(const Bitmap& predicted, const PairLabels& labels) {
+  QualityMetrics m;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const bool p = predicted.Get(i);
+    const bool t = labels.Get(i);
+    if (p && t) {
+      ++m.true_positives;
+    } else if (p && !t) {
+      ++m.false_positives;
+    } else if (!p && t) {
+      ++m.false_negatives;
+    }
+  }
+  const double tp = static_cast<double>(m.true_positives);
+  if (m.true_positives + m.false_positives > 0) {
+    m.precision =
+        tp / static_cast<double>(m.true_positives + m.false_positives);
+  }
+  if (m.true_positives + m.false_negatives > 0) {
+    m.recall =
+        tp / static_cast<double>(m.true_positives + m.false_negatives);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,63 @@
+#ifndef EMDBG_CORE_MATCH_RESULT_H_
+#define EMDBG_CORE_MATCH_RESULT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/util/bitmap.h"
+
+namespace emdbg {
+
+/// Work counters for one matching run. `feature_computations` is the
+/// quantity the paper's techniques minimize (similarity computation
+/// dominates matching time, Sec. 1); `memo_hits` are the δ-cost lookups.
+struct MatchStats {
+  size_t feature_computations = 0;
+  size_t memo_hits = 0;
+  size_t predicate_evaluations = 0;
+  size_t rule_evaluations = 0;
+  double elapsed_ms = 0.0;
+
+  MatchStats& operator+=(const MatchStats& other) {
+    feature_computations += other.feature_computations;
+    memo_hits += other.memo_hits;
+    predicate_evaluations += other.predicate_evaluations;
+    rule_evaluations += other.rule_evaluations;
+    elapsed_ms += other.elapsed_ms;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+/// Output of a matcher: per-pair decisions (bit i ⇔ candidate pair i
+/// matched) plus work counters.
+struct MatchResult {
+  Bitmap matches;
+  MatchStats stats;
+
+  size_t MatchCount() const { return matches.Count(); }
+};
+
+/// Precision/recall of predicted matches against ground-truth labels
+/// (Sec. 3: "the matching results for the sample is then compared with the
+/// correct labels").
+struct QualityMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes quality metrics; `predicted` and `labels` must be the same
+/// size (aligned to one CandidateSet).
+QualityMetrics Evaluate(const Bitmap& predicted, const PairLabels& labels);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_MATCH_RESULT_H_

@@ -1,0 +1,84 @@
+#include "src/core/match_state.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+void MatchState::Initialize(size_t num_pairs, size_t num_features) {
+  num_pairs_ = num_pairs;
+  memo_ = std::make_unique<DenseMemo>(num_pairs, num_features);
+  matches_ = Bitmap(num_pairs);
+  rule_true_.clear();
+  pred_false_.clear();
+}
+
+Bitmap& MatchState::RuleTrue(RuleId rid) {
+  auto it = rule_true_.find(rid);
+  if (it == rule_true_.end()) {
+    it = rule_true_.emplace(rid, Bitmap(num_pairs_)).first;
+  }
+  return it->second;
+}
+
+const Bitmap* MatchState::FindRuleTrue(RuleId rid) const {
+  const auto it = rule_true_.find(rid);
+  return it == rule_true_.end() ? nullptr : &it->second;
+}
+
+Bitmap& MatchState::PredFalse(PredicateId pid) {
+  auto it = pred_false_.find(pid);
+  if (it == pred_false_.end()) {
+    it = pred_false_.emplace(pid, Bitmap(num_pairs_)).first;
+  }
+  return it->second;
+}
+
+const Bitmap* MatchState::FindPredFalse(PredicateId pid) const {
+  const auto it = pred_false_.find(pid);
+  return it == pred_false_.end() ? nullptr : &it->second;
+}
+
+std::vector<RuleId> MatchState::RuleIdsWithState() const {
+  std::vector<RuleId> out;
+  out.reserve(rule_true_.size());
+  for (const auto& [rid, _] : rule_true_) out.push_back(rid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PredicateId> MatchState::PredicateIdsWithState() const {
+  std::vector<PredicateId> out;
+  out.reserve(pred_false_.size());
+  for (const auto& [pid, _] : pred_false_) out.push_back(pid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t MatchState::MemoryBytes() const {
+  size_t bytes = memo_ == nullptr ? 0 : memo_->MemoryBytes();
+  bytes += matches_.MemoryBytes();
+  for (const auto& [_, bm] : rule_true_) bytes += bm.MemoryBytes();
+  for (const auto& [_, bm] : pred_false_) bytes += bm.MemoryBytes();
+  return bytes;
+}
+
+std::string MatchState::MemoryReport() const {
+  const size_t memo_bytes = memo_ == nullptr ? 0 : memo_->MemoryBytes();
+  size_t rule_bytes = 0;
+  for (const auto& [_, bm] : rule_true_) rule_bytes += bm.MemoryBytes();
+  size_t pred_bytes = 0;
+  for (const auto& [_, bm] : pred_false_) pred_bytes += bm.MemoryBytes();
+  return StrFormat(
+      "memo: %.2f MB (%zu/%zu filled) | rule bitmaps: %zu x -> %.2f MB | "
+      "predicate bitmaps: %zu x -> %.2f MB | total %.2f MB",
+      static_cast<double>(memo_bytes) / 1048576.0,
+      memo_ == nullptr ? 0 : memo_->FilledCount(),
+      memo_ == nullptr ? 0 : memo_->num_pairs() * memo_->num_features(),
+      rule_true_.size(), static_cast<double>(rule_bytes) / 1048576.0,
+      pred_false_.size(), static_cast<double>(pred_bytes) / 1048576.0,
+      static_cast<double>(MemoryBytes()) / 1048576.0);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,118 @@
+#include "src/core/matching_function.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+size_t MatchingFunction::num_predicates() const {
+  size_t n = 0;
+  for (const Rule& r : rules_) n += r.size();
+  return n;
+}
+
+RuleId MatchingFunction::AddRule(Rule rule) {
+  rule.set_id(next_rule_id_++);
+  for (size_t i = 0; i < rule.size(); ++i) {
+    rule.mutable_predicate(i).id = next_predicate_id_++;
+  }
+  if (rule.name().empty()) {
+    rule.set_name(StrFormat("r%u", rule.id()));
+  }
+  rules_.push_back(std::move(rule));
+  return rules_.back().id();
+}
+
+Status MatchingFunction::RemoveRule(RuleId rid) {
+  const size_t pos = FindRule(rid);
+  if (pos == rules_.size()) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(pos));
+  return Status::Ok();
+}
+
+Result<PredicateId> MatchingFunction::AddPredicate(RuleId rid, Predicate p) {
+  Rule* rule = MutableRuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  p.id = next_predicate_id_++;
+  rule->AddPredicate(p);
+  return p.id;
+}
+
+Status MatchingFunction::RemovePredicate(RuleId rid, PredicateId pid) {
+  Rule* rule = MutableRuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  if (!rule->RemovePredicateById(pid)) {
+    return Status::NotFound(
+        StrFormat("predicate %u not found in rule %u", pid, rid));
+  }
+  return Status::Ok();
+}
+
+Status MatchingFunction::SetThreshold(RuleId rid, PredicateId pid,
+                                      double threshold) {
+  Rule* rule = MutableRuleById(rid);
+  if (rule == nullptr) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  const size_t pos = rule->FindPredicate(pid);
+  if (pos == rule->size()) {
+    return Status::NotFound(
+        StrFormat("predicate %u not found in rule %u", pid, rid));
+  }
+  rule->mutable_predicate(pos).threshold = threshold;
+  return Status::Ok();
+}
+
+size_t MatchingFunction::FindRule(RuleId rid) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].id() == rid) return i;
+  }
+  return rules_.size();
+}
+
+const Rule* MatchingFunction::RuleById(RuleId rid) const {
+  const size_t pos = FindRule(rid);
+  return pos == rules_.size() ? nullptr : &rules_[pos];
+}
+
+Rule* MatchingFunction::MutableRuleById(RuleId rid) {
+  const size_t pos = FindRule(rid);
+  return pos == rules_.size() ? nullptr : &rules_[pos];
+}
+
+void MatchingFunction::PermuteRules(const std::vector<size_t>& order) {
+  assert(order.size() == rules_.size());
+  std::vector<Rule> reordered;
+  reordered.reserve(rules_.size());
+  for (size_t idx : order) reordered.push_back(std::move(rules_[idx]));
+  rules_ = std::move(reordered);
+}
+
+std::vector<FeatureId> MatchingFunction::UsedFeatures() const {
+  std::vector<FeatureId> out;
+  for (const Rule& r : rules_) {
+    for (const FeatureId f : r.Features()) {
+      if (std::find(out.begin(), out.end(), f) == out.end()) {
+        out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+std::string MatchingFunction::ToString(const FeatureCatalog& catalog) const {
+  std::vector<std::string> lines;
+  lines.reserve(rules_.size());
+  for (const Rule& r : rules_) lines.push_back(r.ToString(catalog));
+  return Join(lines, "\n");
+}
+
+}  // namespace emdbg

@@ -1,0 +1,74 @@
+#ifndef EMDBG_CORE_MATCHING_FUNCTION_H_
+#define EMDBG_CORE_MATCHING_FUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/rule.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// A DNF matching function: a disjunction of CNF rules (Sec. 3). A pair is
+/// a match iff at least one rule is true. Rule order is the evaluation
+/// order used by early-exit matchers; optimizers permute it.
+///
+/// Rules and predicates carry stable ids assigned at insertion, so the
+/// incremental engine can key materialized state on them across edits and
+/// reorderings.
+class MatchingFunction {
+ public:
+  MatchingFunction() = default;
+
+  size_t num_rules() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& rule(size_t i) const { return rules_[i]; }
+  Rule& mutable_rule(size_t i) { return rules_[i]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Total number of predicates across all rules.
+  size_t num_predicates() const;
+
+  /// Adds a rule (copying it), assigning the rule and all its predicates
+  /// fresh stable ids. Returns the rule's id.
+  RuleId AddRule(Rule rule);
+
+  /// Removes the rule with id `rid`. NotFound if absent.
+  Status RemoveRule(RuleId rid);
+
+  /// Adds `p` to rule `rid`, assigning the predicate a fresh stable id
+  /// which is returned. NotFound if the rule is absent.
+  Result<PredicateId> AddPredicate(RuleId rid, Predicate p);
+
+  /// Removes predicate `pid` from rule `rid`.
+  Status RemovePredicate(RuleId rid, PredicateId pid);
+
+  /// Replaces the threshold of predicate `pid` in rule `rid`.
+  Status SetThreshold(RuleId rid, PredicateId pid, double threshold);
+
+  /// Position of rule `rid` in the current order, or num_rules() if absent.
+  size_t FindRule(RuleId rid) const;
+
+  /// Pointer to the rule with id `rid`, or nullptr.
+  const Rule* RuleById(RuleId rid) const;
+  Rule* MutableRuleById(RuleId rid);
+
+  /// Reorders rules to the permutation `order` (indices into the current
+  /// rule list).
+  void PermuteRules(const std::vector<size_t>& order);
+
+  /// Distinct features used anywhere in the function ("used features").
+  std::vector<FeatureId> UsedFeatures() const;
+
+  /// One rule per line.
+  std::string ToString(const FeatureCatalog& catalog) const;
+
+ private:
+  std::vector<Rule> rules_;
+  RuleId next_rule_id_ = 0;
+  PredicateId next_predicate_id_ = 0;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_MATCHING_FUNCTION_H_

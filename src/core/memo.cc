@@ -1,0 +1,53 @@
+#include "src/core/memo.h"
+
+#include <limits>
+
+namespace emdbg {
+
+DenseMemo::DenseMemo(size_t num_pairs, size_t num_features)
+    : num_pairs_(num_pairs),
+      num_features_(num_features),
+      data_(num_pairs * num_features,
+            std::numeric_limits<float>::quiet_NaN()) {}
+
+void DenseMemo::Clear() {
+  std::fill(data_.begin(), data_.end(),
+            std::numeric_limits<float>::quiet_NaN());
+  filled_ = 0;
+}
+
+void DenseMemo::GrowFeatures(size_t num_features) {
+  if (num_features <= num_features_) return;
+  std::vector<float> grown(num_pairs_ * num_features,
+                           std::numeric_limits<float>::quiet_NaN());
+  for (size_t p = 0; p < num_pairs_; ++p) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      grown[p * num_features + f] = data_[p * num_features_ + f];
+    }
+  }
+  data_ = std::move(grown);
+  num_features_ = num_features;
+}
+
+Status DenseMemo::LoadRawValues(const std::vector<float>& values) {
+  if (values.size() != num_pairs_ * num_features_) {
+    return Status::InvalidArgument("value count mismatch for memo shape");
+  }
+  data_ = values;
+  size_t filled = 0;
+  for (const float v : data_) {
+    if (!std::isnan(v)) ++filled;
+  }
+  filled_.store(filled, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+size_t HashMemo::MemoryBytes() const {
+  // Approximate: node-based unordered_map — key + value + node/bucket
+  // overhead (pointer-heavy), roughly 48 bytes per entry plus the bucket
+  // array. This is the "more memory per entry, fewer entries" side of the
+  // Sec. 7.4 trade-off.
+  return map_.size() * 48 + map_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,142 @@
+#ifndef EMDBG_CORE_MEMO_H_
+#define EMDBG_CORE_MEMO_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/feature.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Storage for computed similarity values, addressed by (pair index,
+/// feature id) — the paper's Γ (Sec. 4.3). Two implementations:
+/// a dense matrix (the paper's 2-D array, Sec. 7.4) and a hash map
+/// (the alternative it suggests for low fill rates).
+class Memo {
+ public:
+  virtual ~Memo() = default;
+
+  /// Retrieves a stored value; returns false if not present.
+  virtual bool Lookup(size_t pair_index, FeatureId feature,
+                      double* value) const = 0;
+
+  /// Stores a computed value.
+  virtual void Store(size_t pair_index, FeatureId feature, double value) = 0;
+
+  /// True if the value is present (no value copy).
+  virtual bool Contains(size_t pair_index, FeatureId feature) const = 0;
+
+  /// Number of stored values.
+  virtual size_t FilledCount() const = 0;
+
+  /// Heap bytes used by the store.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Removes all stored values.
+  virtual void Clear() = 0;
+};
+
+/// Dense pairs x features float matrix with NaN as the "absent" sentinel.
+/// All similarity scores are in [0, 1], so NaN is unambiguous. This is the
+/// representation measured in the paper's Sec. 7.4 (22 MB for
+/// 291,649 pairs x 33 features at 4 bytes each, modulo JVM overhead).
+class DenseMemo final : public Memo {
+ public:
+  DenseMemo(size_t num_pairs, size_t num_features);
+
+  bool Lookup(size_t pair_index, FeatureId feature,
+              double* value) const override {
+    const float v = data_[pair_index * num_features_ + feature];
+    if (std::isnan(v)) return false;
+    *value = static_cast<double>(v);
+    return true;
+  }
+
+  /// Thread-safety: concurrent Store/Lookup on *different pair rows* is
+  /// safe (distinct cells; the fill counter is relaxed-atomic). Same-cell
+  /// concurrency is not supported.
+  void Store(size_t pair_index, FeatureId feature, double value) override {
+    float& slot = data_[pair_index * num_features_ + feature];
+    if (std::isnan(slot)) {
+      filled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot = static_cast<float>(value);
+  }
+
+  bool Contains(size_t pair_index, FeatureId feature) const override {
+    return !std::isnan(data_[pair_index * num_features_ + feature]);
+  }
+
+  size_t FilledCount() const override {
+    return filled_.load(std::memory_order_relaxed);
+  }
+  size_t MemoryBytes() const override {
+    return data_.size() * sizeof(float);
+  }
+  void Clear() override;
+
+  size_t num_pairs() const { return num_pairs_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Grows the feature dimension (e.g. when the analyst's new rule uses a
+  /// feature interned after the memo was created). Existing values are
+  /// preserved. No-op if `num_features` is not larger.
+  void GrowFeatures(size_t num_features);
+
+  /// Raw value matrix in pair-major order (for binary persistence);
+  /// absent cells are NaN.
+  const std::vector<float>& raw_values() const { return data_; }
+
+  /// Restores persisted values (size must be pairs x features) and
+  /// recounts the fill statistic.
+  Status LoadRawValues(const std::vector<float>& values);
+
+ private:
+  size_t num_pairs_;
+  size_t num_features_;
+  std::atomic<size_t> filled_{0};
+  std::vector<float> data_;
+};
+
+/// Sparse hash-map memo keyed by (pair, feature). Lower memory at low fill
+/// rates, higher lookup cost — the trade-off discussed in Sec. 7.4.
+class HashMemo final : public Memo {
+ public:
+  HashMemo() = default;
+
+  bool Lookup(size_t pair_index, FeatureId feature,
+              double* value) const override {
+    const auto it = map_.find(Key(pair_index, feature));
+    if (it == map_.end()) return false;
+    *value = static_cast<double>(it->second);
+    return true;
+  }
+
+  void Store(size_t pair_index, FeatureId feature, double value) override {
+    map_[Key(pair_index, feature)] = static_cast<float>(value);
+  }
+
+  bool Contains(size_t pair_index, FeatureId feature) const override {
+    return map_.count(Key(pair_index, feature)) > 0;
+  }
+
+  size_t FilledCount() const override { return map_.size(); }
+  size_t MemoryBytes() const override;
+  void Clear() override { map_.clear(); }
+
+ private:
+  static uint64_t Key(size_t pair_index, FeatureId feature) {
+    return (static_cast<uint64_t>(pair_index) << 32) |
+           static_cast<uint64_t>(feature);
+  }
+
+  std::unordered_map<uint64_t, float> map_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_MEMO_H_

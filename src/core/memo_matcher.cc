@@ -1,0 +1,108 @@
+#include "src/core/memo_matcher.h"
+
+#include <vector>
+
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+MatchResult MemoMatcher::Run(const MatchingFunction& fn,
+                             const CandidateSet& pairs, PairContext& ctx) {
+  DenseMemo memo(pairs.size(), ctx.catalog().size());
+  return RunImpl(fn, pairs, ctx, nullptr, memo);
+}
+
+MatchResult MemoMatcher::RunWithMemo(const MatchingFunction& fn,
+                                     const CandidateSet& pairs,
+                                     PairContext& ctx, Memo& memo) {
+  return RunImpl(fn, pairs, ctx, nullptr, memo);
+}
+
+MatchResult MemoMatcher::RunWithState(const MatchingFunction& fn,
+                                      const CandidateSet& pairs,
+                                      PairContext& ctx, MatchState& state) {
+  if (!state.initialized() || state.num_pairs() != pairs.size()) {
+    state.Initialize(pairs.size(), ctx.catalog().size());
+  } else {
+    // Keep the memo (cross-iteration reuse); rebuild decision bitmaps.
+    state.memo().GrowFeatures(ctx.catalog().size());
+    state.matches().Fill(false);
+  }
+  // Materialize one bitmap per rule and per predicate (Sec. 6.1) — even
+  // for rules that never fire, so memory accounting matches the paper's
+  // setting. Re-initializing in place keeps prior allocations.
+  for (const Rule& r : fn.rules()) {
+    state.RuleTrue(r.id()).Fill(false);
+    for (const Predicate& p : r.predicates()) {
+      state.PredFalse(p.id).Fill(false);
+    }
+  }
+  MatchResult result = RunImpl(fn, pairs, ctx, &state, state.memo());
+  state.matches() = result.matches;
+  return result;
+}
+
+MatchResult MemoMatcher::RunImpl(const MatchingFunction& fn,
+                                 const CandidateSet& pairs, PairContext& ctx,
+                                 MatchState* state, Memo& memo) {
+  Stopwatch timer;
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+
+  // Scratch order buffer reused across pairs (check-cache-first).
+  std::vector<size_t> order;
+
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const PairId pair = pairs.pair(i);
+    for (const Rule& rule : fn.rules()) {
+      if (rule.empty()) continue;
+      ++result.stats.rule_evaluations;
+
+      const size_t m = rule.size();
+      order.clear();
+      if (options_.check_cache_first) {
+        // Stable partition: memoized features first (Sec. 5.4.3).
+        for (size_t k = 0; k < m; ++k) {
+          if (memo.Contains(i, rule.predicate(k).feature)) {
+            order.push_back(k);
+          }
+        }
+        for (size_t k = 0; k < m; ++k) {
+          if (!memo.Contains(i, rule.predicate(k).feature)) {
+            order.push_back(k);
+          }
+        }
+      } else {
+        for (size_t k = 0; k < m; ++k) order.push_back(k);
+      }
+
+      bool rule_true = true;
+      for (const size_t k : order) {
+        const Predicate& p = rule.predicate(k);
+        ++result.stats.predicate_evaluations;
+        double value = 0.0;
+        if (memo.Lookup(i, p.feature, &value)) {
+          ++result.stats.memo_hits;
+        } else {
+          value = ctx.ComputeFeature(p.feature, pair);
+          memo.Store(i, p.feature, value);
+          ++result.stats.feature_computations;
+        }
+        if (!p.Test(value)) {
+          rule_true = false;
+          if (state != nullptr) state->PredFalse(p.id).Set(i);
+          break;  // early exit: rule is false
+        }
+      }
+      if (rule_true) {
+        result.matches.Set(i);
+        if (state != nullptr) state->RuleTrue(rule.id()).Set(i);
+        break;  // early exit: pair is a match
+      }
+    }
+  }
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

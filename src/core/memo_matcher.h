@@ -1,0 +1,58 @@
+#ifndef EMDBG_CORE_MEMO_MATCHER_H_
+#define EMDBG_CORE_MEMO_MATCHER_H_
+
+#include "src/core/match_state.h"
+#include "src/core/matcher.h"
+
+namespace emdbg {
+
+/// Algorithm 4: early exit + dynamic memoing ("DM+EE"). A feature is
+/// computed at most once per pair — the first predicate that needs it
+/// computes and memoizes it; later references (same or other rules) pay
+/// only the lookup cost δ.
+///
+/// With `check_cache_first` (Sec. 5.4.3), the predicates of each rule are
+/// re-partitioned per pair so that predicates whose features are already
+/// in the memo run first (keeping their relative optimizer order), and the
+/// remaining predicates keep theirs.
+class MemoMatcher final : public Matcher {
+ public:
+  struct Options {
+    bool check_cache_first = false;
+  };
+
+  MemoMatcher() : MemoMatcher(Options{}) {}
+  explicit MemoMatcher(Options options) : options_(options) {}
+
+  /// Runs with a private DenseMemo that is discarded afterwards.
+  MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
+                  PairContext& ctx) override;
+
+  /// Runs against a caller-supplied memo (e.g. a HashMemo for the
+  /// Sec. 7.4 dense-vs-sparse trade-off). The memo's prior contents are
+  /// reused; no decision bitmaps are recorded.
+  MatchResult RunWithMemo(const MatchingFunction& fn,
+                          const CandidateSet& pairs, PairContext& ctx,
+                          Memo& memo);
+
+  /// Runs against persistent state: reuses `state`'s memo if already
+  /// initialized (values computed in previous debugging iterations are
+  /// reused, Sec. 6), and records the per-rule true / per-predicate false
+  /// bitmaps the incremental algorithms need. Rule/predicate bitmaps are
+  /// reset; the memo is not.
+  MatchResult RunWithState(const MatchingFunction& fn,
+                           const CandidateSet& pairs, PairContext& ctx,
+                           MatchState& state);
+
+  const char* name() const override { return "DM+EE"; }
+
+ private:
+  MatchResult RunImpl(const MatchingFunction& fn, const CandidateSet& pairs,
+                      PairContext& ctx, MatchState* state, Memo& memo);
+
+  Options options_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_MEMO_MATCHER_H_

@@ -1,0 +1,163 @@
+#include "src/core/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/greedy_cost_optimizer.h"
+#include "src/core/greedy_reduction_optimizer.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+const char* OrderingStrategyName(OrderingStrategy s) {
+  switch (s) {
+    case OrderingStrategy::kAsWritten:
+      return "as_written";
+    case OrderingStrategy::kRandom:
+      return "random";
+    case OrderingStrategy::kIndependent:
+      return "independent";
+    case OrderingStrategy::kGreedyCost:
+      return "greedy_cost";
+    case OrderingStrategy::kGreedyReduction:
+      return "greedy_reduction";
+  }
+  return "unknown";
+}
+
+Result<OrderingStrategy> OrderingStrategyFromName(std::string_view name) {
+  for (const OrderingStrategy s :
+       {OrderingStrategy::kAsWritten, OrderingStrategy::kRandom,
+        OrderingStrategy::kIndependent, OrderingStrategy::kGreedyCost,
+        OrderingStrategy::kGreedyReduction}) {
+    if (EqualsIgnoreCase(name, OrderingStrategyName(s))) return s;
+  }
+  return Status::NotFound(StrFormat("unknown ordering strategy '%.*s'",
+                                    static_cast<int>(name.size()),
+                                    name.data()));
+}
+
+void OrderRulePredicates(Rule& rule, const CostModel& model) {
+  // Build feature groups in first-appearance order.
+  struct Group {
+    FeatureId feature;
+    std::vector<size_t> positions;  // indices into rule.predicates()
+    double selectivity = 1.0;
+    double cost = 0.0;
+  };
+  std::vector<Group> groups;
+  for (const FeatureId f : rule.Features()) {
+    Group g;
+    g.feature = f;
+    g.positions = rule.PredicatesOnFeature(f);
+    // Lemma 2: inside a group, ascending selectivity — the first
+    // evaluation computes the feature, the rest only look it up.
+    std::sort(g.positions.begin(), g.positions.end(),
+              [&](size_t x, size_t y) {
+                return model.PredicateSelectivity(rule.predicate(x)) <
+                       model.PredicateSelectivity(rule.predicate(y));
+              });
+    // Group selectivity is the joint selectivity of its predicates.
+    std::vector<Predicate> preds;
+    for (size_t pos : g.positions) preds.push_back(rule.predicate(pos));
+    g.selectivity = model.JointSelectivity(preds);
+    // Group cost per Eq. 3 applied inside the group: compute once, then δ
+    // lookups gated by the running selectivity of earlier predicates.
+    double cost = model.FeatureCost(f);
+    double running_sel = 1.0;
+    for (size_t k = 1; k < g.positions.size(); ++k) {
+      running_sel *=
+          model.PredicateSelectivity(rule.predicate(g.positions[k - 1]));
+      cost += running_sel * model.lookup_cost_us();
+    }
+    g.cost = std::max(cost, 1e-9);
+    groups.push_back(std::move(g));
+  }
+  // Lemma 3: ascending (sel - 1) / cost. (Negative ranks: most selective
+  // per unit cost first.)
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const Group& x, const Group& y) {
+                     return (x.selectivity - 1.0) / x.cost <
+                            (y.selectivity - 1.0) / y.cost;
+                   });
+  std::vector<size_t> order;
+  order.reserve(rule.size());
+  for (const Group& g : groups) {
+    for (size_t pos : g.positions) order.push_back(pos);
+  }
+  rule.Permute(order);
+}
+
+void OrderAllRulePredicates(MatchingFunction& fn, const CostModel& model) {
+  for (size_t i = 0; i < fn.num_rules(); ++i) {
+    OrderRulePredicates(fn.mutable_rule(i), model);
+  }
+}
+
+void OrderRulePredicatesIndependent(Rule& rule, const CostModel& model) {
+  std::vector<size_t> order(rule.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const Predicate& px = rule.predicate(x);
+    const Predicate& py = rule.predicate(y);
+    const double cx = std::max(model.FeatureCost(px.feature), 1e-9);
+    const double cy = std::max(model.FeatureCost(py.feature), 1e-9);
+    return (model.PredicateSelectivity(px) - 1.0) / cx <
+           (model.PredicateSelectivity(py) - 1.0) / cy;
+  });
+  rule.Permute(order);
+}
+
+void OrderRulesIndependent(MatchingFunction& fn, const CostModel& model) {
+  for (size_t i = 0; i < fn.num_rules(); ++i) {
+    OrderRulePredicatesIndependent(fn.mutable_rule(i), model);
+  }
+  std::vector<size_t> order(fn.num_rules());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // Theorem 1: ascending -sel(r)/cost(r) — rules that match many pairs
+  // cheaply run first.
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const Rule& rx = fn.rule(x);
+    const Rule& ry = fn.rule(y);
+    const double cx = std::max(model.RuleCostNoMemo(rx), 1e-9);
+    const double cy = std::max(model.RuleCostNoMemo(ry), 1e-9);
+    return -model.RuleSelectivity(rx) / cx < -model.RuleSelectivity(ry) / cy;
+  });
+  fn.PermuteRules(order);
+}
+
+void RandomizeOrder(MatchingFunction& fn, Rng& rng) {
+  for (size_t i = 0; i < fn.num_rules(); ++i) {
+    Rule& rule = fn.mutable_rule(i);
+    std::vector<size_t> order(rule.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    rng.Shuffle(order);
+    rule.Permute(order);
+  }
+  std::vector<size_t> order(fn.num_rules());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng.Shuffle(order);
+  fn.PermuteRules(order);
+}
+
+void ApplyOrdering(MatchingFunction& fn, OrderingStrategy strategy,
+                   const CostModel& model, Rng* rng) {
+  switch (strategy) {
+    case OrderingStrategy::kAsWritten:
+      return;
+    case OrderingStrategy::kRandom:
+      if (rng != nullptr) RandomizeOrder(fn, *rng);
+      return;
+    case OrderingStrategy::kIndependent:
+      OrderRulesIndependent(fn, model);
+      return;
+    case OrderingStrategy::kGreedyCost:
+      ApplyGreedyCostOrder(fn, model);
+      return;
+    case OrderingStrategy::kGreedyReduction:
+      ApplyGreedyReductionOrder(fn, model);
+      return;
+  }
+}
+
+}  // namespace emdbg

@@ -1,0 +1,51 @@
+#ifndef EMDBG_CORE_ORDERING_H_
+#define EMDBG_CORE_ORDERING_H_
+
+#include <string_view>
+
+#include "src/core/cost_model.h"
+#include "src/core/matching_function.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Rule/predicate ordering strategies evaluated in the paper's Fig. 3C.
+enum class OrderingStrategy {
+  kAsWritten,        ///< keep the analyst's order
+  kRandom,           ///< random permutation of rules and predicates
+  kIndependent,      ///< Lemma 1 + Theorem 1 (ignores memo interactions)
+  kGreedyCost,       ///< Algorithm 5: min expected memo-aware rule cost
+  kGreedyReduction,  ///< Algorithm 6: max expected overall cost reduction
+};
+
+const char* OrderingStrategyName(OrderingStrategy s);
+Result<OrderingStrategy> OrderingStrategyFromName(std::string_view name);
+
+/// Reorders the predicates of `rule` per Lemma 2 + Lemma 3: predicates are
+/// grouped by feature; inside a group they run in ascending selectivity
+/// (the second one costs only δ); groups run in ascending
+/// rank = (sel(group) - 1) / cost(group).
+void OrderRulePredicates(Rule& rule, const CostModel& model);
+
+/// Lemma 3 for every rule of `fn`.
+void OrderAllRulePredicates(MatchingFunction& fn, const CostModel& model);
+
+/// Lemma 1: ascending (sel(p) - 1) / cost(p), ignoring shared features.
+void OrderRulePredicatesIndependent(Rule& rule, const CostModel& model);
+
+/// Theorem 1: rules in ascending rank(r) = -sel(r) / cost(r), with
+/// predicates pre-ordered by Lemma 1. Assumes independence (no memo).
+void OrderRulesIndependent(MatchingFunction& fn, const CostModel& model);
+
+/// Shuffles rule order and each rule's predicate order.
+void RandomizeOrder(MatchingFunction& fn, Rng& rng);
+
+/// Applies a complete strategy (predicate ordering + rule ordering) in
+/// place. `rng` is only consulted for kRandom (may be null otherwise).
+void ApplyOrdering(MatchingFunction& fn, OrderingStrategy strategy,
+                   const CostModel& model, Rng* rng);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_ORDERING_H_

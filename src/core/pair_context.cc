@@ -1,0 +1,129 @@
+#include "src/core/pair_context.h"
+
+#include "src/text/similarity_registry.h"
+
+namespace emdbg {
+
+PairContext::PairContext(const Table& a, const Table& b,
+                         const FeatureCatalog& catalog, Options options)
+    : a_(a), b_(b), catalog_(catalog), options_(options) {
+  if (options_.cache_tokens) {
+    cache_a_.words.resize(a_.num_attributes() * a_.num_rows());
+    cache_a_.qgrams.resize(a_.num_attributes() * a_.num_rows());
+    cache_b_.words.resize(b_.num_attributes() * b_.num_rows());
+    cache_b_.qgrams.resize(b_.num_attributes() * b_.num_rows());
+  }
+}
+
+const TokenList* PairContext::CachedTokens(bool table_b, AttrIndex attr,
+                                           uint32_t row, bool qgrams) {
+  if (!options_.cache_tokens) return nullptr;
+  const Table& table = table_b ? b_ : a_;
+  TokenCache& cache = table_b ? cache_b_ : cache_a_;
+  auto& slots = qgrams ? cache.qgrams : cache.words;
+  const size_t slot = attr * table.num_rows() + row;
+  if (slots[slot] == nullptr) {
+    const std::string& text = table.Value(row, attr);
+    slots[slot] = std::make_unique<TokenList>(
+        qgrams ? QGramTokenize(text, 3) : AlnumTokenize(text));
+  }
+  return slots[slot].get();
+}
+
+void PairContext::Prewarm(const std::vector<FeatureId>& features) {
+  for (const FeatureId f : features) {
+    const Feature& feature = catalog_.feature(f);
+    const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
+    if (info.needs_tfidf) {
+      (void)ModelFor(feature.attr_a, feature.attr_b);
+    }
+    if (info.tokens == TokenNeed::kNone || !options_.cache_tokens) {
+      continue;
+    }
+    const bool qgrams = info.tokens == TokenNeed::kQGram3;
+    for (uint32_t row = 0; row < a_.num_rows(); ++row) {
+      (void)CachedTokens(false, feature.attr_a, row, qgrams);
+    }
+    for (uint32_t row = 0; row < b_.num_rows(); ++row) {
+      (void)CachedTokens(true, feature.attr_b, row, qgrams);
+    }
+  }
+}
+
+double PairContext::ComputeFeature(FeatureId f, PairId pair) {
+  compute_count_.fetch_add(1, std::memory_order_relaxed);
+  const Feature& feature = catalog_.feature(f);
+  const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
+
+  SimArg arg_a;
+  arg_a.text = a_.Value(pair.a, feature.attr_a);
+  SimArg arg_b;
+  arg_b.text = b_.Value(pair.b, feature.attr_b);
+
+  if (info.tokens == TokenNeed::kWords) {
+    arg_a.words = CachedTokens(false, feature.attr_a, pair.a, false);
+    arg_b.words = CachedTokens(true, feature.attr_b, pair.b, false);
+  } else if (info.tokens == TokenNeed::kQGram3) {
+    arg_a.qgrams = CachedTokens(false, feature.attr_a, pair.a, true);
+    arg_b.qgrams = CachedTokens(true, feature.attr_b, pair.b, true);
+  }
+
+  const TfIdfModel* model = nullptr;
+  if (info.needs_tfidf) {
+    model = &ModelFor(feature.attr_a, feature.attr_b);
+  }
+  // Quantize to float: the memo stores float, and matching decisions must
+  // not depend on whether a value came from computation or from the memo
+  // (otherwise rule/predicate *order* could change results at threshold
+  // boundaries).
+  return static_cast<float>(
+      ComputeSimilarity(feature.fn, arg_a, arg_b, model));
+}
+
+const TfIdfModel& PairContext::ModelFor(AttrIndex attr_a, AttrIndex attr_b) {
+  const auto key = std::make_pair(attr_a, attr_b);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    auto model = std::make_unique<TfIdfModel>();
+    for (uint32_t row = 0; row < a_.num_rows(); ++row) {
+      model->AddDocument(AlnumTokenize(a_.Value(row, attr_a)));
+    }
+    for (uint32_t row = 0; row < b_.num_rows(); ++row) {
+      model->AddDocument(AlnumTokenize(b_.Value(row, attr_b)));
+    }
+    it = models_.emplace(key, std::move(model)).first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+size_t TokenListBytes(const TokenList& tokens) {
+  size_t bytes = sizeof(TokenList) + tokens.capacity() * sizeof(std::string);
+  for (const std::string& t : tokens) bytes += t.capacity();
+  return bytes;
+}
+
+size_t CacheBytes(const std::vector<std::unique_ptr<TokenList>>& slots) {
+  size_t bytes = slots.capacity() * sizeof(std::unique_ptr<TokenList>);
+  for (const auto& slot : slots) {
+    if (slot != nullptr) bytes += TokenListBytes(*slot);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t PairContext::TokenCacheBytes() const {
+  return CacheBytes(cache_a_.words) + CacheBytes(cache_a_.qgrams) +
+         CacheBytes(cache_b_.words) + CacheBytes(cache_b_.qgrams);
+}
+
+void PairContext::ClearTokenCaches() {
+  for (auto& slot : cache_a_.words) slot.reset();
+  for (auto& slot : cache_a_.qgrams) slot.reset();
+  for (auto& slot : cache_b_.words) slot.reset();
+  for (auto& slot : cache_b_.qgrams) slot.reset();
+}
+
+}  // namespace emdbg

@@ -1,0 +1,103 @@
+#ifndef EMDBG_CORE_PAIR_CONTEXT_H_
+#define EMDBG_CORE_PAIR_CONTEXT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/block/candidate_pairs.h"
+#include "src/core/feature.h"
+#include "src/data/table.h"
+#include "src/text/tfidf.h"
+
+namespace emdbg {
+
+/// Evaluation environment shared by all matchers for one (A, B) task:
+/// resolves a FeatureId against a candidate pair and computes the
+/// similarity value.
+///
+/// The context owns two kinds of cross-pair state that are *not* the
+/// paper's memo:
+///   * per-record token caches (a record's title is tokenized once, not
+///     once per pair it appears in) — disable via Options::cache_tokens to
+///     get the paper's "every predicate is a black box computed from
+///     scratch" rudimentary setting;
+///   * TF-IDF corpus models per attribute pair (document-frequency tables
+///     are corpus-level state of the similarity function itself and are
+///     always cached).
+class PairContext {
+ public:
+  struct Options {
+    /// Cache word/q-gram token lists per (table, row, attribute).
+    bool cache_tokens = true;
+  };
+
+  /// The tables and catalog must outlive the context.
+  PairContext(const Table& a, const Table& b, const FeatureCatalog& catalog)
+      : PairContext(a, b, catalog, Options{}) {}
+  PairContext(const Table& a, const Table& b, const FeatureCatalog& catalog,
+              Options options);
+
+  PairContext(const PairContext&) = delete;
+  PairContext& operator=(const PairContext&) = delete;
+
+  const Table& table_a() const { return a_; }
+  const Table& table_b() const { return b_; }
+  const FeatureCatalog& catalog() const { return catalog_; }
+
+  /// Computes the similarity value of feature `f` on candidate pair
+  /// `pair`. This is the expensive operation the whole paper is about
+  /// minimizing; callers memoize the result.
+  double ComputeFeature(FeatureId f, PairId pair);
+
+  /// TF-IDF model over the union corpus of column `attr_a` of A and
+  /// column `attr_b` of B (built lazily, then cached).
+  const TfIdfModel& ModelFor(AttrIndex attr_a, AttrIndex attr_b);
+
+  /// Total feature computations performed through this context (across all
+  /// matchers sharing it). Cleared with ResetComputeCount().
+  size_t compute_count() const {
+    return compute_count_.load(std::memory_order_relaxed);
+  }
+  void ResetComputeCount() {
+    compute_count_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Fills the token caches and TF-IDF models every feature in `features`
+  /// will touch. After prewarming, ComputeFeature for those features is
+  /// read-only on shared state and therefore safe to call from multiple
+  /// threads concurrently (used by ParallelMemoMatcher). No-op slots when
+  /// token caching is disabled.
+  void Prewarm(const std::vector<FeatureId>& features);
+
+  /// Approximate heap bytes held by the token caches.
+  size_t TokenCacheBytes() const;
+
+  /// Drops token caches (models are kept).
+  void ClearTokenCaches();
+
+ private:
+  // Cached tokens for one table; slot index = attr * num_rows + row.
+  struct TokenCache {
+    std::vector<std::unique_ptr<TokenList>> words;
+    std::vector<std::unique_ptr<TokenList>> qgrams;
+  };
+
+  const TokenList* CachedTokens(bool table_b, AttrIndex attr, uint32_t row,
+                                bool qgrams);
+
+  const Table& a_;
+  const Table& b_;
+  const FeatureCatalog& catalog_;
+  Options options_;
+  TokenCache cache_a_;
+  TokenCache cache_b_;
+  std::map<std::pair<AttrIndex, AttrIndex>, std::unique_ptr<TfIdfModel>>
+      models_;
+  std::atomic<size_t> compute_count_{0};
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_PAIR_CONTEXT_H_

@@ -1,0 +1,99 @@
+#include "src/core/parallel_matcher.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/core/memo.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
+                                     const CandidateSet& pairs,
+                                     PairContext& ctx) {
+  Stopwatch timer;
+  // Serial phase: make all shared state read-only for the workers.
+  ctx.Prewarm(fn.UsedFeatures());
+
+  const size_t num_threads = std::max<size_t>(
+      1, options_.num_threads != 0 ? options_.num_threads
+                                   : std::thread::hardware_concurrency());
+  DenseMemo memo(pairs.size(), ctx.catalog().size());
+  std::vector<uint8_t> decisions(pairs.size(), 0);
+  std::vector<MatchStats> thread_stats(num_threads);
+
+  auto worker = [&](size_t tid, size_t begin, size_t end) {
+    MatchStats& stats = thread_stats[tid];
+    std::vector<size_t> order;
+    for (size_t i = begin; i < end; ++i) {
+      const PairId pair = pairs.pair(i);
+      for (const Rule& rule : fn.rules()) {
+        if (rule.empty()) continue;
+        ++stats.rule_evaluations;
+        const size_t m = rule.size();
+        order.clear();
+        if (options_.check_cache_first) {
+          for (size_t k = 0; k < m; ++k) {
+            if (memo.Contains(i, rule.predicate(k).feature)) {
+              order.push_back(k);
+            }
+          }
+          for (size_t k = 0; k < m; ++k) {
+            if (!memo.Contains(i, rule.predicate(k).feature)) {
+              order.push_back(k);
+            }
+          }
+        } else {
+          for (size_t k = 0; k < m; ++k) order.push_back(k);
+        }
+        bool rule_true = true;
+        for (const size_t k : order) {
+          const Predicate& p = rule.predicate(k);
+          ++stats.predicate_evaluations;
+          double value = 0.0;
+          if (memo.Lookup(i, p.feature, &value)) {
+            ++stats.memo_hits;
+          } else {
+            value = ctx.ComputeFeature(p.feature, pair);
+            memo.Store(i, p.feature, value);
+            ++stats.feature_computations;
+          }
+          if (!p.Test(value)) {
+            rule_true = false;
+            break;
+          }
+        }
+        if (rule_true) {
+          decisions[i] = 1;
+          break;
+        }
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker(0, 0, pairs.size());
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    const size_t chunk = (pairs.size() + num_threads - 1) / num_threads;
+    for (size_t t = 0; t < num_threads; ++t) {
+      const size_t begin = std::min(t * chunk, pairs.size());
+      const size_t end = std::min(begin + chunk, pairs.size());
+      threads.emplace_back(worker, t, begin, end);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (decisions[i]) result.matches.Set(i);
+  }
+  for (const MatchStats& s : thread_stats) result.stats += s;
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

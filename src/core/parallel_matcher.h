@@ -1,0 +1,39 @@
+#ifndef EMDBG_CORE_PARALLEL_MATCHER_H_
+#define EMDBG_CORE_PARALLEL_MATCHER_H_
+
+#include "src/core/matcher.h"
+
+namespace emdbg {
+
+/// Multi-threaded DM+EE (Algorithm 4). Candidate pairs are independent
+/// (Sec. 7.5's linearity observation), so the pair loop parallelizes
+/// embarrassingly: the dense memo is partitioned by pair row, and the
+/// shared token caches / TF-IDF models are prewarmed before the parallel
+/// phase so worker threads only read shared state.
+///
+/// An extension beyond the paper (which is single-threaded Java); the
+/// speedup compounds with the paper's techniques since they all reduce
+/// per-pair work.
+class ParallelMemoMatcher final : public Matcher {
+ public:
+  struct Options {
+    /// 0 = std::thread::hardware_concurrency().
+    size_t num_threads = 0;
+    bool check_cache_first = false;
+  };
+
+  ParallelMemoMatcher() : ParallelMemoMatcher(Options{}) {}
+  explicit ParallelMemoMatcher(Options options) : options_(options) {}
+
+  MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
+                  PairContext& ctx) override;
+
+  const char* name() const override { return "DM+EE(parallel)"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_PARALLEL_MATCHER_H_

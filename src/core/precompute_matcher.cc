@@ -1,0 +1,66 @@
+#include "src/core/precompute_matcher.h"
+
+#include <vector>
+
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+MatchResult PrecomputeMatcher::Run(const MatchingFunction& fn,
+                                   const CandidateSet& pairs,
+                                   PairContext& ctx) {
+  Stopwatch timer;
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+
+  // Phase 1: fill the memo (Algorithm 2, lines 4-8).
+  std::vector<FeatureId> features;
+  if (scope_ == Scope::kProduction) {
+    features = fn.UsedFeatures();
+  } else {
+    features.reserve(ctx.catalog().size());
+    for (FeatureId f = 0; f < ctx.catalog().size(); ++f) {
+      features.push_back(f);
+    }
+  }
+  DenseMemo memo(pairs.size(), ctx.catalog().size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const PairId pair = pairs.pair(i);
+    for (const FeatureId f : features) {
+      memo.Store(i, f, ctx.ComputeFeature(f, pair));
+      ++result.stats.feature_computations;
+    }
+  }
+  last_precompute_ms_ = timer.ElapsedMillis();
+
+  // Phase 2: match via lookups (Algorithm 1 or 3 over the memo).
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    bool any_rule_true = false;
+    for (const Rule& rule : fn.rules()) {
+      if (rule.empty()) continue;
+      ++result.stats.rule_evaluations;
+      bool rule_true = true;
+      for (const Predicate& p : rule.predicates()) {
+        ++result.stats.predicate_evaluations;
+        double value = 0.0;
+        const bool found = memo.Lookup(i, p.feature, &value);
+        ++result.stats.memo_hits;
+        // In production scope every used feature was precomputed; a miss
+        // would be a bug, so treat it as such defensively.
+        if (!found || !p.Test(value)) {
+          rule_true = false;
+          if (early_exit_) break;
+        }
+      }
+      if (rule_true) {
+        any_rule_true = true;
+        if (early_exit_) break;
+      }
+    }
+    if (any_rule_true) result.matches.Set(i);
+  }
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,48 @@
+#ifndef EMDBG_CORE_PRECOMPUTE_MATCHER_H_
+#define EMDBG_CORE_PRECOMPUTE_MATCHER_H_
+
+#include "src/core/matcher.h"
+#include "src/core/memo.h"
+
+namespace emdbg {
+
+/// Algorithm 2: precomputes feature values for every candidate pair before
+/// matching, then evaluates rules via memo lookups.
+///
+/// Two scopes match the paper's Fig. 3 variants:
+///   * kProduction ("PPR"): precompute exactly the features used by the
+///     current rule set — feasible only once the rule set is final;
+///   * kFull ("FPR"): precompute every feature in the catalog — the
+///     superset the analyst might use, modeling the up-front lag the
+///     paper's introduction argues against.
+///
+/// The matching phase runs with early exit by default (the paper's Fig. 3
+/// plots PPR+EE and FPR+EE); set `early_exit=false` for the pure
+/// Algorithm 2 behaviour.
+class PrecomputeMatcher final : public Matcher {
+ public:
+  enum class Scope { kProduction, kFull };
+
+  explicit PrecomputeMatcher(Scope scope, bool early_exit = true)
+      : scope_(scope), early_exit_(early_exit) {}
+
+  MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
+                  PairContext& ctx) override;
+
+  const char* name() const override {
+    return scope_ == Scope::kProduction ? "PPR+EE" : "FPR+EE";
+  }
+
+  /// Milliseconds spent in the precomputation phase of the last Run()
+  /// (included in the result's elapsed_ms).
+  double last_precompute_ms() const { return last_precompute_ms_; }
+
+ private:
+  Scope scope_;
+  bool early_exit_;
+  double last_precompute_ms_ = 0.0;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_PRECOMPUTE_MATCHER_H_

@@ -1,0 +1,31 @@
+#include "src/core/predicate.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+bool IsLowerBound(CompareOp op) {
+  return op == CompareOp::kGe || op == CompareOp::kGt;
+}
+
+std::string PredicateToString(const Predicate& p,
+                              const FeatureCatalog& catalog) {
+  return StrFormat("%s %s %.4g", catalog.Name(p.feature).c_str(),
+                   CompareOpSymbol(p.op), p.threshold);
+}
+
+}  // namespace emdbg

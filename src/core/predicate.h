@@ -1,0 +1,72 @@
+#ifndef EMDBG_CORE_PREDICATE_H_
+#define EMDBG_CORE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/feature.h"
+
+namespace emdbg {
+
+/// Comparison operator of a predicate. The paper's canonical form uses
+/// "A >= a" (lower bound) and "A < a" (upper bound); we additionally accept
+/// > and <= from the DSL. kGe/kGt are *lower-bound* predicates, kLt/kLe are
+/// *upper-bound* predicates — Lemma 2 grouping relies on each feature
+/// having at most one of each kind per rule.
+enum class CompareOp : uint8_t {
+  kGe,  ///< feature >= threshold
+  kGt,  ///< feature >  threshold
+  kLt,  ///< feature <  threshold
+  kLe,  ///< feature <= threshold
+};
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// True for >= and > (predicate passes when the feature is large).
+bool IsLowerBound(CompareOp op);
+
+/// Stable identifier of a predicate within a MatchingFunction. Ids survive
+/// reordering and removal of sibling predicates — the incremental engine
+/// keys its per-predicate bitmaps on them.
+using PredicateId = uint32_t;
+
+inline constexpr PredicateId kInvalidPredicate = 0xffffffffu;
+
+/// A threshold test over one feature: feature(pair) <op> threshold.
+struct Predicate {
+  FeatureId feature = kInvalidFeature;
+  CompareOp op = CompareOp::kGe;
+  double threshold = 0.0;
+  /// Assigned by MatchingFunction when the predicate is added; 0 until
+  /// then. Not part of value equality.
+  PredicateId id = kInvalidPredicate;
+
+  /// Applies the comparison to a computed feature value.
+  bool Test(double value) const {
+    switch (op) {
+      case CompareOp::kGe:
+        return value >= threshold;
+      case CompareOp::kGt:
+        return value > threshold;
+      case CompareOp::kLt:
+        return value < threshold;
+      case CompareOp::kLe:
+        return value <= threshold;
+    }
+    return false;
+  }
+
+  /// True if `other` tests the same feature with the same op and threshold.
+  bool SameTest(const Predicate& other) const {
+    return feature == other.feature && op == other.op &&
+           threshold == other.threshold;
+  }
+};
+
+/// Human-readable predicate, e.g. "jaccard(title, title) >= 0.70".
+std::string PredicateToString(const Predicate& p,
+                              const FeatureCatalog& catalog);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_PREDICATE_H_

@@ -1,0 +1,35 @@
+#include "src/core/rudimentary_matcher.h"
+
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+MatchResult RudimentaryMatcher::Run(const MatchingFunction& fn,
+                                    const CandidateSet& pairs,
+                                    PairContext& ctx) {
+  Stopwatch timer;
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const PairId pair = pairs.pair(i);
+    bool any_rule_true = false;
+    for (const Rule& rule : fn.rules()) {
+      ++result.stats.rule_evaluations;
+      bool rule_true = true;
+      for (const Predicate& p : rule.predicates()) {
+        ++result.stats.predicate_evaluations;
+        ++result.stats.feature_computations;
+        const double value = ctx.ComputeFeature(p.feature, pair);
+        // No early exit: the conjunction result is folded but every
+        // predicate is still evaluated (Algorithm 1, lines 5-7).
+        rule_true = rule_true && p.Test(value);
+      }
+      any_rule_true = any_rule_true || (rule_true && !rule.empty());
+    }
+    if (any_rule_true) result.matches.Set(i);
+  }
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,20 @@
+#ifndef EMDBG_CORE_RUDIMENTARY_MATCHER_H_
+#define EMDBG_CORE_RUDIMENTARY_MATCHER_H_
+
+#include "src/core/matcher.h"
+
+namespace emdbg {
+
+/// Algorithm 1: evaluates every predicate of every rule for every pair,
+/// recomputing the similarity value on each predicate evaluation (each
+/// predicate is a black box; no memoing, no early exit).
+class RudimentaryMatcher final : public Matcher {
+ public:
+  MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
+                  PairContext& ctx) override;
+  const char* name() const override { return "R"; }
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_RUDIMENTARY_MATCHER_H_

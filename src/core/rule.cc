@@ -1,0 +1,77 @@
+#include "src/core/rule.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+bool Rule::RemovePredicateById(PredicateId pid) {
+  const size_t pos = FindPredicate(pid);
+  if (pos == predicates_.size()) return false;
+  predicates_.erase(predicates_.begin() + static_cast<ptrdiff_t>(pos));
+  return true;
+}
+
+size_t Rule::FindPredicate(PredicateId pid) const {
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (predicates_[i].id == pid) return i;
+  }
+  return predicates_.size();
+}
+
+std::vector<FeatureId> Rule::Features() const {
+  std::vector<FeatureId> out;
+  for (const Predicate& p : predicates_) {
+    if (std::find(out.begin(), out.end(), p.feature) == out.end()) {
+      out.push_back(p.feature);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> Rule::PredicatesOnFeature(FeatureId feature) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (predicates_[i].feature == feature) out.push_back(i);
+  }
+  return out;
+}
+
+void Rule::Permute(const std::vector<size_t>& order) {
+  assert(order.size() == predicates_.size());
+  std::vector<Predicate> reordered;
+  reordered.reserve(predicates_.size());
+  for (size_t idx : order) reordered.push_back(predicates_[idx]);
+  predicates_ = std::move(reordered);
+}
+
+bool Rule::IsCanonical() const {
+  for (const FeatureId f : Features()) {
+    int lower = 0;
+    int upper = 0;
+    for (size_t pos : PredicatesOnFeature(f)) {
+      if (IsLowerBound(predicates_[pos].op)) {
+        ++lower;
+      } else {
+        ++upper;
+      }
+    }
+    if (lower > 1 || upper > 1) return false;
+  }
+  return true;
+}
+
+std::string Rule::ToString(const FeatureCatalog& catalog) const {
+  std::vector<std::string> parts;
+  parts.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) {
+    parts.push_back(PredicateToString(p, catalog));
+  }
+  std::string body = Join(parts, " AND ");
+  if (name_.empty()) return body;
+  return name_ + ": " + body;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,72 @@
+#ifndef EMDBG_CORE_RULE_H_
+#define EMDBG_CORE_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/predicate.h"
+
+namespace emdbg {
+
+/// Stable identifier of a rule within a MatchingFunction (survives
+/// reordering and removal of sibling rules).
+using RuleId = uint32_t;
+
+inline constexpr RuleId kInvalidRule = 0xffffffffu;
+
+/// A CNF rule: a conjunction of predicates. Predicate order is the
+/// *evaluation* order used by early-exit matchers; optimizers permute it.
+class Rule {
+ public:
+  Rule() = default;
+  explicit Rule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  RuleId id() const { return id_; }
+  void set_id(RuleId id) { id_ = id; }
+
+  size_t size() const { return predicates_.size(); }
+  bool empty() const { return predicates_.empty(); }
+  const Predicate& predicate(size_t i) const { return predicates_[i]; }
+  Predicate& mutable_predicate(size_t i) { return predicates_[i]; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  void AddPredicate(Predicate p) { predicates_.push_back(p); }
+
+  /// Removes the predicate with stable id `pid`; false if absent.
+  bool RemovePredicateById(PredicateId pid);
+
+  /// Position of the predicate with id `pid`, or size() if absent.
+  size_t FindPredicate(PredicateId pid) const;
+
+  /// Distinct features used by this rule, in first-appearance order
+  /// (feature(r) in the paper).
+  std::vector<FeatureId> Features() const;
+
+  /// Positions of the predicates referring to `feature`, in order
+  /// (predicate(f, r) in the paper; at most 2 in canonical rules:
+  /// one lower bound and one upper bound).
+  std::vector<size_t> PredicatesOnFeature(FeatureId feature) const;
+
+  /// Reorders predicates to the permutation `order` (indices into the
+  /// current predicate list; must be a permutation — checked in debug).
+  void Permute(const std::vector<size_t>& order);
+
+  /// True if no feature has two predicates of the same bound kind
+  /// (the canonical-form assumption of Sec. 5.4).
+  bool IsCanonical() const;
+
+  std::string ToString(const FeatureCatalog& catalog) const;
+
+ private:
+  std::string name_;
+  RuleId id_ = kInvalidRule;
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_RULE_H_

@@ -1,0 +1,105 @@
+#include "src/core/rule_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+RuleGenerator::RuleGenerator(PairContext& ctx, const CandidateSet& sample,
+                             RuleGeneratorConfig config)
+    : config_(config) {
+  const FeatureCatalog& catalog = ctx.catalog();
+  sorted_values_.resize(catalog.size());
+  for (FeatureId f = 0; f < catalog.size(); ++f) {
+    std::vector<double>& vals = sorted_values_[f];
+    vals.reserve(sample.size());
+    for (size_t s = 0; s < sample.size(); ++s) {
+      vals.push_back(ctx.ComputeFeature(f, sample.pair(s)));
+    }
+    std::sort(vals.begin(), vals.end());
+  }
+  // Feature pool: a random subset if requested, shuffled with the config
+  // seed so the pool is stable across Generate() calls.
+  Rng pool_rng(config_.seed ^ 0xfeedULL);
+  std::vector<FeatureId> all;
+  for (FeatureId f = 0; f < catalog.size(); ++f) all.push_back(f);
+  pool_rng.Shuffle(all);
+  const size_t pool_size =
+      config_.feature_pool == 0
+          ? all.size()
+          : std::min(config_.feature_pool, all.size());
+  pool_.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(pool_size));
+}
+
+double RuleGenerator::FeatureQuantile(FeatureId f, double q) const {
+  const std::vector<double>& vals = sorted_values_[f];
+  if (vals.empty()) return 0.5;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(vals.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= vals.size()) return vals.back();
+  return vals[lo] * (1.0 - frac) + vals[lo + 1] * frac;
+}
+
+Rule RuleGenerator::GenerateRule(Rng& rng) const {
+  Rule rule;
+  const size_t span = config_.max_predicates - config_.min_predicates + 1;
+  const size_t num_preds =
+      config_.min_predicates + static_cast<size_t>(rng.Uniform(span));
+
+  // Pick distinct features, Zipf-skewed over the (seed-shuffled) pool so
+  // a few features recur in most rules — the sharing that dynamic
+  // memoing exploits.
+  std::vector<FeatureId> chosen;
+  size_t guard = 0;
+  while (chosen.size() < std::min(num_preds, pool_.size()) &&
+         guard++ < 1000) {
+    const FeatureId f =
+        pool_[rng.Zipf(pool_.size(), config_.feature_skew)];
+    if (std::find(chosen.begin(), chosen.end(), f) == chosen.end()) {
+      chosen.push_back(f);
+    }
+  }
+
+  for (const FeatureId f : chosen) {
+    Predicate p;
+    p.feature = f;
+    const bool upper = rng.Bernoulli(config_.upper_bound_fraction);
+    if (upper) {
+      // Upper bound: threshold in the upper-middle of the distribution so
+      // the predicate passes most pairs but prunes some.
+      p.op = CompareOp::kLt;
+      p.threshold = FeatureQuantile(f, rng.UniformDouble(0.55, 0.98));
+    } else {
+      // Lower bound: selective — passes the high-similarity tail.
+      p.op = CompareOp::kGe;
+      p.threshold = FeatureQuantile(f, rng.UniformDouble(0.55, 0.95));
+    }
+    rule.AddPredicate(p);
+  }
+  return rule;
+}
+
+MatchingFunction RuleGenerator::Generate() const {
+  Rng rng(config_.seed);
+  MatchingFunction fn;
+  for (size_t i = 0; i < config_.num_rules; ++i) {
+    Rule r = GenerateRule(rng);
+    r.set_name(StrFormat("g%zu", i));
+    fn.AddRule(std::move(r));
+  }
+  return fn;
+}
+
+std::vector<Rule> RuleGenerator::GenerateRules(size_t count,
+                                               Rng& rng) const {
+  std::vector<Rule> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(GenerateRule(rng));
+  return out;
+}
+
+}  // namespace emdbg

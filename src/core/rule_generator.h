@@ -1,0 +1,64 @@
+#ifndef EMDBG_CORE_RULE_GENERATOR_H_
+#define EMDBG_CORE_RULE_GENERATOR_H_
+
+#include <vector>
+
+#include "src/core/matching_function.h"
+#include "src/core/pair_context.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+
+/// Configuration for synthetic rule-set generation. Defaults mirror the
+/// paper's Products rule set: 255 rules, ~6.6 predicates per rule
+/// (1688 / 255), 32 of 33 catalog features used, thresholds placed on the
+/// observed feature-value distribution so predicate selectivities are
+/// realistic (neither always-true nor always-false).
+struct RuleGeneratorConfig {
+  size_t num_rules = 255;
+  size_t min_predicates = 4;
+  size_t max_predicates = 9;
+  /// Fraction of predicates that are upper bounds (feature < t), like the
+  /// mixed-direction random-forest rules in the paper's Fig. 4.
+  double upper_bound_fraction = 0.3;
+  /// How many distinct catalog features the rule set draws from (0 = all).
+  size_t feature_pool = 0;
+  /// Zipf skew of feature popularity across rules; > 0 makes some features
+  /// appear in many rules (which is what makes memoing pay off).
+  double feature_skew = 0.8;
+  uint64_t seed = 7;
+};
+
+/// Generates random CNF rule sets whose thresholds are quantiles of the
+/// feature values observed on a sample of candidate pairs.
+class RuleGenerator {
+ public:
+  /// Computes feature-value samples for every catalog feature over
+  /// `sample` (this is the expensive part; reuse one generator for many
+  /// rule sets).
+  RuleGenerator(PairContext& ctx, const CandidateSet& sample,
+                RuleGeneratorConfig config);
+
+  /// One random rule (no stable ids; assign by adding to a function).
+  Rule GenerateRule(Rng& rng) const;
+
+  /// A full rule set of config.num_rules rules.
+  MatchingFunction Generate() const;
+
+  /// A pool of rules for incremental sweeps (rules not yet in a function).
+  std::vector<Rule> GenerateRules(size_t count, Rng& rng) const;
+
+  const RuleGeneratorConfig& config() const { return config_; }
+
+ private:
+  /// Quantile of feature f's sampled values.
+  double FeatureQuantile(FeatureId f, double q) const;
+
+  RuleGeneratorConfig config_;
+  std::vector<FeatureId> pool_;
+  std::vector<std::vector<double>> sorted_values_;  // per catalog feature
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_RULE_GENERATOR_H_

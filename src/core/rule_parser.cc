@@ -1,0 +1,327 @@
+#include "src/core/rule_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+/// Token kinds for the tiny DSL lexer.
+enum class TokKind { kIdent, kNumber, kOp, kLParen, kRParen, kComma,
+                     kColon, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+/// Lexer with one token of lookahead.
+class TokenStream {
+ public:
+  explicit TokenStream(std::string_view input) : input_(input) {}
+
+  /// Consumes and returns the next token.
+  Result<Token> Next() {
+    if (has_lookahead_) {
+      has_lookahead_ = false;
+      return lookahead_;
+    }
+    return Lex();
+  }
+
+  /// Returns the next token without consuming it.
+  Result<Token> Peek() {
+    if (!has_lookahead_) {
+      Result<Token> t = Lex();
+      if (!t.ok()) return t;
+      lookahead_ = *t;
+      has_lookahead_ = true;
+    }
+    return lookahead_;
+  }
+
+  /// Consumes a token and checks its kind.
+  Result<Token> Expect(TokKind kind, const char* what) {
+    Result<Token> t = Next();
+    if (!t.ok()) return t;
+    if (t->kind != kind) {
+      return Status::ParseError(
+          StrFormat("expected %s, got '%s'", what, t->text.c_str()));
+    }
+    return t;
+  }
+
+ private:
+  Result<Token> Lex() {
+    SkipSpaceAndComments();
+    if (pos_ >= input_.size()) return Token{TokKind::kEnd, "", 0.0};
+    const char c = input_[pos_];
+    if (c == '(') { ++pos_; return Token{TokKind::kLParen, "(", 0.0}; }
+    if (c == ')') { ++pos_; return Token{TokKind::kRParen, ")", 0.0}; }
+    if (c == ',') { ++pos_; return Token{TokKind::kComma, ",", 0.0}; }
+    if (c == ':') { ++pos_; return Token{TokKind::kColon, ":", 0.0}; }
+    if (c == '>' || c == '<') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        op.push_back('=');
+        ++pos_;
+      }
+      return Token{TokKind::kOp, op, 0.0};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+        c == '-' || c == '+') {
+      const size_t start = pos_;
+      ++pos_;
+      while (pos_ < input_.size() && IsNumberChar(pos_)) ++pos_;
+      const std::string_view num = input_.substr(start, pos_ - start);
+      double value = 0.0;
+      if (!ParseDouble(num, &value)) {
+        return Status::ParseError(
+            StrFormat("bad number '%.*s'", static_cast<int>(num.size()),
+                      num.data()));
+      }
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.text = std::string(num);
+      t.number = value;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = std::string(input_.substr(start, pos_ - start));
+      return t;
+    }
+    return Status::ParseError(StrFormat("unexpected character '%c'", c));
+  }
+
+  bool IsNumberChar(size_t pos) const {
+    const char c = input_[pos];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+        c == 'e' || c == 'E') {
+      return true;
+    }
+    // Sign is part of the number only right after an exponent marker.
+    return (c == '-' || c == '+') &&
+           (input_[pos - 1] == 'e' || input_[pos - 1] == 'E');
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token lookahead_;
+  bool has_lookahead_ = false;
+};
+
+Result<CompareOp> OpFromText(const std::string& text) {
+  if (text == ">=") return CompareOp::kGe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  return Status::ParseError(StrFormat("bad operator '%s'", text.c_str()));
+}
+
+/// predicate := simfn "(" attrA "," attrB ")" op number
+Result<Predicate> ParsePredicate(TokenStream& ts, FeatureCatalog& catalog) {
+  Result<Token> fn_tok = ts.Expect(TokKind::kIdent, "similarity function");
+  if (!fn_tok.ok()) return fn_tok.status();
+  Result<SimFunction> fn = SimFunctionFromName(fn_tok->text);
+  if (!fn.ok()) return fn.status();
+
+  EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kLParen, "'('").status());
+  Result<Token> attr_a = ts.Expect(TokKind::kIdent, "attribute name");
+  if (!attr_a.ok()) return attr_a.status();
+  EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kComma, "','").status());
+  Result<Token> attr_b = ts.Expect(TokKind::kIdent, "attribute name");
+  if (!attr_b.ok()) return attr_b.status();
+  EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kRParen, "')'").status());
+  Result<Token> op_tok = ts.Expect(TokKind::kOp, "comparison operator");
+  if (!op_tok.ok()) return op_tok.status();
+  Result<Token> num = ts.Expect(TokKind::kNumber, "threshold");
+  if (!num.ok()) return num.status();
+
+  Result<CompareOp> op = OpFromText(op_tok->text);
+  if (!op.ok()) return op.status();
+  Result<FeatureId> feature =
+      catalog.InternByName(*fn, attr_a->text, attr_b->text);
+  if (!feature.ok()) return feature.status();
+
+  Predicate p;
+  p.feature = *feature;
+  p.op = *op;
+  p.threshold = num->number;
+  return p;
+}
+
+}  // namespace
+
+Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog) {
+  TokenStream ts(text);
+  Rule rule;
+
+  // Optional "name :" prefix — an identifier directly followed by ':'.
+  {
+    Result<Token> first = ts.Peek();
+    if (!first.ok()) return first.status();
+    if (first->kind == TokKind::kEnd) {
+      return Status::ParseError("empty rule");
+    }
+    if (first->kind == TokKind::kIdent) {
+      const Token name_tok = *first;
+      (void)ts.Next();
+      Result<Token> after = ts.Peek();
+      if (!after.ok()) return after.status();
+      if (after->kind == TokKind::kColon) {
+        (void)ts.Next();
+        rule.set_name(name_tok.text);
+      } else {
+        // Not a name — push the identifier back by re-lexing from a fresh
+        // stream is awkward; instead parse the predicate body with the
+        // already-consumed function name.
+        Result<SimFunction> fn = SimFunctionFromName(name_tok.text);
+        if (!fn.ok()) return fn.status();
+        EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kLParen, "'('").status());
+        Result<Token> attr_a = ts.Expect(TokKind::kIdent, "attribute name");
+        if (!attr_a.ok()) return attr_a.status();
+        EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kComma, "','").status());
+        Result<Token> attr_b = ts.Expect(TokKind::kIdent, "attribute name");
+        if (!attr_b.ok()) return attr_b.status();
+        EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kRParen, "')'").status());
+        Result<Token> op_tok =
+            ts.Expect(TokKind::kOp, "comparison operator");
+        if (!op_tok.ok()) return op_tok.status();
+        Result<Token> num = ts.Expect(TokKind::kNumber, "threshold");
+        if (!num.ok()) return num.status();
+        Result<CompareOp> op = OpFromText(op_tok->text);
+        if (!op.ok()) return op.status();
+        Result<FeatureId> feature =
+            catalog.InternByName(*fn, attr_a->text, attr_b->text);
+        if (!feature.ok()) return feature.status();
+        Predicate p;
+        p.feature = *feature;
+        p.op = *op;
+        p.threshold = num->number;
+        rule.AddPredicate(p);
+      }
+    } else {
+      return Status::ParseError("rule must start with a name or predicate");
+    }
+  }
+
+  // First predicate after a name, then "AND predicate" clauses.
+  while (true) {
+    Result<Token> next = ts.Peek();
+    if (!next.ok()) return next.status();
+    if (next->kind == TokKind::kEnd) break;
+    if (next->kind == TokKind::kIdent &&
+        EqualsIgnoreCase(next->text, "and")) {
+      if (rule.empty()) {
+        return Status::ParseError("rule cannot start with AND");
+      }
+      (void)ts.Next();
+    } else if (!rule.empty()) {
+      return Status::ParseError(
+          StrFormat("expected AND or end of rule, got '%s'",
+                    next->text.c_str()));
+    }
+    Result<Predicate> p = ParsePredicate(ts, catalog);
+    if (!p.ok()) return p.status();
+    rule.AddPredicate(*p);
+  }
+  if (rule.empty()) return Status::ParseError("rule has no predicates");
+  return rule;
+}
+
+Result<MatchingFunction> ParseMatchingFunction(std::string_view text,
+                                               FeatureCatalog& catalog) {
+  // Split into rule chunks on newlines / ';' / standalone OR keywords.
+  MatchingFunction fn;
+  std::string current;
+  auto flush = [&]() -> Status {
+    const std::string_view trimmed = TrimAscii(current);
+    if (!trimmed.empty()) {
+      Result<Rule> rule = ParseRule(trimmed, catalog);
+      if (!rule.ok()) return rule.status();
+      fn.AddRule(*rule);
+    }
+    current.clear();
+    return Status::Ok();
+  };
+
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n' || c == ';') {
+      EMDBG_RETURN_IF_ERROR(flush());
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    // Standalone OR (word boundaries on both sides) separates rules.
+    if ((c == 'o' || c == 'O') && i + 1 < text.size() &&
+        (text[i + 1] == 'r' || text[i + 1] == 'R')) {
+      const bool left_ok =
+          i == 0 || std::isspace(static_cast<unsigned char>(text[i - 1]));
+      const bool right_ok =
+          i + 2 >= text.size() ||
+          std::isspace(static_cast<unsigned char>(text[i + 2]));
+      if (left_ok && right_ok) {
+        EMDBG_RETURN_IF_ERROR(flush());
+        i += 2;
+        continue;
+      }
+    }
+    current.push_back(c);
+    ++i;
+  }
+  EMDBG_RETURN_IF_ERROR(flush());
+  if (fn.empty()) return Status::ParseError("no rules in input");
+  return fn;
+}
+
+Status SaveRulesFile(const MatchingFunction& fn,
+                     const FeatureCatalog& catalog,
+                     const std::string& path) {
+  std::string text = "# emdbg rule set (";
+  text += StrFormat("%zu rules)\n", fn.num_rules());
+  text += fn.ToString(catalog);
+  text += "\n";
+  return WriteStringToFile(path, text);
+}
+
+Result<MatchingFunction> LoadRulesFile(const std::string& path,
+                                       FeatureCatalog& catalog) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseMatchingFunction(*text, catalog);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,46 @@
+#ifndef EMDBG_CORE_RULE_PARSER_H_
+#define EMDBG_CORE_RULE_PARSER_H_
+
+#include <string_view>
+
+#include "src/core/matching_function.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Textual rule DSL — how an analyst writes rules in examples and tests.
+///
+/// Grammar (case-insensitive keywords, '#' comments to end of line):
+///
+///   function  := rule_line (("\n" | "OR") rule_line)*
+///   rule_line := [name ":"] predicate ("AND" predicate)*
+///   predicate := simfn "(" attrA "," attrB ")" op number
+///   op        := ">=" | ">" | "<" | "<="
+///
+/// Example:
+///   r1: jaccard(title, title) >= 0.7 AND exact_match(modelno, modelno) >= 1
+///   r2: jaro_winkler(modelno, modelno) >= 0.97 AND cosine(title, title) >= 0.69
+///
+/// Features are interned into `catalog` on first use (attribute names must
+/// exist in the respective schemas).
+
+/// Parses a single rule (no leading name handling beyond the grammar).
+Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog);
+
+/// Parses a whole matching function: rules separated by newlines, ';', or
+/// the keyword OR. Blank lines and comments are skipped.
+Result<MatchingFunction> ParseMatchingFunction(std::string_view text,
+                                               FeatureCatalog& catalog);
+
+/// Persists a rule set as DSL text (one rule per line; round-trips
+/// through ParseMatchingFunction, modulo rule/predicate ids).
+Status SaveRulesFile(const MatchingFunction& fn,
+                     const FeatureCatalog& catalog, const std::string& path);
+
+/// Loads a rule-set file written by SaveRulesFile (or by hand).
+Result<MatchingFunction> LoadRulesFile(const std::string& path,
+                                       FeatureCatalog& catalog);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_RULE_PARSER_H_

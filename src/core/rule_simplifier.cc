@@ -1,0 +1,183 @@
+#include "src/core/rule_simplifier.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+/// True if satisfying `p` guarantees satisfying `q` (same feature only).
+bool Implies(const Predicate& p, const Predicate& q) {
+  if (p.feature != q.feature) return false;
+  if (IsLowerBound(p.op) != IsLowerBound(q.op)) return false;
+  if (IsLowerBound(p.op)) {
+    // value >= / > p.t  ⇒  value >= / > q.t
+    if (p.threshold > q.threshold) return true;
+    if (p.threshold < q.threshold) return false;
+    // Equal thresholds: strict implies non-strict; X implies X.
+    return !(p.op == CompareOp::kGe && q.op == CompareOp::kGt);
+  }
+  // value < / <= p.t  ⇒  value < / <= q.t
+  if (p.threshold < q.threshold) return true;
+  if (p.threshold > q.threshold) return false;
+  return !(p.op == CompareOp::kLe && q.op == CompareOp::kLt);
+}
+
+/// True if `lower` and `upper` on the same feature exclude each other.
+bool Contradicts(const Predicate& lower, const Predicate& upper) {
+  if (lower.feature != upper.feature) return false;
+  if (!IsLowerBound(lower.op) || IsLowerBound(upper.op)) return false;
+  if (lower.threshold > upper.threshold) return true;
+  if (lower.threshold < upper.threshold) return false;
+  // Equal: >= t AND <= t is satisfiable (value == t); any strict side
+  // makes it empty.
+  return lower.op == CompareOp::kGt || upper.op == CompareOp::kLt;
+}
+
+}  // namespace
+
+const char* FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kRedundantPredicate:
+      return "redundant_predicate";
+    case FindingKind::kUnsatisfiableRule:
+      return "unsatisfiable_rule";
+    case FindingKind::kSubsumedRule:
+      return "subsumed_rule";
+    case FindingKind::kIneffectivePredicate:
+      return "ineffective_predicate";
+  }
+  return "unknown";
+}
+
+std::vector<SimplifierFinding> AnalyzeRules(const MatchingFunction& fn,
+                                            const FeatureCatalog& catalog) {
+  std::vector<SimplifierFinding> findings;
+
+  for (const Rule& rule : fn.rules()) {
+    // Within-rule pairwise checks. Each predicate j is reported redundant
+    // at most once: when some other predicate i strictly implies it, or
+    // when it duplicates an earlier predicate.
+    bool unsat_reported = false;
+    for (size_t j = 0; j < rule.size(); ++j) {
+      const Predicate& pj = rule.predicate(j);
+      for (size_t i = 0; i < rule.size(); ++i) {
+        if (i == j) continue;
+        const Predicate& pi = rule.predicate(i);
+        if (pi.feature != pj.feature) continue;
+        const bool strict = Implies(pi, pj) && !Implies(pj, pi);
+        const bool duplicate = i < j && pi.SameTest(pj);
+        if (strict || duplicate) {
+          SimplifierFinding f;
+          f.kind = FindingKind::kRedundantPredicate;
+          f.rule_id = rule.id();
+          f.predicate_id = pj.id;
+          f.description = StrFormat(
+              "rule %s: '%s' is implied by '%s'", rule.name().c_str(),
+              PredicateToString(pj, catalog).c_str(),
+              PredicateToString(pi, catalog).c_str());
+          findings.push_back(std::move(f));
+          break;
+        }
+      }
+      for (size_t i = 0; i < rule.size() && !unsat_reported; ++i) {
+        if (i == j) continue;
+        const Predicate& pi = rule.predicate(i);
+        if (Contradicts(pi, pj)) {
+          SimplifierFinding f;
+          f.kind = FindingKind::kUnsatisfiableRule;
+          f.rule_id = rule.id();
+          f.description = StrFormat(
+              "rule %s can never fire: '%s' contradicts '%s'",
+              rule.name().c_str(), PredicateToString(pi, catalog).c_str(),
+              PredicateToString(pj, catalog).c_str());
+          findings.push_back(std::move(f));
+          unsat_reported = true;
+        }
+      }
+    }
+  }
+
+  // Cross-rule subsumption: rule B is useless if every predicate of some
+  // other rule A is implied by a predicate of B (B ⇒ A).
+  for (size_t bi = 0; bi < fn.num_rules(); ++bi) {
+    const Rule& b = fn.rule(bi);
+    if (b.empty()) continue;
+    for (size_t ai = 0; ai < fn.num_rules(); ++ai) {
+      if (ai == bi) continue;
+      const Rule& a = fn.rule(ai);
+      if (a.empty()) continue;
+      bool all_implied = true;
+      for (const Predicate& pa : a.predicates()) {
+        bool implied = false;
+        for (const Predicate& pb : b.predicates()) {
+          if (Implies(pb, pa)) {
+            implied = true;
+            break;
+          }
+        }
+        if (!implied) {
+          all_implied = false;
+          break;
+        }
+      }
+      if (!all_implied) continue;
+      // Mutual subsumption (logically equivalent rules): report only the
+      // later one, else both would flag each other.
+      if (ai > bi) {
+        bool mutual = true;
+        for (const Predicate& pb : b.predicates()) {
+          bool implied = false;
+          for (const Predicate& pa : a.predicates()) {
+            if (Implies(pa, pb)) {
+              implied = true;
+              break;
+            }
+          }
+          if (!implied) {
+            mutual = false;
+            break;
+          }
+        }
+        if (mutual) continue;
+      }
+      SimplifierFinding f;
+      f.kind = FindingKind::kSubsumedRule;
+      f.rule_id = b.id();
+      f.by_rule_id = a.id();
+      f.description =
+          StrFormat("rule %s is subsumed by rule %s (anything it matches, "
+                    "%s matches too)",
+                    b.name().c_str(), a.name().c_str(), a.name().c_str());
+      findings.push_back(std::move(f));
+      break;  // one subsumption report per rule suffices
+    }
+  }
+  return findings;
+}
+
+std::vector<SimplifierFinding> AnalyzeRulesWithModel(
+    const MatchingFunction& fn, const FeatureCatalog& catalog,
+    const CostModel& model, double selectivity_threshold) {
+  std::vector<SimplifierFinding> findings = AnalyzeRules(fn, catalog);
+  for (const Rule& rule : fn.rules()) {
+    for (const Predicate& p : rule.predicates()) {
+      const double sel = model.PredicateSelectivity(p);
+      if (sel >= selectivity_threshold) {
+        SimplifierFinding f;
+        f.kind = FindingKind::kIneffectivePredicate;
+        f.rule_id = rule.id();
+        f.predicate_id = p.id;
+        f.description = StrFormat(
+            "rule %s: '%s' passes %.1f%% of sampled pairs — it filters "
+            "almost nothing",
+            rule.name().c_str(), PredicateToString(p, catalog).c_str(),
+            sel * 100.0);
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,57 @@
+#ifndef EMDBG_CORE_RULE_SIMPLIFIER_H_
+#define EMDBG_CORE_RULE_SIMPLIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/matching_function.h"
+
+namespace emdbg {
+
+/// Static analysis of a rule set — the lint pass of the debugging loop.
+/// As analysts accrete rules (the paper's 255-rule sets come from a
+/// random forest), redundancies creep in; each finding here is a concrete
+/// cleanup the analyst can apply with one incremental edit.
+enum class FindingKind {
+  /// Two lower bounds (or two upper bounds) on the same feature in one
+  /// rule: the tighter one implies the looser one.
+  kRedundantPredicate,
+  /// Lower bound >= upper bound on the same feature: the rule can never
+  /// fire.
+  kUnsatisfiableRule,
+  /// Every predicate of the subsuming rule is implied by some predicate
+  /// of the subsumed rule (same features, tighter-or-equal thresholds):
+  /// the subsumed rule can never add a match.
+  kSubsumedRule,
+  /// A predicate that passed every sample pair that reached it — it
+  /// filters nothing and only costs time (sample-based, so advisory).
+  kIneffectivePredicate,
+};
+
+const char* FindingKindName(FindingKind kind);
+
+struct SimplifierFinding {
+  FindingKind kind;
+  RuleId rule_id = kInvalidRule;
+  /// The redundant/ineffective predicate (predicate findings only).
+  PredicateId predicate_id = kInvalidPredicate;
+  /// The rule that makes `rule_id` redundant (kSubsumedRule only).
+  RuleId by_rule_id = kInvalidRule;
+  std::string description;
+};
+
+/// Logical analysis only (no sample needed): redundant predicates,
+/// unsatisfiable rules, subsumed rules.
+std::vector<SimplifierFinding> AnalyzeRules(const MatchingFunction& fn,
+                                            const FeatureCatalog& catalog);
+
+/// Adds sample-based kIneffectivePredicate findings (predicates with
+/// selectivity >= `selectivity_threshold` on the model's sample).
+std::vector<SimplifierFinding> AnalyzeRulesWithModel(
+    const MatchingFunction& fn, const FeatureCatalog& catalog,
+    const CostModel& model, double selectivity_threshold = 0.999);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_RULE_SIMPLIFIER_H_

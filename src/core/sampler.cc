@@ -1,0 +1,21 @@
+#include "src/core/sampler.h"
+
+#include <algorithm>
+
+namespace emdbg {
+
+CandidateSet SamplePairs(const CandidateSet& pairs, double fraction,
+                         Rng& rng, size_t min_size) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  size_t k = static_cast<size_t>(fraction *
+                                 static_cast<double>(pairs.size()));
+  k = std::max(k, std::min(min_size, pairs.size()));
+  CandidateSet out;
+  out.Reserve(k);
+  for (const size_t idx : rng.SampleIndices(pairs.size(), k)) {
+    out.Add(pairs.pair(idx));
+  }
+  return out;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,18 @@
+#ifndef EMDBG_CORE_SAMPLER_H_
+#define EMDBG_CORE_SAMPLER_H_
+
+#include "src/block/candidate_pairs.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+
+/// Uniform random sample of candidate pairs, used by the cost model to
+/// estimate feature costs and predicate selectivities (the paper uses a 1%
+/// sample, Sec. 7.3/7.5). At least `min_size` pairs are returned when the
+/// input allows, so tiny inputs still yield usable estimates.
+CandidateSet SamplePairs(const CandidateSet& pairs, double fraction,
+                         Rng& rng, size_t min_size = 50);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_SAMPLER_H_

@@ -1,0 +1,156 @@
+#include "src/core/state_io.h"
+
+#include <cstring>
+
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'D', 'B', 'G', 'S', 'T', '1'};
+
+void AppendU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendBitmap(std::string& out, const Bitmap& bm) {
+  for (const uint64_t w : bm.words()) AppendU64(out, w);
+}
+
+/// Sequential reader over the loaded buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadFloats(std::vector<float>& out, size_t count) {
+    if (remaining() < count * sizeof(float)) return false;
+    out.resize(count);
+    std::memcpy(out.data(), data_.data() + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+    return true;
+  }
+
+  bool ReadBitmap(Bitmap* bm, size_t bits) {
+    const size_t words = (bits + 63) / 64;
+    if (remaining() < words * sizeof(uint64_t)) return false;
+    std::vector<uint64_t> buf(words);
+    std::memcpy(buf.data(), data_.data() + pos_,
+                words * sizeof(uint64_t));
+    pos_ += words * sizeof(uint64_t);
+    *bm = Bitmap::FromWords(bits, std::move(buf));
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool ReadRaw(void* out, size_t bytes) {
+    if (remaining() < bytes) return false;
+    std::memcpy(out, data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status SaveMatchState(const MatchState& state, const std::string& path) {
+  if (!state.initialized()) {
+    return Status::FailedPrecondition("state is not initialized");
+  }
+  std::string out;
+  const DenseMemo& memo = state.memo();
+  out.reserve(16 + memo.raw_values().size() * sizeof(float));
+  out.append(kMagic, sizeof(kMagic));
+  AppendU64(out, memo.num_pairs());
+  AppendU64(out, memo.num_features());
+  out.append(reinterpret_cast<const char*>(memo.raw_values().data()),
+             memo.raw_values().size() * sizeof(float));
+  AppendBitmap(out, state.matches());
+
+  const std::vector<RuleId> rule_ids = state.RuleIdsWithState();
+  AppendU64(out, rule_ids.size());
+  for (const RuleId rid : rule_ids) {
+    AppendU32(out, rid);
+    AppendBitmap(out, *state.FindRuleTrue(rid));
+  }
+  const std::vector<PredicateId> pred_ids = state.PredicateIdsWithState();
+  AppendU64(out, pred_ids.size());
+  for (const PredicateId pid : pred_ids) {
+    AppendU32(out, pid);
+    AppendBitmap(out, *state.FindPredFalse(pid));
+  }
+  return WriteStringToFile(path, out);
+}
+
+Result<MatchState> LoadMatchState(const std::string& path) {
+  Result<std::string> data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+
+  char magic[8];
+  if (data->size() < sizeof(magic) ||
+      std::memcmp(data->data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an emdbg state file");
+  }
+  Reader body(std::string_view(*data).substr(sizeof(kMagic)));
+
+  uint64_t num_pairs = 0;
+  uint64_t num_features = 0;
+  if (!body.ReadU64(&num_pairs) || !body.ReadU64(&num_features)) {
+    return Status::ParseError("truncated state header");
+  }
+  MatchState state;
+  state.Initialize(num_pairs, num_features);
+
+  std::vector<float> values;
+  if (!body.ReadFloats(values, num_pairs * num_features)) {
+    return Status::ParseError("truncated memo payload");
+  }
+  EMDBG_RETURN_IF_ERROR(state.memo().LoadRawValues(values));
+
+  Bitmap matches;
+  if (!body.ReadBitmap(&matches, num_pairs)) {
+    return Status::ParseError("truncated match bitmap");
+  }
+  state.matches() = std::move(matches);
+
+  uint64_t rule_count = 0;
+  if (!body.ReadU64(&rule_count)) {
+    return Status::ParseError("truncated rule-bitmap count");
+  }
+  for (uint64_t i = 0; i < rule_count; ++i) {
+    uint32_t rid = 0;
+    Bitmap bm;
+    if (!body.ReadU32(&rid) || !body.ReadBitmap(&bm, num_pairs)) {
+      return Status::ParseError("truncated rule bitmap");
+    }
+    state.RuleTrue(rid) = std::move(bm);
+  }
+  uint64_t pred_count = 0;
+  if (!body.ReadU64(&pred_count)) {
+    return Status::ParseError("truncated predicate-bitmap count");
+  }
+  for (uint64_t i = 0; i < pred_count; ++i) {
+    uint32_t pid = 0;
+    Bitmap bm;
+    if (!body.ReadU32(&pid) || !body.ReadBitmap(&bm, num_pairs)) {
+      return Status::ParseError("truncated predicate bitmap");
+    }
+    state.PredFalse(pid) = std::move(bm);
+  }
+  return state;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,38 @@
+#ifndef EMDBG_CORE_STATE_IO_H_
+#define EMDBG_CORE_STATE_IO_H_
+
+#include <string>
+
+#include "src/core/match_state.h"
+
+namespace emdbg {
+
+/// Binary persistence for materialized matching state — the memo of
+/// similarity values plus the per-rule/per-predicate bitmaps. With the
+/// rule set (SaveRulesFile) and the candidate set (SaveCandidatesCsv)
+/// this lets an analyst suspend a debugging session and resume it later
+/// without recomputing anything, extending the paper's Sec. 6
+/// materialization across process lifetimes.
+///
+/// Format (little-endian, version-tagged):
+///   magic "EMDBGST1" | num_pairs u64 | num_features u64
+///   | memo floats (pairs x features, NaN = absent)
+///   | matches bitmap words
+///   | rule-bitmap count u64, then per bitmap: id u32 + words
+///   | predicate-bitmap count u64, then per bitmap: id u32 + words
+///
+/// The format is tied to the producing machine's endianness (documented
+/// limitation; these are session-local scratch files, not an exchange
+/// format).
+
+Status SaveMatchState(const MatchState& state, const std::string& path);
+
+/// Loads a state written by SaveMatchState. The loaded state's stable
+/// rule/predicate ids must correspond to the matching function the caller
+/// restores alongside it (LoadRulesFile assigns ids in file order, so
+/// save/load of rules + state is consistent when done together).
+Result<MatchState> LoadMatchState(const std::string& path);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_STATE_IO_H_

@@ -1,0 +1,121 @@
+#include "src/core/threshold_advisor.h"
+
+#include <cmath>
+
+#include "src/core/match_result.h"
+#include "src/core/memo.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+/// Evaluates `fn` over all pairs with the candidate threshold substituted
+/// into the target predicate, using `memo` for feature values.
+ThresholdOption EvaluateOption(const MatchingFunction& fn, size_t rule_pos,
+                               size_t pred_pos, double threshold,
+                               const CandidateSet& pairs,
+                               const PairLabels& labels, PairContext& ctx,
+                               Memo& memo) {
+  ThresholdOption opt;
+  opt.threshold = threshold;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const PairId pair = pairs.pair(i);
+    bool matched = false;
+    for (size_t r = 0; r < fn.num_rules() && !matched; ++r) {
+      const Rule& rule = fn.rule(r);
+      if (rule.empty()) continue;
+      bool rule_true = true;
+      for (size_t k = 0; k < rule.size(); ++k) {
+        Predicate p = rule.predicate(k);
+        if (r == rule_pos && k == pred_pos) p.threshold = threshold;
+        double value = 0.0;
+        if (!memo.Lookup(i, p.feature, &value)) {
+          value = ctx.ComputeFeature(p.feature, pair);
+          memo.Store(i, p.feature, value);
+        }
+        if (!p.Test(value)) {
+          rule_true = false;
+          break;
+        }
+      }
+      matched = rule_true;
+    }
+    const bool truth = labels.Get(i);
+    if (matched && truth) {
+      ++opt.true_positives;
+    } else if (matched && !truth) {
+      ++opt.false_positives;
+    } else if (!matched && truth) {
+      ++opt.false_negatives;
+    }
+  }
+  const double tp = static_cast<double>(opt.true_positives);
+  if (opt.true_positives + opt.false_positives > 0) {
+    opt.precision =
+        tp / static_cast<double>(opt.true_positives + opt.false_positives);
+  }
+  if (opt.true_positives + opt.false_negatives > 0) {
+    opt.recall =
+        tp / static_cast<double>(opt.true_positives + opt.false_negatives);
+  }
+  if (opt.precision + opt.recall > 0.0) {
+    opt.f1 = 2.0 * opt.precision * opt.recall / (opt.precision + opt.recall);
+  }
+  return opt;
+}
+
+}  // namespace
+
+Result<ThresholdAdvice> AdviseThreshold(const MatchingFunction& fn,
+                                        RuleId rid, PredicateId pid,
+                                        const CandidateSet& pairs,
+                                        const PairLabels& labels,
+                                        PairContext& ctx, size_t num_steps,
+                                        double lo, double hi) {
+  const size_t rule_pos = fn.FindRule(rid);
+  if (rule_pos == fn.num_rules()) {
+    return Status::NotFound(StrFormat("rule %u not found", rid));
+  }
+  const Rule& rule = fn.rule(rule_pos);
+  const size_t pred_pos = rule.FindPredicate(pid);
+  if (pred_pos == rule.size()) {
+    return Status::NotFound(
+        StrFormat("predicate %u not found in rule %u", pid, rid));
+  }
+  if (labels.size() != pairs.size()) {
+    return Status::InvalidArgument("labels size must match pairs size");
+  }
+  if (num_steps < 2) num_steps = 2;
+
+  ThresholdAdvice advice;
+  advice.rule_id = rid;
+  advice.predicate_id = pid;
+  const double current = rule.predicate(pred_pos).threshold;
+
+  DenseMemo memo(pairs.size(), ctx.catalog().size());
+  advice.options.reserve(num_steps);
+  for (size_t s = 0; s < num_steps; ++s) {
+    const double t =
+        lo + (hi - lo) * static_cast<double>(s) /
+                 static_cast<double>(num_steps - 1);
+    advice.options.push_back(EvaluateOption(fn, rule_pos, pred_pos, t,
+                                            pairs, labels, ctx, memo));
+  }
+  // Best F1; break ties toward the current threshold (smallest change).
+  double best_f1 = -1.0;
+  double best_dist = 0.0;
+  for (size_t s = 0; s < advice.options.size(); ++s) {
+    const ThresholdOption& opt = advice.options[s];
+    const double dist = std::fabs(opt.threshold - current);
+    if (opt.f1 > best_f1 ||
+        (opt.f1 == best_f1 && dist < best_dist)) {
+      best_f1 = opt.f1;
+      best_dist = dist;
+      advice.best_index = s;
+    }
+  }
+  return advice;
+}
+
+}  // namespace emdbg

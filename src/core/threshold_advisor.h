@@ -1,0 +1,58 @@
+#ifndef EMDBG_CORE_THRESHOLD_ADVISOR_H_
+#define EMDBG_CORE_THRESHOLD_ADVISOR_H_
+
+#include <vector>
+
+#include "src/block/candidate_pairs.h"
+#include "src/core/matching_function.h"
+#include "src/core/pair_context.h"
+
+namespace emdbg {
+
+/// Analyst aid for the refine step: given labeled pairs, score candidate
+/// thresholds for a predicate and suggest the one that maximizes F1 of
+/// the *whole matching function* with that threshold substituted.
+///
+/// This closes the paper's debugging loop: `explain`/`FindNearMisses`
+/// point at the predicate to blame, the advisor proposes where to move
+/// its threshold.
+
+/// One evaluated threshold option.
+struct ThresholdOption {
+  double threshold = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Result of a sweep over candidate thresholds for one predicate.
+struct ThresholdAdvice {
+  RuleId rule_id = kInvalidRule;
+  PredicateId predicate_id = kInvalidPredicate;
+  /// Evaluated options, ascending by threshold.
+  std::vector<ThresholdOption> options;
+  /// Index into `options` of the F1-maximal choice (ties: closest to the
+  /// current threshold).
+  size_t best_index = 0;
+
+  const ThresholdOption& best() const { return options[best_index]; }
+};
+
+/// Sweeps `num_steps` evenly spaced thresholds in [lo, hi] for predicate
+/// `pid` of rule `rid`, evaluating the full function on `pairs` against
+/// `labels` for each. Uses a private memo so repeated sweeps are cheap.
+/// Returns NotFound if the rule/predicate does not exist.
+Result<ThresholdAdvice> AdviseThreshold(const MatchingFunction& fn,
+                                        RuleId rid, PredicateId pid,
+                                        const CandidateSet& pairs,
+                                        const PairLabels& labels,
+                                        PairContext& ctx,
+                                        size_t num_steps = 21,
+                                        double lo = 0.0, double hi = 1.0);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_THRESHOLD_ADVISOR_H_

@@ -1,0 +1,33 @@
+#ifndef EMDBG_DATA_CANDIDATE_IO_H_
+#define EMDBG_DATA_CANDIDATE_IO_H_
+
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// CSV persistence for candidate sets and their labels, so an analyst can
+/// run blocking once and iterate on rules across sessions (the paper's
+/// maintainability theme). Format: header "a,b[,label]" then one row per
+/// pair; label is 0/1 and optional.
+
+/// Writes "a,b" rows (plus "label" when `labels` is non-null; its size
+/// must equal the candidate count).
+Status SaveCandidatesCsv(const CandidateSet& candidates,
+                         const PairLabels* labels, const std::string& path);
+
+/// Loaded candidate set with optional labels (empty bitmap when the file
+/// had no label column).
+struct LoadedCandidates {
+  CandidateSet candidates;
+  PairLabels labels;
+  bool has_labels = false;
+};
+
+Result<LoadedCandidates> LoadCandidatesCsv(const std::string& path);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_DATA_CANDIDATE_IO_H_

@@ -1,0 +1,193 @@
+#include "src/data/datasets.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+// Common attribute bundles. Dirtiness values are tuned so that generated
+// twins land in a similarity range where thresholded predicates have
+// non-trivial selectivities (like real dirty data).
+std::vector<AttributeSpec> ProductAttributes() {
+  return {
+      {"title", AttrKind::kTitle, 0.55, 0.01},
+      {"modelno", AttrKind::kModelNo, 0.35, 0.05},
+      {"brand", AttrKind::kBrand, 0.25, 0.03},
+      {"category", AttrKind::kCategory, 0.10, 0.01},
+      {"price", AttrKind::kPrice, 0.50, 0.10},
+  };
+}
+
+std::vector<AttributeSpec> RestaurantAttributes() {
+  return {
+      {"name", AttrKind::kName, 0.45, 0.01},
+      {"street", AttrKind::kStreet, 0.50, 0.05},
+      {"city", AttrKind::kCity, 0.20, 0.02},
+      {"zip", AttrKind::kZip, 0.25, 0.05},
+      {"phone", AttrKind::kPhone, 0.40, 0.10},
+      {"category", AttrKind::kCategory, 0.15, 0.02},
+  };
+}
+
+std::vector<AttributeSpec> BookAttributes() {
+  return {
+      {"title", AttrKind::kTitle, 0.45, 0.01},
+      {"author", AttrKind::kName, 0.35, 0.03},
+      {"isbn", AttrKind::kModelNo, 0.20, 0.08},
+      {"year", AttrKind::kYear, 0.30, 0.05},
+      {"price", AttrKind::kPrice, 0.55, 0.10},
+      {"category", AttrKind::kCategory, 0.10, 0.01},
+  };
+}
+
+std::vector<AttributeSpec> MovieAttributes() {
+  return {
+      {"title", AttrKind::kTitle, 0.40, 0.01},
+      {"director", AttrKind::kName, 0.35, 0.05},
+      {"year", AttrKind::kYear, 0.25, 0.03},
+      {"studio", AttrKind::kBrand, 0.30, 0.05},
+      {"category", AttrKind::kCategory, 0.10, 0.01},
+  };
+}
+
+std::vector<AttributeSpec> GameAttributes() {
+  return {
+      {"title", AttrKind::kTitle, 0.45, 0.01},
+      {"platform", AttrKind::kBrand, 0.20, 0.02},
+      {"publisher", AttrKind::kBrand, 0.35, 0.05},
+      {"year", AttrKind::kYear, 0.25, 0.03},
+      {"category", AttrKind::kCategory, 0.10, 0.01},
+  };
+}
+
+}  // namespace
+
+DatasetProfile PaperDatasetProfile(DatasetId id) {
+  DatasetProfile p;
+  switch (id) {
+    case DatasetId::kProducts:
+      p.name = "products";
+      p.table_a_rows = 2554;
+      p.table_b_rows = 22074;
+      p.candidate_pairs = 291649;
+      p.twin_fraction = 0.45;
+      p.attributes = ProductAttributes();
+      p.num_categories = 24;
+      p.seed = 1701;
+      break;
+    case DatasetId::kRestaurants:
+      p.name = "restaurants";
+      p.table_a_rows = 3279;
+      p.table_b_rows = 25376;
+      p.candidate_pairs = 24965;
+      p.twin_fraction = 0.40;
+      p.attributes = RestaurantAttributes();
+      p.num_categories = 40;
+      p.seed = 1702;
+      break;
+    case DatasetId::kBooks:
+      p.name = "books";
+      p.table_a_rows = 3099;
+      p.table_b_rows = 3560;
+      p.candidate_pairs = 28540;
+      p.twin_fraction = 0.55;
+      p.attributes = BookAttributes();
+      p.num_categories = 18;
+      p.seed = 1703;
+      break;
+    case DatasetId::kBreakfast:
+      p.name = "breakfast";
+      p.table_a_rows = 3669;
+      p.table_b_rows = 4165;
+      p.candidate_pairs = 73297;
+      p.twin_fraction = 0.50;
+      p.attributes = ProductAttributes();
+      p.num_categories = 12;
+      p.seed = 1704;
+      break;
+    case DatasetId::kMovies:
+      p.name = "movies";
+      p.table_a_rows = 5526;
+      p.table_b_rows = 4373;
+      p.candidate_pairs = 17725;
+      p.twin_fraction = 0.45;
+      p.attributes = MovieAttributes();
+      p.num_categories = 22;
+      p.seed = 1705;
+      break;
+    case DatasetId::kVideoGames:
+      p.name = "video_games";
+      p.table_a_rows = 3742;
+      p.table_b_rows = 6739;
+      p.candidate_pairs = 22697;
+      p.twin_fraction = 0.50;
+      p.attributes = GameAttributes();
+      p.num_categories = 16;
+      p.seed = 1706;
+      break;
+  }
+  return p;
+}
+
+std::vector<DatasetProfile> AllPaperDatasetProfiles() {
+  std::vector<DatasetProfile> out;
+  for (int i = 0; i < kNumDatasets; ++i) {
+    out.push_back(PaperDatasetProfile(static_cast<DatasetId>(i)));
+  }
+  return out;
+}
+
+DatasetProfile ScaleProfile(DatasetProfile profile, double factor) {
+  factor = std::clamp(factor, 1e-6, 1.0);
+  auto scale = [factor](size_t n) {
+    return std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(n) * factor));
+  };
+  profile.table_a_rows = scale(profile.table_a_rows);
+  profile.table_b_rows = scale(profile.table_b_rows);
+  profile.candidate_pairs = scale(profile.candidate_pairs);
+  return profile;
+}
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kProducts:
+      return "products";
+    case DatasetId::kRestaurants:
+      return "restaurants";
+    case DatasetId::kBooks:
+      return "books";
+    case DatasetId::kBreakfast:
+      return "breakfast";
+    case DatasetId::kMovies:
+      return "movies";
+    case DatasetId::kVideoGames:
+      return "video_games";
+  }
+  return "unknown";
+}
+
+Result<DatasetId> DatasetIdFromName(std::string_view name) {
+  for (int i = 0; i < kNumDatasets; ++i) {
+    const DatasetId id = static_cast<DatasetId>(i);
+    if (EqualsIgnoreCase(name, DatasetName(id))) return id;
+  }
+  return Status::NotFound(StrFormat("unknown dataset '%.*s'",
+                                    static_cast<int>(name.size()),
+                                    name.data()));
+}
+
+std::string DescribeDataset(const DatasetProfile& profile,
+                            const GeneratedDataset& ds) {
+  return StrFormat(
+      "%-12s tableA=%zu tableB=%zu candidates=%zu matches=%zu "
+      "match_rate=%.3f attrs=%zu",
+      profile.name.c_str(), ds.a.num_rows(), ds.b.num_rows(),
+      ds.candidates.size(), ds.true_matches.size(), ds.MatchRate(),
+      profile.attributes.size());
+}
+
+}  // namespace emdbg

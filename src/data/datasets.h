@@ -1,0 +1,48 @@
+#ifndef EMDBG_DATA_DATASETS_H_
+#define EMDBG_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/generator.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// The six dataset shapes of the paper's Table 2, re-created synthetically.
+/// Table/candidate sizes match the paper; content is generated (see
+/// DESIGN.md, "Substitutions").
+enum class DatasetId {
+  kProducts = 0,    ///< Walmart/Amazon electronics: 2554 x 22074, 291649 pairs
+  kRestaurants,     ///< Yelp/Foursquare: 3279 x 25376, 24965 pairs
+  kBooks,           ///< Amazon/B&N: 3099 x 3560, 28540 pairs
+  kBreakfast,       ///< Walmart/Amazon: 3669 x 4165, 73297 pairs
+  kMovies,          ///< Amazon/Bestbuy: 5526 x 4373, 17725 pairs
+  kVideoGames,      ///< TheGamesDB/MobyGames: 3742 x 6739, 22697 pairs
+};
+
+inline constexpr int kNumDatasets = 6;
+
+/// Profile for one of the six paper datasets at full Table 2 scale.
+DatasetProfile PaperDatasetProfile(DatasetId id);
+
+/// All six, in Table 2 order.
+std::vector<DatasetProfile> AllPaperDatasetProfiles();
+
+/// Returns `profile` shrunk by `factor` in both table sizes and candidate
+/// count (rule sets and behaviour shapes are preserved; useful to keep
+/// benches fast). factor = 1.0 is a no-op; factor must be in (0, 1].
+DatasetProfile ScaleProfile(DatasetProfile profile, double factor);
+
+/// Parses a dataset name ("products", "books", ...). Case-insensitive.
+Result<DatasetId> DatasetIdFromName(std::string_view name);
+
+const char* DatasetName(DatasetId id);
+
+/// Formats Table 2-style statistics for a generated dataset.
+std::string DescribeDataset(const DatasetProfile& profile,
+                            const GeneratedDataset& ds);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_DATA_DATASETS_H_

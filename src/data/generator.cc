@@ -1,0 +1,419 @@
+#include "src/data/generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace generator_internal {
+
+std::string MakeWord(Rng& rng, int syllables) {
+  static constexpr const char* kOnsets[] = {
+      "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n",  "p",
+      "r", "s", "t", "v", "w", "z", "br", "ch", "cl", "cr", "dr", "fl",
+      "gr", "pl", "pr", "sh", "sl", "sp", "st", "th", "tr"};
+  static constexpr const char* kVowels[] = {"a",  "e",  "i",  "o",  "u",
+                                            "ai", "ea", "ee", "io", "ou"};
+  static constexpr const char* kCodas[] = {"",  "",  "",  "n", "r", "s",
+                                           "t", "l", "m", "x", "nd", "st"};
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += kOnsets[rng.Uniform(std::size(kOnsets))];
+    word += kVowels[rng.Uniform(std::size(kVowels))];
+    if (s + 1 == syllables) word += kCodas[rng.Uniform(std::size(kCodas))];
+  }
+  return word;
+}
+
+namespace {
+
+// Introduces one character-level typo: substitute, delete, insert, or
+// transpose at a random position.
+std::string Typo(const std::string& value, Rng& rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  const size_t pos = rng.Uniform(out.size());
+  switch (rng.Uniform(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng.Uniform(26));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, static_cast<char>('a' + rng.Uniform(26)));
+      break;
+    default:  // transpose
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string FlipCase(const std::string& value, Rng& rng) {
+  std::string out = value;
+  for (char& c : out) {
+    if (rng.Bernoulli(0.3)) {
+      const unsigned char uc = static_cast<unsigned char>(c);
+      if (std::islower(uc)) {
+        c = static_cast<char>(std::toupper(uc));
+      } else if (std::isupper(uc)) {
+        c = static_cast<char>(std::tolower(uc));
+      }
+    }
+  }
+  return out;
+}
+
+// Token-level edit for multi-word values: drop, swap, duplicate, or
+// abbreviate one token.
+std::string TokenEdit(const std::string& value, Rng& rng) {
+  std::vector<std::string> tokens = SplitWhitespace(value);
+  if (tokens.size() < 2) return Typo(value, rng);
+  const size_t pos = rng.Uniform(tokens.size());
+  switch (rng.Uniform(4)) {
+    case 0:  // drop
+      tokens.erase(tokens.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    case 1:  // swap with neighbor
+      if (pos + 1 < tokens.size()) std::swap(tokens[pos], tokens[pos + 1]);
+      break;
+    case 2:  // duplicate
+      tokens.insert(tokens.begin() + static_cast<ptrdiff_t>(pos),
+                    tokens[pos]);
+      break;
+    default:  // abbreviate: "corporation" -> "corp."
+      if (tokens[pos].size() > 4) {
+        tokens[pos] = tokens[pos].substr(0, 1 + rng.Uniform(3)) + ".";
+      }
+      break;
+  }
+  return Join(tokens, " ");
+}
+
+// Numeric jitter for price/year-like values.
+std::string NumericJitter(const std::string& value, AttrKind kind, Rng& rng) {
+  double x = 0.0;
+  if (!ParseDouble(value, &x)) return Typo(value, rng);
+  if (kind == AttrKind::kYear) {
+    return StrFormat("%d", static_cast<int>(x) +
+                               static_cast<int>(rng.UniformInt(-1, 1)));
+  }
+  const double jittered = x * rng.UniformDouble(0.95, 1.05);
+  return StrFormat("%.2f", jittered);
+}
+
+// Reformats a phone number: drop the area code or change separators, like
+// the paper's "(206-453-1978)" vs "(453 1978)" example.
+std::string PhoneEdit(const std::string& value, Rng& rng) {
+  std::vector<std::string> parts = Split(value, '-');
+  switch (rng.Uniform(3)) {
+    case 0:  // drop area code
+      if (parts.size() == 3) return parts[1] + " " + parts[2];
+      break;
+    case 1:  // space separators
+      return Join(parts, " ");
+    default:  // no separators
+      return Join(parts, "");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string Perturb(const std::string& value, AttrKind kind, Rng& rng) {
+  switch (kind) {
+    case AttrKind::kPrice:
+    case AttrKind::kYear:
+      return NumericJitter(value, kind, rng);
+    case AttrKind::kPhone:
+      return PhoneEdit(value, rng);
+    case AttrKind::kZip:
+      return Typo(value, rng);
+    case AttrKind::kModelNo:
+    case AttrKind::kBrand:
+    case AttrKind::kCity:
+    case AttrKind::kCategory: {
+      // Short single-token values: typo or case noise.
+      return rng.Bernoulli(0.5) ? Typo(value, rng) : FlipCase(value, rng);
+    }
+    case AttrKind::kTitle:
+    case AttrKind::kName:
+    case AttrKind::kStreet: {
+      const double roll = rng.NextDouble();
+      if (roll < 0.45) return TokenEdit(value, rng);
+      if (roll < 0.80) return Typo(value, rng);
+      return FlipCase(value, rng);
+    }
+  }
+  return value;
+}
+
+}  // namespace generator_internal
+
+namespace {
+
+using generator_internal::MakeWord;
+using generator_internal::Perturb;
+
+/// Shared word lists for a dataset, synthesized once per profile seed.
+struct Vocabulary {
+  std::vector<std::string> brands;
+  std::vector<std::string> categories;
+  std::vector<std::string> descriptors;  // Zipf-sampled title words
+  std::vector<std::string> first_names;
+  std::vector<std::string> last_names;
+  std::vector<std::string> cities;
+  std::vector<std::string> street_words;
+
+  static Vocabulary Make(Rng& rng, size_t num_categories) {
+    Vocabulary v;
+    auto fill = [&rng](std::vector<std::string>& out, size_t n,
+                       int syllables) {
+      std::unordered_set<std::string> seen;
+      while (out.size() < n) {
+        std::string w = MakeWord(rng, syllables);
+        if (seen.insert(w).second) out.push_back(std::move(w));
+      }
+    };
+    fill(v.brands, 48, 2);
+    fill(v.categories, std::max<size_t>(num_categories, 2), 3);
+    fill(v.descriptors, 1200, 2);
+    fill(v.first_names, 120, 2);
+    fill(v.last_names, 200, 2);
+    fill(v.cities, 60, 3);
+    fill(v.street_words, 80, 2);
+    return v;
+  }
+};
+
+/// The latent entity behind a record. Twins render the same entity; the
+/// twin's rendering is then perturbed per-attribute.
+struct Entity {
+  size_t category_id = 0;
+  std::string brand;
+  std::string category;
+  std::string model_code;
+  std::vector<std::string> title_words;
+  std::string first_name;
+  std::string last_name;
+  std::string phone;
+  std::string street;
+  std::string city;
+  std::string zip;
+  std::string price;
+  std::string year;
+};
+
+Entity MakeEntity(const Vocabulary& vocab, Rng& rng) {
+  Entity e;
+  e.category_id = rng.Zipf(vocab.categories.size(), 0.5);
+  e.category = vocab.categories[e.category_id];
+  e.brand = vocab.brands[rng.Zipf(vocab.brands.size(), 0.8)];
+  e.model_code = StrFormat(
+      "%c%c-%04d%c", static_cast<char>('A' + rng.Uniform(26)),
+      static_cast<char>('A' + rng.Uniform(26)),
+      static_cast<int>(rng.Uniform(10000)),
+      static_cast<char>('A' + rng.Uniform(26)));
+  const size_t num_words = 2 + rng.Uniform(4);
+  for (size_t i = 0; i < num_words; ++i) {
+    e.title_words.push_back(
+        vocab.descriptors[rng.Zipf(vocab.descriptors.size(), 1.0)]);
+  }
+  e.first_name = vocab.first_names[rng.Uniform(vocab.first_names.size())];
+  e.last_name = vocab.last_names[rng.Uniform(vocab.last_names.size())];
+  e.phone = StrFormat("%03d-%03d-%04d",
+                      static_cast<int>(200 + rng.Uniform(800)),
+                      static_cast<int>(100 + rng.Uniform(900)),
+                      static_cast<int>(rng.Uniform(10000)));
+  e.street = StrFormat("%d %s %s", static_cast<int>(1 + rng.Uniform(9999)),
+                       vocab.street_words[rng.Uniform(
+                           vocab.street_words.size())].c_str(),
+                       rng.Bernoulli(0.5) ? "st" : "ave");
+  e.city = vocab.cities[rng.Zipf(vocab.cities.size(), 0.7)];
+  e.zip = StrFormat("%05d", static_cast<int>(rng.Uniform(100000)));
+  e.price = StrFormat("%.2f", rng.UniformDouble(5.0, 999.0));
+  e.year = StrFormat("%d", static_cast<int>(1980 + rng.Uniform(41)));
+  return e;
+}
+
+std::string RenderAttribute(const Entity& e, AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kTitle: {
+      std::string title = e.brand + " " + Join(e.title_words, " ") + " " +
+                          e.model_code;
+      return title;
+    }
+    case AttrKind::kName:
+      return e.first_name + " " + e.last_name;
+    case AttrKind::kBrand:
+      return e.brand;
+    case AttrKind::kCategory:
+      return e.category;
+    case AttrKind::kModelNo:
+      return e.model_code;
+    case AttrKind::kPhone:
+      return e.phone;
+    case AttrKind::kStreet:
+      return e.street;
+    case AttrKind::kCity:
+      return e.city;
+    case AttrKind::kZip:
+      return e.zip;
+    case AttrKind::kPrice:
+      return e.price;
+    case AttrKind::kYear:
+      return e.year;
+  }
+  return "";
+}
+
+Row RenderRow(const Entity& e, const std::vector<AttributeSpec>& attrs) {
+  Row row;
+  row.reserve(attrs.size());
+  for (const AttributeSpec& spec : attrs) {
+    row.push_back(RenderAttribute(e, spec.kind));
+  }
+  return row;
+}
+
+Row PerturbRow(Row row, const std::vector<AttributeSpec>& attrs, Rng& rng) {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (rng.Bernoulli(attrs[i].missing_prob)) {
+      row[i].clear();
+      continue;
+    }
+    if (rng.Bernoulli(attrs[i].dirtiness)) {
+      row[i] = Perturb(row[i], attrs[i].kind, rng);
+      // Occasionally pile on a second edit for extra-dirty values.
+      if (rng.Bernoulli(0.25)) {
+        row[i] = Perturb(row[i], attrs[i].kind, rng);
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateDataset(const DatasetProfile& profile) {
+  Rng rng(profile.seed);
+  const Vocabulary vocab = Vocabulary::Make(rng, profile.num_categories);
+
+  std::vector<std::string> attr_names;
+  for (const AttributeSpec& spec : profile.attributes) {
+    attr_names.push_back(spec.name);
+  }
+  const Schema schema(attr_names);
+
+  GeneratedDataset ds;
+  ds.a = Table(profile.name + "_A", schema);
+  ds.b = Table(profile.name + "_B", schema);
+
+  // Entities for table A; remember each row's category for blocking.
+  std::vector<Entity> a_entities;
+  a_entities.reserve(profile.table_a_rows);
+  for (size_t i = 0; i < profile.table_a_rows; ++i) {
+    a_entities.push_back(MakeEntity(vocab, rng));
+    (void)ds.a.AppendRow(RenderRow(a_entities.back(), profile.attributes));
+  }
+
+  // Choose which A rows get a twin in B.
+  const size_t max_twins = std::min(profile.table_a_rows,
+                                    profile.table_b_rows);
+  const size_t num_twins = std::min(
+      max_twins, static_cast<size_t>(profile.twin_fraction *
+                                     static_cast<double>(max_twins)));
+  std::vector<size_t> twin_a_rows =
+      rng.SampleIndices(profile.table_a_rows, num_twins);
+
+  std::vector<size_t> b_category;  // category id per B row, for blocking
+  b_category.reserve(profile.table_b_rows);
+
+  // First, emit the twins (B rows 0..num_twins-1 in shuffled A order).
+  for (const size_t a_row : twin_a_rows) {
+    const Entity& e = a_entities[a_row];
+    Row twin = PerturbRow(RenderRow(e, profile.attributes),
+                          profile.attributes, rng);
+    const uint32_t b_row = static_cast<uint32_t>(ds.b.num_rows());
+    (void)ds.b.AppendRow(std::move(twin));
+    b_category.push_back(e.category_id);
+    ds.true_matches.push_back(
+        PairId{static_cast<uint32_t>(a_row), b_row});
+  }
+  // Fill the rest of B with fresh entities.
+  while (ds.b.num_rows() < profile.table_b_rows) {
+    const Entity e = MakeEntity(vocab, rng);
+    (void)ds.b.AppendRow(RenderRow(e, profile.attributes));
+    b_category.push_back(e.category_id);
+  }
+
+  // ---- Simulated blocking: same-category candidate sampling. ----
+  // Index B rows by category.
+  std::unordered_map<size_t, std::vector<uint32_t>> b_by_category;
+  for (uint32_t row = 0; row < b_category.size(); ++row) {
+    b_by_category[b_category[row]].push_back(row);
+  }
+
+  CandidateSet candidates;
+  candidates.Reserve(profile.candidate_pairs + ds.true_matches.size());
+  std::unordered_set<uint64_t> taken;
+  taken.reserve(profile.candidate_pairs * 2);
+  auto key_of = [](PairId p) {
+    return (static_cast<uint64_t>(p.a) << 32) | p.b;
+  };
+  for (const PairId& m : ds.true_matches) {
+    if (taken.insert(key_of(m)).second) candidates.Add(m);
+  }
+
+  // Sample same-category B partners for random A rows until the target is
+  // reached (mostly within-category "blocked" negatives, with a small
+  // fraction of random cross-category pairs). Dedup as we go; the attempt
+  // cap guards against profiles whose target exceeds the number of
+  // distinct pairs the tables can supply.
+  const size_t target = std::max(profile.candidate_pairs,
+                                 ds.true_matches.size());
+  size_t attempts = 0;
+  const size_t max_attempts = target * 50 + 1000;
+  while (candidates.size() < target && attempts < max_attempts) {
+    ++attempts;
+    const uint32_t a_row =
+        static_cast<uint32_t>(rng.Uniform(profile.table_a_rows));
+    const auto it = b_by_category.find(a_entities[a_row].category_id);
+    const std::vector<uint32_t>* pool = nullptr;
+    if (it != b_by_category.end() && !it->second.empty()) {
+      pool = &it->second;
+    }
+    uint32_t b_row;
+    if (pool != nullptr && rng.Bernoulli(0.9)) {
+      b_row = (*pool)[rng.Uniform(pool->size())];
+    } else {
+      b_row = static_cast<uint32_t>(rng.Uniform(profile.table_b_rows));
+    }
+    const PairId p{a_row, b_row};
+    if (taken.insert(key_of(p)).second) candidates.Add(p);
+  }
+  candidates.SortAndDedup();
+
+  // Labels aligned with the final pair order.
+  std::unordered_set<uint64_t> match_keys;
+  match_keys.reserve(ds.true_matches.size() * 2);
+  for (const PairId& m : ds.true_matches) {
+    match_keys.insert((static_cast<uint64_t>(m.a) << 32) | m.b);
+  }
+  ds.labels = PairLabels(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PairId& p = candidates.pair(i);
+    if (match_keys.count((static_cast<uint64_t>(p.a) << 32) | p.b)) {
+      ds.labels.Set(i);
+    }
+  }
+  ds.candidates = std::move(candidates);
+  return ds;
+}
+
+}  // namespace emdbg

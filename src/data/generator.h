@@ -1,0 +1,93 @@
+#ifndef EMDBG_DATA_GENERATOR_H_
+#define EMDBG_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/block/candidate_pairs.h"
+#include "src/data/table.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+
+/// Semantic kind of a generated attribute. The kind controls both how
+/// canonical values are synthesized and which perturbations a matched twin
+/// can receive (typos, token drops, abbreviations, numeric jitter, ...).
+enum class AttrKind {
+  kTitle,    ///< brand + category + model + descriptor words
+  kName,     ///< person-style "first last"
+  kBrand,    ///< single vocabulary word
+  kCategory, ///< small closed vocabulary; also the blocking key
+  kModelNo,  ///< alphanumeric code like "ZX-4821B"
+  kPhone,    ///< "206-453-1978"
+  kStreet,   ///< "482 Maple Ave"
+  kCity,     ///< city vocabulary word
+  kZip,      ///< 5 digits
+  kPrice,    ///< "129.99"
+  kYear,     ///< "2009"
+};
+
+/// Spec of one attribute in a generated dataset.
+struct AttributeSpec {
+  std::string name;
+  AttrKind kind = AttrKind::kTitle;
+  /// Probability that a matched twin's value is perturbed (possibly several
+  /// times). 0 = twins agree exactly on this attribute.
+  double dirtiness = 0.3;
+  /// Probability that a value is missing (empty string) in table B.
+  double missing_prob = 0.02;
+};
+
+/// Shape of a synthetic dataset, mirroring one row of the paper's Table 2.
+struct DatasetProfile {
+  std::string name;
+  size_t table_a_rows = 1000;
+  size_t table_b_rows = 1000;
+  /// Target number of candidate pairs after (simulated) blocking. All true
+  /// matches are included; the remainder are same-category negatives.
+  size_t candidate_pairs = 10000;
+  /// Fraction of table-A rows that have a matching twin in table B.
+  double twin_fraction = 0.5;
+  std::vector<AttributeSpec> attributes;
+  /// Number of distinct blocking categories (controls negative sampling).
+  size_t num_categories = 20;
+  uint64_t seed = 42;
+};
+
+/// A generated dataset: two tables, the ground-truth matches, and a
+/// blocked candidate set with labels aligned to it.
+struct GeneratedDataset {
+  Table a;
+  Table b;
+  std::vector<PairId> true_matches;
+  CandidateSet candidates;
+  PairLabels labels;
+
+  /// Fraction of candidates that are true matches.
+  double MatchRate() const {
+    return candidates.empty()
+               ? 0.0
+               : static_cast<double>(labels.Count()) /
+                     static_cast<double>(candidates.size());
+  }
+};
+
+/// Generates a dataset from `profile`. Deterministic in `profile.seed`.
+GeneratedDataset GenerateDataset(const DatasetProfile& profile);
+
+/// Internal helpers exposed for testing.
+namespace generator_internal {
+
+/// Applies one random string perturbation (typo / token drop / swap /
+/// abbreviation / case flip) appropriate for `kind`.
+std::string Perturb(const std::string& value, AttrKind kind, Rng& rng);
+
+/// Synthesizes a pronounceable lower-case word of `syllables` syllables.
+std::string MakeWord(Rng& rng, int syllables);
+
+}  // namespace generator_internal
+
+}  // namespace emdbg
+
+#endif  // EMDBG_DATA_GENERATOR_H_

@@ -1,0 +1,26 @@
+#include "src/data/record.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {
+  for (AttrIndex i = 0; i < names_.size(); ++i) index_[names_[i]] = i;
+}
+
+Result<AttrIndex> Schema::Find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound(
+        StrFormat("attribute '%.*s' not in schema",
+                  static_cast<int>(name.size()), name.data()));
+  }
+  return it->second;
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,48 @@
+#ifndef EMDBG_DATA_RECORD_H_
+#define EMDBG_DATA_RECORD_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Index of an attribute within a Schema.
+using AttrIndex = size_t;
+
+/// Ordered list of attribute names shared by all records of a Table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(AttrIndex i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of `name`, or NotFound.
+  Result<AttrIndex> Find(std::string_view name) const;
+
+  /// True if `name` exists.
+  bool Contains(std::string_view name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrIndex> index_;
+};
+
+/// One record: attribute values positionally aligned with a Schema. A plain
+/// value holder — Table owns storage and pairs rows with the schema.
+using Row = std::vector<std::string>;
+
+}  // namespace emdbg
+
+#endif  // EMDBG_DATA_RECORD_H_

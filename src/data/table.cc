@@ -1,0 +1,32 @@
+#include "src/data/table.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu in table '%s'",
+                  row.size(), schema_.size(), name_.c_str()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+std::vector<std::string_view> Table::Column(AttrIndex attr) const {
+  std::vector<std::string_view> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.emplace_back(r[attr]);
+  return out;
+}
+
+size_t Table::PayloadBytes() const {
+  size_t bytes = 0;
+  for (const Row& r : rows_) {
+    for (const std::string& v : r) bytes += v.size();
+  }
+  return bytes;
+}
+
+}  // namespace emdbg

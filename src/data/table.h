@@ -1,0 +1,52 @@
+#ifndef EMDBG_DATA_TABLE_H_
+#define EMDBG_DATA_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/data/record.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// An in-memory relational table: a schema plus rows of string values.
+/// Entity matching in this library always operates over two Tables (A, B)
+/// and a set of candidate row-index pairs.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_attributes() const { return schema_.size(); }
+
+  /// Appends a row. Returns InvalidArgument if arity mismatches the schema.
+  Status AppendRow(Row row);
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Value of attribute `attr` in row `row_index`.
+  const std::string& Value(size_t row_index, AttrIndex attr) const {
+    return rows_[row_index][attr];
+  }
+
+  /// All values of one attribute (column view, copies references only).
+  std::vector<std::string_view> Column(AttrIndex attr) const;
+
+  /// Total bytes of string payload (for memory reporting).
+  size_t PayloadBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_DATA_TABLE_H_

@@ -1,0 +1,50 @@
+#include "src/data/table_io.h"
+
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+Result<Table> TableFromCsv(std::string_view csv_text,
+                           std::string table_name) {
+  CsvParser parser(csv_text);
+  CsvRow header;
+  if (!parser.NextRow(&header)) {
+    if (!parser.status().ok()) return parser.status();
+    return Status::ParseError("empty CSV input: missing header row");
+  }
+  Table table(std::move(table_name), Schema(header));
+  CsvRow row;
+  while (parser.NextRow(&row)) {
+    // A lone trailing newline parses as a single empty field; skip it.
+    if (row.size() == 1 && row[0].empty()) continue;
+    if (row.size() != header.size()) {
+      return Status::ParseError(
+          StrFormat("line %zu: expected %zu fields, got %zu", parser.line(),
+                    header.size(), row.size()));
+    }
+    EMDBG_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  if (!parser.status().ok()) return parser.status();
+  return table;
+}
+
+Result<Table> LoadTableCsv(const std::string& path) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return TableFromCsv(*text, path);
+}
+
+std::string TableToCsv(const Table& table) {
+  std::vector<CsvRow> rows;
+  rows.reserve(table.num_rows() + 1);
+  rows.push_back(table.schema().names());
+  for (const Row& r : table.rows()) rows.push_back(r);
+  return WriteCsv(rows);
+}
+
+Status SaveTableCsv(const Table& table, const std::string& path) {
+  return WriteStringToFile(path, TableToCsv(table));
+}
+
+}  // namespace emdbg

@@ -1,0 +1,27 @@
+#ifndef EMDBG_DATA_TABLE_IO_H_
+#define EMDBG_DATA_TABLE_IO_H_
+
+#include <string>
+
+#include "src/data/table.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Parses CSV text (first row = header) into a Table named `table_name`.
+/// Rows whose arity differs from the header produce a ParseError.
+Result<Table> TableFromCsv(std::string_view csv_text,
+                           std::string table_name);
+
+/// Loads a CSV file into a Table named after the file path.
+Result<Table> LoadTableCsv(const std::string& path);
+
+/// Serializes a Table to CSV text with a header row.
+std::string TableToCsv(const Table& table);
+
+/// Writes a Table to a CSV file.
+Status SaveTableCsv(const Table& table, const std::string& path);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_DATA_TABLE_IO_H_

@@ -1,0 +1,173 @@
+#include "src/learn/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace emdbg {
+
+namespace {
+
+double Gini(size_t positives, size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+size_t DecisionTree::num_leaves() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) ++n;
+  }
+  return n;
+}
+
+DecisionTree DecisionTree::Train(const FeatureMatrix& features,
+                                 const std::vector<char>& labels,
+                                 const std::vector<size_t>& rows,
+                                 const TreeConfig& config, Rng& rng) {
+  DecisionTree tree;
+  if (rows.empty() || features.empty()) return tree;
+  std::vector<size_t> work = rows;
+  tree.Build(features, labels, work, 0, work.size(), 0, config, rng);
+  return tree;
+}
+
+int DecisionTree::Build(const FeatureMatrix& features,
+                        const std::vector<char>& labels,
+                        std::vector<size_t>& rows, size_t begin, size_t end,
+                        size_t depth, const TreeConfig& config, Rng& rng) {
+  const size_t n = end - begin;
+  size_t positives = 0;
+  for (size_t i = begin; i < end; ++i) positives += labels[rows[i]] ? 1 : 0;
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].num_samples = n;
+  nodes_[node_index].positive_fraction =
+      n == 0 ? 0.0 : static_cast<double>(positives) / static_cast<double>(n);
+
+  const bool pure = positives == 0 || positives == n;
+  if (pure || depth >= config.max_depth || n < config.min_samples_split) {
+    return node_index;  // leaf
+  }
+
+  // Feature subset for this split.
+  std::vector<size_t> candidate_features;
+  if (config.features_per_split == 0 ||
+      config.features_per_split >= features.size()) {
+    candidate_features.resize(features.size());
+    std::iota(candidate_features.begin(), candidate_features.end(),
+              size_t{0});
+  } else {
+    candidate_features =
+        rng.SampleIndices(features.size(), config.features_per_split);
+  }
+
+  const double parent_gini = Gini(positives, n);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<float> values;
+  values.reserve(n);
+  for (const size_t f : candidate_features) {
+    const std::vector<float>& col = features[f];
+    values.clear();
+    for (size_t i = begin; i < end; ++i) values.push_back(col[rows[i]]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;  // constant column
+
+    // Candidate thresholds: midpoints between consecutive *distinct*
+    // values, subsampled evenly when there are more boundaries than
+    // max_thresholds. Using distinct-value boundaries (not raw quantile
+    // positions) matters for discrete features, where quantiles rarely
+    // land on a transition.
+    const size_t num_boundaries = values.size() - 1;
+    const size_t num_thr = std::min(config.max_thresholds, num_boundaries);
+    for (size_t t = 0; t < num_thr; ++t) {
+      const size_t j = t * num_boundaries / num_thr;
+      const float thr = (values[j] + values[j + 1]) / 2.0f;
+
+      size_t left_n = 0;
+      size_t left_pos = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (col[rows[i]] <= thr) {
+          ++left_n;
+          if (labels[rows[i]]) ++left_pos;
+        }
+      }
+      const size_t right_n = n - left_n;
+      if (left_n < config.min_samples_leaf ||
+          right_n < config.min_samples_leaf) {
+        continue;
+      }
+      const size_t right_pos = positives - left_pos;
+      const double child_gini =
+          (static_cast<double>(left_n) * Gini(left_pos, left_n) +
+           static_cast<double>(right_n) * Gini(right_pos, right_n)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - child_gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // no useful split → leaf
+
+  // Partition rows in place: left = value <= threshold.
+  const std::vector<float>& col = features[static_cast<size_t>(best_feature)];
+  const auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<ptrdiff_t>(begin),
+      rows.begin() + static_cast<ptrdiff_t>(end),
+      [&](size_t r) { return col[r] <= best_threshold; });
+  const size_t mid =
+      static_cast<size_t>(mid_it - rows.begin());
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].weighted_gain = best_gain * static_cast<double>(n);
+  const int left =
+      Build(features, labels, rows, begin, mid, depth + 1, config, rng);
+  nodes_[node_index].left = left;
+  const int right =
+      Build(features, labels, rows, mid, end, depth + 1, config, rng);
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::vector<double> DecisionTree::FeatureImportance(
+    size_t num_features) const {
+  std::vector<double> importance(num_features, 0.0);
+  double total = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) continue;
+    importance[static_cast<size_t>(node.feature)] += node.weighted_gain;
+    total += node.weighted_gain;
+  }
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+double DecisionTree::Predict(const std::vector<float>& row) const {
+  if (nodes_.empty()) return 0.0;
+  int idx = 0;
+  while (nodes_[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    idx = row[static_cast<size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+  return nodes_[static_cast<size_t>(idx)].positive_fraction;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,82 @@
+#ifndef EMDBG_LEARN_DECISION_TREE_H_
+#define EMDBG_LEARN_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace emdbg {
+
+/// Column-major feature matrix: matrix[f][s] = value of feature column f
+/// for sample s. All columns must have equal length.
+using FeatureMatrix = std::vector<std::vector<float>>;
+
+/// Training configuration for one CART-style tree (Gini impurity,
+/// axis-aligned "value <= threshold" splits).
+struct TreeConfig {
+  size_t max_depth = 8;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+  /// Feature columns considered per split; 0 = all (sqrt(n) is typical for
+  /// forests and is set by RandomForest).
+  size_t features_per_split = 0;
+  /// Cap on candidate thresholds per feature per split (quantile-spaced);
+  /// keeps training O(samples · features · kMaxThresholds).
+  size_t max_thresholds = 32;
+};
+
+/// A binary classification tree over similarity features. The learner is
+/// the substrate behind the paper's rule set: the authors trained a random
+/// forest on a labeled sample and extracted its root-to-leaf paths as
+/// matching rules (Sec. 7.1, citing [7]).
+class DecisionTree {
+ public:
+  struct Node {
+    /// Split: feature column and threshold; samples with
+    /// value <= threshold go left. feature < 0 marks a leaf.
+    int feature = -1;
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    /// Fraction of positive (match) training samples reaching this node.
+    double positive_fraction = 0.0;
+    size_t num_samples = 0;
+    /// Sample-weighted Gini gain of this node's split (0 at leaves) —
+    /// the raw material of mean-decrease-in-impurity importances.
+    double weighted_gain = 0.0;
+  };
+
+  DecisionTree() = default;
+
+  /// Trains on the rows listed in `rows` (bootstrap sampling is the
+  /// forest's job). `labels[s]` is 1 for a match.
+  static DecisionTree Train(const FeatureMatrix& features,
+                            const std::vector<char>& labels,
+                            const std::vector<size_t>& rows,
+                            const TreeConfig& config, Rng& rng);
+
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  size_t num_leaves() const;
+
+  /// Probability-like score: positive fraction of the leaf the sample
+  /// falls into. `row[f]` must supply every feature column used by the
+  /// tree.
+  double Predict(const std::vector<float>& row) const;
+
+  /// Mean-decrease-in-impurity importance per feature column (length
+  /// `num_features`, sums to 1 unless the tree has no splits).
+  std::vector<double> FeatureImportance(size_t num_features) const;
+
+ private:
+  int Build(const FeatureMatrix& features, const std::vector<char>& labels,
+            std::vector<size_t>& rows, size_t begin, size_t end,
+            size_t depth, const TreeConfig& config, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_LEARN_DECISION_TREE_H_

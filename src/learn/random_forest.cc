@@ -1,0 +1,119 @@
+#include "src/learn/random_forest.h"
+
+#include <cmath>
+
+namespace emdbg {
+
+namespace {
+
+/// Shared training loop; when `diag` is non-null, tracks out-of-bag
+/// score sums and counts per sample.
+RandomForest TrainInternal(const FeatureMatrix& features,
+                           const std::vector<char>& labels,
+                           const ForestConfig& config,
+                           std::vector<double>* oob_score_sum,
+                           std::vector<size_t>* oob_count) {
+  const bool track_oob = oob_score_sum != nullptr;
+  RandomForest forest;
+  if (features.empty() || features[0].empty()) return forest;
+  const size_t num_samples = features[0].size();
+  Rng rng(config.seed);
+
+  TreeConfig tree_config = config.tree;
+  tree_config.features_per_split =
+      config.features_per_split != 0
+          ? config.features_per_split
+          : static_cast<size_t>(
+                std::lround(std::sqrt(static_cast<double>(features.size()))));
+
+  const size_t bootstrap =
+      std::max<size_t>(1, static_cast<size_t>(config.bootstrap_fraction *
+                                              static_cast<double>(
+                                                  num_samples)));
+  std::vector<char> in_bag;
+  std::vector<float> row_values(features.size());
+  std::vector<DecisionTree>& trees = forest.mutable_trees();
+  for (size_t t = 0; t < config.num_trees; ++t) {
+    std::vector<size_t> rows;
+    rows.reserve(bootstrap);
+    if (track_oob) in_bag.assign(num_samples, 0);
+    for (size_t i = 0; i < bootstrap; ++i) {
+      const size_t row = static_cast<size_t>(rng.Uniform(num_samples));
+      rows.push_back(row);
+      if (track_oob) in_bag[row] = 1;
+    }
+    trees.push_back(
+        DecisionTree::Train(features, labels, rows, tree_config, rng));
+    if (!track_oob) continue;
+    const DecisionTree& tree = trees.back();
+    for (size_t s = 0; s < num_samples; ++s) {
+      if (in_bag[s]) continue;
+      for (size_t f = 0; f < features.size(); ++f) {
+        row_values[f] = features[f][s];
+      }
+      (*oob_score_sum)[s] += tree.Predict(row_values);
+      ++(*oob_count)[s];
+    }
+  }
+  return forest;
+}
+
+}  // namespace
+
+RandomForest RandomForest::Train(const FeatureMatrix& features,
+                                 const std::vector<char>& labels,
+                                 const ForestConfig& config) {
+  return TrainInternal(features, labels, config, nullptr, nullptr);
+}
+
+RandomForest::Diagnostics RandomForest::TrainWithDiagnostics(
+    const FeatureMatrix& features, const std::vector<char>& labels,
+    const ForestConfig& config) {
+  Diagnostics diag;
+  const size_t num_samples = features.empty() ? 0 : features[0].size();
+  std::vector<double> oob_score_sum(num_samples, 0.0);
+  std::vector<size_t> oob_count(num_samples, 0);
+  diag.forest = TrainInternal(features, labels, config, &oob_score_sum,
+                              &oob_count);
+  size_t covered = 0;
+  size_t correct = 0;
+  for (size_t s = 0; s < num_samples; ++s) {
+    if (oob_count[s] == 0) continue;
+    ++covered;
+    const bool predicted =
+        oob_score_sum[s] / static_cast<double>(oob_count[s]) >= 0.5;
+    if (predicted == (labels[s] != 0)) ++correct;
+  }
+  diag.oob_accuracy =
+      covered == 0 ? -1.0
+                   : static_cast<double>(correct) /
+                         static_cast<double>(covered);
+  diag.feature_importance =
+      diag.forest.FeatureImportance(features.size());
+  return diag;
+}
+
+std::vector<double> RandomForest::FeatureImportance(
+    size_t num_features) const {
+  std::vector<double> total(num_features, 0.0);
+  if (trees_.empty()) return total;
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> imp = tree.FeatureImportance(num_features);
+    for (size_t f = 0; f < num_features; ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (const double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+double RandomForest::Predict(const std::vector<float>& row) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.Predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace emdbg

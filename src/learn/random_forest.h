@@ -1,0 +1,74 @@
+#ifndef EMDBG_LEARN_RANDOM_FOREST_H_
+#define EMDBG_LEARN_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "src/learn/decision_tree.h"
+
+namespace emdbg {
+
+/// Forest configuration: bagged trees with per-split feature subsampling.
+struct ForestConfig {
+  size_t num_trees = 30;
+  TreeConfig tree;
+  /// Features per split; 0 = sqrt(#features), the standard default.
+  size_t features_per_split = 0;
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  uint64_t seed = 11;
+};
+
+/// A bagging ensemble of DecisionTrees — the model class from which the
+/// paper's rule set was extracted (Sec. 7.1: "we converted the random
+/// forest to a set of positive rules").
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  static RandomForest Train(const FeatureMatrix& features,
+                            const std::vector<char>& labels,
+                            const ForestConfig& config);
+
+  /// Trains with diagnostics (see ForestDiagnostics below).
+  struct Diagnostics;
+  static Diagnostics TrainWithDiagnostics(const FeatureMatrix& features,
+                                          const std::vector<char>& labels,
+                                          const ForestConfig& config);
+
+  /// Average of per-tree mean-decrease-in-impurity importances.
+  std::vector<double> FeatureImportance(size_t num_features) const;
+
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Mean of tree scores in [0, 1].
+  double Predict(const std::vector<float>& row) const;
+
+  /// Predict >= 0.5.
+  bool Classify(const std::vector<float>& row) const {
+    return Predict(row) >= 0.5;
+  }
+
+  /// For the training loop only.
+  std::vector<DecisionTree>& mutable_trees() { return trees_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+/// Training diagnostics: out-of-bag accuracy (each sample scored only by
+/// trees whose bootstrap missed it — an unbiased generalization estimate
+/// without a holdout) and normalized mean-decrease-in-impurity feature
+/// importances.
+struct RandomForest::Diagnostics {
+  RandomForest forest;
+  /// Fraction of OOB-covered samples classified correctly; -1 when no
+  /// sample was out of bag (e.g. bootstrap covered every row).
+  double oob_accuracy = -1.0;
+  /// Per feature column, sums to 1 when any split exists.
+  std::vector<double> feature_importance;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_LEARN_RANDOM_FOREST_H_

@@ -1,0 +1,130 @@
+#include "src/learn/rule_extraction.h"
+
+#include <algorithm>
+#include <map>
+
+namespace emdbg {
+
+namespace {
+
+/// Path constraint on one feature column: an open interval
+/// (lower, upper]-style bound pair accumulated along the path.
+struct Bounds {
+  bool has_lower = false;
+  float lower = 0.0f;  // value > lower
+  bool has_upper = false;
+  float upper = 0.0f;  // value <= upper
+};
+
+Rule PathToRule(const std::map<int, Bounds>& path,
+                const std::vector<FeatureId>& column_features) {
+  Rule rule;
+  for (const auto& [column, bounds] : path) {
+    const FeatureId feature = column_features[static_cast<size_t>(column)];
+    if (bounds.has_lower) {
+      Predicate p;
+      p.feature = feature;
+      p.op = CompareOp::kGt;
+      p.threshold = static_cast<double>(bounds.lower);
+      rule.AddPredicate(p);
+    }
+    if (bounds.has_upper) {
+      Predicate p;
+      p.feature = feature;
+      p.op = CompareOp::kLe;
+      p.threshold = static_cast<double>(bounds.upper);
+      rule.AddPredicate(p);
+    }
+  }
+  return rule;
+}
+
+void Walk(const DecisionTree& tree, int node_index,
+          std::map<int, Bounds>& path,
+          const std::vector<FeatureId>& column_features,
+          const RuleExtractionConfig& config, std::vector<Rule>& out) {
+  const DecisionTree::Node& node =
+      tree.nodes()[static_cast<size_t>(node_index)];
+  if (node.feature < 0) {
+    if (node.positive_fraction >= config.min_purity &&
+        node.num_samples >= config.min_samples && !path.empty()) {
+      out.push_back(PathToRule(path, column_features));
+    }
+    return;
+  }
+  // Left: value <= threshold → tightens the upper bound.
+  {
+    Bounds saved = path[node.feature];
+    Bounds& b = path[node.feature];
+    if (!b.has_upper || node.threshold < b.upper) {
+      b.has_upper = true;
+      b.upper = node.threshold;
+    }
+    Walk(tree, node.left, path, column_features, config, out);
+    path[node.feature] = saved;
+  }
+  // Right: value > threshold → tightens the lower bound.
+  {
+    Bounds saved = path[node.feature];
+    Bounds& b = path[node.feature];
+    if (!b.has_lower || node.threshold > b.lower) {
+      b.has_lower = true;
+      b.lower = node.threshold;
+    }
+    Walk(tree, node.right, path, column_features, config, out);
+    path[node.feature] = saved;
+  }
+}
+
+/// Canonical key of a rule for dedup: sorted (feature, op, threshold).
+std::vector<std::tuple<FeatureId, int, double>> RuleKey(const Rule& r) {
+  std::vector<std::tuple<FeatureId, int, double>> key;
+  key.reserve(r.size());
+  for (const Predicate& p : r.predicates()) {
+    key.emplace_back(p.feature, static_cast<int>(p.op), p.threshold);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+}  // namespace
+
+std::vector<Rule> ExtractRules(const RandomForest& forest,
+                               const std::vector<FeatureId>& column_features,
+                               const RuleExtractionConfig& config) {
+  std::vector<Rule> rules;
+  for (const DecisionTree& tree : forest.trees()) {
+    if (tree.empty()) continue;
+    std::map<int, Bounds> path;
+    Walk(tree, 0, path, column_features, config, rules);
+  }
+  if (config.dedup) {
+    std::vector<Rule> unique;
+    std::vector<std::vector<std::tuple<FeatureId, int, double>>> seen;
+    for (Rule& r : rules) {
+      auto key = RuleKey(r);
+      if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+        seen.push_back(std::move(key));
+        unique.push_back(std::move(r));
+      }
+    }
+    rules = std::move(unique);
+  }
+  return rules;
+}
+
+FeatureMatrix BuildFeatureMatrix(PairContext& ctx,
+                                 const CandidateSet& sample,
+                                 const std::vector<FeatureId>& features) {
+  FeatureMatrix matrix(features.size());
+  for (size_t c = 0; c < features.size(); ++c) {
+    matrix[c].reserve(sample.size());
+    for (size_t s = 0; s < sample.size(); ++s) {
+      matrix[c].push_back(
+          static_cast<float>(ctx.ComputeFeature(features[c], sample.pair(s))));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace emdbg

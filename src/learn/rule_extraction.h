@@ -1,0 +1,44 @@
+#ifndef EMDBG_LEARN_RULE_EXTRACTION_H_
+#define EMDBG_LEARN_RULE_EXTRACTION_H_
+
+#include <vector>
+
+#include "src/block/candidate_pairs.h"
+#include "src/core/pair_context.h"
+#include "src/core/rule.h"
+#include "src/learn/random_forest.h"
+
+namespace emdbg {
+
+/// Controls which forest paths become matching rules.
+struct RuleExtractionConfig {
+  /// Minimum positive fraction at a leaf for its path to become a rule
+  /// (only "positive rules" are kept — Sec. 3).
+  double min_purity = 0.9;
+  /// Minimum training samples at the leaf.
+  size_t min_samples = 2;
+  /// Drop duplicate rules (identical predicate sets).
+  bool dedup = true;
+};
+
+/// Converts every positive leaf of every tree into a CNF rule: the
+/// root-to-leaf path contributes one predicate per split —
+/// "f <= t" (left branch) or "f > t" (right branch) — with repeated
+/// features collapsed to their tightest bounds. `column_features[c]` maps
+/// feature-matrix column c to its FeatureId.
+///
+/// This reproduces how the paper's 255-rule Products set was built from a
+/// random forest (Sec. 7.1; cf. the mixed-direction rules of Fig. 4).
+std::vector<Rule> ExtractRules(const RandomForest& forest,
+                               const std::vector<FeatureId>& column_features,
+                               const RuleExtractionConfig& config);
+
+/// Computes the column-major feature matrix of `features` over `sample`
+/// via `ctx` (training input for the forest).
+FeatureMatrix BuildFeatureMatrix(PairContext& ctx,
+                                 const CandidateSet& sample,
+                                 const std::vector<FeatureId>& features);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_LEARN_RULE_EXTRACTION_H_

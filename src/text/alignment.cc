@@ -1,0 +1,94 @@
+#include "src/text/alignment.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <vector>
+
+namespace emdbg {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+bool CharEq(char x, char y) {
+  return std::tolower(static_cast<unsigned char>(x)) ==
+         std::tolower(static_cast<unsigned char>(y));
+}
+
+/// Affine-gap DP (Gotoh). Three matrices rolled into two rows each:
+/// M = best score ending in a match/mismatch, X = gap in a, Y = gap in b.
+/// `local` selects Smith-Waterman (floors at 0, tracks global best).
+double Align(std::string_view a, std::string_view b,
+             const AlignmentParams& p, bool local) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<double> prev_m(m + 1, kNegInf);
+  std::vector<double> prev_x(m + 1, kNegInf);  // gap in a (consume b)
+  std::vector<double> prev_y(m + 1, kNegInf);  // gap in b (consume a)
+  std::vector<double> cur_m(m + 1);
+  std::vector<double> cur_x(m + 1);
+  std::vector<double> cur_y(m + 1);
+
+  prev_m[0] = 0.0;
+  for (size_t j = 1; j <= m; ++j) {
+    prev_x[j] = p.gap_open + static_cast<double>(j - 1) * p.gap_extend;
+    if (local) prev_x[j] = std::max(prev_x[j], kNegInf);
+  }
+  double best = 0.0;
+
+  for (size_t i = 1; i <= n; ++i) {
+    cur_m[0] = kNegInf;
+    cur_x[0] = kNegInf;
+    cur_y[0] = p.gap_open + static_cast<double>(i - 1) * p.gap_extend;
+    for (size_t j = 1; j <= m; ++j) {
+      const double sub = CharEq(a[i - 1], b[j - 1]) ? p.match : p.mismatch;
+      double diag_best =
+          std::max({prev_m[j - 1], prev_x[j - 1], prev_y[j - 1]});
+      if (local) diag_best = std::max(diag_best, 0.0);
+      cur_m[j] = diag_best + sub;
+      // Gap in a: extend horizontally over b.
+      cur_x[j] = std::max(
+          std::max(cur_m[j - 1], cur_y[j - 1]) + p.gap_open,
+          cur_x[j - 1] + p.gap_extend);
+      // Gap in b: extend vertically over a.
+      cur_y[j] = std::max(
+          std::max(prev_m[j], prev_x[j]) + p.gap_open,
+          prev_y[j] + p.gap_extend);
+      if (local) {
+        best = std::max({best, cur_m[j], cur_x[j], cur_y[j]});
+      }
+    }
+    std::swap(prev_m, cur_m);
+    std::swap(prev_x, cur_x);
+    std::swap(prev_y, cur_y);
+  }
+  if (local) return best;
+  return std::max({prev_m[m], prev_x[m], prev_y[m]});
+}
+
+}  // namespace
+
+double NeedlemanWunschSimilarity(std::string_view a, std::string_view b,
+                                 const AlignmentParams& params) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const double raw = Align(a, b, params, /*local=*/false);
+  const double denom =
+      params.match * static_cast<double>(std::max(a.size(), b.size()));
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(raw / denom, 0.0, 1.0);
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+                               const AlignmentParams& params) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const double raw = Align(a, b, params, /*local=*/true);
+  const double denom =
+      params.match * static_cast<double>(std::min(a.size(), b.size()));
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(raw / denom, 0.0, 1.0);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,37 @@
+#ifndef EMDBG_TEXT_ALIGNMENT_H_
+#define EMDBG_TEXT_ALIGNMENT_H_
+
+#include <string_view>
+
+namespace emdbg {
+
+/// Sequence-alignment similarities, normalized to [0, 1].
+
+/// Parameters for the alignment scorers. Scores are per character:
+/// `match` for equal characters (case-insensitive ASCII), `mismatch` for
+/// substitutions, `gap_open`/`gap_extend` for affine gaps.
+struct AlignmentParams {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap_open = -1.5;
+  double gap_extend = -0.5;
+};
+
+/// Global alignment (Needleman-Wunsch with affine gaps), normalized by
+/// the best achievable score (match * min(|a|, |b|) plus the unavoidable
+/// gap cost of the length difference... we normalize by match * max-len so
+/// the score of identical strings is 1 and unrelated strings approach 0).
+/// Both-empty inputs score 1.0.
+double NeedlemanWunschSimilarity(std::string_view a, std::string_view b,
+                                 const AlignmentParams& params = {});
+
+/// Local alignment (Smith-Waterman with affine gaps), normalized by
+/// match * min(|a|, |b|) — 1.0 when the shorter string aligns perfectly
+/// inside the longer one (substring semantics, useful for model numbers
+/// embedded in titles). Both-empty inputs score 1.0; empty-vs-nonempty 0.
+double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+                               const AlignmentParams& params = {});
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_ALIGNMENT_H_

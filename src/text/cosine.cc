@@ -1,0 +1,72 @@
+#include "src/text/cosine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace emdbg {
+
+namespace {
+
+std::map<std::string, int> TermFrequencies(const TokenList& tokens) {
+  std::map<std::string, int> tf;
+  for (const std::string& t : tokens) ++tf[t];
+  return tf;
+}
+
+}  // namespace
+
+double CosineSimilarity(const TokenList& a, const TokenList& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto tfa = TermFrequencies(a);
+  const auto tfb = TermFrequencies(b);
+  double dot = 0.0;
+  auto ia = tfa.begin();
+  auto ib = tfb.begin();
+  while (ia != tfa.end() && ib != tfb.end()) {
+    const int cmp = ia->first.compare(ib->first);
+    if (cmp == 0) {
+      dot += static_cast<double>(ia->second) * ib->second;
+      ++ia;
+      ++ib;
+    } else if (cmp < 0) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  double norm_a = 0.0;
+  for (const auto& [_, f] : tfa) norm_a += static_cast<double>(f) * f;
+  double norm_b = 0.0;
+  for (const auto& [_, f] : tfb) norm_b += static_cast<double>(f) * f;
+  // Guard against floating-point drift pushing identical vectors above 1.
+  return std::min(1.0, dot / (std::sqrt(norm_a) * std::sqrt(norm_b)));
+}
+
+double CosineSetSimilarity(const TokenList& a, const TokenList& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto sa = ToSortedUnique(a);
+  const auto sb = ToSortedUnique(b);
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const int cmp = sa[i].compare(sb[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(sa.size()) *
+                   static_cast<double>(sb.size()));
+}
+
+}  // namespace emdbg

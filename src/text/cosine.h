@@ -1,0 +1,17 @@
+#ifndef EMDBG_TEXT_COSINE_H_
+#define EMDBG_TEXT_COSINE_H_
+
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+/// Term-frequency cosine similarity between two token lists (duplicates
+/// weight the vectors). Both-empty inputs score 1.0; empty-vs-nonempty 0.0.
+double CosineSimilarity(const TokenList& a, const TokenList& b);
+
+/// Set-semantics cosine: |A ∩ B| / sqrt(|A| · |B|) over unique tokens.
+double CosineSetSimilarity(const TokenList& a, const TokenList& b);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_COSINE_H_

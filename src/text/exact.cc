@@ -1,0 +1,15 @@
+#include "src/text/exact.h"
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+double ExactMatch(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+double ExactMatchIgnoreCase(std::string_view a, std::string_view b) {
+  return EqualsIgnoreCase(a, b) ? 1.0 : 0.0;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,57 @@
+#include "src/text/jaro.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace emdbg {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t max_len = std::max(a.size(), b.size());
+  // Match window: characters at distance <= floor(max/2) - 1 count.
+  const size_t window = max_len / 2 == 0 ? 0 : max_len / 2 - 1;
+
+  std::vector<char> a_matched(a.size(), 0);
+  std::vector<char> b_matched(b.size(), 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = 1;
+        b_matched[j] = 1;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  const double t = static_cast<double>(transpositions) / 2.0;
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) + (m - t) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight, size_t max_prefix) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), max_prefix});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_weight * (1.0 - jaro);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,22 @@
+#ifndef EMDBG_TEXT_JARO_H_
+#define EMDBG_TEXT_JARO_H_
+
+#include <string_view>
+
+namespace emdbg {
+
+/// Jaro similarity in [0,1]. Two empty strings have similarity 1; one empty
+/// string against a non-empty one has similarity 0.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by a shared prefix of up to
+/// `max_prefix` characters with scaling factor `prefix_weight` (standard
+/// parameters p=0.1, l<=4). `prefix_weight` must satisfy
+/// prefix_weight * max_prefix <= 1 for the result to stay in [0,1].
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight = 0.1,
+                             size_t max_prefix = 4);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_JARO_H_

@@ -1,0 +1,66 @@
+#include "src/text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace emdbg {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // keep the DP row short
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return n;
+  std::vector<size_t> row(m + 1);
+  for (size_t i = 0; i <= m; ++i) row[i] = i;
+  for (size_t j = 1; j <= n; ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= m; ++i) {
+      const size_t subst = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
+    }
+  }
+  return row[m];
+}
+
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (n - m > bound) return bound + 1;
+  if (m == 0) return n;
+  const size_t kInf = bound + 1;
+  std::vector<size_t> row(m + 1, kInf);
+  for (size_t i = 0; i <= std::min(m, bound); ++i) row[i] = i;
+  for (size_t j = 1; j <= n; ++j) {
+    // Only cells with |i - j| <= bound can be <= bound.
+    const size_t lo = j > bound ? j - bound : 1;
+    const size_t hi = std::min(m, j + bound);
+    size_t prev_diag = lo >= 2 ? row[lo - 1] : (lo == 1 ? row[0] : 0);
+    if (lo == 1) prev_diag = row[0];
+    row[0] = j <= bound ? j : kInf;
+    size_t row_min = kInf;
+    for (size_t i = lo; i <= hi; ++i) {
+      const size_t subst = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      const size_t del = row[i] == kInf ? kInf : row[i] + 1;
+      const size_t ins = row[i - 1] == kInf ? kInf : row[i - 1] + 1;
+      row[i] = std::min({del, ins, subst, kInf});
+      row_min = std::min(row_min, row[i]);
+    }
+    if (lo >= 2) row[lo - 1] = kInf;  // out of band now
+    if (row_min >= kInf) return kInf;
+  }
+  return std::min(row[m], kInf);
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  const size_t d = LevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(max_len);
+}
+
+}  // namespace emdbg

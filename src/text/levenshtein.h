@@ -1,0 +1,24 @@
+#ifndef EMDBG_TEXT_LEVENSHTEIN_H_
+#define EMDBG_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace emdbg {
+
+/// Unit-cost edit distance (insert/delete/substitute), two-row DP.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Banded edit distance: returns min(distance, bound+1) without exploring
+/// cells further than `bound` off-diagonal. Useful when callers only need
+/// "distance <= k".
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t bound);
+
+/// Similarity in [0,1]: 1 - distance / max(|a|,|b|). Two empty strings are
+/// defined to have similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_LEVENSHTEIN_H_

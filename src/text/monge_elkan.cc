@@ -1,0 +1,28 @@
+#include "src/text/monge_elkan.h"
+
+#include <algorithm>
+
+#include "src/text/jaro.h"
+
+namespace emdbg {
+
+double MongeElkanDirected(const TokenList& a, const TokenList& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::string& ta : a) {
+    double best = 0.0;
+    for (const std::string& tb : b) {
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+      if (best == 1.0) break;
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double MongeElkanSimilarity(const TokenList& a, const TokenList& b) {
+  return (MongeElkanDirected(a, b) + MongeElkanDirected(b, a)) / 2.0;
+}
+
+}  // namespace emdbg

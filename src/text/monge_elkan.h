@@ -1,0 +1,24 @@
+#ifndef EMDBG_TEXT_MONGE_ELKAN_H_
+#define EMDBG_TEXT_MONGE_ELKAN_H_
+
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+/// Monge-Elkan similarity: for every token of `a`, take the best
+/// Jaro-Winkler score against the tokens of `b`, and average. The standard
+/// hybrid token/character measure for dirty multi-word strings; asymmetric
+/// by definition, so the symmetric variant averages both directions:
+///
+///   ME(a, b) = (1/|a|) Σ_i max_j jw(a_i, b_j)
+///   sym(a, b) = (ME(a, b) + ME(b, a)) / 2
+///
+/// Both-empty inputs score 1.0; empty-vs-nonempty 0.0.
+double MongeElkanSimilarity(const TokenList& a, const TokenList& b);
+
+/// The asymmetric one-direction score (exposed for tests).
+double MongeElkanDirected(const TokenList& a, const TokenList& b);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_MONGE_ELKAN_H_

@@ -1,0 +1,31 @@
+#include "src/text/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  double x = 0.0;
+  double y = 0.0;
+  if (!ParseDouble(a, &x) || !ParseDouble(b, &y)) return 0.0;
+  if (x == y) return 1.0;
+  const double denom = std::max(std::fabs(x), std::fabs(y));
+  if (denom == 0.0) return 1.0;
+  const double sim = 1.0 - std::fabs(x - y) / denom;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+double NumericAbsoluteSimilarity(std::string_view a, std::string_view b,
+                                 double tolerance) {
+  double x = 0.0;
+  double y = 0.0;
+  if (!ParseDouble(a, &x) || !ParseDouble(b, &y)) return 0.0;
+  if (tolerance <= 0.0) return x == y ? 1.0 : 0.0;
+  const double sim = 1.0 - std::min(std::fabs(x - y) / tolerance, 1.0);
+  return sim;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,21 @@
+#ifndef EMDBG_TEXT_NUMERIC_H_
+#define EMDBG_TEXT_NUMERIC_H_
+
+#include <string_view>
+
+namespace emdbg {
+
+/// Relative numeric similarity of two attribute strings:
+///   1 - |x - y| / max(|x|, |y|), clamped to [0, 1].
+/// Non-numeric or empty inputs score 0.0 unless both parse and are equal.
+/// Two zeros score 1.0. Useful for price/year attributes in the generated
+/// datasets.
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// Absolute-tolerance variant: 1 - min(|x - y| / tolerance, 1).
+double NumericAbsoluteSimilarity(std::string_view a, std::string_view b,
+                                 double tolerance);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_NUMERIC_H_

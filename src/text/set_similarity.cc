@@ -1,0 +1,67 @@
+#include "src/text/set_similarity.h"
+
+#include <algorithm>
+
+namespace emdbg {
+
+namespace {
+
+// Intersection size of two sorted unique vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IntersectionSize(const TokenList& a, const TokenList& b) {
+  return SortedIntersectionSize(ToSortedUnique(a), ToSortedUnique(b));
+}
+
+double JaccardSimilarity(const TokenList& a, const TokenList& b) {
+  const auto sa = ToSortedUnique(a);
+  const auto sb = ToSortedUnique(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const TokenList& a, const TokenList& b) {
+  const auto sa = ToSortedUnique(a);
+  const auto sb = ToSortedUnique(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(sa, sb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size());
+}
+
+double OverlapCoefficient(const TokenList& a, const TokenList& b) {
+  const auto sa = ToSortedUnique(a);
+  const auto sb = ToSortedUnique(b);
+  if (sa.empty() || sb.empty()) return sa.empty() && sb.empty() ? 1.0 : 0.0;
+  const size_t inter = SortedIntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(QGramTokenize(a, 3), QGramTokenize(b, 3));
+}
+
+}  // namespace emdbg

@@ -1,0 +1,33 @@
+#ifndef EMDBG_TEXT_SET_SIMILARITY_H_
+#define EMDBG_TEXT_SET_SIMILARITY_H_
+
+#include <string_view>
+
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+/// Set-overlap similarity measures over token lists. All of these apply set
+/// semantics (duplicates collapse); both-empty inputs score 1.0 for Jaccard/
+/// Dice and 0.0 for overlap of empty-vs-nonempty, matching the usual EM
+/// library conventions (e.g. py_stringmatching).
+
+/// |A ∩ B| / |A ∪ B|.
+double JaccardSimilarity(const TokenList& a, const TokenList& b);
+
+/// 2|A ∩ B| / (|A| + |B|).
+double DiceSimilarity(const TokenList& a, const TokenList& b);
+
+/// |A ∩ B| / min(|A|, |B|).
+double OverlapCoefficient(const TokenList& a, const TokenList& b);
+
+/// Raw intersection size under set semantics.
+size_t IntersectionSize(const TokenList& a, const TokenList& b);
+
+/// Jaccard over padded character 3-grams of the raw strings — "Trigram" in
+/// the paper's Table 3.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_SET_SIMILARITY_H_

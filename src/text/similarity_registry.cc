@@ -1,0 +1,172 @@
+#include "src/text/similarity_registry.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "src/text/alignment.h"
+#include "src/text/cosine.h"
+#include "src/text/exact.h"
+#include "src/text/jaro.h"
+#include "src/text/levenshtein.h"
+#include "src/text/monge_elkan.h"
+#include "src/text/numeric.h"
+#include "src/text/set_similarity.h"
+#include "src/text/soft_tfidf.h"
+#include "src/text/soundex.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+// Cost hints loosely follow the paper's Table 3 ordering (exact match
+// cheapest ... soft TF-IDF most expensive).
+constexpr std::array<SimFunctionInfo, kNumSimFunctions> kInfos = {{
+    {SimFunction::kExactMatch, "exact_match", "Exact Match", TokenNeed::kNone,
+     false, 1.0},
+    {SimFunction::kJaro, "jaro", "Jaro", TokenNeed::kNone, false, 2.5},
+    {SimFunction::kJaroWinkler, "jaro_winkler", "Jaro Winkler",
+     TokenNeed::kNone, false, 3.9},
+    {SimFunction::kLevenshtein, "levenshtein", "Levenshtein",
+     TokenNeed::kNone, false, 6.1},
+    {SimFunction::kCosine, "cosine", "Cosine", TokenNeed::kWords, false,
+     16.9},
+    {SimFunction::kTrigram, "trigram", "Trigram", TokenNeed::kQGram3, false,
+     24.0},
+    {SimFunction::kJaccard, "jaccard", "Jaccard", TokenNeed::kWords, false,
+     33.8},
+    {SimFunction::kSoundex, "soundex", "Soundex", TokenNeed::kNone, false,
+     43.9},
+    {SimFunction::kTfIdf, "tf_idf", "TF-IDF", TokenNeed::kWords, true, 60.9},
+    {SimFunction::kSoftTfIdf, "soft_tf_idf", "Soft TF-IDF", TokenNeed::kWords,
+     true, 109.5},
+    {SimFunction::kOverlap, "overlap", "Overlap", TokenNeed::kWords, false,
+     30.0},
+    {SimFunction::kDice, "dice", "Dice", TokenNeed::kWords, false, 33.0},
+    {SimFunction::kNumeric, "numeric", "Numeric", TokenNeed::kNone, false,
+     1.5},
+    {SimFunction::kMongeElkan, "monge_elkan", "Monge-Elkan",
+     TokenNeed::kWords, false, 45.0},
+    {SimFunction::kNeedlemanWunsch, "needleman_wunsch", "Needleman-Wunsch",
+     TokenNeed::kNone, false, 28.0},
+    {SimFunction::kSmithWaterman, "smith_waterman", "Smith-Waterman",
+     TokenNeed::kNone, false, 30.0},
+}};
+
+std::string NormalizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == ' ' || c == '-' || c == '_') continue;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+const SimFunctionInfo& GetSimFunctionInfo(SimFunction fn) {
+  return kInfos[static_cast<size_t>(fn)];
+}
+
+const std::vector<SimFunction>& AllSimFunctions() {
+  static const std::vector<SimFunction>& all = *new std::vector<SimFunction>(
+      [] {
+        std::vector<SimFunction> v;
+        for (const auto& info : kInfos) v.push_back(info.fn);
+        return v;
+      }());
+  return all;
+}
+
+Result<SimFunction> SimFunctionFromName(std::string_view name) {
+  const std::string key = NormalizeName(name);
+  for (const auto& info : kInfos) {
+    if (NormalizeName(info.name) == key ||
+        NormalizeName(info.display_name) == key) {
+      return info.fn;
+    }
+  }
+  return Status::NotFound(
+      StrFormat("unknown similarity function '%.*s'",
+                static_cast<int>(name.size()), name.data()));
+}
+
+namespace {
+
+// Resolves the token list for one side, tokenizing locally if the caller
+// did not precompute. `storage` keeps a locally-computed list alive.
+const TokenList& ResolveTokens(const SimArg& arg, TokenNeed need,
+                               TokenList& storage) {
+  if (need == TokenNeed::kWords) {
+    if (arg.words != nullptr) return *arg.words;
+    storage = AlnumTokenize(arg.text);
+    return storage;
+  }
+  if (arg.qgrams != nullptr) return *arg.qgrams;
+  storage = QGramTokenize(arg.text, 3);
+  return storage;
+}
+
+}  // namespace
+
+double ComputeSimilarity(SimFunction fn, const SimArg& a, const SimArg& b,
+                         const TfIdfModel* model) {
+  switch (fn) {
+    case SimFunction::kExactMatch:
+      return ExactMatch(a.text, b.text);
+    case SimFunction::kJaro:
+      return JaroSimilarity(a.text, b.text);
+    case SimFunction::kJaroWinkler:
+      return JaroWinklerSimilarity(a.text, b.text);
+    case SimFunction::kLevenshtein:
+      return LevenshteinSimilarity(a.text, b.text);
+    case SimFunction::kSoundex:
+      return SoundexSimilarity(a.text, b.text);
+    case SimFunction::kNumeric:
+      return NumericSimilarity(a.text, b.text);
+    case SimFunction::kNeedlemanWunsch:
+      return NeedlemanWunschSimilarity(a.text, b.text);
+    case SimFunction::kSmithWaterman:
+      return SmithWatermanSimilarity(a.text, b.text);
+    default:
+      break;
+  }
+  const TokenNeed need = GetSimFunctionInfo(fn).tokens;
+  TokenList sa;
+  TokenList sb;
+  const TokenList& ta = ResolveTokens(a, need, sa);
+  const TokenList& tb = ResolveTokens(b, need, sb);
+  switch (fn) {
+    case SimFunction::kCosine:
+      return CosineSimilarity(ta, tb);
+    case SimFunction::kTrigram:
+      return JaccardSimilarity(ta, tb);
+    case SimFunction::kJaccard:
+      return JaccardSimilarity(ta, tb);
+    case SimFunction::kOverlap:
+      return OverlapCoefficient(ta, tb);
+    case SimFunction::kDice:
+      return DiceSimilarity(ta, tb);
+    case SimFunction::kMongeElkan:
+      return MongeElkanSimilarity(ta, tb);
+    case SimFunction::kTfIdf:
+      if (model == nullptr) return 0.0;
+      return model->Similarity(ta, tb);
+    case SimFunction::kSoftTfIdf:
+      if (model == nullptr) return 0.0;
+      return SoftTfIdfSimilarity(*model, ta, tb);
+    default:
+      return 0.0;
+  }
+}
+
+double ComputeSimilarity(SimFunction fn, std::string_view a,
+                         std::string_view b, const TfIdfModel* model) {
+  return ComputeSimilarity(fn, SimArg{a, nullptr, nullptr},
+                           SimArg{b, nullptr, nullptr}, model);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,36 @@
+#include "src/text/soft_tfidf.h"
+
+#include <algorithm>
+
+#include "src/text/jaro.h"
+
+namespace emdbg {
+
+double SoftTfIdfSimilarity(const TfIdfModel& model, const TokenList& a,
+                           const TokenList& b, double threshold) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const TfIdfVector va = model.Vectorize(a);
+  const TfIdfVector vb = model.Vectorize(b);
+  double score = 0.0;
+  for (const auto& [term_a, weight_a] : va.entries) {
+    // Best fuzzy partner of term_a in b.
+    double best_sim = 0.0;
+    double best_weight = 0.0;
+    for (const auto& [term_b, weight_b] : vb.entries) {
+      const double sim = JaroWinklerSimilarity(term_a, term_b);
+      if (sim > best_sim || (sim == best_sim && weight_b > best_weight)) {
+        best_sim = sim;
+        best_weight = weight_b;
+      }
+    }
+    if (best_sim >= threshold) {
+      score += weight_a * best_weight * best_sim;
+    }
+  }
+  // The vectors are unit-norm, so score is already a cosine-like value;
+  // clamp defensively against floating-point drift.
+  return std::min(score, 1.0);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,23 @@
+#ifndef EMDBG_TEXT_SOFT_TFIDF_H_
+#define EMDBG_TEXT_SOFT_TFIDF_H_
+
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+/// Soft TF-IDF similarity (Cohen, Ravikumar & Fienberg 2003): TF-IDF cosine
+/// where tokens need not match exactly — a token of `a` contributes if some
+/// token of `b` has Jaro-Winkler similarity above `threshold`, weighted by
+/// that similarity. This is the most expensive feature in the paper's
+/// Table 3 (66 µs on title×title) because of the all-pairs token
+/// comparison.
+///
+/// `model` supplies the IDF weights; it should be built over the combined
+/// corpus of the attribute's values from both tables.
+double SoftTfIdfSimilarity(const TfIdfModel& model, const TokenList& a,
+                           const TokenList& b, double threshold = 0.9);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_SOFT_TFIDF_H_

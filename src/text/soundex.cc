@@ -1,0 +1,87 @@
+#include "src/text/soundex.h"
+
+#include <cctype>
+
+#include "src/text/set_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+namespace {
+
+// Soundex digit for an upper-case letter; '0' for vowels and similar
+// "ignored" letters, '-' for H/W (which are transparent for adjacency).
+char SoundexDigit(char upper) {
+  switch (upper) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    case 'H':
+    case 'W':
+      return '-';
+    default:
+      return '0';  // A E I O U Y
+  }
+}
+
+}  // namespace
+
+std::string SoundexCode(std::string_view word) {
+  std::string letters;
+  letters.reserve(word.size());
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      letters.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  if (letters.empty()) return "";
+  std::string code;
+  code.push_back(letters[0]);
+  char last_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char d = SoundexDigit(letters[i]);
+    if (d == '-') continue;  // H/W: transparent, keep last_digit as-is
+    if (d != '0' && d != last_digit) code.push_back(d);
+    last_digit = d;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  TokenList codes_a;
+  for (const std::string& t : WhitespaceTokenize(a)) {
+    std::string code = SoundexCode(t);
+    if (!code.empty()) codes_a.push_back(std::move(code));
+  }
+  TokenList codes_b;
+  for (const std::string& t : WhitespaceTokenize(b)) {
+    std::string code = SoundexCode(t);
+    if (!code.empty()) codes_b.push_back(std::move(code));
+  }
+  return JaccardSimilarity(codes_a, codes_b);
+}
+
+}  // namespace emdbg

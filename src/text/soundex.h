@@ -1,0 +1,21 @@
+#ifndef EMDBG_TEXT_SOUNDEX_H_
+#define EMDBG_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace emdbg {
+
+/// American Soundex code of `word` (e.g. "Robert" → "R163"). Non-letter
+/// characters are ignored; an input with no letters yields "".
+std::string SoundexCode(std::string_view word);
+
+/// Phonetic similarity of two strings: each is whitespace-tokenized, every
+/// token is Soundex-encoded, and the result is the Jaccard similarity of the
+/// two code sets. Single-token inputs therefore reduce to code equality
+/// (0 or 1).
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_SOUNDEX_H_

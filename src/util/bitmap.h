@@ -1,0 +1,89 @@
+#ifndef EMDBG_UTIL_BITMAP_H_
+#define EMDBG_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emdbg {
+
+/// A fixed-size dynamic bitset. The incremental-matching engine stores one
+/// bitmap per rule ("pairs this rule matched") and one per predicate ("pairs
+/// this predicate rejected"), so compactness and fast scans matter
+/// (Sec. 6.1 / 7.4 of the paper).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// Creates a bitmap of `size` bits, all set to `initial`.
+  explicit Bitmap(size_t size, bool initial = false);
+
+  Bitmap(const Bitmap&) = default;
+  Bitmap& operator=(const Bitmap&) = default;
+  Bitmap(Bitmap&&) = default;
+  Bitmap& operator=(Bitmap&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Sets every bit to `value`.
+  void Fill(bool value);
+
+  /// Grows (or shrinks) to `size` bits; new bits are `value`.
+  void Resize(size_t size, bool value = false);
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Returns the indices of all set bits, in increasing order.
+  std::vector<size_t> ToIndices() const;
+
+  /// Index of the first set bit at or after `from`, or `size()` if none.
+  size_t FindNext(size_t from) const;
+
+  /// In-place bitwise ops; `other` must have the same size.
+  Bitmap& operator|=(const Bitmap& other);
+  Bitmap& operator&=(const Bitmap& other);
+  /// Clears every bit that is set in `other` (this &= ~other).
+  Bitmap& Subtract(const Bitmap& other);
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Bytes of heap memory used by the word array (for the Sec. 7.4-style
+  /// memory accounting).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Raw 64-bit word storage (for binary persistence). Bit i lives at
+  /// words()[i / 64] bit (i % 64); tail bits beyond size() are zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Reconstructs a bitmap from persisted words. `words` must have
+  /// exactly ceil(size / 64) entries; tail bits are cleared defensively.
+  static Bitmap FromWords(size_t size, std::vector<uint64_t> words);
+
+ private:
+  // Zeroes the unused high bits of the last word so Count()/equality stay
+  // correct after Fill(true) or Resize.
+  void TrimTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_UTIL_BITMAP_H_

@@ -1,0 +1,133 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+bool CsvParser::NextRow(CsvRow* row) {
+  if (!status_.ok() || pos_ >= data_.size()) return false;
+  row->clear();
+  ++line_;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  while (pos_ < data_.size()) {
+    const char c = data_[pos_];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos_ + 1 < data_.size() && data_[pos_ + 1] == '"') {
+          field.push_back('"');
+          pos_ += 2;
+        } else {
+          in_quotes = false;
+          ++pos_;
+        }
+      } else {
+        field.push_back(c);
+        ++pos_;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      ++pos_;
+    } else if (c == delim_) {
+      row->push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      ++pos_;
+    } else if (c == '\n' || c == '\r') {
+      ++pos_;
+      if (c == '\r' && pos_ < data_.size() && data_[pos_] == '\n') ++pos_;
+      row->push_back(std::move(field));
+      return true;
+    } else {
+      field.push_back(c);
+      ++pos_;
+    }
+  }
+  if (in_quotes) {
+    status_ = Status::ParseError(
+        StrFormat("unterminated quoted field at line %zu", line_));
+    return false;
+  }
+  row->push_back(std::move(field));
+  return true;
+}
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view data, char delim) {
+  CsvParser parser(data, delim);
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  while (parser.NextRow(&row)) rows.push_back(row);
+  if (!parser.status().ok()) return parser.status();
+  return rows;
+}
+
+std::string CsvEscape(std::string_view field, char delim) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == '"' || c == delim || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows, char delim) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back(delim);
+      out.append(CsvEscape(row[i], delim));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IoError(StrFormat("error reading %s", path.c_str()));
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s for write",
+                                     path.c_str()));
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IoError(StrFormat("error writing %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace emdbg

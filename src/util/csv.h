@@ -1,0 +1,60 @@
+#ifndef EMDBG_UTIL_CSV_H_
+#define EMDBG_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// RFC-4180-style CSV support (quoted fields, embedded quotes doubled,
+/// embedded newlines inside quotes). Used to persist generated datasets and
+/// to load external tables into `Table`s.
+
+/// One parsed row.
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV parser over an in-memory buffer.
+class CsvParser {
+ public:
+  explicit CsvParser(std::string_view data, char delim = ',')
+      : data_(data), delim_(delim) {}
+
+  /// Reads the next row into `row`. Returns false at end of input.
+  /// Malformed input (unterminated quote) yields a ParseError status via
+  /// `status()` and stops the stream.
+  bool NextRow(CsvRow* row);
+
+  const Status& status() const { return status_; }
+
+  /// 1-based line number of the row most recently returned.
+  size_t line() const { return line_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  size_t line_ = 0;
+  char delim_;
+  Status status_;
+};
+
+/// Parses a whole buffer. Returns ParseError on malformed input.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view data, char delim = ',');
+
+/// Escapes a single field if needed (quotes, delimiter, newline).
+std::string CsvEscape(std::string_view field, char delim = ',');
+
+/// Serializes rows to CSV text with "\n" line endings.
+std::string WriteCsv(const std::vector<CsvRow>& rows, char delim = ',');
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (truncates).
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_UTIL_CSV_H_

@@ -1,0 +1,123 @@
+#include "src/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace emdbg {
+
+void Rng::Seed(uint64_t seed) {
+  // PCG initialization: fixed odd increment, advance once to mix the seed.
+  state_ = 0;
+  inc_ = (seed << 1u) | 1u;
+  Next();
+  state_ += 0x853c49e6748fea9bULL + seed;
+  Next();
+  zipf_n_ = 0;
+  zipf_s_ = -1.0;
+  zipf_cdf_.clear();
+}
+
+uint32_t Rng::Next() {
+  const uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const uint32_t xorshifted =
+      static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+}
+
+uint64_t Rng::Next64() {
+  return (static_cast<uint64_t>(Next()) << 32) | Next();
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Lemire-style rejection over 64 bits.
+  const uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+  while (true) {
+    const uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits → [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; one value per call keeps the generator stateless w.r.t.
+  // interleaving with other draws.
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return Uniform(n);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = sum;
+    }
+    for (auto& v : zipf_cdf_) v /= sum;
+  }
+  const double u = NextDouble();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    Shuffle(all);
+    return all;
+  }
+  // Partial Fisher-Yates over an index array is fine at our scales; for very
+  // large n with tiny k, fall back to hash-free rejection via sorting.
+  if (n <= 1u << 22) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + static_cast<size_t>(Uniform(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::vector<size_t> picked;
+  picked.reserve(k + k / 4);
+  while (picked.size() < k) {
+    while (picked.size() < k) {
+      picked.push_back(static_cast<size_t>(Uniform(n)));
+    }
+    std::sort(picked.begin(), picked.end());
+    picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  }
+  Shuffle(picked);
+  return picked;
+}
+
+}  // namespace emdbg

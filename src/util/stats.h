@@ -1,0 +1,45 @@
+#ifndef EMDBG_UTIL_STATS_H_
+#define EMDBG_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace emdbg {
+
+/// Streaming mean/variance accumulator (Welford). Used for benchmark
+/// reporting and for the cost model's per-feature timing estimates.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (Chan et al. parallel form).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample using linear interpolation between order statistics.
+/// `q` in [0,1]. Sorts a copy; intended for offline reporting.
+double Quantile(std::vector<double> values, double q);
+
+double Mean(const std::vector<double>& values);
+double Median(std::vector<double> values);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_UTIL_STATS_H_

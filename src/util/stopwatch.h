@@ -1,0 +1,35 @@
+#ifndef EMDBG_UTIL_STOPWATCH_H_
+#define EMDBG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace emdbg {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// cost-model calibration (which times individual feature computations).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_UTIL_STOPWATCH_H_

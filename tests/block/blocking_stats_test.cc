@@ -1,0 +1,47 @@
+#include "src/block/blocking_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(BlockingStatsTest, PerfectBlocking) {
+  CandidateSet candidates({{0, 0}, {1, 1}});
+  const std::vector<PairId> matches{{0, 0}, {1, 1}};
+  const BlockingStats s = EvaluateBlocking(candidates, matches, 10, 10);
+  EXPECT_EQ(s.matches_retained, 2u);
+  EXPECT_DOUBLE_EQ(s.pair_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(s.reduction_ratio, 1.0 - 2.0 / 100.0);
+}
+
+TEST(BlockingStatsTest, MissedMatchLowersCompleteness) {
+  CandidateSet candidates({{0, 0}});
+  const std::vector<PairId> matches{{0, 0}, {5, 5}};
+  const BlockingStats s = EvaluateBlocking(candidates, matches, 10, 10);
+  EXPECT_EQ(s.matches_retained, 1u);
+  EXPECT_DOUBLE_EQ(s.pair_completeness, 0.5);
+}
+
+TEST(BlockingStatsTest, NoMatchesIsVacuouslyComplete) {
+  CandidateSet candidates({{0, 0}});
+  const BlockingStats s = EvaluateBlocking(candidates, {}, 4, 4);
+  EXPECT_DOUBLE_EQ(s.pair_completeness, 1.0);
+}
+
+TEST(BlockingStatsTest, EmptyTablesNoCrash) {
+  const BlockingStats s = EvaluateBlocking(CandidateSet(), {}, 0, 0);
+  EXPECT_DOUBLE_EQ(s.reduction_ratio, 0.0);
+  EXPECT_EQ(s.cross_product, 0u);
+}
+
+TEST(BlockingStatsTest, ToStringMentionsMetrics) {
+  CandidateSet candidates({{0, 0}});
+  const BlockingStats s =
+      EvaluateBlocking(candidates, {{0, 0}}, 10, 10);
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("reduction"), std::string::npos);
+  EXPECT_NE(text.find("completeness"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emdbg

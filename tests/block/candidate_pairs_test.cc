@@ -1,0 +1,42 @@
+#include "src/block/candidate_pairs.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(PairIdTest, OrderingAndEquality) {
+  EXPECT_EQ((PairId{1, 2}), (PairId{1, 2}));
+  EXPECT_FALSE((PairId{1, 2}) == (PairId{1, 3}));
+  EXPECT_LT((PairId{1, 2}), (PairId{1, 3}));
+  EXPECT_LT((PairId{1, 9}), (PairId{2, 0}));
+}
+
+TEST(CandidateSetTest, AddAndAccess) {
+  CandidateSet cs;
+  EXPECT_TRUE(cs.empty());
+  cs.Add(PairId{0, 1});
+  cs.Add(PairId{2, 3});
+  EXPECT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs.pair(1), (PairId{2, 3}));
+}
+
+TEST(CandidateSetTest, SortAndDedup) {
+  CandidateSet cs({{2, 0}, {0, 1}, {2, 0}, {0, 0}});
+  cs.SortAndDedup();
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs.pair(0), (PairId{0, 0}));
+  EXPECT_EQ(cs.pair(1), (PairId{0, 1}));
+  EXPECT_EQ(cs.pair(2), (PairId{2, 0}));
+}
+
+TEST(CandidateSetTest, Truncate) {
+  CandidateSet cs({{0, 0}, {0, 1}, {0, 2}});
+  cs.Truncate(2);
+  EXPECT_EQ(cs.size(), 2u);
+  cs.Truncate(10);  // no-op
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,58 @@
+#include "src/block/key_blocker.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+Table MakeTable(const std::string& name,
+                const std::vector<Row>& rows) {
+  Table t(name, Schema({"id", "category"}));
+  for (const Row& r : rows) EXPECT_TRUE(t.AppendRow(r).ok());
+  return t;
+}
+
+TEST(KeyBlockerTest, PairsWithinSameKey) {
+  const Table a = MakeTable("a", {{"a0", "tv"}, {"a1", "phone"}});
+  const Table b =
+      MakeTable("b", {{"b0", "tv"}, {"b1", "tv"}, {"b2", "camera"}});
+  auto pairs = KeyBlocker("category").Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ(pairs->pair(0), (PairId{0, 0}));
+  EXPECT_EQ(pairs->pair(1), (PairId{0, 1}));
+}
+
+TEST(KeyBlockerTest, CaseAndWhitespaceInsensitive) {
+  const Table a = MakeTable("a", {{"a0", " TV "}});
+  const Table b = MakeTable("b", {{"b0", "tv"}});
+  auto pairs = KeyBlocker("category").Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 1u);
+}
+
+TEST(KeyBlockerTest, EmptyKeysAreSkipped) {
+  const Table a = MakeTable("a", {{"a0", ""}});
+  const Table b = MakeTable("b", {{"b0", ""}});
+  auto pairs = KeyBlocker("category").Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(KeyBlockerTest, MissingAttributeIsNotFound) {
+  const Table a = MakeTable("a", {});
+  const Table b = MakeTable("b", {});
+  EXPECT_EQ(KeyBlocker("bogus").Block(a, b).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(KeyBlockerTest, NoSharedKeysNoPairs) {
+  const Table a = MakeTable("a", {{"a0", "x"}});
+  const Table b = MakeTable("b", {{"b0", "y"}});
+  auto pairs = KeyBlocker("category").Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,65 @@
+#include "src/block/overlap_blocker.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+Table MakeTable(const std::string& name, const std::vector<std::string>& titles) {
+  Table t(name, Schema({"title"}));
+  for (const std::string& title : titles) {
+    EXPECT_TRUE(t.AppendRow({title}).ok());
+  }
+  return t;
+}
+
+TEST(OverlapBlockerTest, SingleTokenOverlap) {
+  const Table a = MakeTable("a", {"sony camera", "dell laptop"});
+  const Table b =
+      MakeTable("b", {"sony tv", "apple phone", "gaming laptop"});
+  auto pairs = OverlapBlocker("title", 1).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ(pairs->pair(0), (PairId{0, 0}));  // shares "sony"
+  EXPECT_EQ(pairs->pair(1), (PairId{1, 2}));  // shares "laptop"
+}
+
+TEST(OverlapBlockerTest, MinOverlapTwo) {
+  const Table a = MakeTable("a", {"sony dsc camera"});
+  const Table b = MakeTable("b", {"sony camera bag", "sony tv"});
+  auto pairs = OverlapBlocker("title", 2).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ(pairs->pair(0), (PairId{0, 0}));
+}
+
+TEST(OverlapBlockerTest, TokenizationIsCaseInsensitiveAlnum) {
+  const Table a = MakeTable("a", {"SONY DSC-W800"});
+  const Table b = MakeTable("b", {"sony w800 bundle"});
+  auto pairs = OverlapBlocker("title", 2).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 1u);  // shares {sony, w800}
+}
+
+TEST(OverlapBlockerTest, DuplicateTokensCountOnce) {
+  const Table a = MakeTable("a", {"red red red"});
+  const Table b = MakeTable("b", {"red wine"});
+  auto pairs = OverlapBlocker("title", 2).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());  // only one distinct shared token
+}
+
+TEST(OverlapBlockerTest, ZeroMinOverlapCoercedToOne) {
+  const OverlapBlocker blocker("title", 0);
+  EXPECT_EQ(blocker.min_overlap(), 1u);
+}
+
+TEST(OverlapBlockerTest, MissingAttributeIsNotFound) {
+  const Table a = MakeTable("a", {});
+  const Table b = MakeTable("b", {});
+  EXPECT_EQ(OverlapBlocker("bogus").Block(a, b).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,128 @@
+#include "src/block/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include "src/text/set_similarity.h"
+#include "src/text/tokenizer.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+Table MakeTable(const std::string& name,
+                const std::vector<std::string>& titles) {
+  Table t(name, Schema({"title"}));
+  for (const std::string& title : titles) {
+    EXPECT_TRUE(t.AppendRow({title}).ok());
+  }
+  return t;
+}
+
+/// Brute-force oracle: all pairs with word-token Jaccard >= threshold.
+CandidateSet BruteForce(const Table& a, const Table& b, double threshold) {
+  CandidateSet out;
+  for (uint32_t i = 0; i < a.num_rows(); ++i) {
+    const TokenList ta = AlnumTokenize(a.Value(i, 0));
+    for (uint32_t j = 0; j < b.num_rows(); ++j) {
+      const TokenList tb = AlnumTokenize(b.Value(j, 0));
+      if (ta.empty() && tb.empty()) continue;  // join skips empty sets
+      if (ta.empty() || tb.empty()) continue;
+      if (JaccardSimilarity(ta, tb) >= threshold) {
+        out.Add(PairId{i, j});
+      }
+    }
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+TEST(JaccardJoinTest, FindsHighOverlapPairs) {
+  const Table a = MakeTable("a", {"sony dsc w800 camera", "dell laptop"});
+  const Table b = MakeTable(
+      "b", {"sony w800 camera", "hp laptop computer", "apple phone"});
+  auto pairs = JaccardJoinBlocker("title", 0.5).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ(pairs->pair(0), (PairId{0, 0}));  // 3 of 4 tokens shared
+}
+
+TEST(JaccardJoinTest, ThresholdOneRequiresIdenticalSets) {
+  const Table a = MakeTable("a", {"red green blue", "one two"});
+  const Table b = MakeTable("b", {"blue green red", "one two three"});
+  auto pairs = JaccardJoinBlocker("title", 1.0).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ(pairs->pair(0), (PairId{0, 0}));
+}
+
+TEST(JaccardJoinTest, MatchesBruteForceOnRandomData) {
+  Rng rng(5);
+  const std::vector<std::string> vocab{"alpha", "beta",  "gamma", "delta",
+                                       "eps",   "zeta",  "eta",   "theta",
+                                       "iota",  "kappa", "lam",   "mu"};
+  auto random_title = [&]() {
+    std::string out;
+    const size_t n = 1 + rng.Uniform(6);
+    for (size_t i = 0; i < n; ++i) {
+      if (!out.empty()) out += " ";
+      out += vocab[rng.Uniform(vocab.size())];
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::string> rows_a;
+    std::vector<std::string> rows_b;
+    for (int i = 0; i < 30; ++i) rows_a.push_back(random_title());
+    for (int i = 0; i < 40; ++i) rows_b.push_back(random_title());
+    const Table a = MakeTable("a", rows_a);
+    const Table b = MakeTable("b", rows_b);
+    for (const double threshold : {0.3, 0.5, 0.8, 1.0}) {
+      auto join = JaccardJoinBlocker("title", threshold).Block(a, b);
+      ASSERT_TRUE(join.ok());
+      const CandidateSet oracle = BruteForce(a, b, threshold);
+      EXPECT_EQ(join->pairs(), oracle.pairs())
+          << "trial " << trial << " threshold " << threshold;
+    }
+  }
+}
+
+TEST(JaccardJoinTest, EmptyValuesNeverPair) {
+  const Table a = MakeTable("a", {"", "real title"});
+  const Table b = MakeTable("b", {"", "real title"});
+  auto pairs = JaccardJoinBlocker("title", 0.5).Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ(pairs->pair(0), (PairId{1, 1}));
+}
+
+TEST(JaccardJoinTest, MissingAttributeIsNotFound) {
+  const Table a = MakeTable("a", {});
+  const Table b = MakeTable("b", {});
+  EXPECT_EQ(JaccardJoinBlocker("bogus", 0.5).Block(a, b).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(JaccardJoinTest, ThresholdClamped) {
+  EXPECT_DOUBLE_EQ(JaccardJoinBlocker("t", 2.0).threshold(), 1.0);
+  EXPECT_GT(JaccardJoinBlocker("t", -1.0).threshold(), 0.0);
+}
+
+TEST(JaccardJoinTest, LowerThresholdIsSuperset) {
+  Rng rng(6);
+  const Table a = MakeTable(
+      "a", {"a b c d", "b c d e", "x y z", "a c e", "m n o p q"});
+  const Table b = MakeTable(
+      "b", {"a b c", "c d e f", "x y", "a b c d e", "n o p"});
+  auto loose = JaccardJoinBlocker("title", 0.3).Block(a, b);
+  auto tight = JaccardJoinBlocker("title", 0.7).Block(a, b);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(loose->size(), tight->size());
+  for (const PairId& p : tight->pairs()) {
+    EXPECT_NE(std::find(loose->pairs().begin(), loose->pairs().end(), p),
+              loose->pairs().end());
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,91 @@
+#include "src/core/adaptive_matcher.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+#include "src/core/rule_generator.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class AdaptiveMatcherTest : public ::testing::Test {
+ protected:
+  AdaptiveMatcherTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+    Rng rng(1);
+    sample_ = SamplePairs(ds_.candidates, 0.2, rng);
+  }
+
+  MatchingFunction Rules(size_t n, uint64_t seed) {
+    RuleGeneratorConfig config;
+    config.num_rules = n;
+    config.seed = seed;
+    RuleGenerator gen(*ctx_, sample_, config);
+    return gen.Generate();
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  CandidateSet sample_;
+};
+
+TEST_F(AdaptiveMatcherTest, AgreesWithStaticMatcher) {
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    const MatchingFunction fn = Rules(10, seed);
+    const CostModel model =
+        CostModel::EstimateForFunction(fn, *ctx_, sample_);
+    MemoMatcher static_matcher;
+    AdaptiveMemoMatcher adaptive(model);
+    EXPECT_EQ(adaptive.Run(fn, ds_.candidates, *ctx_).matches,
+              static_matcher.Run(fn, ds_.candidates, *ctx_).matches)
+        << "seed " << seed;
+  }
+}
+
+TEST_F(AdaptiveMatcherTest, AgreesUnderPredicateReordering) {
+  MatchingFunction fn = Rules(8, 6);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  MemoMatcher static_matcher;
+  const Bitmap expected =
+      static_matcher.Run(fn, ds_.candidates, *ctx_).matches;
+  OrderAllRulePredicates(fn, model);
+  AdaptiveMemoMatcher adaptive(model);
+  EXPECT_EQ(adaptive.Run(fn, ds_.candidates, *ctx_).matches, expected);
+}
+
+TEST_F(AdaptiveMatcherTest, ComputesEachPairFeatureAtMostOnce) {
+  const MatchingFunction fn = Rules(12, 7);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  AdaptiveMemoMatcher adaptive(model);
+  const MatchStats stats =
+      adaptive.Run(fn, ds_.candidates, *ctx_).stats;
+  EXPECT_LE(stats.feature_computations,
+            fn.UsedFeatures().size() * ds_.candidates.size());
+}
+
+TEST_F(AdaptiveMatcherTest, EmptyFunctionMatchesNothing) {
+  const MatchingFunction fn;
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  AdaptiveMemoMatcher adaptive(model);
+  EXPECT_EQ(adaptive.Run(fn, ds_.candidates, *ctx_).MatchCount(), 0u);
+}
+
+TEST_F(AdaptiveMatcherTest, Name) {
+  const CostModel model = CostModel::EstimateForFunction(
+      MatchingFunction(), *ctx_, sample_);
+  EXPECT_STREQ(AdaptiveMemoMatcher(model).name(), "DM+EE(adaptive)");
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,158 @@
+#include "src/core/edit_log.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/rule_generator.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class EditLogTest : public ::testing::Test {
+ protected:
+  EditLogTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+    Rng rng(1);
+    sample_ = SamplePairs(ds_.candidates, 0.2, rng);
+    RuleGeneratorConfig config;
+    config.num_rules = 5;
+    config.min_predicates = 2;
+    config.max_predicates = 4;
+    config.seed = 55;
+    gen_ = std::make_unique<RuleGenerator>(*ctx_, sample_, config);
+    inc_ = std::make_unique<IncrementalMatcher>(*ctx_, ds_.candidates);
+    inc_->FullRun(gen_->Generate());
+    baseline_ = inc_->matches();
+  }
+
+  Bitmap Oracle() {
+    MemoMatcher matcher;
+    return matcher.Run(inc_->function(), ds_.candidates, *ctx_).matches;
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  CandidateSet sample_;
+  std::unique_ptr<RuleGenerator> gen_;
+  std::unique_ptr<IncrementalMatcher> inc_;
+  Bitmap baseline_;
+};
+
+TEST_F(EditLogTest, UndoEmptyIsError) {
+  EditLog log;
+  EXPECT_EQ(log.Undo(*inc_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EditLogTest, UndoAddRule) {
+  EditLog log;
+  Rng rng(2);
+  ASSERT_TRUE(log.AddRule(*inc_, gen_->GenerateRule(rng)).ok());
+  EXPECT_EQ(log.size(), 1u);
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(inc_->matches(), baseline_);
+  EXPECT_EQ(inc_->matches(), Oracle());
+}
+
+TEST_F(EditLogTest, UndoRemoveRuleRestoresMatches) {
+  EditLog log;
+  const RuleId rid = inc_->function().rule(0).id();
+  ASSERT_TRUE(log.RemoveRule(*inc_, rid).ok());
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_EQ(inc_->matches(), baseline_);
+  EXPECT_EQ(inc_->function().num_rules(), 5u);
+}
+
+TEST_F(EditLogTest, UndoThresholdChange) {
+  EditLog log;
+  const Rule& rule = inc_->function().rule(0);
+  const Predicate p = rule.predicate(0);
+  ASSERT_TRUE(log.SetThreshold(*inc_, rule.id(), p.id, 0.99).ok());
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_EQ(inc_->matches(), baseline_);
+  EXPECT_DOUBLE_EQ(
+      inc_->function().RuleById(rule.id())->predicate(0).threshold,
+      p.threshold);
+}
+
+TEST_F(EditLogTest, UndoPredicateAddRemove) {
+  EditLog log;
+  Rng rng(3);
+  const RuleId rid = inc_->function().rule(1).id();
+  const Rule donor = gen_->GenerateRule(rng);
+  ASSERT_TRUE(log.AddPredicate(*inc_, rid, donor.predicate(0)).ok());
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_EQ(inc_->matches(), baseline_);
+
+  const PredicateId pid = inc_->function().RuleById(rid)->predicate(0).id;
+  ASSERT_TRUE(log.RemovePredicate(*inc_, rid, pid).ok());
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_EQ(inc_->matches(), baseline_);
+}
+
+TEST_F(EditLogTest, IdRemappingAfterUndoneRemoval) {
+  EditLog log;
+  const RuleId rid = inc_->function().rule(2).id();
+  // Remove the rule, undo (rule returns with a NEW id), then edit through
+  // the OLD id: the log must remap transparently.
+  ASSERT_TRUE(log.RemoveRule(*inc_, rid).ok());
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_EQ(inc_->function().RuleById(rid), nullptr);  // old id is gone
+  ASSERT_TRUE(log.RemoveRule(*inc_, rid).ok());        // remapped
+  ASSERT_TRUE(log.Undo(*inc_).ok());
+  EXPECT_EQ(inc_->matches(), baseline_);
+}
+
+TEST_F(EditLogTest, LifoUndoOfMixedSequence) {
+  EditLog log;
+  Rng rng(4);
+  // Apply a mixed sequence, then undo everything; matches must return to
+  // baseline and stay oracle-consistent the whole way.
+  ASSERT_TRUE(log.AddRule(*inc_, gen_->GenerateRule(rng)).ok());
+  const Rule& rule = inc_->function().rule(0);
+  ASSERT_TRUE(
+      log.SetThreshold(*inc_, rule.id(), rule.predicate(0).id, 0.9).ok());
+  const RuleId removed = inc_->function().rule(1).id();
+  ASSERT_TRUE(log.RemoveRule(*inc_, removed).ok());
+  const Rule donor = gen_->GenerateRule(rng);
+  ASSERT_TRUE(
+      log.AddPredicate(*inc_, inc_->function().rule(0).id(),
+                       donor.predicate(0))
+          .ok());
+  EXPECT_EQ(log.size(), 4u);
+  while (!log.empty()) {
+    ASSERT_TRUE(log.Undo(*inc_).ok());
+    EXPECT_EQ(inc_->matches(), Oracle());
+  }
+  EXPECT_EQ(inc_->matches(), baseline_);
+  EXPECT_EQ(inc_->function().num_rules(), 5u);
+}
+
+TEST_F(EditLogTest, DescribeListsEdits) {
+  EditLog log;
+  Rng rng(5);
+  ASSERT_TRUE(log.AddRule(*inc_, gen_->GenerateRule(rng)).ok());
+  const Rule& rule = inc_->function().rule(0);
+  ASSERT_TRUE(
+      log.SetThreshold(*inc_, rule.id(), rule.predicate(0).id, 0.8).ok());
+  const std::string text = log.Describe(catalog_);
+  EXPECT_NE(text.find("add rule"), std::string::npos);
+  EXPECT_NE(text.find("set threshold"), std::string::npos);
+}
+
+TEST_F(EditLogTest, FailedEditNotRecorded) {
+  EditLog log;
+  EXPECT_FALSE(log.RemoveRule(*inc_, 9999).ok());
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace emdbg

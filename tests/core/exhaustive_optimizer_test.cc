@@ -1,0 +1,141 @@
+#include "src/core/exhaustive_optimizer.h"
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/core/greedy_cost_optimizer.h"
+#include "src/core/greedy_reduction_optimizer.h"
+#include "src/core/ordering.h"
+#include "src/core/rule_generator.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class ExhaustiveOptimizerTest : public ::testing::Test {
+ protected:
+  ExhaustiveOptimizerTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+    Rng rng(21);
+    sample_ = SamplePairs(ds_.candidates, 0.2, rng);
+  }
+
+  MatchingFunction SmallRuleSet(size_t n, uint64_t seed) {
+    RuleGeneratorConfig config;
+    config.num_rules = n;
+    config.min_predicates = 2;
+    config.max_predicates = 4;
+    config.feature_skew = 1.0;
+    config.seed = seed;
+    RuleGenerator gen(*ctx_, sample_, config);
+    return gen.Generate();
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  CandidateSet sample_;
+};
+
+TEST_F(ExhaustiveOptimizerTest, RejectsLargeRuleSets) {
+  const MatchingFunction fn = SmallRuleSet(12, 1);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  EXPECT_EQ(ExhaustiveOptimalOrder(fn, model, 8).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExhaustiveOptimizerTest, ReturnsPermutation) {
+  const MatchingFunction fn = SmallRuleSet(5, 2);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  auto order = ExhaustiveOptimalOrder(fn, model);
+  ASSERT_TRUE(order.ok());
+  std::vector<size_t> sorted = *order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<size_t> expected(5);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExhaustiveOptimizerTest, OptimalIsNoWorseThanAnyOtherOrder) {
+  MatchingFunction fn = SmallRuleSet(5, 3);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  OrderAllRulePredicates(fn, model);
+  auto optimal = ExhaustiveOptimalOrder(fn, model);
+  ASSERT_TRUE(optimal.ok());
+  const double optimal_cost = OrderCostWithMemo(fn, model, *optimal);
+  // Compare against identity and a few random permutations.
+  Rng rng(4);
+  std::vector<size_t> perm(fn.num_rules());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  EXPECT_LE(optimal_cost, OrderCostWithMemo(fn, model, perm) + 1e-9);
+  for (int t = 0; t < 10; ++t) {
+    rng.Shuffle(perm);
+    EXPECT_LE(optimal_cost, OrderCostWithMemo(fn, model, perm) + 1e-9);
+  }
+}
+
+TEST_F(ExhaustiveOptimizerTest, GreedyAlgorithmsAreNearOptimal) {
+  // The claim behind Fig. 3C: the greedy heuristics get close to the
+  // model-optimal order. The bound must be generous: Algorithm 6 ranks
+  // purely by memo-warming reduction (per the paper) and can schedule an
+  // expensive rule first on adversarial small instances, and the modeled
+  // feature costs come from wall-clock timing, so exact ratios vary per
+  // run. We assert (a) the optimum lower-bounds both, and (b) averaged
+  // over instances, both greedy orders stay within 2.5x of optimal.
+  double sum_opt = 0.0;
+  double sum_alg5 = 0.0;
+  double sum_alg6 = 0.0;
+  for (uint64_t seed : {5u, 6u, 7u, 8u}) {
+    MatchingFunction fn = SmallRuleSet(6, seed);
+    const CostModel model =
+        CostModel::EstimateForFunction(fn, *ctx_, sample_);
+    OrderAllRulePredicates(fn, model);
+    auto optimal = ExhaustiveOptimalOrder(fn, model);
+    ASSERT_TRUE(optimal.ok());
+    const double opt = OrderCostWithMemo(fn, model, *optimal);
+    const double alg5 =
+        OrderCostWithMemo(fn, model, GreedyCostOrder(fn, model));
+    const double alg6 =
+        OrderCostWithMemo(fn, model, GreedyReductionOrder(fn, model));
+    EXPECT_GE(alg5, opt - 1e-9) << "seed " << seed;
+    EXPECT_GE(alg6, opt - 1e-9) << "seed " << seed;
+    sum_opt += opt;
+    sum_alg5 += alg5;
+    sum_alg6 += alg6;
+  }
+  EXPECT_LE(sum_alg5, 2.5 * sum_opt);
+  EXPECT_LE(sum_alg6, 2.5 * sum_opt);
+}
+
+TEST_F(ExhaustiveOptimizerTest, OrderCostMatchesCostModelEvaluator) {
+  // OrderCostWithMemo in identity order must agree with the cost model's
+  // FunctionCostWithMemo (same formula, different implementation).
+  MatchingFunction fn = SmallRuleSet(4, 8);
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  std::vector<size_t> identity(fn.num_rules());
+  std::iota(identity.begin(), identity.end(), size_t{0});
+  EXPECT_NEAR(OrderCostWithMemo(fn, model, identity),
+              model.FunctionCostWithMemo(fn),
+              1e-6 * std::max(1.0, model.FunctionCostWithMemo(fn)));
+}
+
+TEST_F(ExhaustiveOptimizerTest, EmptyFunction) {
+  const MatchingFunction fn;
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, sample_);
+  auto order = ExhaustiveOptimalOrder(fn, model);
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->empty());
+}
+
+}  // namespace
+}  // namespace emdbg

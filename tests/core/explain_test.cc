@@ -1,0 +1,117 @@
+#include "src/core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/rule_parser.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest()
+      : a_(testing::PeopleTableA()),
+        b_(testing::PeopleTableB()),
+        catalog_(a_.schema(), b_.schema()),
+        ctx_(a_, b_, catalog_) {
+    auto fn = ParseMatchingFunction(
+        "name: jaccard(name, name) >= 0.9\n"
+        "phone: exact_match(phone, phone) >= 1 AND "
+        "jaccard(name, name) >= 0.4\n",
+        catalog_);
+    fn_ = *fn;
+  }
+
+  Table a_;
+  Table b_;
+  FeatureCatalog catalog_;
+  PairContext ctx_;
+  MatchingFunction fn_;
+};
+
+TEST_F(ExplainTest, MatchedPairNamesResponsibleRule) {
+  // a0-b0: identical names -> rule "name" fires.
+  const MatchExplanation ex = ExplainPair(fn_, {0, 0}, ctx_);
+  EXPECT_TRUE(ex.matched);
+  EXPECT_EQ(ex.responsible_rule, fn_.rule(0).id());
+  ASSERT_EQ(ex.rules.size(), 2u);
+  EXPECT_TRUE(ex.rules[0].fired);
+  EXPECT_TRUE(ex.rules[0].predicates[0].passed);
+}
+
+TEST_F(ExplainTest, UnmatchedPairShowsFailures) {
+  // a1-b0: "Bob Jones" vs "John Smith".
+  const MatchExplanation ex = ExplainPair(fn_, {1, 0}, ctx_);
+  EXPECT_FALSE(ex.matched);
+  EXPECT_EQ(ex.responsible_rule, kInvalidRule);
+  for (const RuleTrace& rt : ex.rules) {
+    EXPECT_FALSE(rt.fired);
+    EXPECT_FALSE(rt.predicates.back().passed);
+  }
+}
+
+TEST_F(ExplainTest, TraceStopsAtFirstFailure) {
+  // a0-b1: phone rule — exact phone passes, name jaccard 1/3 fails.
+  const MatchExplanation ex = ExplainPair(fn_, {0, 1}, ctx_);
+  const RuleTrace& phone_rule = ex.rules[1];
+  ASSERT_EQ(phone_rule.predicates.size(), 2u);
+  EXPECT_TRUE(phone_rule.predicates[0].passed);
+  EXPECT_FALSE(phone_rule.predicates[1].passed);
+}
+
+TEST_F(ExplainTest, AgreesWithMatcherOnAllPairs) {
+  const CandidateSet pairs = testing::AllPairs(a_, b_);
+  MemoMatcher matcher;
+  const Bitmap expected = matcher.Run(fn_, pairs, ctx_).matches;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const MatchExplanation ex = ExplainPair(fn_, pairs.pair(i), ctx_);
+    EXPECT_EQ(ex.matched, expected.Get(i)) << "pair " << i;
+  }
+}
+
+TEST_F(ExplainTest, ToStringMentionsDecision) {
+  const MatchExplanation ex = ExplainPair(fn_, {0, 0}, ctx_);
+  const std::string text = ex.ToString(catalog_);
+  EXPECT_NE(text.find("MATCH"), std::string::npos);
+  EXPECT_NE(text.find("responsible"), std::string::npos);
+  EXPECT_NE(text.find("jaccard(name, name)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, NearMissRanksClosestRuleFirst) {
+  // a0-b1: phone rule fails only on the name predicate (1 failing
+  // predicate); name rule fails its single predicate but with a larger
+  // threshold... both have 1 failing predicate; phone's gap is
+  // |0.4 - 1/3| ≈ 0.067 vs name's |0.9 - 1/3| ≈ 0.567.
+  const auto misses = FindNearMisses(fn_, {0, 1}, ctx_, 5);
+  ASSERT_EQ(misses.size(), 2u);
+  EXPECT_EQ(misses[0].rule_name, "phone");
+  EXPECT_EQ(misses[0].failing_predicates, 1u);
+  EXPECT_NEAR(misses[0].total_gap, 0.4 - 1.0 / 3.0, 1e-6);
+  EXPECT_EQ(misses[1].rule_name, "name");
+}
+
+TEST_F(ExplainTest, NearMissExcludesFiredRules) {
+  const auto misses = FindNearMisses(fn_, {0, 0}, ctx_, 5);
+  for (const NearMiss& m : misses) {
+    EXPECT_NE(m.rule_name, "name");  // "name" fired for a0-b0
+  }
+}
+
+TEST_F(ExplainTest, NearMissTopKLimit) {
+  const auto misses = FindNearMisses(fn_, {1, 0}, ctx_, 1);
+  EXPECT_EQ(misses.size(), 1u);
+}
+
+TEST_F(ExplainTest, NearMissToString) {
+  const auto misses = FindNearMisses(fn_, {0, 1}, ctx_, 2);
+  const std::string text = NearMissesToString(misses, catalog_);
+  EXPECT_NE(text.find("phone"), std::string::npos);
+  EXPECT_NE(text.find("gap"), std::string::npos);
+  EXPECT_EQ(NearMissesToString({}, catalog_),
+            "no near misses (some rule fired)\n");
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,97 @@
+#include "src/core/feature_profiler.h"
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class FeatureProfilerTest : public ::testing::Test {
+ protected:
+  FeatureProfilerTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+};
+
+TEST_F(FeatureProfilerTest, GoodFeatureSeparatesLabels) {
+  const FeatureId f =
+      *catalog_.InternByName(SimFunction::kTrigram, "title", "title");
+  auto profile =
+      ProfileFeature(f, ds_.candidates, ds_.labels, *ctx_, /*max_pairs=*/0);
+  ASSERT_TRUE(profile.ok());
+  // Twins share most of their title; negatives share little.
+  EXPECT_GT(profile->match_mean, profile->nonmatch_mean + 0.2);
+  EXPECT_GT(profile->auc, 0.85);
+  EXPECT_EQ(profile->matches, ds_.labels.Count());
+}
+
+TEST_F(FeatureProfilerTest, HistogramCountsAddUp) {
+  const FeatureId f =
+      *catalog_.InternByName(SimFunction::kJaccard, "title", "title");
+  auto profile = ProfileFeature(f, ds_.candidates, ds_.labels, *ctx_, 0);
+  ASSERT_TRUE(profile.ok());
+  const size_t match_total = std::accumulate(
+      profile->match_hist.begin(), profile->match_hist.end(), size_t{0});
+  const size_t nonmatch_total =
+      std::accumulate(profile->nonmatch_hist.begin(),
+                      profile->nonmatch_hist.end(), size_t{0});
+  EXPECT_EQ(match_total, profile->matches);
+  EXPECT_EQ(nonmatch_total, profile->nonmatches);
+  EXPECT_EQ(match_total + nonmatch_total, ds_.candidates.size());
+}
+
+TEST_F(FeatureProfilerTest, SubsamplingKeepsAllMatches) {
+  const FeatureId f =
+      *catalog_.InternByName(SimFunction::kJaro, "modelno", "modelno");
+  auto profile =
+      ProfileFeature(f, ds_.candidates, ds_.labels, *ctx_, /*max_pairs=*/50);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->matches, ds_.labels.Count());
+  EXPECT_LT(profile->nonmatches, ds_.candidates.size() / 4);
+}
+
+TEST_F(FeatureProfilerTest, UselessFeatureHasMidAuc) {
+  // Price is heavily perturbed and weakly informative; AUC should sit
+  // well below a strong title feature's.
+  const FeatureId price =
+      *catalog_.InternByName(SimFunction::kExactMatch, "price", "price");
+  auto profile = ProfileFeature(price, ds_.candidates, ds_.labels, *ctx_, 0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_LT(profile->auc, 0.85);
+  EXPECT_GE(profile->auc, 0.4);
+}
+
+TEST_F(FeatureProfilerTest, Errors) {
+  const PairLabels wrong(3);
+  EXPECT_EQ(
+      ProfileFeature(0, ds_.candidates, wrong, *ctx_).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(ProfileFeature(kInvalidFeature, ds_.candidates, ds_.labels,
+                           *ctx_)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FeatureProfilerTest, ToStringRendersHistogram) {
+  const FeatureId f =
+      *catalog_.InternByName(SimFunction::kTrigram, "title", "title");
+  auto profile = ProfileFeature(f, ds_.candidates, ds_.labels, *ctx_, 0);
+  ASSERT_TRUE(profile.ok());
+  const std::string text = profile->ToString(catalog_);
+  EXPECT_NE(text.find("trigram(title, title)"), std::string::npos);
+  EXPECT_NE(text.find("AUC"), std::string::npos);
+  EXPECT_NE(text.find("[0.9, 1.0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,79 @@
+#include "src/core/feature.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+FeatureCatalog PeopleCatalog() {
+  return FeatureCatalog(testing::PeopleTableA().schema(),
+                        testing::PeopleTableB().schema());
+}
+
+TEST(FeatureCatalogTest, InternDedupes) {
+  FeatureCatalog catalog = PeopleCatalog();
+  const Feature f{SimFunction::kJaccard, 0, 0};
+  const FeatureId id1 = catalog.Intern(f);
+  const FeatureId id2 = catalog.Intern(f);
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(FeatureCatalogTest, DistinctFeaturesGetDistinctIds) {
+  FeatureCatalog catalog = PeopleCatalog();
+  const FeatureId a = catalog.Intern({SimFunction::kJaccard, 0, 0});
+  const FeatureId b = catalog.Intern({SimFunction::kJaro, 0, 0});
+  const FeatureId c = catalog.Intern({SimFunction::kJaccard, 0, 1});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(catalog.size(), 3u);
+}
+
+TEST(FeatureCatalogTest, InternByName) {
+  FeatureCatalog catalog = PeopleCatalog();
+  auto id = catalog.InternByName(SimFunction::kJaro, "name", "name");
+  ASSERT_TRUE(id.ok());
+  const Feature& f = catalog.feature(*id);
+  EXPECT_EQ(f.fn, SimFunction::kJaro);
+  EXPECT_EQ(f.attr_a, 0u);
+  EXPECT_EQ(f.attr_b, 0u);
+}
+
+TEST(FeatureCatalogTest, InternByNameUnknownAttribute) {
+  FeatureCatalog catalog = PeopleCatalog();
+  EXPECT_EQ(catalog.InternByName(SimFunction::kJaro, "bogus", "name")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.InternByName(SimFunction::kJaro, "name", "bogus")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FeatureCatalogTest, FindMissing) {
+  FeatureCatalog catalog = PeopleCatalog();
+  EXPECT_EQ(catalog.Find({SimFunction::kDice, 1, 1}), kInvalidFeature);
+}
+
+TEST(FeatureCatalogTest, Name) {
+  FeatureCatalog catalog = PeopleCatalog();
+  const FeatureId id = catalog.Intern({SimFunction::kJaccard, 0, 1});
+  EXPECT_EQ(catalog.Name(id), "jaccard(name, phone)");
+}
+
+TEST(FeatureCatalogTest, InternAllSameAttribute) {
+  FeatureCatalog catalog = PeopleCatalog();
+  const auto added = catalog.InternAllSameAttribute();
+  // 4 shared attributes x 13 functions.
+  EXPECT_EQ(added.size(), 4u * kNumSimFunctions);
+  EXPECT_EQ(catalog.size(), 4u * kNumSimFunctions);
+  // Idempotent.
+  catalog.InternAllSameAttribute();
+  EXPECT_EQ(catalog.size(), 4u * kNumSimFunctions);
+}
+
+}  // namespace
+}  // namespace emdbg

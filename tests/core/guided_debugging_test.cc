@@ -1,0 +1,141 @@
+/// Integration test of the guided-debugging workflow: the explain /
+/// near-miss / advisor / simplifier aids must compose into a loop that
+/// measurably improves a rule set — the end-to-end story behind the
+/// paper's Fig. 1 with our extensions closing the "inspect" step.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/debug_session.h"
+#include "src/core/explain.h"
+#include "src/core/rule_simplifier.h"
+#include "src/core/threshold_advisor.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class GuidedDebuggingTest : public ::testing::Test {
+ protected:
+  GuidedDebuggingTest() : ds_(testing::SmallProducts()) {}
+
+  GeneratedDataset ds_;
+};
+
+TEST_F(GuidedDebuggingTest, AdvisorDrivenThresholdFixImprovesF1) {
+  DebugSession session(ds_.a, ds_.b, ds_.candidates);
+  // A rule with a deliberately bad (too strict) threshold.
+  auto rid = session.AddRuleText("r: jaccard(title, title) >= 0.95");
+  ASSERT_TRUE(rid.ok());
+  const QualityMetrics before = session.Score(ds_.labels);
+
+  // Ask the advisor where the threshold should be, apply its suggestion
+  // incrementally, and re-score.
+  const Rule* rule = session.function().RuleById(*rid);
+  const PredicateId pid = rule->predicate(0).id;
+  auto advice =
+      AdviseThreshold(session.function(), *rid, pid, session.candidates(),
+                      ds_.labels, session.context());
+  ASSERT_TRUE(advice.ok());
+  EXPECT_GT(advice->best().f1, before.f1);
+  ASSERT_TRUE(
+      session.SetThreshold(*rid, pid, advice->best().threshold).ok());
+  const QualityMetrics after = session.Score(ds_.labels);
+  EXPECT_GT(after.f1, before.f1);
+  EXPECT_NEAR(after.f1, advice->best().f1, 1e-9);
+}
+
+TEST_F(GuidedDebuggingTest, NearMissPointsAtTheBlockingPredicate) {
+  DebugSession session(ds_.a, ds_.b, ds_.candidates);
+  auto rid = session.AddRuleText(
+      "r: exact_match(category, category) >= 1 AND "
+      "jaccard(title, title) >= 0.99");
+  ASSERT_TRUE(rid.ok());
+  session.Run();
+
+  // Find a false negative (true match that the rule missed).
+  size_t fn_index = ds_.candidates.size();
+  const Bitmap& matches = session.Run();
+  for (size_t i = 0; i < ds_.candidates.size(); ++i) {
+    if (ds_.labels.Get(i) && !matches.Get(i)) {
+      fn_index = i;
+      break;
+    }
+  }
+  ASSERT_LT(fn_index, ds_.candidates.size()) << "no false negative found";
+
+  // The near-miss analysis should blame the title threshold for at least
+  // some missed twins (same category, title slightly below 0.99).
+  const auto misses =
+      FindNearMisses(session.function(), ds_.candidates.pair(fn_index),
+                     session.context());
+  ASSERT_FALSE(misses.empty());
+  EXPECT_EQ(misses[0].rule_id, *rid);
+  // The explanation must agree with the matcher's verdict.
+  const MatchExplanation ex =
+      ExplainPair(session.function(), ds_.candidates.pair(fn_index),
+                  session.context());
+  EXPECT_FALSE(ex.matched);
+}
+
+TEST_F(GuidedDebuggingTest, SimplifierFindingIsActionable) {
+  DebugSession session(ds_.a, ds_.b, ds_.candidates);
+  auto rid = session.AddRuleText(
+      "r: jaccard(title, title) >= 0.6 AND jaccard(title, title) >= 0.3");
+  ASSERT_TRUE(rid.ok());
+  const Bitmap before = session.Run();
+
+  const auto findings =
+      AnalyzeRules(session.function(), session.catalog());
+  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_EQ(findings[0].kind, FindingKind::kRedundantPredicate);
+  // Applying the suggested removal must not change the matches.
+  ASSERT_TRUE(
+      session.RemovePredicate(findings[0].rule_id, findings[0].predicate_id)
+          .ok());
+  EXPECT_EQ(session.Run(), before);
+  EXPECT_TRUE(AnalyzeRules(session.function(), session.catalog()).empty());
+}
+
+TEST_F(GuidedDebuggingTest, FullLoopConvergesToHighQuality) {
+  // Iterate advisor-guided fixes over two rules until F1 stops improving;
+  // the loop should land clearly above the naive starting point.
+  DebugSession session(ds_.a, ds_.b, ds_.candidates);
+  auto r1 = session.AddRuleText("r1: jaccard(title, title) >= 0.9");
+  auto r2 = session.AddRuleText(
+      "r2: exact_match(modelno, modelno) >= 1 AND "
+      "trigram(title, title) >= 0.9");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  double best_f1 = session.Score(ds_.labels).f1;
+  const double initial_f1 = best_f1;
+
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    bool improved = false;
+    for (const RuleId rid : {*r1, *r2}) {
+      const Rule* rule = session.function().RuleById(rid);
+      ASSERT_NE(rule, nullptr);
+      for (size_t k = 0; k < rule->size(); ++k) {
+        const PredicateId pid = rule->predicate(k).id;
+        auto advice = AdviseThreshold(session.function(), rid, pid,
+                                      session.candidates(), ds_.labels,
+                                      session.context());
+        ASSERT_TRUE(advice.ok());
+        if (advice->best().f1 > best_f1 + 1e-9) {
+          ASSERT_TRUE(
+              session.SetThreshold(rid, pid, advice->best().threshold)
+                  .ok());
+          best_f1 = session.Score(ds_.labels).f1;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  EXPECT_GT(best_f1, initial_f1);
+  EXPECT_GT(best_f1, 0.9);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,74 @@
+#include "src/core/match_result.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(MatchStatsTest, Accumulate) {
+  MatchStats a{10, 5, 20, 4, 1.5};
+  const MatchStats b{1, 2, 3, 4, 0.5};
+  a += b;
+  EXPECT_EQ(a.feature_computations, 11u);
+  EXPECT_EQ(a.memo_hits, 7u);
+  EXPECT_EQ(a.predicate_evaluations, 23u);
+  EXPECT_EQ(a.rule_evaluations, 8u);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+}
+
+TEST(MatchStatsTest, ToStringMentionsCounters) {
+  const MatchStats s{1, 2, 3, 4, 5.0};
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("computations=1"), std::string::npos);
+  EXPECT_NE(str.find("memo_hits=2"), std::string::npos);
+}
+
+TEST(EvaluateTest, PerfectPrediction) {
+  Bitmap predicted(4);
+  Bitmap labels(4);
+  predicted.Set(1);
+  labels.Set(1);
+  const QualityMetrics m = Evaluate(predicted, labels);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvaluateTest, MixedPrediction) {
+  Bitmap predicted(6);
+  Bitmap labels(6);
+  // tp at 0; fp at 1, 2; fn at 3; tn at 4, 5.
+  predicted.Set(0);
+  predicted.Set(1);
+  predicted.Set(2);
+  labels.Set(0);
+  labels.Set(3);
+  const QualityMetrics m = Evaluate(predicted, labels);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 2u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 0.5, 1e-12);
+  EXPECT_NEAR(m.f1, 2 * (1.0 / 3.0) * 0.5 / (1.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(EvaluateTest, NoPredictionsNoLabels) {
+  const QualityMetrics m = Evaluate(Bitmap(3), Bitmap(3));
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MatchResultTest, MatchCount) {
+  MatchResult r;
+  r.matches = Bitmap(10);
+  r.matches.Set(3);
+  r.matches.Set(7);
+  EXPECT_EQ(r.MatchCount(), 2u);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,89 @@
+#include "src/core/match_state.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(MatchStateTest, InitializeAllocates) {
+  MatchState state;
+  EXPECT_FALSE(state.initialized());
+  state.Initialize(100, 8);
+  EXPECT_TRUE(state.initialized());
+  EXPECT_EQ(state.num_pairs(), 100u);
+  EXPECT_EQ(state.matches().size(), 100u);
+  EXPECT_EQ(state.memo().num_pairs(), 100u);
+  EXPECT_EQ(state.memo().num_features(), 8u);
+}
+
+TEST(MatchStateTest, RuleBitmapsCreatedOnDemand) {
+  MatchState state;
+  state.Initialize(50, 4);
+  EXPECT_EQ(state.FindRuleTrue(3), nullptr);
+  Bitmap& bm = state.RuleTrue(3);
+  EXPECT_EQ(bm.size(), 50u);
+  bm.Set(7);
+  ASSERT_NE(state.FindRuleTrue(3), nullptr);
+  EXPECT_TRUE(state.FindRuleTrue(3)->Get(7));
+  EXPECT_EQ(state.num_rule_bitmaps(), 1u);
+}
+
+TEST(MatchStateTest, PredicateBitmapsCreatedOnDemand) {
+  MatchState state;
+  state.Initialize(50, 4);
+  EXPECT_EQ(state.FindPredFalse(9), nullptr);
+  state.PredFalse(9).Set(1);
+  EXPECT_TRUE(state.FindPredFalse(9)->Get(1));
+  EXPECT_EQ(state.num_predicate_bitmaps(), 1u);
+}
+
+TEST(MatchStateTest, EraseDropsBitmaps) {
+  MatchState state;
+  state.Initialize(10, 2);
+  state.RuleTrue(1).Set(0);
+  state.PredFalse(2).Set(0);
+  state.EraseRule(1);
+  state.ErasePredicate(2);
+  EXPECT_EQ(state.FindRuleTrue(1), nullptr);
+  EXPECT_EQ(state.FindPredFalse(2), nullptr);
+}
+
+TEST(MatchStateTest, ReinitializeClearsBitmaps) {
+  MatchState state;
+  state.Initialize(10, 2);
+  state.RuleTrue(1).Set(0);
+  state.memo().Store(0, 0, 0.5);
+  state.Initialize(10, 2);
+  EXPECT_EQ(state.FindRuleTrue(1), nullptr);
+  EXPECT_EQ(state.memo().FilledCount(), 0u);
+}
+
+TEST(MatchStateTest, MemoryAccounting) {
+  MatchState state;
+  state.Initialize(1000, 10);
+  const size_t base = state.MemoryBytes();
+  EXPECT_GE(base, 1000u * 10u * sizeof(float));
+  state.RuleTrue(0);
+  state.PredFalse(0);
+  EXPECT_GT(state.MemoryBytes(), base);
+  const std::string report = state.MemoryReport();
+  EXPECT_NE(report.find("memo:"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(MatchStateTest, PaperScaleBitmapMemory) {
+  // Sec. 7.4: 255 rules + 1688 predicates over 291,649 pairs. With packed
+  // bitmaps this is ~(255 + 1688) * 36 KB ≈ 68 MB — far below the paper's
+  // 542 MB Java boolean arrays, which is the point of using bitmaps.
+  MatchState state;
+  state.Initialize(291649, 33);
+  for (RuleId r = 0; r < 255; ++r) state.RuleTrue(r);
+  for (PredicateId p = 0; p < 1688; ++p) state.PredFalse(p);
+  const double mb =
+      static_cast<double>(state.MemoryBytes()) / (1024.0 * 1024.0);
+  EXPECT_LT(mb, 150.0);
+  EXPECT_GT(mb, 80.0);  // memo ~37 MB + bitmaps ~68 MB
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,100 @@
+/// Parameterized agreement sweep: every (ordering strategy x
+/// check-cache-first x rule seed) combination must produce exactly the
+/// matches of the rudimentary oracle. This is the library's central
+/// correctness property — all of the paper's optimizations are
+/// semantics-preserving.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/ordering.h"
+#include "src/core/rudimentary_matcher.h"
+#include "src/core/rule_generator.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+using ParamType = std::tuple<OrderingStrategy, bool, int>;
+
+class MatcherAgreementTest : public ::testing::TestWithParam<ParamType> {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new GeneratedDataset(testing::SmallProducts(31337));
+    catalog_ = new FeatureCatalog(ds_->a.schema(), ds_->b.schema());
+    catalog_->InternAllSameAttribute();
+    ctx_ = new PairContext(ds_->a, ds_->b, *catalog_);
+    Rng rng(11);
+    sample_ = new CandidateSet(SamplePairs(ds_->candidates, 0.25, rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete sample_;
+    delete ctx_;
+    delete catalog_;
+    delete ds_;
+    sample_ = nullptr;
+    ctx_ = nullptr;
+    catalog_ = nullptr;
+    ds_ = nullptr;
+  }
+
+  static GeneratedDataset* ds_;
+  static FeatureCatalog* catalog_;
+  static PairContext* ctx_;
+  static CandidateSet* sample_;
+};
+
+GeneratedDataset* MatcherAgreementTest::ds_ = nullptr;
+FeatureCatalog* MatcherAgreementTest::catalog_ = nullptr;
+PairContext* MatcherAgreementTest::ctx_ = nullptr;
+CandidateSet* MatcherAgreementTest::sample_ = nullptr;
+
+TEST_P(MatcherAgreementTest, OptimizedEqualsOracle) {
+  const auto [strategy, check_cache_first, seed] = GetParam();
+  RuleGeneratorConfig config;
+  config.num_rules = 8;
+  config.min_predicates = 2;
+  config.max_predicates = 5;
+  config.seed = static_cast<uint64_t>(seed);
+  RuleGenerator gen(*ctx_, *sample_, config);
+  MatchingFunction fn = gen.Generate();
+
+  RudimentaryMatcher oracle;
+  const Bitmap expected = oracle.Run(fn, ds_->candidates, *ctx_).matches;
+
+  const CostModel model =
+      CostModel::EstimateForFunction(fn, *ctx_, *sample_);
+  Rng rng(99);
+  ApplyOrdering(fn, strategy, model, &rng);
+
+  MemoMatcher matcher(
+      MemoMatcher::Options{.check_cache_first = check_cache_first});
+  EXPECT_EQ(matcher.Run(fn, ds_->candidates, *ctx_).matches, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatcherAgreementTest,
+    ::testing::Combine(
+        ::testing::Values(OrderingStrategy::kAsWritten,
+                          OrderingStrategy::kRandom,
+                          OrderingStrategy::kIndependent,
+                          OrderingStrategy::kGreedyCost,
+                          OrderingStrategy::kGreedyReduction),
+        ::testing::Bool(), ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<ParamType>& info) {
+      // Note: no structured bindings here — their brackets do not protect
+      // commas from the INSTANTIATE macro's argument splitting.
+      const OrderingStrategy strategy = std::get<0>(info.param);
+      const bool ccf = std::get<1>(info.param);
+      const int seed = std::get<2>(info.param);
+      return std::string(OrderingStrategyName(strategy)) +
+             (ccf ? "_ccf" : "_plain") + "_seed" + std::to_string(seed);
+    });
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,203 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/early_exit_matcher.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/precompute_matcher.h"
+#include "src/core/rudimentary_matcher.h"
+#include "src/core/rule_generator.h"
+#include "src/core/rule_parser.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+/// Shared fixture: the small generated products dataset with its catalog,
+/// context, and a generated rule set.
+class MatchersTest : public ::testing::Test {
+ protected:
+  MatchersTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+  }
+
+  MatchingFunction GeneratedRules(size_t num_rules, uint64_t seed) {
+    Rng rng(seed);
+    const CandidateSet sample = SamplePairs(ds_.candidates, 0.1, rng);
+    RuleGeneratorConfig config;
+    config.num_rules = num_rules;
+    config.min_predicates = 2;
+    config.max_predicates = 5;
+    config.seed = seed;
+    RuleGenerator gen(*ctx_, sample, config);
+    return gen.Generate();
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+};
+
+TEST_F(MatchersTest, AllMatchersAgreeOnGeneratedRules) {
+  const MatchingFunction fn = GeneratedRules(8, 42);
+  RudimentaryMatcher rudimentary;
+  EarlyExitMatcher early_exit;
+  PrecomputeMatcher production(PrecomputeMatcher::Scope::kProduction);
+  PrecomputeMatcher full(PrecomputeMatcher::Scope::kFull);
+  MemoMatcher memo;
+  MemoMatcher memo_ccf(MemoMatcher::Options{.check_cache_first = true});
+
+  const Bitmap expected = rudimentary.Run(fn, ds_.candidates, *ctx_).matches;
+  EXPECT_EQ(early_exit.Run(fn, ds_.candidates, *ctx_).matches, expected);
+  EXPECT_EQ(production.Run(fn, ds_.candidates, *ctx_).matches, expected);
+  EXPECT_EQ(full.Run(fn, ds_.candidates, *ctx_).matches, expected);
+  EXPECT_EQ(memo.Run(fn, ds_.candidates, *ctx_).matches, expected);
+  EXPECT_EQ(memo_ccf.Run(fn, ds_.candidates, *ctx_).matches, expected);
+}
+
+TEST_F(MatchersTest, AgreementHoldsAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const MatchingFunction fn = GeneratedRules(5, seed);
+    RudimentaryMatcher rudimentary;
+    MemoMatcher memo;
+    EXPECT_EQ(memo.Run(fn, ds_.candidates, *ctx_).matches,
+              rudimentary.Run(fn, ds_.candidates, *ctx_).matches)
+        << "seed " << seed;
+  }
+}
+
+TEST_F(MatchersTest, EarlyExitDoesNoMoreWorkThanRudimentary) {
+  const MatchingFunction fn = GeneratedRules(8, 7);
+  RudimentaryMatcher rudimentary;
+  EarlyExitMatcher early_exit;
+  const MatchStats r = rudimentary.Run(fn, ds_.candidates, *ctx_).stats;
+  const MatchStats e = early_exit.Run(fn, ds_.candidates, *ctx_).stats;
+  EXPECT_LT(e.feature_computations, r.feature_computations);
+  EXPECT_LE(e.predicate_evaluations, r.predicate_evaluations);
+  // Rudimentary computes one feature per predicate evaluation of every
+  // rule for every pair.
+  EXPECT_EQ(r.feature_computations,
+            fn.num_predicates() * ds_.candidates.size());
+}
+
+TEST_F(MatchersTest, MemoingComputesEachPairFeatureAtMostOnce) {
+  const MatchingFunction fn = GeneratedRules(10, 9);
+  MemoMatcher memo;
+  const MatchStats s = memo.Run(fn, ds_.candidates, *ctx_).stats;
+  const size_t used_features = fn.UsedFeatures().size();
+  EXPECT_LE(s.feature_computations,
+            used_features * ds_.candidates.size());
+  // And strictly fewer computations than early exit when features repeat.
+  EarlyExitMatcher early_exit;
+  const MatchStats e = early_exit.Run(fn, ds_.candidates, *ctx_).stats;
+  EXPECT_LE(s.feature_computations, e.feature_computations);
+}
+
+TEST_F(MatchersTest, ProductionPrecomputesOnlyUsedFeatures) {
+  const MatchingFunction fn = GeneratedRules(4, 11);
+  PrecomputeMatcher production(PrecomputeMatcher::Scope::kProduction);
+  PrecomputeMatcher full(PrecomputeMatcher::Scope::kFull);
+  const MatchStats p = production.Run(fn, ds_.candidates, *ctx_).stats;
+  const MatchStats f = full.Run(fn, ds_.candidates, *ctx_).stats;
+  EXPECT_EQ(p.feature_computations,
+            fn.UsedFeatures().size() * ds_.candidates.size());
+  EXPECT_EQ(f.feature_computations, catalog_.size() * ds_.candidates.size());
+  EXPECT_LT(p.feature_computations, f.feature_computations);
+}
+
+TEST_F(MatchersTest, DslRuleOnFigure2Example) {
+  // The paper's running example: name-match OR phone+name match.
+  const Table a = testing::PeopleTableA();
+  const Table b = testing::PeopleTableB();
+  FeatureCatalog catalog(a.schema(), b.schema());
+  auto fn = ParseMatchingFunction(
+      "r1: jaccard(name, name) >= 0.9\n"
+      "r2: exact_match(phone, phone) >= 1 AND jaccard(name, name) >= 0.4\n",
+      catalog);
+  ASSERT_TRUE(fn.ok());
+  PairContext ctx(a, b, catalog);
+  const CandidateSet pairs = testing::AllPairs(a, b);
+  MemoMatcher memo;
+  const MatchResult result = memo.Run(*fn, pairs, ctx);
+  // a0-b0: identical names -> r1 fires.
+  // a0-b1: "John Smith" vs "John Smyth" share 1 of 3 tokens -> r1 no;
+  //         phone matches and jaccard 1/3 < 0.4 -> r2 no.
+  auto index_of = [&](uint32_t ai, uint32_t bi) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (pairs.pair(i) == PairId{ai, bi}) return i;
+    }
+    return pairs.size();
+  };
+  EXPECT_TRUE(result.matches.Get(index_of(0, 0)));
+  EXPECT_FALSE(result.matches.Get(index_of(0, 1)));
+  EXPECT_FALSE(result.matches.Get(index_of(1, 0)));
+}
+
+TEST_F(MatchersTest, EmptyFunctionMatchesNothing) {
+  const MatchingFunction fn;
+  MemoMatcher memo;
+  EXPECT_EQ(memo.Run(fn, ds_.candidates, *ctx_).MatchCount(), 0u);
+  RudimentaryMatcher rudimentary;
+  EXPECT_EQ(rudimentary.Run(fn, ds_.candidates, *ctx_).MatchCount(), 0u);
+}
+
+TEST_F(MatchersTest, EmptyRuleIsFalse) {
+  MatchingFunction fn;
+  fn.AddRule(Rule("empty"));
+  MemoMatcher memo;
+  EXPECT_EQ(memo.Run(fn, ds_.candidates, *ctx_).MatchCount(), 0u);
+  EarlyExitMatcher early_exit;
+  EXPECT_EQ(early_exit.Run(fn, ds_.candidates, *ctx_).MatchCount(), 0u);
+}
+
+TEST_F(MatchersTest, CheckCacheFirstPreservesResults) {
+  const MatchingFunction fn = GeneratedRules(12, 21);
+  MemoMatcher plain;
+  MemoMatcher ccf(MemoMatcher::Options{.check_cache_first = true});
+  const MatchResult rp = plain.Run(fn, ds_.candidates, *ctx_);
+  const MatchResult rc = ccf.Run(fn, ds_.candidates, *ctx_);
+  EXPECT_EQ(rp.matches, rc.matches);
+  // Check-cache-first can only reduce feature computations.
+  EXPECT_LE(rc.stats.feature_computations, rp.stats.feature_computations);
+}
+
+TEST_F(MatchersTest, RunWithStateRecordsBitmaps) {
+  const MatchingFunction fn = GeneratedRules(6, 31);
+  MemoMatcher memo;
+  MatchState state;
+  const MatchResult result =
+      memo.RunWithState(fn, ds_.candidates, *ctx_, state);
+  EXPECT_EQ(state.matches(), result.matches);
+  // Every matched pair is covered by exactly one responsible rule bit.
+  for (size_t i = 0; i < ds_.candidates.size(); ++i) {
+    size_t responsible = 0;
+    for (const Rule& r : fn.rules()) {
+      const Bitmap* bm = state.FindRuleTrue(r.id());
+      if (bm != nullptr && bm->Get(i)) ++responsible;
+    }
+    EXPECT_EQ(responsible, result.matches.Get(i) ? 1u : 0u) << "pair " << i;
+  }
+  // Memo reuse: a second run computes nothing new.
+  ctx_->ResetComputeCount();
+  const MatchResult again =
+      memo.RunWithState(fn, ds_.candidates, *ctx_, state);
+  EXPECT_EQ(again.stats.feature_computations, 0u);
+  EXPECT_EQ(again.matches, result.matches);
+}
+
+TEST_F(MatchersTest, MatcherNames) {
+  EXPECT_STREQ(RudimentaryMatcher().name(), "R");
+  EXPECT_STREQ(EarlyExitMatcher().name(), "EE");
+  EXPECT_STREQ(
+      PrecomputeMatcher(PrecomputeMatcher::Scope::kProduction).name(),
+      "PPR+EE");
+  EXPECT_STREQ(PrecomputeMatcher(PrecomputeMatcher::Scope::kFull).name(),
+               "FPR+EE");
+  EXPECT_STREQ(MemoMatcher().name(), "DM+EE");
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,108 @@
+#include "src/core/matching_function.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+Rule MakeRule(FeatureId f, double t) {
+  Rule r;
+  r.AddPredicate({f, CompareOp::kGe, t});
+  return r;
+}
+
+TEST(MatchingFunctionTest, AddRuleAssignsStableIds) {
+  MatchingFunction fn;
+  const RuleId r0 = fn.AddRule(MakeRule(0, 0.5));
+  const RuleId r1 = fn.AddRule(MakeRule(1, 0.6));
+  EXPECT_NE(r0, r1);
+  EXPECT_EQ(fn.num_rules(), 2u);
+  // Predicate ids are distinct across rules.
+  EXPECT_NE(fn.rule(0).predicate(0).id, fn.rule(1).predicate(0).id);
+}
+
+TEST(MatchingFunctionTest, AutoNamesRules) {
+  MatchingFunction fn;
+  const RuleId rid = fn.AddRule(MakeRule(0, 0.5));
+  EXPECT_FALSE(fn.RuleById(rid)->name().empty());
+}
+
+TEST(MatchingFunctionTest, RemoveRule) {
+  MatchingFunction fn;
+  const RuleId r0 = fn.AddRule(MakeRule(0, 0.5));
+  const RuleId r1 = fn.AddRule(MakeRule(1, 0.6));
+  EXPECT_TRUE(fn.RemoveRule(r0).ok());
+  EXPECT_EQ(fn.num_rules(), 1u);
+  EXPECT_EQ(fn.rule(0).id(), r1);
+  EXPECT_EQ(fn.RemoveRule(r0).code(), StatusCode::kNotFound);
+}
+
+TEST(MatchingFunctionTest, AddRemovePredicate) {
+  MatchingFunction fn;
+  const RuleId rid = fn.AddRule(MakeRule(0, 0.5));
+  auto pid = fn.AddPredicate(rid, {1, CompareOp::kLt, 0.4});
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(fn.RuleById(rid)->size(), 2u);
+  EXPECT_TRUE(fn.RemovePredicate(rid, *pid).ok());
+  EXPECT_EQ(fn.RuleById(rid)->size(), 1u);
+  EXPECT_EQ(fn.RemovePredicate(rid, *pid).code(), StatusCode::kNotFound);
+  EXPECT_EQ(fn.AddPredicate(999, {1, CompareOp::kLt, 0.4}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MatchingFunctionTest, SetThreshold) {
+  MatchingFunction fn;
+  const RuleId rid = fn.AddRule(MakeRule(0, 0.5));
+  const PredicateId pid = fn.rule(0).predicate(0).id;
+  EXPECT_TRUE(fn.SetThreshold(rid, pid, 0.8).ok());
+  EXPECT_DOUBLE_EQ(fn.RuleById(rid)->predicate(0).threshold, 0.8);
+  EXPECT_EQ(fn.SetThreshold(rid, 999, 0.8).code(), StatusCode::kNotFound);
+  EXPECT_EQ(fn.SetThreshold(999, pid, 0.8).code(), StatusCode::kNotFound);
+}
+
+TEST(MatchingFunctionTest, PermuteRulesKeepsIds) {
+  MatchingFunction fn;
+  const RuleId r0 = fn.AddRule(MakeRule(0, 0.5));
+  const RuleId r1 = fn.AddRule(MakeRule(1, 0.6));
+  const RuleId r2 = fn.AddRule(MakeRule(2, 0.7));
+  fn.PermuteRules({2, 0, 1});
+  EXPECT_EQ(fn.rule(0).id(), r2);
+  EXPECT_EQ(fn.rule(1).id(), r0);
+  EXPECT_EQ(fn.rule(2).id(), r1);
+  EXPECT_EQ(fn.FindRule(r0), 1u);
+}
+
+TEST(MatchingFunctionTest, IdsNotReusedAfterRemoval) {
+  MatchingFunction fn;
+  const RuleId r0 = fn.AddRule(MakeRule(0, 0.5));
+  EXPECT_TRUE(fn.RemoveRule(r0).ok());
+  const RuleId r1 = fn.AddRule(MakeRule(1, 0.6));
+  EXPECT_NE(r0, r1);
+}
+
+TEST(MatchingFunctionTest, UsedFeatures) {
+  MatchingFunction fn;
+  Rule r1;
+  r1.AddPredicate({3, CompareOp::kGe, 0.5});
+  r1.AddPredicate({1, CompareOp::kLt, 0.5});
+  fn.AddRule(r1);
+  Rule r2;
+  r2.AddPredicate({1, CompareOp::kGe, 0.8});
+  r2.AddPredicate({5, CompareOp::kGe, 0.2});
+  fn.AddRule(r2);
+  EXPECT_EQ(fn.UsedFeatures(), (std::vector<FeatureId>{3, 1, 5}));
+  EXPECT_EQ(fn.num_predicates(), 4u);
+}
+
+TEST(MatchingFunctionTest, RuleByIdMutable) {
+  MatchingFunction fn;
+  const RuleId rid = fn.AddRule(MakeRule(0, 0.5));
+  Rule* r = fn.MutableRuleById(rid);
+  ASSERT_NE(r, nullptr);
+  r->set_name("renamed");
+  EXPECT_EQ(fn.RuleById(rid)->name(), "renamed");
+  EXPECT_EQ(fn.RuleById(12345), nullptr);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,173 @@
+#include "src/core/ordering.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/rule_generator.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  OrderingTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+    Rng rng(2);
+    sample_ = SamplePairs(ds_.candidates, 0.25, rng);
+  }
+
+  FeatureId Feat(SimFunction fn, const char* attr) {
+    return *catalog_.InternByName(fn, attr, attr);
+  }
+
+  MatchingFunction GeneratedRules(size_t n, uint64_t seed) {
+    RuleGeneratorConfig config;
+    config.num_rules = n;
+    config.seed = seed;
+    RuleGenerator gen(*ctx_, sample_, config);
+    return gen.Generate();
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  CandidateSet sample_;
+};
+
+// Permutations must not change matching semantics, only cost.
+TEST_F(OrderingTest, AllStrategiesPreserveMatches) {
+  const MatchingFunction original = GeneratedRules(10, 5);
+  const CostModel model =
+      CostModel::EstimateForFunction(original, *ctx_, sample_);
+  MemoMatcher matcher;
+  const Bitmap expected =
+      matcher.Run(original, ds_.candidates, *ctx_).matches;
+  Rng rng(6);
+  for (const OrderingStrategy s :
+       {OrderingStrategy::kRandom, OrderingStrategy::kIndependent,
+        OrderingStrategy::kGreedyCost, OrderingStrategy::kGreedyReduction}) {
+    MatchingFunction fn = original;
+    ApplyOrdering(fn, s, model, &rng);
+    EXPECT_EQ(matcher.Run(fn, ds_.candidates, *ctx_).matches, expected)
+        << OrderingStrategyName(s);
+    EXPECT_EQ(fn.num_rules(), original.num_rules());
+    EXPECT_EQ(fn.num_predicates(), original.num_predicates());
+  }
+}
+
+TEST_F(OrderingTest, Lemma3GroupsPredicatesBySharedFeature) {
+  const FeatureId f = Feat(SimFunction::kJaccard, "title");
+  const FeatureId g = Feat(SimFunction::kExactMatch, "brand");
+  const CostModel model = CostModel::Estimate({f, g}, *ctx_, sample_);
+  Rule r;
+  r.AddPredicate({f, CompareOp::kGe, 0.2, 1});
+  r.AddPredicate({g, CompareOp::kGe, 1.0, 2});
+  r.AddPredicate({f, CompareOp::kLt, 0.9, 3});
+  OrderRulePredicates(r, model);
+  // The two predicates on f must be adjacent after grouping.
+  size_t pos_f1 = r.FindPredicate(1);
+  size_t pos_f2 = r.FindPredicate(3);
+  EXPECT_EQ(std::max(pos_f1, pos_f2) - std::min(pos_f1, pos_f2), 1u);
+}
+
+TEST_F(OrderingTest, Lemma2OrdersWithinGroupBySelectivity) {
+  const FeatureId f = Feat(SimFunction::kTrigram, "title");
+  const CostModel model = CostModel::Estimate({f}, *ctx_, sample_);
+  Rule r;
+  // A permissive lower bound and a selective lower... use one >= and one <
+  // where the < is much more selective.
+  Predicate loose{f, CompareOp::kGe, 0.01, 1};
+  Predicate tight{f, CompareOp::kLt, 0.02, 2};
+  r.AddPredicate(loose);
+  r.AddPredicate(tight);
+  OrderRulePredicates(r, model);
+  const double sel_first = model.PredicateSelectivity(r.predicate(0));
+  const double sel_second = model.PredicateSelectivity(r.predicate(1));
+  EXPECT_LE(sel_first, sel_second);
+}
+
+TEST_F(OrderingTest, Lemma1PutsSelectiveCheapFirst) {
+  const FeatureId cheap = Feat(SimFunction::kExactMatch, "modelno");
+  const FeatureId costly = Feat(SimFunction::kSoftTfIdf, "title");
+  const CostModel model =
+      CostModel::Estimate({cheap, costly}, *ctx_, sample_);
+  Rule r;
+  r.AddPredicate({costly, CompareOp::kGe, 0.8, 1});
+  r.AddPredicate({cheap, CompareOp::kGe, 1.0, 2});
+  OrderRulePredicatesIndependent(r, model);
+  // The cheap, highly selective exact match should be evaluated first.
+  EXPECT_EQ(r.predicate(0).feature, cheap);
+}
+
+TEST_F(OrderingTest, Theorem1PutsCheapUnselectiveRuleFirst) {
+  const FeatureId cheap = Feat(SimFunction::kExactMatch, "category");
+  const FeatureId costly = Feat(SimFunction::kSoftTfIdf, "title");
+  const CostModel model =
+      CostModel::Estimate({cheap, costly}, *ctx_, sample_);
+  MatchingFunction fn;
+  Rule expensive_rule;  // expensive, selective
+  expensive_rule.AddPredicate({costly, CompareOp::kGe, 0.95});
+  const RuleId exp_id = fn.AddRule(expensive_rule);
+  Rule cheap_rule;  // cheap, matches many pairs (same category is common)
+  cheap_rule.AddPredicate({cheap, CompareOp::kGe, 1.0});
+  const RuleId cheap_id = fn.AddRule(cheap_rule);
+  (void)exp_id;
+  OrderRulesIndependent(fn, model);
+  EXPECT_EQ(fn.rule(0).id(), cheap_id);
+}
+
+TEST_F(OrderingTest, RandomizeIsPermutation) {
+  MatchingFunction fn = GeneratedRules(8, 9);
+  std::vector<RuleId> ids_before;
+  for (const Rule& r : fn.rules()) ids_before.push_back(r.id());
+  Rng rng(10);
+  RandomizeOrder(fn, rng);
+  std::vector<RuleId> ids_after;
+  for (const Rule& r : fn.rules()) ids_after.push_back(r.id());
+  std::sort(ids_before.begin(), ids_before.end());
+  std::sort(ids_after.begin(), ids_after.end());
+  EXPECT_EQ(ids_before, ids_after);
+}
+
+TEST_F(OrderingTest, StrategyNamesRoundTrip) {
+  for (const OrderingStrategy s :
+       {OrderingStrategy::kAsWritten, OrderingStrategy::kRandom,
+        OrderingStrategy::kIndependent, OrderingStrategy::kGreedyCost,
+        OrderingStrategy::kGreedyReduction}) {
+    auto parsed = OrderingStrategyFromName(OrderingStrategyName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(OrderingStrategyFromName("bogus").ok());
+}
+
+TEST_F(OrderingTest, GreedyOrderingsReduceModeledCost) {
+  const MatchingFunction original = GeneratedRules(15, 13);
+  const CostModel model =
+      CostModel::EstimateForFunction(original, *ctx_, sample_);
+  // Baseline: average modeled cost over a few random orders.
+  Rng rng(14);
+  double random_cost = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    MatchingFunction fn = original;
+    RandomizeOrder(fn, rng);
+    random_cost += model.FunctionCostWithMemo(fn);
+  }
+  random_cost /= 5.0;
+  MatchingFunction greedy5 = original;
+  ApplyOrdering(greedy5, OrderingStrategy::kGreedyCost, model, nullptr);
+  MatchingFunction greedy6 = original;
+  ApplyOrdering(greedy6, OrderingStrategy::kGreedyReduction, model, nullptr);
+  EXPECT_LT(model.FunctionCostWithMemo(greedy5), random_cost * 1.05);
+  EXPECT_LT(model.FunctionCostWithMemo(greedy6), random_cost * 1.05);
+}
+
+}  // namespace
+}  // namespace emdbg

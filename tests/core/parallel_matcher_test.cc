@@ -1,0 +1,107 @@
+#include "src/core/parallel_matcher.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/rule_generator.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class ParallelMatcherTest : public ::testing::Test {
+ protected:
+  ParallelMatcherTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+    Rng rng(1);
+    sample_ = SamplePairs(ds_.candidates, 0.2, rng);
+  }
+
+  MatchingFunction Rules(size_t n, uint64_t seed) {
+    RuleGeneratorConfig config;
+    config.num_rules = n;
+    config.seed = seed;
+    RuleGenerator gen(*ctx_, sample_, config);
+    return gen.Generate();
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  CandidateSet sample_;
+};
+
+TEST_F(ParallelMatcherTest, AgreesWithSerialAcrossThreadCounts) {
+  const MatchingFunction fn = Rules(10, 7);
+  MemoMatcher serial;
+  const Bitmap expected = serial.Run(fn, ds_.candidates, *ctx_).matches;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelMemoMatcher parallel(
+        ParallelMemoMatcher::Options{.num_threads = threads});
+    EXPECT_EQ(parallel.Run(fn, ds_.candidates, *ctx_).matches, expected)
+        << threads << " threads";
+  }
+}
+
+TEST_F(ParallelMatcherTest, CheckCacheFirstVariantAgrees) {
+  const MatchingFunction fn = Rules(8, 9);
+  MemoMatcher serial;
+  const Bitmap expected = serial.Run(fn, ds_.candidates, *ctx_).matches;
+  ParallelMemoMatcher parallel(ParallelMemoMatcher::Options{
+      .num_threads = 4, .check_cache_first = true});
+  EXPECT_EQ(parallel.Run(fn, ds_.candidates, *ctx_).matches, expected);
+}
+
+TEST_F(ParallelMatcherTest, StatsAggregateAcrossThreads) {
+  const MatchingFunction fn = Rules(6, 11);
+  ParallelMemoMatcher parallel(
+      ParallelMemoMatcher::Options{.num_threads = 4});
+  const MatchResult result = parallel.Run(fn, ds_.candidates, *ctx_);
+  // Same per-pair work as serial DM+EE: each pair evaluates every rule
+  // until one fires, so rule_evaluations is bounded by pairs * rules and
+  // at least pairs (non-empty rule set, unmatched pairs check all).
+  EXPECT_GE(result.stats.rule_evaluations, ds_.candidates.size());
+  EXPECT_LE(result.stats.rule_evaluations,
+            ds_.candidates.size() * fn.num_rules());
+  EXPECT_GT(result.stats.feature_computations, 0u);
+}
+
+TEST_F(ParallelMatcherTest, DeterministicMatchesAcrossRuns) {
+  const MatchingFunction fn = Rules(8, 13);
+  ParallelMemoMatcher parallel(
+      ParallelMemoMatcher::Options{.num_threads = 4});
+  const Bitmap first = parallel.Run(fn, ds_.candidates, *ctx_).matches;
+  const Bitmap second = parallel.Run(fn, ds_.candidates, *ctx_).matches;
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(ParallelMatcherTest, EmptyFunctionAndEmptyPairs) {
+  ParallelMemoMatcher parallel(
+      ParallelMemoMatcher::Options{.num_threads = 4});
+  EXPECT_EQ(
+      parallel.Run(MatchingFunction(), ds_.candidates, *ctx_).MatchCount(),
+      0u);
+  const CandidateSet empty;
+  const MatchingFunction fn = Rules(3, 15);
+  EXPECT_EQ(parallel.Run(fn, empty, *ctx_).matches.size(), 0u);
+}
+
+TEST_F(ParallelMatcherTest, PrewarmMakesContextReadOnly) {
+  // After Prewarm, parallel feature computation must not grow the token
+  // caches (they are fully populated).
+  const MatchingFunction fn = Rules(10, 17);
+  ctx_->Prewarm(fn.UsedFeatures());
+  const size_t bytes_before = ctx_->TokenCacheBytes();
+  ParallelMemoMatcher parallel(
+      ParallelMemoMatcher::Options{.num_threads = 4});
+  parallel.Run(fn, ds_.candidates, *ctx_);
+  EXPECT_EQ(ctx_->TokenCacheBytes(), bytes_before);
+}
+
+}  // namespace
+}  // namespace emdbg

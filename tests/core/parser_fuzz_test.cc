@@ -1,0 +1,113 @@
+/// Property tests for the rule DSL: randomly generated rule sets must
+/// survive a print → parse round trip exactly, and the parser must reject
+/// (not crash on) mangled inputs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/rule_parser.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class ParserFuzzTest : public ::testing::Test {
+ protected:
+  ParserFuzzTest()
+      : catalog_(testing::PeopleTableA().schema(),
+                 testing::PeopleTableB().schema()) {}
+
+  /// Random rule over the people schema using every function/op.
+  Rule RandomRule(Rng& rng) {
+    static const char* kAttrs[] = {"name", "phone", "zip", "street"};
+    Rule rule;
+    const size_t n = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) {
+      const SimFunction fn =
+          AllSimFunctions()[rng.Uniform(AllSimFunctions().size())];
+      const char* attr_a = kAttrs[rng.Uniform(4)];
+      const char* attr_b = kAttrs[rng.Uniform(4)];
+      Predicate p;
+      p.feature = *catalog_.InternByName(fn, attr_a, attr_b);
+      const CompareOp ops[] = {CompareOp::kGe, CompareOp::kGt,
+                               CompareOp::kLt, CompareOp::kLe};
+      p.op = ops[rng.Uniform(4)];
+      // Round to 4 decimals so the printed form is exact.
+      p.threshold = static_cast<double>(rng.Uniform(10000)) / 10000.0;
+      rule.AddPredicate(p);
+    }
+    return rule;
+  }
+
+  FeatureCatalog catalog_;
+};
+
+TEST_F(ParserFuzzTest, PrintParseRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    MatchingFunction fn;
+    const size_t num_rules = 1 + rng.Uniform(6);
+    for (size_t i = 0; i < num_rules; ++i) fn.AddRule(RandomRule(rng));
+
+    const std::string text = fn.ToString(catalog_);
+    auto reparsed = ParseMatchingFunction(text, catalog_);
+    ASSERT_TRUE(reparsed.ok()) << text << "\n" << reparsed.status();
+    ASSERT_EQ(reparsed->num_rules(), fn.num_rules()) << text;
+    for (size_t r = 0; r < fn.num_rules(); ++r) {
+      ASSERT_EQ(reparsed->rule(r).size(), fn.rule(r).size()) << text;
+      for (size_t k = 0; k < fn.rule(r).size(); ++k) {
+        const Predicate& p = fn.rule(r).predicate(k);
+        const Predicate& q = reparsed->rule(r).predicate(k);
+        EXPECT_EQ(p.feature, q.feature) << text;
+        EXPECT_EQ(p.op, q.op) << text;
+        EXPECT_DOUBLE_EQ(p.threshold, q.threshold) << text;
+      }
+    }
+  }
+}
+
+TEST_F(ParserFuzzTest, MangledInputsRejectedWithoutCrash) {
+  Rng rng(123);
+  const std::string base =
+      "r1: jaccard(name, name) >= 0.7 AND jaro(zip, zip) < 0.4";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mangled = base;
+    // Apply 1-3 random mutations: delete, duplicate, or randomize chars.
+    const size_t mutations = 1 + rng.Uniform(3);
+    for (size_t m = 0; m < mutations && !mangled.empty(); ++m) {
+      const size_t pos = rng.Uniform(mangled.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mangled.erase(pos, 1);
+          break;
+        case 1:
+          mangled.insert(pos, 1, mangled[pos]);
+          break;
+        default:
+          mangled[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+      }
+    }
+    // Must either parse cleanly or return an error status — never crash.
+    auto result = ParseRule(mangled, catalog_);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_F(ParserFuzzTest, GarbageInputsRejected) {
+  Rng rng(321);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(32 + rng.Uniform(95)));
+    }
+    (void)ParseRule(garbage, catalog_);          // must not crash
+    (void)ParseMatchingFunction(garbage, catalog_);
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

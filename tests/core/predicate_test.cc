@@ -1,0 +1,68 @@
+#include "src/core/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+TEST(CompareOpTest, Symbols) {
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kGe), ">=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLe), "<=");
+}
+
+TEST(CompareOpTest, BoundKinds) {
+  EXPECT_TRUE(IsLowerBound(CompareOp::kGe));
+  EXPECT_TRUE(IsLowerBound(CompareOp::kGt));
+  EXPECT_FALSE(IsLowerBound(CompareOp::kLt));
+  EXPECT_FALSE(IsLowerBound(CompareOp::kLe));
+}
+
+TEST(PredicateTest, TestGe) {
+  const Predicate p{0, CompareOp::kGe, 0.7};
+  EXPECT_TRUE(p.Test(0.7));
+  EXPECT_TRUE(p.Test(0.9));
+  EXPECT_FALSE(p.Test(0.69));
+}
+
+TEST(PredicateTest, TestGt) {
+  const Predicate p{0, CompareOp::kGt, 0.7};
+  EXPECT_FALSE(p.Test(0.7));
+  EXPECT_TRUE(p.Test(0.71));
+}
+
+TEST(PredicateTest, TestLt) {
+  const Predicate p{0, CompareOp::kLt, 0.3};
+  EXPECT_TRUE(p.Test(0.29));
+  EXPECT_FALSE(p.Test(0.3));
+}
+
+TEST(PredicateTest, TestLe) {
+  const Predicate p{0, CompareOp::kLe, 0.3};
+  EXPECT_TRUE(p.Test(0.3));
+  EXPECT_FALSE(p.Test(0.31));
+}
+
+TEST(PredicateTest, SameTestIgnoresId) {
+  Predicate a{0, CompareOp::kGe, 0.5};
+  Predicate b{0, CompareOp::kGe, 0.5};
+  b.id = 99;
+  EXPECT_TRUE(a.SameTest(b));
+  b.threshold = 0.6;
+  EXPECT_FALSE(a.SameTest(b));
+}
+
+TEST(PredicateTest, ToString) {
+  FeatureCatalog catalog(testing::PeopleTableA().schema(),
+                         testing::PeopleTableB().schema());
+  const FeatureId f =
+      *catalog.InternByName(SimFunction::kJaccard, "name", "name");
+  const Predicate p{f, CompareOp::kGe, 0.7};
+  EXPECT_EQ(PredicateToString(p, catalog), "jaccard(name, name) >= 0.7");
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,139 @@
+#include "src/core/rule_generator.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class RuleGeneratorTest : public ::testing::Test {
+ protected:
+  RuleGeneratorTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+    Rng rng(1);
+    sample_ = SamplePairs(ds_.candidates, 0.2, rng);
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  CandidateSet sample_;
+};
+
+TEST_F(RuleGeneratorTest, GeneratesRequestedCount) {
+  RuleGeneratorConfig config;
+  config.num_rules = 25;
+  config.seed = 3;
+  RuleGenerator gen(*ctx_, sample_, config);
+  const MatchingFunction fn = gen.Generate();
+  EXPECT_EQ(fn.num_rules(), 25u);
+}
+
+TEST_F(RuleGeneratorTest, PredicateCountsWithinConfig) {
+  RuleGeneratorConfig config;
+  config.num_rules = 30;
+  config.min_predicates = 3;
+  config.max_predicates = 6;
+  config.seed = 4;
+  RuleGenerator gen(*ctx_, sample_, config);
+  const MatchingFunction fn = gen.Generate();
+  for (const Rule& r : fn.rules()) {
+    EXPECT_GE(r.size(), 3u);
+    EXPECT_LE(r.size(), 6u);
+  }
+}
+
+TEST_F(RuleGeneratorTest, RulesAreCanonical) {
+  RuleGeneratorConfig config;
+  config.num_rules = 30;
+  config.seed = 5;
+  RuleGenerator gen(*ctx_, sample_, config);
+  const MatchingFunction fn = gen.Generate();
+  for (const Rule& r : fn.rules()) {
+    EXPECT_TRUE(r.IsCanonical());
+    // Distinct features per rule (each feature appears once).
+    std::set<FeatureId> feats;
+    for (const Predicate& p : r.predicates()) {
+      EXPECT_TRUE(feats.insert(p.feature).second);
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, ThresholdsInUnitRange) {
+  RuleGeneratorConfig config;
+  config.num_rules = 20;
+  config.seed = 6;
+  RuleGenerator gen(*ctx_, sample_, config);
+  const MatchingFunction fn = gen.Generate();
+  for (const Rule& r : fn.rules()) {
+    for (const Predicate& p : r.predicates()) {
+      EXPECT_GE(p.threshold, 0.0);
+      EXPECT_LE(p.threshold, 1.0);
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, DeterministicForSeed) {
+  RuleGeneratorConfig config;
+  config.num_rules = 10;
+  config.seed = 7;
+  RuleGenerator g1(*ctx_, sample_, config);
+  RuleGenerator g2(*ctx_, sample_, config);
+  const MatchingFunction f1 = g1.Generate();
+  const MatchingFunction f2 = g2.Generate();
+  ASSERT_EQ(f1.num_rules(), f2.num_rules());
+  for (size_t i = 0; i < f1.num_rules(); ++i) {
+    ASSERT_EQ(f1.rule(i).size(), f2.rule(i).size());
+    for (size_t k = 0; k < f1.rule(i).size(); ++k) {
+      EXPECT_TRUE(f1.rule(i).predicate(k).SameTest(f2.rule(i).predicate(k)));
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, FeaturePoolRestriction) {
+  RuleGeneratorConfig config;
+  config.num_rules = 30;
+  config.feature_pool = 5;
+  config.seed = 8;
+  RuleGenerator gen(*ctx_, sample_, config);
+  const MatchingFunction fn = gen.Generate();
+  EXPECT_LE(fn.UsedFeatures().size(), 5u);
+}
+
+TEST_F(RuleGeneratorTest, FeaturesSharedAcrossRules) {
+  RuleGeneratorConfig config;
+  config.num_rules = 40;
+  config.feature_skew = 1.0;
+  config.seed = 9;
+  RuleGenerator gen(*ctx_, sample_, config);
+  const MatchingFunction fn = gen.Generate();
+  // Count appearances per feature across rules; with Zipf skew some
+  // feature must appear in many rules (that is what memoing exploits).
+  std::map<FeatureId, size_t> counts;
+  for (const Rule& r : fn.rules()) {
+    for (const FeatureId f : r.Features()) ++counts[f];
+  }
+  size_t max_count = 0;
+  for (const auto& [_, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GE(max_count, 10u);
+}
+
+TEST_F(RuleGeneratorTest, GenerateRulesPool) {
+  RuleGeneratorConfig config;
+  config.seed = 10;
+  RuleGenerator gen(*ctx_, sample_, config);
+  Rng rng(11);
+  const auto rules = gen.GenerateRules(12, rng);
+  EXPECT_EQ(rules.size(), 12u);
+  for (const Rule& r : rules) EXPECT_FALSE(r.empty());
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,153 @@
+#include "src/core/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class RuleParserTest : public ::testing::Test {
+ protected:
+  RuleParserTest()
+      : catalog_(testing::PeopleTableA().schema(),
+                 testing::PeopleTableB().schema()) {}
+
+  FeatureCatalog catalog_;
+};
+
+TEST_F(RuleParserTest, SinglePredicate) {
+  auto rule = ParseRule("jaccard(name, name) >= 0.7", catalog_);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->size(), 1u);
+  const Predicate& p = rule->predicate(0);
+  EXPECT_EQ(p.op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(p.threshold, 0.7);
+  EXPECT_EQ(catalog_.Name(p.feature), "jaccard(name, name)");
+}
+
+TEST_F(RuleParserTest, NamedRuleWithConjunction) {
+  auto rule = ParseRule(
+      "r7: jaro_winkler(name, name) >= 0.97 AND exact_match(zip, zip) >= 1",
+      catalog_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->name(), "r7");
+  EXPECT_EQ(rule->size(), 2u);
+}
+
+TEST_F(RuleParserTest, AllOperators) {
+  auto rule = ParseRule(
+      "jaro(name, name) >= 0.9 AND jaro(zip, zip) > 0.5 AND "
+      "jaro(phone, phone) < 0.3 AND jaro(street, street) <= 0.2",
+      catalog_);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->size(), 4u);
+  EXPECT_EQ(rule->predicate(0).op, CompareOp::kGe);
+  EXPECT_EQ(rule->predicate(1).op, CompareOp::kGt);
+  EXPECT_EQ(rule->predicate(2).op, CompareOp::kLt);
+  EXPECT_EQ(rule->predicate(3).op, CompareOp::kLe);
+}
+
+TEST_F(RuleParserTest, CaseInsensitiveKeywordsAndFunctions) {
+  auto rule = ParseRule(
+      "JACCARD(name, name) >= 0.5 and Jaro(zip, zip) >= 0.5", catalog_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->size(), 2u);
+}
+
+TEST_F(RuleParserTest, CrossAttributeFeature) {
+  auto rule = ParseRule("tf_idf(name, street) >= 0.25", catalog_);
+  ASSERT_TRUE(rule.ok());
+  const Feature& f = catalog_.feature(rule->predicate(0).feature);
+  EXPECT_EQ(f.fn, SimFunction::kTfIdf);
+  EXPECT_NE(f.attr_a, f.attr_b);
+}
+
+TEST_F(RuleParserTest, SharedFeatureInterning) {
+  auto r1 = ParseRule("jaccard(name, name) >= 0.7", catalog_);
+  auto r2 = ParseRule("jaccard(name, name) < 0.9", catalog_);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->predicate(0).feature, r2->predicate(0).feature);
+  EXPECT_EQ(catalog_.size(), 1u);
+}
+
+TEST_F(RuleParserTest, ScientificNotationThreshold) {
+  auto rule = ParseRule("jaro(name, name) >= 5e-1", catalog_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_DOUBLE_EQ(rule->predicate(0).threshold, 0.5);
+}
+
+TEST_F(RuleParserTest, ParseErrors) {
+  EXPECT_FALSE(ParseRule("", catalog_).ok());
+  EXPECT_FALSE(ParseRule("jaccard(name) >= 0.7", catalog_).ok());
+  EXPECT_FALSE(ParseRule("bogus_fn(name, name) >= 0.7", catalog_).ok());
+  EXPECT_FALSE(ParseRule("jaccard(name, nope) >= 0.7", catalog_).ok());
+  EXPECT_FALSE(ParseRule("jaccard(name, name) >= ", catalog_).ok());
+  EXPECT_FALSE(ParseRule("jaccard(name, name) == 0.7", catalog_).ok());
+  EXPECT_FALSE(
+      ParseRule("jaccard(name, name) >= 0.7 jaro(zip, zip) >= 1", catalog_)
+          .ok());
+  EXPECT_FALSE(ParseRule("AND jaccard(name, name) >= 0.7", catalog_).ok());
+}
+
+TEST_F(RuleParserTest, CommentsSkipped) {
+  auto rule = ParseRule(
+      "jaccard(name, name) >= 0.7 # strong name match", catalog_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->size(), 1u);
+}
+
+TEST_F(RuleParserTest, FunctionOnNewlines) {
+  auto fn = ParseMatchingFunction(
+      "r1: jaccard(name, name) >= 0.7\n"
+      "# a comment line\n"
+      "\n"
+      "r2: exact_match(phone, phone) >= 1 AND jaro(name, name) >= 0.5\n",
+      catalog_);
+  ASSERT_TRUE(fn.ok());
+  ASSERT_EQ(fn->num_rules(), 2u);
+  EXPECT_EQ(fn->rule(0).name(), "r1");
+  EXPECT_EQ(fn->rule(1).size(), 2u);
+}
+
+TEST_F(RuleParserTest, FunctionWithOrSeparators) {
+  auto fn = ParseMatchingFunction(
+      "jaccard(name, name) >= 0.7 OR exact_match(zip, zip) >= 1",
+      catalog_);
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ(fn->num_rules(), 2u);
+}
+
+TEST_F(RuleParserTest, FunctionWithSemicolons) {
+  auto fn = ParseMatchingFunction(
+      "jaccard(name, name) >= 0.7; exact_match(zip, zip) >= 1", catalog_);
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ(fn->num_rules(), 2u);
+}
+
+TEST_F(RuleParserTest, EmptyFunctionIsError) {
+  EXPECT_FALSE(ParseMatchingFunction("\n\n# only comments\n", catalog_).ok());
+}
+
+TEST_F(RuleParserTest, RoundTripThroughToString) {
+  auto fn = ParseMatchingFunction(
+      "r1: jaccard(name, name) >= 0.7 AND jaro(zip, zip) < 0.4\n"
+      "r2: exact_match(phone, phone) >= 1\n",
+      catalog_);
+  ASSERT_TRUE(fn.ok());
+  const std::string text = fn->ToString(catalog_);
+  auto reparsed = ParseMatchingFunction(text, catalog_);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  ASSERT_EQ(reparsed->num_rules(), fn->num_rules());
+  for (size_t i = 0; i < fn->num_rules(); ++i) {
+    ASSERT_EQ(reparsed->rule(i).size(), fn->rule(i).size());
+    for (size_t k = 0; k < fn->rule(i).size(); ++k) {
+      EXPECT_TRUE(
+          reparsed->rule(i).predicate(k).SameTest(fn->rule(i).predicate(k)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

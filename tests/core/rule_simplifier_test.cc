@@ -1,0 +1,166 @@
+#include "src/core/rule_simplifier.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rule_parser.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class RuleSimplifierTest : public ::testing::Test {
+ protected:
+  RuleSimplifierTest()
+      : catalog_(testing::PeopleTableA().schema(),
+                 testing::PeopleTableB().schema()) {}
+
+  MatchingFunction Parse(const char* text) {
+    auto fn = ParseMatchingFunction(text, catalog_);
+    EXPECT_TRUE(fn.ok()) << fn.status();
+    return *fn;
+  }
+
+  std::vector<SimplifierFinding> FindingsOfKind(
+      const std::vector<SimplifierFinding>& all, FindingKind kind) {
+    std::vector<SimplifierFinding> out;
+    for (const auto& f : all) {
+      if (f.kind == kind) out.push_back(f);
+    }
+    return out;
+  }
+
+  FeatureCatalog catalog_;
+};
+
+TEST_F(RuleSimplifierTest, CleanRuleSetHasNoFindings) {
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) >= 0.7 AND jaro(zip, zip) < 0.4\n"
+      "r2: exact_match(phone, phone) >= 1\n");
+  EXPECT_TRUE(AnalyzeRules(fn, catalog_).empty());
+}
+
+TEST_F(RuleSimplifierTest, RedundantLowerBoundDetected) {
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) >= 0.8 AND jaccard(name, name) >= 0.5\n");
+  const auto findings = AnalyzeRules(fn, catalog_);
+  const auto redundant =
+      FindingsOfKind(findings, FindingKind::kRedundantPredicate);
+  ASSERT_EQ(redundant.size(), 1u);
+  // The weaker (>= 0.5) predicate is the redundant one.
+  EXPECT_EQ(redundant[0].predicate_id, fn.rule(0).predicate(1).id);
+  EXPECT_NE(redundant[0].description.find("0.5"), std::string::npos);
+}
+
+TEST_F(RuleSimplifierTest, DuplicatePredicateDetectedOnce) {
+  const MatchingFunction fn = Parse(
+      "r1: jaro(zip, zip) < 0.4 AND jaro(zip, zip) < 0.4\n");
+  const auto redundant = FindingsOfKind(AnalyzeRules(fn, catalog_),
+                                        FindingKind::kRedundantPredicate);
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0].predicate_id, fn.rule(0).predicate(1).id);
+}
+
+TEST_F(RuleSimplifierTest, StrictVsNonStrictImplication) {
+  // "> 0.5" strictly implies ">= 0.5" → the >= is redundant.
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) > 0.5 AND jaccard(name, name) >= 0.5\n");
+  const auto redundant = FindingsOfKind(AnalyzeRules(fn, catalog_),
+                                        FindingKind::kRedundantPredicate);
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(catalog_.size(), 1u);
+  EXPECT_EQ(redundant[0].predicate_id, fn.rule(0).predicate(1).id);
+}
+
+TEST_F(RuleSimplifierTest, UnsatisfiableRuleDetected) {
+  const MatchingFunction fn = Parse(
+      "dead: jaccard(name, name) >= 0.8 AND jaccard(name, name) < 0.5\n");
+  const auto unsat = FindingsOfKind(AnalyzeRules(fn, catalog_),
+                                    FindingKind::kUnsatisfiableRule);
+  ASSERT_EQ(unsat.size(), 1u);
+  EXPECT_EQ(unsat[0].rule_id, fn.rule(0).id());
+}
+
+TEST_F(RuleSimplifierTest, BoundaryEqualityIsSatisfiable) {
+  // >= 0.5 AND <= 0.5 admits exactly 0.5 — not a contradiction.
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) >= 0.5 AND jaccard(name, name) <= 0.5\n");
+  EXPECT_TRUE(FindingsOfKind(AnalyzeRules(fn, catalog_),
+                             FindingKind::kUnsatisfiableRule)
+                  .empty());
+  // > 0.5 AND <= 0.5 is empty.
+  const MatchingFunction dead = Parse(
+      "r1: jaccard(name, name) > 0.5 AND jaccard(name, name) <= 0.5\n");
+  EXPECT_EQ(FindingsOfKind(AnalyzeRules(dead, catalog_),
+                           FindingKind::kUnsatisfiableRule)
+                .size(),
+            1u);
+}
+
+TEST_F(RuleSimplifierTest, SubsumedRuleDetected) {
+  // r2 is tighter than r1 on every predicate → anything r2 matches, r1
+  // matches; r2 is useless.
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) >= 0.5\n"
+      "r2: jaccard(name, name) >= 0.8 AND exact_match(zip, zip) >= 1\n");
+  const auto subsumed = FindingsOfKind(AnalyzeRules(fn, catalog_),
+                                       FindingKind::kSubsumedRule);
+  ASSERT_EQ(subsumed.size(), 1u);
+  EXPECT_EQ(subsumed[0].rule_id, fn.rule(1).id());
+  EXPECT_EQ(subsumed[0].by_rule_id, fn.rule(0).id());
+}
+
+TEST_F(RuleSimplifierTest, IdenticalRulesReportLaterOne) {
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) >= 0.5\n"
+      "r2: jaccard(name, name) >= 0.5\n");
+  const auto subsumed = FindingsOfKind(AnalyzeRules(fn, catalog_),
+                                       FindingKind::kSubsumedRule);
+  ASSERT_EQ(subsumed.size(), 1u);
+  EXPECT_EQ(subsumed[0].rule_id, fn.rule(1).id());
+}
+
+TEST_F(RuleSimplifierTest, NonOverlappingRulesNotSubsumed) {
+  const MatchingFunction fn = Parse(
+      "r1: jaccard(name, name) >= 0.5\n"
+      "r2: jaccard(name, name) >= 0.8 AND jaro(zip, zip) < 0.2\n"
+      "r3: exact_match(phone, phone) >= 1\n");
+  // r2 IS subsumed by r1; r3 is independent.
+  const auto subsumed = FindingsOfKind(AnalyzeRules(fn, catalog_),
+                                       FindingKind::kSubsumedRule);
+  ASSERT_EQ(subsumed.size(), 1u);
+  EXPECT_EQ(subsumed[0].rule_id, fn.rule(1).id());
+}
+
+TEST_F(RuleSimplifierTest, IneffectivePredicateViaModel) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  FeatureCatalog catalog(ds.a.schema(), ds.b.schema());
+  auto fn = ParseMatchingFunction(
+      // trigram >= 0 passes everything; exact modelno is selective.
+      "r1: exact_match(modelno, modelno) >= 1 AND "
+      "trigram(title, title) >= 0.0\n",
+      catalog);
+  ASSERT_TRUE(fn.ok());
+  PairContext ctx(ds.a, ds.b, catalog);
+  Rng rng(3);
+  const CandidateSet sample = SamplePairs(ds.candidates, 0.2, rng);
+  const CostModel model =
+      CostModel::EstimateForFunction(*fn, ctx, sample);
+  const auto findings = AnalyzeRulesWithModel(*fn, catalog, model);
+  const auto ineffective =
+      FindingsOfKind(findings, FindingKind::kIneffectivePredicate);
+  ASSERT_EQ(ineffective.size(), 1u);
+  EXPECT_EQ(ineffective[0].predicate_id, fn->rule(0).predicate(1).id);
+}
+
+TEST_F(RuleSimplifierTest, FindingKindNames) {
+  EXPECT_STREQ(FindingKindName(FindingKind::kRedundantPredicate),
+               "redundant_predicate");
+  EXPECT_STREQ(FindingKindName(FindingKind::kSubsumedRule),
+               "subsumed_rule");
+}
+
+}  // namespace
+}  // namespace emdbg

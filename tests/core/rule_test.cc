@@ -1,0 +1,86 @@
+#include "src/core/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+Rule ThreePredicateRule() {
+  Rule r("r1");
+  r.AddPredicate({/*feature=*/0, CompareOp::kGe, 0.7, /*id=*/10});
+  r.AddPredicate({/*feature=*/1, CompareOp::kLt, 0.3, /*id=*/11});
+  r.AddPredicate({/*feature=*/0, CompareOp::kLt, 0.9, /*id=*/12});
+  return r;
+}
+
+TEST(RuleTest, BasicAccess) {
+  const Rule r = ThreePredicateRule();
+  EXPECT_EQ(r.name(), "r1");
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.predicate(1).feature, 1u);
+}
+
+TEST(RuleTest, FeaturesInFirstAppearanceOrder) {
+  const Rule r = ThreePredicateRule();
+  EXPECT_EQ(r.Features(), (std::vector<FeatureId>{0, 1}));
+}
+
+TEST(RuleTest, PredicatesOnFeature) {
+  const Rule r = ThreePredicateRule();
+  EXPECT_EQ(r.PredicatesOnFeature(0), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(r.PredicatesOnFeature(1), (std::vector<size_t>{1}));
+  EXPECT_TRUE(r.PredicatesOnFeature(9).empty());
+}
+
+TEST(RuleTest, FindPredicateById) {
+  const Rule r = ThreePredicateRule();
+  EXPECT_EQ(r.FindPredicate(11), 1u);
+  EXPECT_EQ(r.FindPredicate(99), r.size());
+}
+
+TEST(RuleTest, RemovePredicateById) {
+  Rule r = ThreePredicateRule();
+  EXPECT_TRUE(r.RemovePredicateById(11));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Features(), (std::vector<FeatureId>{0}));
+  EXPECT_FALSE(r.RemovePredicateById(11));
+}
+
+TEST(RuleTest, Permute) {
+  Rule r = ThreePredicateRule();
+  r.Permute({2, 0, 1});
+  EXPECT_EQ(r.predicate(0).id, 12u);
+  EXPECT_EQ(r.predicate(1).id, 10u);
+  EXPECT_EQ(r.predicate(2).id, 11u);
+}
+
+TEST(RuleTest, IsCanonical) {
+  EXPECT_TRUE(ThreePredicateRule().IsCanonical());
+  Rule bad;
+  bad.AddPredicate({0, CompareOp::kGe, 0.5});
+  bad.AddPredicate({0, CompareOp::kGt, 0.6});  // two lower bounds on f0
+  EXPECT_FALSE(bad.IsCanonical());
+}
+
+TEST(RuleTest, ToString) {
+  FeatureCatalog catalog(testing::PeopleTableA().schema(),
+                         testing::PeopleTableB().schema());
+  const FeatureId f =
+      *catalog.InternByName(SimFunction::kJaro, "name", "name");
+  Rule r("rx");
+  r.AddPredicate({f, CompareOp::kGe, 0.9});
+  EXPECT_EQ(r.ToString(catalog), "rx: jaro(name, name) >= 0.9");
+}
+
+TEST(RuleTest, EmptyRule) {
+  const Rule r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Features().empty());
+  EXPECT_TRUE(r.IsCanonical());
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,74 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rule_parser.h"
+#include "src/util/csv.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class RulesIoTest : public ::testing::Test {
+ protected:
+  RulesIoTest()
+      : catalog_(testing::PeopleTableA().schema(),
+                 testing::PeopleTableB().schema()),
+        // Per-test path: ctest runs suite members as parallel processes.
+        path_(::testing::TempDir() + "/emdbg_rules_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name() +
+              ".rules") {}
+
+  ~RulesIoTest() override { std::remove(path_.c_str()); }
+
+  FeatureCatalog catalog_;
+  std::string path_;
+};
+
+TEST_F(RulesIoTest, SaveLoadRoundTrip) {
+  auto fn = ParseMatchingFunction(
+      "r1: jaccard(name, name) >= 0.7 AND jaro(zip, zip) < 0.4\n"
+      "r2: exact_match(phone, phone) >= 1\n",
+      catalog_);
+  ASSERT_TRUE(fn.ok());
+  ASSERT_TRUE(SaveRulesFile(*fn, catalog_, path_).ok());
+
+  FeatureCatalog catalog2(testing::PeopleTableA().schema(),
+                          testing::PeopleTableB().schema());
+  auto loaded = LoadRulesFile(path_, catalog2);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_rules(), fn->num_rules());
+  for (size_t i = 0; i < fn->num_rules(); ++i) {
+    EXPECT_EQ(loaded->rule(i).name(), fn->rule(i).name());
+    ASSERT_EQ(loaded->rule(i).size(), fn->rule(i).size());
+    for (size_t k = 0; k < fn->rule(i).size(); ++k) {
+      const Predicate& p = fn->rule(i).predicate(k);
+      const Predicate& q = loaded->rule(i).predicate(k);
+      EXPECT_EQ(p.op, q.op);
+      EXPECT_DOUBLE_EQ(p.threshold, q.threshold);
+      // Feature names must match (ids may differ across catalogs).
+      EXPECT_EQ(catalog_.Name(p.feature), catalog2.Name(q.feature));
+    }
+  }
+}
+
+TEST_F(RulesIoTest, LoadMissingFileIsIoError) {
+  FeatureCatalog catalog(testing::PeopleTableA().schema(),
+                         testing::PeopleTableB().schema());
+  EXPECT_EQ(LoadRulesFile("/no/such/file.rules", catalog).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(RulesIoTest, SavedFileHasHeaderComment) {
+  auto fn = ParseMatchingFunction("jaccard(name, name) >= 0.5", catalog_);
+  ASSERT_TRUE(fn.ok());
+  ASSERT_TRUE(SaveRulesFile(*fn, catalog_, path_).ok());
+  auto text = ReadFileToString(path_);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->rfind("# emdbg rule set", 0), 0u);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,66 @@
+#include "src/core/sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+CandidateSet NumberedPairs(size_t n) {
+  CandidateSet out;
+  for (uint32_t i = 0; i < n; ++i) out.Add(PairId{i, i});
+  return out;
+}
+
+TEST(SamplerTest, FractionRespected) {
+  const CandidateSet all = NumberedPairs(10000);
+  Rng rng(1);
+  const CandidateSet sample = SamplePairs(all, 0.01, rng);
+  EXPECT_EQ(sample.size(), 100u);
+}
+
+TEST(SamplerTest, MinSizeFloor) {
+  const CandidateSet all = NumberedPairs(1000);
+  Rng rng(2);
+  // 1% of 1000 = 10 < default min 50.
+  const CandidateSet sample = SamplePairs(all, 0.01, rng);
+  EXPECT_EQ(sample.size(), 50u);
+}
+
+TEST(SamplerTest, SmallInputReturnsAll) {
+  const CandidateSet all = NumberedPairs(20);
+  Rng rng(3);
+  const CandidateSet sample = SamplePairs(all, 0.5, rng);
+  EXPECT_EQ(sample.size(), 20u);
+}
+
+TEST(SamplerTest, SampledPairsAreDistinctMembers) {
+  const CandidateSet all = NumberedPairs(500);
+  Rng rng(4);
+  const CandidateSet sample = SamplePairs(all, 0.2, rng);
+  std::set<uint32_t> seen;
+  for (const PairId& p : sample.pairs()) {
+    EXPECT_EQ(p.a, p.b);
+    EXPECT_LT(p.a, 500u);
+    EXPECT_TRUE(seen.insert(p.a).second);
+  }
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  const CandidateSet all = NumberedPairs(1000);
+  Rng r1(5);
+  Rng r2(5);
+  EXPECT_EQ(SamplePairs(all, 0.1, r1).pairs(),
+            SamplePairs(all, 0.1, r2).pairs());
+}
+
+TEST(SamplerTest, FractionClamped) {
+  const CandidateSet all = NumberedPairs(100);
+  Rng rng(6);
+  EXPECT_EQ(SamplePairs(all, 2.0, rng).size(), 100u);
+  EXPECT_EQ(SamplePairs(all, -1.0, rng, 10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace emdbg

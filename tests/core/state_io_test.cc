@@ -1,0 +1,155 @@
+#include "src/core/state_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/incremental.h"
+#include "src/core/memo_matcher.h"
+#include "src/core/rule_generator.h"
+#include "src/core/rule_parser.h"
+#include "src/core/sampler.h"
+#include "src/util/csv.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class StateIoTest : public ::testing::Test {
+ protected:
+  StateIoTest()
+      : ds_(testing::SmallProducts()),
+        // Per-test path: ctest runs suite members as parallel processes.
+        path_(::testing::TempDir() + "/emdbg_state_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name() +
+              ".bin") {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    catalog_.InternAllSameAttribute();
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+  }
+
+  ~StateIoTest() override { std::remove(path_.c_str()); }
+
+  MatchingFunction SomeRules() {
+    Rng rng(1);
+    const CandidateSet sample = SamplePairs(ds_.candidates, 0.2, rng);
+    RuleGeneratorConfig config;
+    config.num_rules = 4;
+    config.seed = 77;
+    RuleGenerator gen(*ctx_, sample, config);
+    return gen.Generate();
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+  std::string path_;
+};
+
+TEST_F(StateIoTest, RoundTripPreservesEverything) {
+  const MatchingFunction fn = SomeRules();
+  MemoMatcher matcher;
+  MatchState state;
+  matcher.RunWithState(fn, ds_.candidates, *ctx_, state);
+
+  ASSERT_TRUE(SaveMatchState(state, path_).ok());
+  auto loaded = LoadMatchState(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_pairs(), state.num_pairs());
+  EXPECT_EQ(loaded->matches(), state.matches());
+  EXPECT_EQ(loaded->memo().FilledCount(), state.memo().FilledCount());
+  EXPECT_EQ(loaded->memo().raw_values().size(),
+            state.memo().raw_values().size());
+  for (const RuleId rid : state.RuleIdsWithState()) {
+    ASSERT_NE(loaded->FindRuleTrue(rid), nullptr);
+    EXPECT_EQ(*loaded->FindRuleTrue(rid), *state.FindRuleTrue(rid));
+  }
+  for (const PredicateId pid : state.PredicateIdsWithState()) {
+    ASSERT_NE(loaded->FindPredFalse(pid), nullptr);
+    EXPECT_EQ(*loaded->FindPredFalse(pid), *state.FindPredFalse(pid));
+  }
+}
+
+TEST_F(StateIoTest, ResumedSessionContinuesIncrementally) {
+  // Session 1: run, save rules + state.
+  const std::string rules_path = path_ + ".rules";
+  MatchingFunction fn = SomeRules();
+  IncrementalMatcher first(*ctx_, ds_.candidates);
+  first.FullRun(fn);
+  ASSERT_TRUE(SaveMatchState(first.state(), path_).ok());
+  ASSERT_TRUE(SaveRulesFile(first.function(), catalog_, rules_path).ok());
+
+  // Session 2: fresh catalog/context/matcher, resume from disk.
+  FeatureCatalog catalog2(ds_.a.schema(), ds_.b.schema());
+  catalog2.InternAllSameAttribute();
+  PairContext ctx2(ds_.a, ds_.b, catalog2);
+  auto rules2 = LoadRulesFile(rules_path, catalog2);
+  ASSERT_TRUE(rules2.ok());
+  auto state2 = LoadMatchState(path_);
+  ASSERT_TRUE(state2.ok());
+
+  IncrementalMatcher resumed(ctx2, ds_.candidates);
+  ASSERT_TRUE(resumed.Resume(*rules2, std::move(*state2)).ok());
+  EXPECT_EQ(resumed.matches(), first.matches());
+
+  // No recomputation needed to continue: an edit touches only deltas.
+  ctx2.ResetComputeCount();
+  const Rule& rule = resumed.function().rule(0);
+  const Predicate& p = rule.predicate(0);
+  const double t =
+      IsLowerBound(p.op) ? p.threshold + 0.05 : p.threshold - 0.05;
+  ASSERT_TRUE(resumed.SetThreshold(rule.id(), p.id, t).ok());
+
+  // Oracle check after the post-resume edit.
+  MemoMatcher oracle;
+  EXPECT_EQ(resumed.matches(),
+            oracle.Run(resumed.function(), ds_.candidates, ctx2).matches);
+  std::remove(rules_path.c_str());
+}
+
+TEST_F(StateIoTest, ResumeRejectsWrongPairCount) {
+  MatchingFunction fn = SomeRules();
+  MatchState state;
+  state.Initialize(10, catalog_.size());  // wrong size
+  IncrementalMatcher inc(*ctx_, ds_.candidates);
+  EXPECT_EQ(inc.Resume(fn, std::move(state)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateIoTest, SaveUninitializedStateRejected) {
+  MatchState empty;
+  EXPECT_EQ(SaveMatchState(empty, path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StateIoTest, LoadRejectsGarbage) {
+  ASSERT_TRUE(WriteStringToFile(path_, "not a state file").ok());
+  EXPECT_EQ(LoadMatchState(path_).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(StateIoTest, LoadRejectsTruncatedFile) {
+  const MatchingFunction fn = SomeRules();
+  MemoMatcher matcher;
+  MatchState state;
+  matcher.RunWithState(fn, ds_.candidates, *ctx_, state);
+  ASSERT_TRUE(SaveMatchState(state, path_).ok());
+  auto full = ReadFileToString(path_);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(path_, full->substr(0, full->size() / 2)).ok());
+  EXPECT_EQ(LoadMatchState(path_).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(StateIoTest, LoadMissingFileIsIoError) {
+  EXPECT_EQ(LoadMatchState("/no/such/state.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,124 @@
+#include "src/core/threshold_advisor.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/rule_parser.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+class ThresholdAdvisorTest : public ::testing::Test {
+ protected:
+  ThresholdAdvisorTest() : ds_(testing::SmallProducts()) {
+    catalog_ = FeatureCatalog(ds_.a.schema(), ds_.b.schema());
+    ctx_ = std::make_unique<PairContext>(ds_.a, ds_.b, catalog_);
+  }
+
+  GeneratedDataset ds_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<PairContext> ctx_;
+};
+
+TEST_F(ThresholdAdvisorTest, SweepsRequestedRange) {
+  auto fn = ParseMatchingFunction("jaccard(title, title) >= 0.5", catalog_);
+  ASSERT_TRUE(fn.ok());
+  const RuleId rid = fn->rule(0).id();
+  const PredicateId pid = fn->rule(0).predicate(0).id;
+  auto advice = AdviseThreshold(*fn, rid, pid, ds_.candidates, ds_.labels,
+                                *ctx_, /*num_steps=*/11, 0.0, 1.0);
+  ASSERT_TRUE(advice.ok());
+  ASSERT_EQ(advice->options.size(), 11u);
+  EXPECT_DOUBLE_EQ(advice->options.front().threshold, 0.0);
+  EXPECT_DOUBLE_EQ(advice->options.back().threshold, 1.0);
+  EXPECT_LT(advice->best_index, advice->options.size());
+}
+
+TEST_F(ThresholdAdvisorTest, ThresholdZeroMatchesEverythingThresholdOneAlmostNothing) {
+  auto fn = ParseMatchingFunction("trigram(title, title) >= 0.5", catalog_);
+  ASSERT_TRUE(fn.ok());
+  const RuleId rid = fn->rule(0).id();
+  const PredicateId pid = fn->rule(0).predicate(0).id;
+  auto advice = AdviseThreshold(*fn, rid, pid, ds_.candidates, ds_.labels,
+                                *ctx_, 3, 0.0, 1.0);
+  ASSERT_TRUE(advice.ok());
+  const ThresholdOption& at_zero = advice->options.front();
+  // threshold 0: every pair passes the only predicate -> all pairs match
+  // -> recall 1, precision = base rate.
+  EXPECT_DOUBLE_EQ(at_zero.recall, 1.0);
+  EXPECT_EQ(at_zero.false_negatives, 0u);
+  const ThresholdOption& at_one = advice->options.back();
+  EXPECT_LE(at_one.true_positives + at_one.false_positives,
+            at_zero.true_positives + at_zero.false_positives);
+}
+
+TEST_F(ThresholdAdvisorTest, BestBeatsCurrentThresholdF1) {
+  // Start from a deliberately bad threshold; the advisor must find one at
+  // least as good.
+  auto fn = ParseMatchingFunction("jaccard(title, title) >= 0.99",
+                                  catalog_);
+  ASSERT_TRUE(fn.ok());
+  const RuleId rid = fn->rule(0).id();
+  const PredicateId pid = fn->rule(0).predicate(0).id;
+  auto advice = AdviseThreshold(*fn, rid, pid, ds_.candidates, ds_.labels,
+                                *ctx_, 21, 0.0, 1.0);
+  ASSERT_TRUE(advice.ok());
+  // F1 at 0.99-ish (the second-to-last option is >= 0.95) is near zero;
+  // the best must be materially better.
+  EXPECT_GT(advice->best().f1, 0.3);
+  EXPECT_LT(advice->best().threshold, 0.95);
+}
+
+TEST_F(ThresholdAdvisorTest, AgreesWithMatcherAtEachOption) {
+  auto fn = ParseMatchingFunction(
+      "jaccard(title, title) >= 0.5 AND exact_match(category, category) >= "
+      "1\nexact_match(modelno, modelno) >= 1",
+      catalog_);
+  ASSERT_TRUE(fn.ok());
+  const RuleId rid = fn->rule(0).id();
+  const PredicateId pid = fn->rule(0).predicate(0).id;
+  auto advice = AdviseThreshold(*fn, rid, pid, ds_.candidates, ds_.labels,
+                                *ctx_, 5, 0.2, 0.8);
+  ASSERT_TRUE(advice.ok());
+  MemoMatcher matcher;
+  for (const ThresholdOption& opt : advice->options) {
+    MatchingFunction modified = *fn;
+    ASSERT_TRUE(modified.SetThreshold(rid, pid, opt.threshold).ok());
+    const MatchResult result =
+        matcher.Run(modified, ds_.candidates, *ctx_);
+    const QualityMetrics m = Evaluate(result.matches, ds_.labels);
+    EXPECT_EQ(m.true_positives, opt.true_positives)
+        << "t=" << opt.threshold;
+    EXPECT_EQ(m.false_positives, opt.false_positives);
+    EXPECT_NEAR(m.f1, opt.f1, 1e-12);
+  }
+}
+
+TEST_F(ThresholdAdvisorTest, Errors) {
+  auto fn = ParseMatchingFunction("jaccard(title, title) >= 0.5", catalog_);
+  ASSERT_TRUE(fn.ok());
+  const RuleId rid = fn->rule(0).id();
+  const PredicateId pid = fn->rule(0).predicate(0).id;
+  EXPECT_EQ(AdviseThreshold(*fn, 999, pid, ds_.candidates, ds_.labels,
+                            *ctx_)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(AdviseThreshold(*fn, rid, 999, ds_.candidates, ds_.labels,
+                            *ctx_)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  const PairLabels wrong_size(3);
+  EXPECT_EQ(AdviseThreshold(*fn, rid, pid, ds_.candidates, wrong_size,
+                            *ctx_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,82 @@
+#include "src/data/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(DatasetsTest, AllSixProfilesExist) {
+  const auto profiles = AllPaperDatasetProfiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "products");
+  EXPECT_EQ(profiles[5].name, "video_games");
+}
+
+TEST(DatasetsTest, ProductsMatchesTable2Shape) {
+  const DatasetProfile p = PaperDatasetProfile(DatasetId::kProducts);
+  EXPECT_EQ(p.table_a_rows, 2554u);
+  EXPECT_EQ(p.table_b_rows, 22074u);
+  EXPECT_EQ(p.candidate_pairs, 291649u);
+}
+
+TEST(DatasetsTest, AllShapesMatchTable2) {
+  struct Row {
+    DatasetId id;
+    size_t a, b, pairs;
+  };
+  const Row rows[] = {
+      {DatasetId::kRestaurants, 3279, 25376, 24965},
+      {DatasetId::kBooks, 3099, 3560, 28540},
+      {DatasetId::kBreakfast, 3669, 4165, 73297},
+      {DatasetId::kMovies, 5526, 4373, 17725},
+      {DatasetId::kVideoGames, 3742, 6739, 22697},
+  };
+  for (const Row& r : rows) {
+    const DatasetProfile p = PaperDatasetProfile(r.id);
+    EXPECT_EQ(p.table_a_rows, r.a) << p.name;
+    EXPECT_EQ(p.table_b_rows, r.b) << p.name;
+    EXPECT_EQ(p.candidate_pairs, r.pairs) << p.name;
+  }
+}
+
+TEST(DatasetsTest, ScaleProfile) {
+  DatasetProfile p = PaperDatasetProfile(DatasetId::kProducts);
+  const DatasetProfile scaled = ScaleProfile(p, 0.1);
+  EXPECT_EQ(scaled.table_a_rows, 255u);
+  EXPECT_EQ(scaled.table_b_rows, 2207u);
+  EXPECT_EQ(scaled.candidate_pairs, 29164u);
+  // Attributes and seed unchanged.
+  EXPECT_EQ(scaled.attributes.size(), p.attributes.size());
+  EXPECT_EQ(scaled.seed, p.seed);
+}
+
+TEST(DatasetsTest, ScaleNeverGoesToZero) {
+  DatasetProfile p = PaperDatasetProfile(DatasetId::kBooks);
+  const DatasetProfile scaled = ScaleProfile(p, 1e-9);
+  EXPECT_GE(scaled.table_a_rows, 1u);
+  EXPECT_GE(scaled.candidate_pairs, 1u);
+}
+
+TEST(DatasetsTest, NameRoundTrip) {
+  for (int i = 0; i < kNumDatasets; ++i) {
+    const DatasetId id = static_cast<DatasetId>(i);
+    auto parsed = DatasetIdFromName(DatasetName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(DatasetIdFromName("nope").ok());
+}
+
+TEST(DatasetsTest, GenerateScaledRestaurants) {
+  const DatasetProfile p =
+      ScaleProfile(PaperDatasetProfile(DatasetId::kRestaurants), 0.02);
+  const GeneratedDataset ds = GenerateDataset(p);
+  EXPECT_EQ(ds.a.num_rows(), p.table_a_rows);
+  EXPECT_EQ(ds.b.num_rows(), p.table_b_rows);
+  EXPECT_GT(ds.true_matches.size(), 0u);
+  const std::string desc = DescribeDataset(p, ds);
+  EXPECT_NE(desc.find("restaurants"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,160 @@
+#include "src/data/generator.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+using generator_internal::MakeWord;
+using generator_internal::Perturb;
+
+TEST(MakeWordTest, ProducesLowercaseNonEmpty) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::string w = MakeWord(rng, 2);
+    EXPECT_FALSE(w.empty());
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+TEST(MakeWordTest, MoreSyllablesMakesLongerWordsOnAverage) {
+  Rng rng(2);
+  size_t len1 = 0;
+  size_t len3 = 0;
+  for (int i = 0; i < 200; ++i) {
+    len1 += MakeWord(rng, 1).size();
+    len3 += MakeWord(rng, 3).size();
+  }
+  EXPECT_GT(len3, len1 * 2);
+}
+
+TEST(PerturbTest, ChangesValueMostly) {
+  Rng rng(3);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (Perturb("sony camera dsc", AttrKind::kTitle, rng) !=
+        "sony camera dsc") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 60);
+}
+
+TEST(PerturbTest, YearJitterIsSmall) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = Perturb("2005", AttrKind::kYear, rng);
+    const int year = std::stoi(out);
+    EXPECT_GE(year, 2004);
+    EXPECT_LE(year, 2006);
+  }
+}
+
+TEST(PerturbTest, PriceJitterStaysClose) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = Perturb("100.00", AttrKind::kPrice, rng);
+    const double price = std::stod(out);
+    EXPECT_GE(price, 94.0);
+    EXPECT_LE(price, 106.0);
+  }
+}
+
+TEST(GenerateDatasetTest, ShapesMatchProfile) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  EXPECT_EQ(ds.a.num_rows(), 60u);
+  EXPECT_EQ(ds.b.num_rows(), 120u);
+  EXPECT_EQ(ds.a.schema().names(),
+            (std::vector<std::string>{"title", "modelno", "brand",
+                                      "category", "price"}));
+  EXPECT_EQ(ds.a.schema(), ds.b.schema());
+  EXPECT_GE(ds.candidates.size(), 900u * 9 / 10);
+  EXPECT_EQ(ds.labels.size(), ds.candidates.size());
+}
+
+TEST(GenerateDatasetTest, TwinCountMatchesFraction) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  EXPECT_EQ(ds.true_matches.size(), 30u);  // 0.5 * min(60, 120)
+}
+
+TEST(GenerateDatasetTest, EveryTrueMatchIsACandidateAndLabeled) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  std::unordered_set<uint64_t> match_keys;
+  for (const PairId& m : ds.true_matches) {
+    match_keys.insert((static_cast<uint64_t>(m.a) << 32) | m.b);
+  }
+  size_t labeled = 0;
+  for (size_t i = 0; i < ds.candidates.size(); ++i) {
+    const PairId& p = ds.candidates.pair(i);
+    const bool is_match =
+        match_keys.count((static_cast<uint64_t>(p.a) << 32) | p.b) > 0;
+    EXPECT_EQ(ds.labels.Get(i), is_match);
+    if (is_match) ++labeled;
+  }
+  EXPECT_EQ(labeled, ds.true_matches.size());
+}
+
+TEST(GenerateDatasetTest, PairIndicesInRange) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  for (const PairId& p : ds.candidates.pairs()) {
+    EXPECT_LT(p.a, ds.a.num_rows());
+    EXPECT_LT(p.b, ds.b.num_rows());
+  }
+}
+
+TEST(GenerateDatasetTest, NoDuplicateCandidates) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  std::unordered_set<uint64_t> seen;
+  for (const PairId& p : ds.candidates.pairs()) {
+    EXPECT_TRUE(
+        seen.insert((static_cast<uint64_t>(p.a) << 32) | p.b).second);
+  }
+}
+
+TEST(GenerateDatasetTest, DeterministicForSeed) {
+  const GeneratedDataset x = testing::SmallProducts(123);
+  const GeneratedDataset y = testing::SmallProducts(123);
+  EXPECT_EQ(x.a.rows(), y.a.rows());
+  EXPECT_EQ(x.b.rows(), y.b.rows());
+  EXPECT_EQ(x.candidates.pairs(), y.candidates.pairs());
+}
+
+TEST(GenerateDatasetTest, DifferentSeedsDiffer) {
+  const GeneratedDataset x = testing::SmallProducts(123);
+  const GeneratedDataset y = testing::SmallProducts(456);
+  EXPECT_NE(x.a.rows(), y.a.rows());
+}
+
+TEST(GenerateDatasetTest, TwinsAreSimilarButDirty) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  // Twins share the same latent entity: titles should mostly overlap even
+  // after perturbation. Check at least one exact attribute agreement
+  // across all twins on average.
+  size_t exact_agreements = 0;
+  for (const PairId& m : ds.true_matches) {
+    for (AttrIndex attr = 0; attr < ds.a.num_attributes(); ++attr) {
+      if (!ds.a.Value(m.a, attr).empty() &&
+          ds.a.Value(m.a, attr) == ds.b.Value(m.b, attr)) {
+        ++exact_agreements;
+      }
+    }
+  }
+  EXPECT_GT(exact_agreements, ds.true_matches.size());  // > 1 per twin avg
+}
+
+TEST(GenerateDatasetTest, MatchRateComputed) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  EXPECT_NEAR(ds.MatchRate(),
+              static_cast<double>(ds.true_matches.size()) /
+                  static_cast<double>(ds.candidates.size()),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace emdbg

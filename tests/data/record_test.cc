@@ -1,0 +1,42 @@
+#include "src/data/record.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(SchemaTest, FindAndContains) {
+  const Schema s({"title", "modelno", "price"});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.name(0), "title");
+  EXPECT_TRUE(s.Contains("price"));
+  EXPECT_FALSE(s.Contains("brand"));
+  auto idx = s.Find("modelno");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(SchemaTest, FindMissingIsNotFound) {
+  const Schema s({"a"});
+  EXPECT_EQ(s.Find("b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema({"a", "b"}), Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"a", "b"}) == Schema({"b", "a"}));
+}
+
+TEST(SchemaTest, EmptySchema) {
+  const Schema s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains("x"));
+}
+
+TEST(SchemaTest, CaseSensitiveNames) {
+  const Schema s({"Title"});
+  EXPECT_TRUE(s.Contains("Title"));
+  EXPECT_FALSE(s.Contains("title"));
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,72 @@
+#include "src/data/table_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(TableIoTest, ParseWithHeader) {
+  auto table = TableFromCsv("name,city\nalice,madison\nbob,verona\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().names(),
+            (std::vector<std::string>{"name", "city"}));
+  EXPECT_EQ(table->Value(1, 0), "bob");
+}
+
+TEST(TableIoTest, QuotedFields) {
+  auto table = TableFromCsv("name,note\n\"Smith, John\",\"says \"\"hi\"\"\"\n",
+                            "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Value(0, 0), "Smith, John");
+  EXPECT_EQ(table->Value(0, 1), "says \"hi\"");
+}
+
+TEST(TableIoTest, EmptyInputIsParseError) {
+  EXPECT_EQ(TableFromCsv("", "t").status().code(), StatusCode::kParseError);
+}
+
+TEST(TableIoTest, ArityMismatchIsParseError) {
+  auto table = TableFromCsv("a,b\n1\n", "t");
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST(TableIoTest, HeaderOnlyGivesEmptyTable) {
+  auto table = TableFromCsv("a,b\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+}
+
+TEST(TableIoTest, RoundTripThroughText) {
+  Table t("orig", Schema({"x", "y"}));
+  ASSERT_TRUE(t.AppendRow({"1", "with,comma"}).ok());
+  ASSERT_TRUE(t.AppendRow({"", "line\nbreak"}).ok());
+  auto parsed = TableFromCsv(TableToCsv(t), "copy");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->Value(0, 1), "with,comma");
+  EXPECT_EQ(parsed->Value(1, 0), "");
+  EXPECT_EQ(parsed->Value(1, 1), "line\nbreak");
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  Table t("disk", Schema({"k", "v"}));
+  ASSERT_TRUE(t.AppendRow({"a", "1"}).ok());
+  const std::string path = ::testing::TempDir() + "/emdbg_table_test.csv";
+  ASSERT_TRUE(SaveTableCsv(t, path).ok());
+  auto loaded = LoadTableCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 1u);
+  EXPECT_EQ(loaded->Value(0, 1), "1");
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, LoadMissingFileIsIoError) {
+  EXPECT_EQ(LoadTableCsv("/no/such/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,55 @@
+#include "src/data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+Table SmallTable() {
+  Table t("t", Schema({"name", "city"}));
+  EXPECT_TRUE(t.AppendRow({"alice", "madison"}).ok());
+  EXPECT_TRUE(t.AppendRow({"bob", "verona"}).ok());
+  return t;
+}
+
+TEST(TableTest, BasicAccess) {
+  const Table t = SmallTable();
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_attributes(), 2u);
+  EXPECT_EQ(t.Value(0, 0), "alice");
+  EXPECT_EQ(t.Value(1, 1), "verona");
+  EXPECT_EQ(t.row(0), (Row{"alice", "madison"}));
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("t", Schema({"a", "b"}));
+  const Status s = t.AppendRow({"only-one"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, ColumnView) {
+  const Table t = SmallTable();
+  const auto col = t.Column(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col[0], "madison");
+  EXPECT_EQ(col[1], "verona");
+}
+
+TEST(TableTest, PayloadBytes) {
+  const Table t = SmallTable();
+  EXPECT_EQ(t.PayloadBytes(),
+            std::string("alice").size() + std::string("madison").size() +
+                std::string("bob").size() + std::string("verona").size());
+}
+
+TEST(TableTest, EmptyTable) {
+  const Table t("empty", Schema({"x"}));
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.PayloadBytes(), 0u);
+  EXPECT_TRUE(t.Column(0).empty());
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,163 @@
+/// End-to-end tests of the full debugging workflow the paper describes
+/// (Fig. 1): generate a dataset, block, write rules, run, inspect quality,
+/// refine incrementally, and converge — exercising every subsystem
+/// together.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/block/key_blocker.h"
+#include "src/core/debug_session.h"
+#include "src/core/memo_matcher.h"
+#include "src/data/datasets.h"
+#include "src/data/table_io.h"
+#include "src/learn/rule_extraction.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+TEST(IntegrationTest, BlockingThenSessionWorkflow) {
+  // Generate a small dataset and block it ourselves with the category key
+  // blocker (instead of using the generator's candidate set).
+  DatasetProfile profile =
+      ScaleProfile(PaperDatasetProfile(DatasetId::kProducts), 0.01);
+  const GeneratedDataset ds = GenerateDataset(profile);
+  auto blocked = KeyBlocker("category").Block(ds.a, ds.b);
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_GT(blocked->size(), 0u);
+
+  // Build labels for the blocked pairs from the known ground truth.
+  PairLabels labels(blocked->size());
+  for (size_t i = 0; i < blocked->size(); ++i) {
+    for (const PairId& m : ds.true_matches) {
+      if (blocked->pair(i) == m) {
+        labels.Set(i);
+        break;
+      }
+    }
+  }
+
+  DebugSession session(ds.a, ds.b, *blocked);
+  ASSERT_TRUE(session
+                  .AddRuleText(
+                      "strong: jaccard(title, title) >= 0.55 AND "
+                      "trigram(title, title) >= 0.3")
+                  .ok());
+  const QualityMetrics first = session.Score(labels);
+  EXPECT_GT(first.true_positives, 0u);
+}
+
+TEST(IntegrationTest, IterativeDebuggingImprovesRecall) {
+  const GeneratedDataset ds = testing::SmallProducts();
+  DebugSession session(ds.a, ds.b, ds.candidates);
+
+  // Iteration 1: one strict rule -> high precision, limited recall.
+  auto r1 = session.AddRuleText(
+      "jaccard(title, title) >= 0.8 AND exact_match(modelno, modelno) >= 1");
+  ASSERT_TRUE(r1.ok());
+  const QualityMetrics m1 = session.Score(ds.labels);
+
+  // Iteration 2 (incremental): add a complementary rule for dirty model
+  // numbers.
+  auto r2 = session.AddRuleText(
+      "trigram(title, title) >= 0.45 AND jaro_winkler(brand, brand) >= 0.9");
+  ASSERT_TRUE(r2.ok());
+  const QualityMetrics m2 = session.Score(ds.labels);
+  EXPECT_GE(m2.recall, m1.recall);
+
+  // Iteration 3 (incremental): relax the first rule's title threshold.
+  const Rule* rule = session.function().RuleById(*r1);
+  ASSERT_NE(rule, nullptr);
+  PredicateId title_pid = kInvalidPredicate;
+  for (const Predicate& p : rule->predicates()) {
+    const Feature& f = session.catalog().feature(p.feature);
+    if (f.fn == SimFunction::kJaccard) title_pid = p.id;
+  }
+  ASSERT_NE(title_pid, kInvalidPredicate);
+  ASSERT_TRUE(session.SetThreshold(*r1, title_pid, 0.5).ok());
+  const QualityMetrics m3 = session.Score(ds.labels);
+  EXPECT_GE(m3.recall, m2.recall);
+
+  // Sanity: all the while, matches equal a from-scratch evaluation.
+  MemoMatcher matcher;
+  PairContext fresh(session.context().table_a(), session.context().table_b(),
+                    session.catalog());
+  EXPECT_EQ(session.Run(),
+            matcher.Run(session.function(), session.candidates(), fresh)
+                .matches);
+}
+
+TEST(IntegrationTest, LearnedRulesThroughSession) {
+  // Learn rules from labels (as the paper did with its random forest),
+  // load them into a session, and debug one of them.
+  const GeneratedDataset ds = testing::SmallProducts(1234);
+  FeatureCatalog catalog(ds.a.schema(), ds.b.schema());
+  std::vector<FeatureId> feats;
+  for (const char* attr : {"title", "modelno"}) {
+    feats.push_back(
+        *catalog.InternByName(SimFunction::kJaccard, attr, attr));
+    feats.push_back(*catalog.InternByName(SimFunction::kJaro, attr, attr));
+  }
+  PairContext ctx(ds.a, ds.b, catalog);
+  const FeatureMatrix matrix = BuildFeatureMatrix(ctx, ds.candidates, feats);
+  std::vector<char> labels(ds.candidates.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = ds.labels.Get(i) ? 1 : 0;
+  }
+  ForestConfig config;
+  config.num_trees = 8;
+  config.seed = 5;
+  const RandomForest forest = RandomForest::Train(matrix, labels, config);
+  const std::vector<Rule> rules =
+      ExtractRules(forest, feats, RuleExtractionConfig{});
+  ASSERT_FALSE(rules.empty());
+
+  DebugSession session(ds.a, ds.b, ds.candidates);
+  // Transfer learned rules: rebuild each predicate against the session's
+  // own catalog (same schemas, so feature ids transfer via names).
+  for (const Rule& learned : rules) {
+    Rule copy;
+    for (const Predicate& p : learned.predicates()) {
+      const Feature& f = catalog.feature(p.feature);
+      Predicate q = p;
+      q.feature = session.catalog().Intern(f);
+      copy.AddPredicate(q);
+    }
+    ASSERT_TRUE(session.AddRule(copy).ok());
+  }
+  const QualityMetrics m = session.Score(ds.labels);
+  EXPECT_GT(m.f1, 0.5);
+  // Remove the last rule incrementally; quality should not crash to zero.
+  const RuleId last =
+      session.function().rule(session.function().num_rules() - 1).id();
+  ASSERT_TRUE(session.RemoveRule(last).ok());
+  session.Run();
+}
+
+TEST(IntegrationTest, CsvRoundTripThroughSession) {
+  // Persist generated tables to CSV, reload, and verify matching results
+  // are identical — exercising the IO path end to end.
+  const GeneratedDataset ds = testing::SmallProducts(777);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(SaveTableCsv(ds.a, dir + "/emdbg_a.csv").ok());
+  ASSERT_TRUE(SaveTableCsv(ds.b, dir + "/emdbg_b.csv").ok());
+  auto a2 = LoadTableCsv(dir + "/emdbg_a.csv");
+  auto b2 = LoadTableCsv(dir + "/emdbg_b.csv");
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b2.ok());
+  ASSERT_EQ(a2->num_rows(), ds.a.num_rows());
+
+  const char* rule_text =
+      "jaccard(title, title) >= 0.6 AND exact_match(category, category) >= "
+      "1";
+  DebugSession orig(ds.a, ds.b, ds.candidates);
+  ASSERT_TRUE(orig.AddRuleText(rule_text).ok());
+  DebugSession reloaded(*a2, *b2, ds.candidates);
+  ASSERT_TRUE(reloaded.AddRuleText(rule_text).ok());
+  EXPECT_EQ(orig.Run(), reloaded.Run());
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,129 @@
+#include "src/learn/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+/// Linearly separable 1-D data: label = value > 0.5.
+struct Separable {
+  FeatureMatrix features;
+  std::vector<char> labels;
+  std::vector<size_t> rows;
+};
+
+Separable MakeSeparable(size_t n, Rng& rng) {
+  Separable out;
+  out.features.resize(1);
+  for (size_t i = 0; i < n; ++i) {
+    const float v = static_cast<float>(rng.NextDouble());
+    out.features[0].push_back(v);
+    out.labels.push_back(v > 0.5f ? 1 : 0);
+    out.rows.push_back(i);
+  }
+  return out;
+}
+
+TEST(DecisionTreeTest, LearnsSeparableData) {
+  Rng rng(1);
+  const Separable data = MakeSeparable(200, rng);
+  TreeConfig config;
+  const DecisionTree tree =
+      DecisionTree::Train(data.features, data.labels, data.rows, config,
+                          rng);
+  ASSERT_FALSE(tree.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const double score = tree.Predict({data.features[0][i]});
+    if ((score >= 0.5) == (data.labels[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, 195u);
+}
+
+TEST(DecisionTreeTest, PureDataIsSingleLeaf) {
+  Rng rng(2);
+  FeatureMatrix features{{0.1f, 0.2f, 0.3f}};
+  std::vector<char> labels{1, 1, 1};
+  const DecisionTree tree =
+      DecisionTree::Train(features, labels, {0, 1, 2}, TreeConfig{}, rng);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.15f}), 1.0);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(3);
+  const Separable data = MakeSeparable(300, rng);
+  TreeConfig config;
+  config.max_depth = 1;
+  const DecisionTree tree =
+      DecisionTree::Train(data.features, data.labels, data.rows, config,
+                          rng);
+  // Depth 1 -> at most 3 nodes (root + 2 leaves).
+  EXPECT_LE(tree.nodes().size(), 3u);
+}
+
+TEST(DecisionTreeTest, RespectsMinSamplesLeaf) {
+  Rng rng(4);
+  const Separable data = MakeSeparable(100, rng);
+  TreeConfig config;
+  config.min_samples_leaf = 40;
+  const DecisionTree tree =
+      DecisionTree::Train(data.features, data.labels, data.rows, config,
+                          rng);
+  for (const auto& node : tree.nodes()) {
+    if (node.feature < 0) {
+      EXPECT_GE(node.num_samples, 40u);
+    }
+  }
+}
+
+TEST(DecisionTreeTest, TwoFeatureAndProblem) {
+  // label = (f0 > 0.5) AND (f1 > 0.5): needs two levels.
+  Rng rng(5);
+  FeatureMatrix features(2);
+  std::vector<char> labels;
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < 400; ++i) {
+    const float x = static_cast<float>(rng.NextDouble());
+    const float y = static_cast<float>(rng.NextDouble());
+    features[0].push_back(x);
+    features[1].push_back(y);
+    labels.push_back(x > 0.5f && y > 0.5f ? 1 : 0);
+    rows.push_back(i);
+  }
+  const DecisionTree tree =
+      DecisionTree::Train(features, labels, rows, TreeConfig{}, rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    const double score = tree.Predict({features[0][i], features[1][i]});
+    if ((score >= 0.5) == (labels[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, 380u);
+}
+
+TEST(DecisionTreeTest, EmptyInputsGiveEmptyTree) {
+  Rng rng(6);
+  const DecisionTree t1 =
+      DecisionTree::Train({}, {}, {}, TreeConfig{}, rng);
+  EXPECT_TRUE(t1.empty());
+  EXPECT_DOUBLE_EQ(t1.Predict({}), 0.0);
+  FeatureMatrix features{{0.5f}};
+  const DecisionTree t2 =
+      DecisionTree::Train(features, {1}, {}, TreeConfig{}, rng);
+  EXPECT_TRUE(t2.empty());
+}
+
+TEST(DecisionTreeTest, ConstantFeatureCannotSplit) {
+  Rng rng(7);
+  FeatureMatrix features{{0.5f, 0.5f, 0.5f, 0.5f}};
+  std::vector<char> labels{0, 1, 0, 1};
+  const DecisionTree tree =
+      DecisionTree::Train(features, labels, {0, 1, 2, 3}, TreeConfig{},
+                          rng);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.5f}), 0.5);
+}
+
+}  // namespace
+}  // namespace emdbg

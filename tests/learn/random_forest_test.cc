@@ -1,0 +1,164 @@
+#include "src/learn/random_forest.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+struct Dataset {
+  FeatureMatrix features;
+  std::vector<char> labels;
+};
+
+/// Noisy OR-of-ANDs: label = (f0>0.6 && f1>0.6) || f2 > 0.9.
+Dataset MakeDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset out;
+  out.features.resize(3);
+  for (size_t i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.NextDouble());
+    const float b = static_cast<float>(rng.NextDouble());
+    const float c = static_cast<float>(rng.NextDouble());
+    out.features[0].push_back(a);
+    out.features[1].push_back(b);
+    out.features[2].push_back(c);
+    out.labels.push_back((a > 0.6f && b > 0.6f) || c > 0.9f ? 1 : 0);
+  }
+  return out;
+}
+
+TEST(RandomForestTest, LearnsStructuredConcept) {
+  const Dataset train = MakeDataset(800, 1);
+  ForestConfig config;
+  config.num_trees = 15;
+  config.seed = 2;
+  const RandomForest forest =
+      RandomForest::Train(train.features, train.labels, config);
+  EXPECT_EQ(forest.num_trees(), 15u);
+
+  const Dataset test = MakeDataset(400, 3);
+  size_t correct = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    const std::vector<float> row{test.features[0][i], test.features[1][i],
+                                 test.features[2][i]};
+    if (forest.Classify(row) == (test.labels[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, 360u);  // > 90% held-out accuracy
+}
+
+TEST(RandomForestTest, PredictIsAverageOfTrees) {
+  const Dataset train = MakeDataset(200, 4);
+  ForestConfig config;
+  config.num_trees = 5;
+  config.seed = 5;
+  const RandomForest forest =
+      RandomForest::Train(train.features, train.labels, config);
+  const std::vector<float> row{0.9f, 0.9f, 0.1f};
+  double sum = 0.0;
+  for (const DecisionTree& tree : forest.trees()) sum += tree.Predict(row);
+  EXPECT_NEAR(forest.Predict(row), sum / 5.0, 1e-12);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  const Dataset train = MakeDataset(300, 6);
+  ForestConfig config;
+  config.num_trees = 8;
+  config.seed = 7;
+  const RandomForest f1 =
+      RandomForest::Train(train.features, train.labels, config);
+  const RandomForest f2 =
+      RandomForest::Train(train.features, train.labels, config);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    const std::vector<float> row{static_cast<float>(x), 0.5f, 0.5f};
+    EXPECT_DOUBLE_EQ(f1.Predict(row), f2.Predict(row));
+  }
+}
+
+TEST(RandomForestTest, EmptyTrainingGivesEmptyForest) {
+  const RandomForest forest = RandomForest::Train({}, {}, ForestConfig{});
+  EXPECT_EQ(forest.num_trees(), 0u);
+  EXPECT_DOUBLE_EQ(forest.Predict({}), 0.0);
+}
+
+TEST(RandomForestTest, OobAccuracyTracksHeldOutAccuracy) {
+  const Dataset train = MakeDataset(600, 10);
+  ForestConfig config;
+  config.num_trees = 20;
+  config.seed = 11;
+  const RandomForest::Diagnostics diag =
+      RandomForest::TrainWithDiagnostics(train.features, train.labels,
+                                         config);
+  ASSERT_EQ(diag.forest.num_trees(), 20u);
+  // OOB accuracy should roughly match held-out accuracy for this concept
+  // (> 85%, and below-or-near training accuracy).
+  EXPECT_GT(diag.oob_accuracy, 0.85);
+  EXPECT_LE(diag.oob_accuracy, 1.0);
+  const Dataset test = MakeDataset(400, 12);
+  size_t correct = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    const std::vector<float> row{test.features[0][i], test.features[1][i],
+                                 test.features[2][i]};
+    if (diag.forest.Classify(row) == (test.labels[i] == 1)) ++correct;
+  }
+  const double holdout = static_cast<double>(correct) / 400.0;
+  EXPECT_NEAR(diag.oob_accuracy, holdout, 0.08);
+}
+
+TEST(RandomForestTest, FeatureImportanceIdentifiesInformativeColumns) {
+  // Add a pure-noise feature column; it must receive the least
+  // importance, and importances must sum to ~1.
+  Dataset train = MakeDataset(600, 13);
+  Rng rng(14);
+  train.features.push_back({});
+  for (size_t i = 0; i < 600; ++i) {
+    train.features[3].push_back(static_cast<float>(rng.NextDouble()));
+  }
+  ForestConfig config;
+  config.num_trees = 15;
+  config.seed = 15;
+  const RandomForest::Diagnostics diag =
+      RandomForest::TrainWithDiagnostics(train.features, train.labels,
+                                         config);
+  ASSERT_EQ(diag.feature_importance.size(), 4u);
+  double sum = 0.0;
+  for (const double v : diag.feature_importance) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The noise column loses to each of the real signal columns.
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_GT(diag.feature_importance[f], diag.feature_importance[3])
+        << "feature " << f;
+  }
+}
+
+TEST(RandomForestTest, ImportanceOfStumplessForestIsZeroVector) {
+  // Constant features → no splits → importances all zero.
+  FeatureMatrix features{{0.5f, 0.5f, 0.5f, 0.5f}};
+  std::vector<char> labels{0, 1, 0, 1};
+  ForestConfig config;
+  config.num_trees = 3;
+  config.seed = 16;
+  const RandomForest forest =
+      RandomForest::Train(features, labels, config);
+  const auto importance = forest.FeatureImportance(1);
+  ASSERT_EQ(importance.size(), 1u);
+  EXPECT_DOUBLE_EQ(importance[0], 0.0);
+}
+
+TEST(RandomForestTest, BootstrapFractionReducesTreeSize) {
+  const Dataset train = MakeDataset(500, 8);
+  ForestConfig small;
+  small.num_trees = 3;
+  small.bootstrap_fraction = 0.1;
+  small.seed = 9;
+  const RandomForest forest =
+      RandomForest::Train(train.features, train.labels, small);
+  for (const DecisionTree& tree : forest.trees()) {
+    EXPECT_LE(tree.nodes().front().num_samples, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,146 @@
+#include "src/learn/rule_extraction.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/memo_matcher.h"
+#include "src/core/sampler.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+TEST(RuleExtractionTest, ExtractsPositivePathsAsCanonicalRules) {
+  // Train on a concept where f0 matters: label = f0 > 0.5.
+  Rng rng(1);
+  FeatureMatrix features(2);
+  std::vector<char> labels;
+  for (size_t i = 0; i < 500; ++i) {
+    const float a = static_cast<float>(rng.NextDouble());
+    const float b = static_cast<float>(rng.NextDouble());
+    features[0].push_back(a);
+    features[1].push_back(b);
+    labels.push_back(a > 0.5f ? 1 : 0);
+  }
+  ForestConfig config;
+  config.num_trees = 5;
+  config.seed = 2;
+  const RandomForest forest =
+      RandomForest::Train(features, labels, config);
+  const std::vector<FeatureId> columns{10, 20};
+  const std::vector<Rule> rules =
+      ExtractRules(forest, columns, RuleExtractionConfig{});
+  ASSERT_FALSE(rules.empty());
+  for (const Rule& r : rules) {
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.IsCanonical());
+    for (const Predicate& p : r.predicates()) {
+      EXPECT_TRUE(p.feature == 10u || p.feature == 20u);
+    }
+  }
+  // At least one rule must lower-bound feature 10 (the informative one).
+  bool has_lower_on_f10 = false;
+  for (const Rule& r : rules) {
+    for (const Predicate& p : r.predicates()) {
+      if (p.feature == 10u && IsLowerBound(p.op) && p.threshold > 0.3 &&
+          p.threshold < 0.7) {
+        has_lower_on_f10 = true;
+      }
+    }
+  }
+  EXPECT_TRUE(has_lower_on_f10);
+}
+
+TEST(RuleExtractionTest, PurityFilterRemovesMixedLeaves) {
+  Rng rng(3);
+  FeatureMatrix features(1);
+  std::vector<char> labels;
+  for (size_t i = 0; i < 300; ++i) {
+    const float v = static_cast<float>(rng.NextDouble());
+    features[0].push_back(v);
+    // Noisy labels: 20% flipped.
+    const bool base = v > 0.5f;
+    labels.push_back(rng.Bernoulli(0.2) ? !base : base);
+  }
+  ForestConfig config;
+  config.num_trees = 4;
+  config.tree.max_depth = 2;  // shallow -> impure leaves
+  config.seed = 4;
+  const RandomForest forest =
+      RandomForest::Train(features, labels, config);
+  RuleExtractionConfig strict;
+  strict.min_purity = 1.0;
+  RuleExtractionConfig loose;
+  loose.min_purity = 0.5;
+  const auto strict_rules = ExtractRules(forest, {0}, strict);
+  const auto loose_rules = ExtractRules(forest, {0}, loose);
+  EXPECT_LE(strict_rules.size(), loose_rules.size());
+}
+
+TEST(RuleExtractionTest, DedupCollapsesIdenticalRules) {
+  Rng rng(5);
+  FeatureMatrix features(1);
+  std::vector<char> labels;
+  for (size_t i = 0; i < 200; ++i) {
+    // Perfectly separable at 0.5 -> every tree learns the same split.
+    const float v = i < 100 ? 0.25f : 0.75f;
+    features[0].push_back(v);
+    labels.push_back(i < 100 ? 0 : 1);
+  }
+  ForestConfig config;
+  config.num_trees = 10;
+  config.seed = 6;
+  const RandomForest forest =
+      RandomForest::Train(features, labels, config);
+  RuleExtractionConfig no_dedup;
+  no_dedup.dedup = false;
+  RuleExtractionConfig with_dedup;
+  const auto all = ExtractRules(forest, {0}, no_dedup);
+  const auto unique = ExtractRules(forest, {0}, with_dedup);
+  EXPECT_LT(unique.size(), all.size());
+  EXPECT_GE(unique.size(), 1u);
+}
+
+TEST(RuleExtractionTest, EndToEndLearnedRulesMatchTwins) {
+  // The full pipeline on the generated dataset: compute a feature matrix
+  // on a labeled sample, train a forest, extract rules, and verify the
+  // resulting matching function finds a reasonable share of true matches.
+  const GeneratedDataset ds = testing::SmallProducts();
+  FeatureCatalog catalog(ds.a.schema(), ds.b.schema());
+  std::vector<FeatureId> feats;
+  for (SimFunction fn :
+       {SimFunction::kJaccard, SimFunction::kTrigram, SimFunction::kJaro}) {
+    feats.push_back(*catalog.InternByName(fn, "title", "title"));
+  }
+  feats.push_back(
+      *catalog.InternByName(SimFunction::kExactMatch, "modelno", "modelno"));
+  PairContext ctx(ds.a, ds.b, catalog);
+
+  // Labeled sample = all candidates (the dataset is small).
+  const FeatureMatrix matrix = BuildFeatureMatrix(ctx, ds.candidates, feats);
+  ASSERT_EQ(matrix.size(), feats.size());
+  ASSERT_EQ(matrix[0].size(), ds.candidates.size());
+  std::vector<char> labels(ds.candidates.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = ds.labels.Get(i) ? 1 : 0;
+  }
+  ForestConfig config;
+  config.num_trees = 12;
+  config.seed = 7;
+  const RandomForest forest = RandomForest::Train(matrix, labels, config);
+  const std::vector<Rule> rules =
+      ExtractRules(forest, feats, RuleExtractionConfig{});
+  ASSERT_FALSE(rules.empty());
+
+  MatchingFunction fn;
+  for (const Rule& r : rules) fn.AddRule(r);
+  MemoMatcher matcher;
+  const MatchResult result = matcher.Run(fn, ds.candidates, ctx);
+  const QualityMetrics m = Evaluate(result.matches, ds.labels);
+  EXPECT_GT(m.recall, 0.5);
+  EXPECT_GT(m.precision, 0.5);
+}
+
+}  // namespace
+}  // namespace emdbg

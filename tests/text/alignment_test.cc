@@ -1,0 +1,90 @@
+#include "src/text/alignment.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(NeedlemanWunschTest, IdenticalStringsScoreOne) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("walmart", "walmart"), 1.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("a", "a"), 1.0);
+}
+
+TEST(NeedlemanWunschTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("ABC", "abc"), 1.0);
+}
+
+TEST(NeedlemanWunschTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("a", ""), 0.0);
+}
+
+TEST(NeedlemanWunschTest, DisjointScoresZero) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("aaaa", "zzzz"), 0.0);
+}
+
+TEST(NeedlemanWunschTest, SingleSubstitutionScoresHigh) {
+  const double sim = NeedlemanWunschSimilarity("walmart", "walmort");
+  EXPECT_GT(sim, 0.7);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(NeedlemanWunschTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("kitten", "sitting"),
+                   NeedlemanWunschSimilarity("sitting", "kitten"));
+}
+
+TEST(NeedlemanWunschTest, AffineGapsPreferOneLongGap) {
+  // One contiguous 2-gap is cheaper than two separate 1-gaps under affine
+  // costs: "abXXcd" vs "abcd" (one gap of 2) should beat "aXbcXd" vs
+  // "abcd" (two gaps of 1).
+  const double one_gap = NeedlemanWunschSimilarity("abwwcd", "abcd");
+  const double two_gaps = NeedlemanWunschSimilarity("awbcwd", "abcd");
+  EXPECT_GT(one_gap, two_gaps);
+}
+
+TEST(SmithWatermanTest, SubstringScoresOne) {
+  // The shorter string embedded in the longer one aligns perfectly.
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("w800", "sony dsc-w800 camera"),
+                   1.0);
+}
+
+TEST(SmithWatermanTest, IdenticalScoresOne) {
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", "abc"), 1.0);
+}
+
+TEST(SmithWatermanTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", "abc"), 0.0);
+}
+
+TEST(SmithWatermanTest, DisjointScoresZero) {
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("aaa", "zzz"), 0.0);
+}
+
+TEST(SmithWatermanTest, LocalBeatsGlobalOnEmbeddedMatch) {
+  const char* needle = "dsc-w800";
+  const char* haystack = "brand new sony dsc-w800 silver bundle";
+  EXPECT_GT(SmithWatermanSimilarity(needle, haystack),
+            NeedlemanWunschSimilarity(needle, haystack));
+}
+
+TEST(AlignmentTest, ScoresStayInUnitInterval) {
+  const char* samples[] = {"", "a", "ab", "walmart", "sony dsc w800",
+                           "zzzz", "a b c d e f"};
+  for (const char* x : samples) {
+    for (const char* y : samples) {
+      const double nw = NeedlemanWunschSimilarity(x, y);
+      const double sw = SmithWatermanSimilarity(x, y);
+      EXPECT_GE(nw, 0.0) << x << "|" << y;
+      EXPECT_LE(nw, 1.0) << x << "|" << y;
+      EXPECT_GE(sw, 0.0) << x << "|" << y;
+      EXPECT_LE(sw, 1.0) << x << "|" << y;
+      // Local alignment dominates global after normalization.
+      EXPECT_GE(sw, nw - 1e-9) << x << "|" << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

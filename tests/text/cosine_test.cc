@@ -1,0 +1,56 @@
+#include "src/text/cosine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(CosineTest, IdenticalIsOne) {
+  EXPECT_NEAR(CosineSimilarity({"a", "b"}, {"a", "b"}), 1.0, 1e-12);
+}
+
+TEST(CosineTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(CosineTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(CosineTest, TermFrequencyWeighting) {
+  // {"a","a"} vs {"a"}: vectors (2) and (1) point the same way -> 1.0.
+  EXPECT_NEAR(CosineSimilarity({"a", "a"}, {"a"}), 1.0, 1e-12);
+  // {"a","a","b"} vs {"a","b","b"}: dot=2+2=4, norms sqrt(5) each -> 0.8.
+  EXPECT_NEAR(CosineSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 0.8,
+              1e-12);
+}
+
+TEST(CosineTest, HalfOverlap) {
+  // {"a","b"} vs {"b","c"}: dot=1, norms sqrt(2) -> 0.5.
+  EXPECT_NEAR(CosineSimilarity({"a", "b"}, {"b", "c"}), 0.5, 1e-12);
+}
+
+TEST(CosineSetTest, IgnoresDuplicates) {
+  EXPECT_NEAR(CosineSetSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 1.0,
+              1e-12);
+}
+
+TEST(CosineSetTest, Formula) {
+  // |{a}| ∩ |{a,b,c,d}| = 1; sqrt(1*4) = 2 -> 0.5.
+  EXPECT_NEAR(CosineSetSimilarity({"a"}, {"a", "b", "c", "d"}), 0.5, 1e-12);
+}
+
+TEST(CosineTest, SymmetricAndBounded) {
+  const TokenList x{"p", "q", "q", "r"};
+  const TokenList y{"q", "r", "s"};
+  const double xy = CosineSimilarity(x, y);
+  EXPECT_DOUBLE_EQ(xy, CosineSimilarity(y, x));
+  EXPECT_GT(xy, 0.0);
+  EXPECT_LT(xy, 1.0);
+}
+
+}  // namespace
+}  // namespace emdbg

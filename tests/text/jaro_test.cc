@@ -1,0 +1,75 @@
+#include "src/text/jaro.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+TEST(JaroTest, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("DWAYNE", "DUANE"),
+                   JaroSimilarity("DUANE", "DWAYNE"));
+}
+
+TEST(JaroWinklerTest, ClassicValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  const double jaro = JaroSimilarity("prefixed", "prefixes");
+  const double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, jaro);
+}
+
+TEST(JaroWinklerTest, NoCommonPrefixEqualsJaro) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abcd", "xbcd"),
+                   JaroSimilarity("abcd", "xbcd"));
+}
+
+TEST(JaroWinklerTest, PrefixCappedAtFour) {
+  // Identical 4-char and longer shared prefixes get the same boost factor.
+  const double base = JaroSimilarity("abcdefgh", "abcdxyzw");
+  const double jw = JaroWinklerSimilarity("abcdefgh", "abcdxyzw");
+  EXPECT_NEAR(jw, base + 4 * 0.1 * (1 - base), 1e-12);
+}
+
+TEST(JaroWinklerTest, AlwaysInUnitInterval) {
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < rng.Uniform(10); ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    for (size_t i = 0; i < rng.Uniform(10); ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    const double sim = JaroWinklerSimilarity(a, b);
+    EXPECT_GE(sim, 0.0) << a << " vs " << b;
+    EXPECT_LE(sim, 1.0) << a << " vs " << b;
+    EXPECT_GE(sim, JaroSimilarity(a, b) - 1e-12);
+  }
+}
+
+TEST(JaroWinklerTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+}
+
+}  // namespace
+}  // namespace emdbg

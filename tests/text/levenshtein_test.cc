@@ -1,0 +1,97 @@
+#include "src/text/levenshtein.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("sunday", "saturday"),
+            LevenshteinDistance("saturday", "sunday"));
+}
+
+TEST(LevenshteinTest, SingleEdits) {
+  EXPECT_EQ(LevenshteinDistance("cat", "cut"), 1u);   // substitute
+  EXPECT_EQ(LevenshteinDistance("cat", "cats"), 1u);  // insert
+  EXPECT_EQ(LevenshteinDistance("cat", "at"), 1u);    // delete
+}
+
+TEST(LevenshteinTest, SimilarityRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abcd", "abce"), 0.75);
+}
+
+TEST(LevenshteinTest, BoundedMatchesExactWithinBound) {
+  Rng rng(3);
+  const std::string alphabet = "abcd";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a;
+    std::string b;
+    const size_t la = rng.Uniform(10);
+    const size_t lb = rng.Uniform(10);
+    for (size_t i = 0; i < la; ++i) a.push_back(alphabet[rng.Uniform(4)]);
+    for (size_t i = 0; i < lb; ++i) b.push_back(alphabet[rng.Uniform(4)]);
+    const size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound : {0u, 1u, 2u, 5u, 12u}) {
+      const size_t got = LevenshteinDistanceBounded(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(got, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(got, bound) << a << " vs " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinTest, TriangleInequalityProperty) {
+  Rng rng(4);
+  const std::string alphabet = "ab";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string s[3];
+    for (auto& str : s) {
+      const size_t len = rng.Uniform(8);
+      for (size_t i = 0; i < len; ++i) {
+        str.push_back(alphabet[rng.Uniform(2)]);
+      }
+    }
+    const size_t ab = LevenshteinDistance(s[0], s[1]);
+    const size_t bc = LevenshteinDistance(s[1], s[2]);
+    const size_t ac = LevenshteinDistance(s[0], s[2]);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+TEST(LevenshteinTest, SimilarityWithinUnitInterval) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < rng.Uniform(12); ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    for (size_t i = 0; i < rng.Uniform(12); ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    const double sim = LevenshteinSimilarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,56 @@
+#include "src/text/monge_elkan.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(MongeElkanTest, IdenticalTokensScoreOne) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"john", "smith"},
+                                        {"john", "smith"}),
+                   1.0);
+}
+
+TEST(MongeElkanTest, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"john", "smith"},
+                                        {"smith", "john"}),
+                   1.0);
+}
+
+TEST(MongeElkanTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {"a"}), 0.0);
+}
+
+TEST(MongeElkanTest, FuzzyTokensScoreHigh) {
+  // Token-level typos barely dent the score.
+  const double sim =
+      MongeElkanSimilarity({"jonathan", "smith"}, {"jonathon", "smyth"});
+  EXPECT_GT(sim, 0.85);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(MongeElkanTest, DirectedAsymmetry) {
+  // {"a"} vs {"a","zzz"}: forward direction is perfect, backward is not.
+  const TokenList small{"alpha"};
+  const TokenList big{"alpha", "zzzzz"};
+  EXPECT_DOUBLE_EQ(MongeElkanDirected(small, big), 1.0);
+  EXPECT_LT(MongeElkanDirected(big, small), 1.0);
+}
+
+TEST(MongeElkanTest, SymmetricCombination) {
+  const TokenList x{"sony", "camera"};
+  const TokenList y{"camera", "bag", "sony"};
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity(x, y), MongeElkanSimilarity(y, x));
+  EXPECT_NEAR(MongeElkanSimilarity(x, y),
+              (MongeElkanDirected(x, y) + MongeElkanDirected(y, x)) / 2.0,
+              1e-12);
+}
+
+TEST(MongeElkanTest, DisjointScoresLow) {
+  EXPECT_LT(MongeElkanSimilarity({"aaa"}, {"zzz"}), 0.5);
+}
+
+}  // namespace
+}  // namespace emdbg

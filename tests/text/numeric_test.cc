@@ -1,0 +1,45 @@
+#include "src/text/numeric.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(NumericSimilarityTest, EqualValues) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("5", "5"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("5.0", "5"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("0", "0"), 1.0);
+}
+
+TEST(NumericSimilarityTest, RelativeDistance) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("50", "100"), 0.5);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "50"), 0.5);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("90", "100"), 0.9);
+}
+
+TEST(NumericSimilarityTest, OppositeSignsClampToZero) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("-10", "10"), 0.0);
+}
+
+TEST(NumericSimilarityTest, NonNumericIsZero) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "5"), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("5", ""), 0.0);
+}
+
+TEST(NumericAbsoluteTest, WithinTolerance) {
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity("100", "105", 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity("100", "100", 10.0), 1.0);
+}
+
+TEST(NumericAbsoluteTest, BeyondToleranceIsZero) {
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity("100", "200", 10.0), 0.0);
+}
+
+TEST(NumericAbsoluteTest, ZeroToleranceIsExactMatch) {
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity("7", "7", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericAbsoluteSimilarity("7", "7.1", 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,91 @@
+#include "src/text/set_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"a"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(JaccardTest, SetSemanticsCollapseDuplicates) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b", "b"}),
+                   1.0);
+}
+
+TEST(JaccardTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(DiceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"x"}, {}), 0.0);
+}
+
+TEST(OverlapTest, UsesSmallerSet) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a", "b"}, {"a", "b", "c", "d"}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a", "x"}, {"a", "b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a"}, {}), 0.0);
+}
+
+TEST(IntersectionSizeTest, Basic) {
+  EXPECT_EQ(IntersectionSize({"a", "b", "b"}, {"b", "c"}), 1u);
+  EXPECT_EQ(IntersectionSize({}, {"a"}), 0u);
+}
+
+TEST(TrigramTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("walmart", "walmart"), 1.0);
+}
+
+TEST(TrigramTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("ABC", "abc"), 1.0);
+}
+
+TEST(TrigramTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("aaa", "zzz"), 0.0);
+}
+
+TEST(TrigramTest, SharedPrefixScoresPartially) {
+  const double sim = TrigramSimilarity("walmart", "walmort");
+  EXPECT_GT(sim, 0.3);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(SetSimilarityProperty, OrderingAmongMeasures) {
+  // For any pair of non-empty sets: overlap >= dice >= jaccard.
+  Rng rng(8);
+  const std::vector<std::string> vocab{"a", "b", "c", "d", "e", "f"};
+  for (int trial = 0; trial < 200; ++trial) {
+    TokenList x;
+    TokenList y;
+    for (size_t i = 0; i < 1 + rng.Uniform(5); ++i) {
+      x.push_back(vocab[rng.Uniform(vocab.size())]);
+    }
+    for (size_t i = 0; i < 1 + rng.Uniform(5); ++i) {
+      y.push_back(vocab[rng.Uniform(vocab.size())]);
+    }
+    const double j = JaccardSimilarity(x, y);
+    const double d = DiceSimilarity(x, y);
+    const double o = OverlapCoefficient(x, y);
+    EXPECT_LE(j, d + 1e-12);
+    EXPECT_LE(d, o + 1e-12);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(o, 1.0);
+    // Symmetry.
+    EXPECT_DOUBLE_EQ(j, JaccardSimilarity(y, x));
+    EXPECT_DOUBLE_EQ(d, DiceSimilarity(y, x));
+    EXPECT_DOUBLE_EQ(o, OverlapCoefficient(y, x));
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,111 @@
+/// Property-based sweep over every similarity function in the registry
+/// (parameterized gtest): scores stay in [0, 1], are symmetric, score 1 on
+/// identical inputs (where the function's semantics promise it), and are
+/// deterministic.
+
+#include <gtest/gtest.h>
+
+#include "src/text/similarity_registry.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+class SimilarityPropertiesTest
+    : public ::testing::TestWithParam<SimFunction> {
+ protected:
+  SimilarityPropertiesTest()
+      : model_(TfIdfModel::Build({{"sony", "camera", "silver"},
+                                  {"nikon", "lens", "kit"},
+                                  {"sony", "tv", "remote"},
+                                  {"generic", "usb", "cable"}})) {}
+
+  double Sim(std::string_view a, std::string_view b) const {
+    return ComputeSimilarity(GetParam(), a, b, &model_);
+  }
+
+  TfIdfModel model_;
+};
+
+/// Random-ish but deterministic corpus of attribute-like strings.
+std::vector<std::string> SampleStrings() {
+  std::vector<std::string> out = {
+      "",
+      "a",
+      "ab",
+      "Sony DSC-W800",
+      "sony dsc w800 silver",
+      "John Smith",
+      "Jon Smyth",
+      "206-453-1978",
+      "12.99",
+      "13.50",
+      "zzzz qqqq",
+      "the quick brown fox",
+  };
+  Rng rng(42);
+  for (int i = 0; i < 8; ++i) {
+    std::string s;
+    const size_t len = 1 + rng.Uniform(14);
+    for (size_t k = 0; k < len; ++k) {
+      s.push_back(rng.Bernoulli(0.2)
+                      ? ' '
+                      : static_cast<char>('a' + rng.Uniform(6)));
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST_P(SimilarityPropertiesTest, RangeAndSymmetry) {
+  const auto strings = SampleStrings();
+  for (const std::string& x : strings) {
+    for (const std::string& y : strings) {
+      const double xy = Sim(x, y);
+      EXPECT_GE(xy, 0.0) << "'" << x << "' vs '" << y << "'";
+      EXPECT_LE(xy, 1.0) << "'" << x << "' vs '" << y << "'";
+      EXPECT_DOUBLE_EQ(xy, Sim(y, x))
+          << "'" << x << "' vs '" << y << "'";
+    }
+  }
+}
+
+TEST_P(SimilarityPropertiesTest, Deterministic) {
+  const auto strings = SampleStrings();
+  for (const std::string& x : strings) {
+    EXPECT_DOUBLE_EQ(Sim(x, strings.back()), Sim(x, strings.back()));
+  }
+}
+
+TEST_P(SimilarityPropertiesTest, IdenticalInputsScoreOne) {
+  // Numeric requires parseable input; everything else promises 1.0 on any
+  // identical non-empty string.
+  if (GetParam() == SimFunction::kNumeric) {
+    EXPECT_DOUBLE_EQ(Sim("42.5", "42.5"), 1.0);
+    return;
+  }
+  for (const char* s :
+       {"sony dsc w800", "John Smith", "a", "206-453-1978"}) {
+    EXPECT_NEAR(Sim(s, s), 1.0, 1e-9) << s;
+  }
+}
+
+TEST_P(SimilarityPropertiesTest, BothEmptyScoreOneEmptyVsTextLess) {
+  if (GetParam() == SimFunction::kNumeric) return;  // unparseable = 0
+  EXPECT_DOUBLE_EQ(Sim("", ""), 1.0);
+  EXPECT_LE(Sim("", "something"), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, SimilarityPropertiesTest,
+    ::testing::ValuesIn(AllSimFunctions()),
+    [](const ::testing::TestParamInfo<SimFunction>& info) {
+      std::string name = GetSimFunctionInfo(info.param).name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,71 @@
+#include "src/text/soft_tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TfIdfModel NameModel() {
+  return TfIdfModel::Build({
+      {"jonathan", "smith"},
+      {"jonathon", "smith"},
+      {"mary", "jones"},
+      {"robert", "brown"},
+  });
+}
+
+TEST(SoftTfIdfTest, ExactMatchScoresLikeTfIdf) {
+  const TfIdfModel model = NameModel();
+  EXPECT_NEAR(
+      SoftTfIdfSimilarity(model, {"mary", "jones"}, {"mary", "jones"}), 1.0,
+      1e-9);
+}
+
+TEST(SoftTfIdfTest, FuzzyTokenMatchCounts) {
+  const TfIdfModel model = NameModel();
+  // "jonathan" vs "jonathon" are within Jaro-Winkler 0.9 of each other, so
+  // soft TF-IDF sees them as (weighted) matches while hard TF-IDF scores
+  // only the shared "smith".
+  const double soft = SoftTfIdfSimilarity(model, {"jonathan", "smith"},
+                                          {"jonathon", "smith"});
+  const double hard =
+      model.Similarity({"jonathan", "smith"}, {"jonathon", "smith"});
+  EXPECT_GT(soft, hard);
+  EXPECT_GT(soft, 0.9);
+}
+
+TEST(SoftTfIdfTest, ThresholdGatesFuzzyMatches) {
+  const TfIdfModel model = NameModel();
+  // With an impossible threshold, only exact token matches contribute.
+  const double strict = SoftTfIdfSimilarity(model, {"jonathan", "smith"},
+                                            {"jonathon", "smith"},
+                                            /*threshold=*/1.0);
+  const double loose = SoftTfIdfSimilarity(model, {"jonathan", "smith"},
+                                           {"jonathon", "smith"},
+                                           /*threshold=*/0.85);
+  EXPECT_LT(strict, loose);
+}
+
+TEST(SoftTfIdfTest, DisjointScoresZero) {
+  const TfIdfModel model = NameModel();
+  EXPECT_DOUBLE_EQ(
+      SoftTfIdfSimilarity(model, {"mary"}, {"robert"}), 0.0);
+}
+
+TEST(SoftTfIdfTest, EmptyConventions) {
+  const TfIdfModel model = NameModel();
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity(model, {}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity(model, {"mary"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity(model, {}, {"mary"}), 0.0);
+}
+
+TEST(SoftTfIdfTest, BoundedByOne) {
+  const TfIdfModel model = NameModel();
+  const double sim = SoftTfIdfSimilarity(
+      model, {"jonathan", "jonathon", "smith"}, {"jonathan", "smith"});
+  EXPECT_LE(sim, 1.0);
+  EXPECT_GE(sim, 0.0);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -1,0 +1,98 @@
+#include "src/text/tfidf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TfIdfModel ThreeDocModel() {
+  return TfIdfModel::Build({
+      {"apple", "red", "fruit"},
+      {"banana", "yellow", "fruit"},
+      {"cherry", "red", "fruit"},
+  });
+}
+
+TEST(TfIdfModelTest, CorpusStats) {
+  const TfIdfModel model = ThreeDocModel();
+  EXPECT_EQ(model.document_count(), 3u);
+  EXPECT_EQ(model.vocabulary_size(), 6u);
+}
+
+TEST(TfIdfModelTest, IdfOrdering) {
+  const TfIdfModel model = ThreeDocModel();
+  // "fruit" in all docs, "red" in 2, "apple" in 1, unseen in 0.
+  EXPECT_LT(model.Idf("fruit"), model.Idf("red"));
+  EXPECT_LT(model.Idf("red"), model.Idf("apple"));
+  EXPECT_LT(model.Idf("apple"), model.Idf("unseen_term"));
+}
+
+TEST(TfIdfModelTest, IdfFormula) {
+  const TfIdfModel model = ThreeDocModel();
+  EXPECT_NEAR(model.Idf("fruit"), std::log(4.0 / 4.0) + 1.0, 1e-12);
+  EXPECT_NEAR(model.Idf("apple"), std::log(4.0 / 2.0) + 1.0, 1e-12);
+}
+
+TEST(TfIdfModelTest, DuplicateTermsCountOncePerDocument) {
+  TfIdfModel model;
+  model.AddDocument({"x", "x", "x"});
+  model.AddDocument({"y"});
+  // df(x) = 1 despite three occurrences.
+  EXPECT_NEAR(model.Idf("x"), std::log(3.0 / 2.0) + 1.0, 1e-12);
+}
+
+TEST(TfIdfVectorTest, UnitNorm) {
+  const TfIdfModel model = ThreeDocModel();
+  const TfIdfVector v = model.Vectorize({"apple", "red", "red"});
+  double norm = 0.0;
+  for (const auto& [_, w] : v.entries) norm += w * w;
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(TfIdfVectorTest, EmptyVector) {
+  const TfIdfModel model = ThreeDocModel();
+  EXPECT_TRUE(model.Vectorize({}).empty());
+}
+
+TEST(TfIdfSimilarityTest, IdenticalDocsScoreOne) {
+  const TfIdfModel model = ThreeDocModel();
+  EXPECT_NEAR(model.Similarity({"apple", "red"}, {"apple", "red"}), 1.0,
+              1e-12);
+}
+
+TEST(TfIdfSimilarityTest, DisjointDocsScoreZero) {
+  const TfIdfModel model = ThreeDocModel();
+  EXPECT_DOUBLE_EQ(model.Similarity({"apple"}, {"banana"}), 0.0);
+}
+
+TEST(TfIdfSimilarityTest, EmptyConventions) {
+  const TfIdfModel model = ThreeDocModel();
+  EXPECT_DOUBLE_EQ(model.Similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(model.Similarity({"apple"}, {}), 0.0);
+}
+
+TEST(TfIdfSimilarityTest, RareSharedTermScoresHigherThanCommon) {
+  const TfIdfModel model = ThreeDocModel();
+  // Sharing the rare "apple" is worth more than sharing the common
+  // "fruit", given equal-sized docs with one distinct term each.
+  const double rare =
+      model.Similarity({"apple", "red"}, {"apple", "yellow"});
+  const double common =
+      model.Similarity({"fruit", "red"}, {"fruit", "yellow"});
+  EXPECT_GT(rare, common);
+}
+
+TEST(TfIdfSimilarityTest, SymmetricAndBounded) {
+  const TfIdfModel model = ThreeDocModel();
+  const TokenList a{"apple", "fruit", "fruit"};
+  const TokenList b{"fruit", "cherry"};
+  const double ab = model.Similarity(a, b);
+  EXPECT_DOUBLE_EQ(ab, model.Similarity(b, a));
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+}
+
+}  // namespace
+}  // namespace emdbg

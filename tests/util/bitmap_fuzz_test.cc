@@ -1,0 +1,123 @@
+/// Randomized differential test: Bitmap against a std::vector<bool>
+/// reference model through long random operation sequences.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/bitmap.h"
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+class BitmapModel {
+ public:
+  explicit BitmapModel(size_t size) : bits_(size, false) {}
+
+  void Set(size_t i) { bits_[i] = true; }
+  void Clear(size_t i) { bits_[i] = false; }
+  void Fill(bool v) { std::fill(bits_.begin(), bits_.end(), v); }
+  void Resize(size_t size, bool v) { bits_.resize(size, v); }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (bool b : bits_) n += b ? 1 : 0;
+    return n;
+  }
+  std::vector<size_t> Indices() const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i]) out.push_back(i);
+    }
+    return out;
+  }
+  size_t FindNext(size_t from) const {
+    for (size_t i = from; i < bits_.size(); ++i) {
+      if (bits_[i]) return i;
+    }
+    return bits_.size();
+  }
+  size_t size() const { return bits_.size(); }
+  bool Get(size_t i) const { return bits_[i]; }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+TEST(BitmapFuzzTest, MatchesReferenceModel) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t size = 1 + rng.Uniform(300);
+    Bitmap bm(size);
+    BitmapModel model(size);
+    for (int step = 0; step < 400; ++step) {
+      const uint64_t op = rng.Uniform(6);
+      if (op == 0 && size > 0) {
+        const size_t i = rng.Uniform(size);
+        bm.Set(i);
+        model.Set(i);
+      } else if (op == 1 && size > 0) {
+        const size_t i = rng.Uniform(size);
+        bm.Clear(i);
+        model.Clear(i);
+      } else if (op == 2) {
+        const bool v = rng.Bernoulli(0.5);
+        bm.Fill(v);
+        model.Fill(v);
+      } else if (op == 3) {
+        const size_t new_size = 1 + rng.Uniform(300);
+        const bool v = rng.Bernoulli(0.5);
+        bm.Resize(new_size, v);
+        model.Resize(new_size, v);
+        size = new_size;
+      } else if (op == 4 && size > 0) {
+        const size_t from = rng.Uniform(size + 10);
+        ASSERT_EQ(bm.FindNext(from), model.FindNext(from)) << step;
+      } else {
+        ASSERT_EQ(bm.Count(), model.Count()) << step;
+      }
+    }
+    // Full-state comparison at the end of each trial.
+    ASSERT_EQ(bm.size(), model.size());
+    ASSERT_EQ(bm.ToIndices(), model.Indices());
+    for (size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(bm.Get(i), model.Get(i)) << i;
+    }
+  }
+}
+
+TEST(BitmapFuzzTest, BitwiseOpsMatchReference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t size = 1 + rng.Uniform(200);
+    Bitmap a(size);
+    Bitmap b(size);
+    std::vector<bool> ra(size, false);
+    std::vector<bool> rb(size, false);
+    for (size_t i = 0; i < size; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        a.Set(i);
+        ra[i] = true;
+      }
+      if (rng.Bernoulli(0.4)) {
+        b.Set(i);
+        rb[i] = true;
+      }
+    }
+    Bitmap or_bm = a;
+    or_bm |= b;
+    Bitmap and_bm = a;
+    and_bm &= b;
+    Bitmap sub_bm = a;
+    sub_bm.Subtract(b);
+    for (size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(or_bm.Get(i), ra[i] || rb[i]);
+      ASSERT_EQ(and_bm.Get(i), ra[i] && rb[i]);
+      ASSERT_EQ(sub_bm.Get(i), ra[i] && !rb[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

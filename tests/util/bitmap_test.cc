@@ -1,0 +1,152 @@
+#include "src/util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+TEST(BitmapTest, StartsCleared) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_EQ(bm.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(bm.Get(i));
+}
+
+TEST(BitmapTest, InitialTrueRespectsSize) {
+  Bitmap bm(70, true);
+  EXPECT_EQ(bm.Count(), 70u);  // tail bits beyond size must not count
+}
+
+TEST(BitmapTest, SetClearGet) {
+  Bitmap bm(130);
+  bm.Set(0);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(129));
+  EXPECT_EQ(bm.Count(), 3u);
+  bm.Clear(64);
+  EXPECT_FALSE(bm.Get(64));
+  EXPECT_EQ(bm.Count(), 2u);
+}
+
+TEST(BitmapTest, AssignDispatches) {
+  Bitmap bm(10);
+  bm.Assign(3, true);
+  EXPECT_TRUE(bm.Get(3));
+  bm.Assign(3, false);
+  EXPECT_FALSE(bm.Get(3));
+}
+
+TEST(BitmapTest, FillBothWays) {
+  Bitmap bm(67);
+  bm.Fill(true);
+  EXPECT_EQ(bm.Count(), 67u);
+  bm.Fill(false);
+  EXPECT_EQ(bm.Count(), 0u);
+}
+
+TEST(BitmapTest, ResizeGrowWithTrue) {
+  Bitmap bm(10);
+  bm.Set(9);
+  bm.Resize(100, true);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_TRUE(bm.Get(9));
+  EXPECT_FALSE(bm.Get(0));
+  // New bits [10, 100) are all true.
+  EXPECT_EQ(bm.Count(), 91u);
+}
+
+TEST(BitmapTest, ResizeShrinkDropsBits) {
+  Bitmap bm(100, true);
+  bm.Resize(40);
+  EXPECT_EQ(bm.Count(), 40u);
+  bm.Resize(100);
+  EXPECT_EQ(bm.Count(), 40u);  // regrown bits default to false
+}
+
+TEST(BitmapTest, ToIndices) {
+  Bitmap bm(200);
+  bm.Set(1);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_EQ(bm.ToIndices(), (std::vector<size_t>{1, 63, 64, 199}));
+}
+
+TEST(BitmapTest, FindNext) {
+  Bitmap bm(150);
+  bm.Set(5);
+  bm.Set(70);
+  EXPECT_EQ(bm.FindNext(0), 5u);
+  EXPECT_EQ(bm.FindNext(5), 5u);
+  EXPECT_EQ(bm.FindNext(6), 70u);
+  EXPECT_EQ(bm.FindNext(71), 150u);  // none -> size()
+  EXPECT_EQ(bm.FindNext(999), 150u);
+}
+
+TEST(BitmapTest, IterationViaFindNextVisitsAllSetBits) {
+  Bitmap bm(300);
+  Rng rng(7);
+  std::vector<size_t> expected;
+  for (int k = 0; k < 40; ++k) {
+    const size_t i = static_cast<size_t>(rng.Uniform(300));
+    if (!bm.Get(i)) expected.push_back(i);
+    bm.Set(i);
+  }
+  std::sort(expected.begin(), expected.end());
+  std::vector<size_t> seen;
+  for (size_t i = bm.FindNext(0); i < bm.size(); i = bm.FindNext(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitmapTest, BitwiseOps) {
+  Bitmap a(10);
+  Bitmap b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  Bitmap u = a;
+  u |= b;
+  EXPECT_EQ(u.ToIndices(), (std::vector<size_t>{1, 2, 3}));
+  Bitmap n = a;
+  n &= b;
+  EXPECT_EQ(n.ToIndices(), (std::vector<size_t>{2}));
+  Bitmap d = a;
+  d.Subtract(b);
+  EXPECT_EQ(d.ToIndices(), (std::vector<size_t>{1}));
+}
+
+TEST(BitmapTest, Equality) {
+  Bitmap a(65);
+  Bitmap b(65);
+  EXPECT_EQ(a, b);
+  a.Set(64);
+  EXPECT_FALSE(a == b);
+  b.Set(64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitmapTest, MemoryBytes) {
+  Bitmap bm(1024);
+  EXPECT_EQ(bm.MemoryBytes(), 1024 / 8);
+  Bitmap odd(65);
+  EXPECT_EQ(odd.MemoryBytes(), 16u);  // two 64-bit words
+}
+
+TEST(BitmapTest, EmptyBitmap) {
+  Bitmap bm;
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.Count(), 0u);
+  EXPECT_EQ(bm.FindNext(0), 0u);
+  EXPECT_TRUE(bm.ToIndices().empty());
+}
+
+}  // namespace
+}  // namespace emdbg

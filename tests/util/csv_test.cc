@@ -1,0 +1,108 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+TEST(CsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (CsvRow{"1", "2"}));
+}
+
+TEST(CsvTest, QuotedFieldWithDelimiterAndNewline) {
+  auto rows = ParseCsv("\"a,b\",\"line1\nline2\",plain\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a,b", "line1\nline2", "plain"}));
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto rows = ParseCsv("\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "she said \"hi\"");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (CsvRow{"1", "2"}));
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto rows = ParseCsv(",,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsParseError) {
+  auto rows = ParseCsv("\"oops\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  auto rows = ParseCsv("a|b\n1|2\n", '|');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvTest, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("has \"q\""), "\"has \"\"q\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"id", "name", "note"},
+      {"1", "Smith, John", "said \"hello\""},
+      {"2", "", "multi\nline"},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/emdbg_csv_test.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "x,y\n1,2\n").ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "x,y\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIoError) {
+  auto text = ReadFileToString("/nonexistent/path/file.csv");
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, ParserReportsLineNumbers) {
+  CsvParser parser("a\nb\nc\n");
+  CsvRow row;
+  EXPECT_TRUE(parser.NextRow(&row));
+  EXPECT_EQ(parser.line(), 1u);
+  EXPECT_TRUE(parser.NextRow(&row));
+  EXPECT_TRUE(parser.NextRow(&row));
+  EXPECT_EQ(parser.line(), 3u);
+  EXPECT_FALSE(parser.NextRow(&row));
+}
+
+}  // namespace
+}  // namespace emdbg
