@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_first.dir/bench_ablation_cache_first.cc.o"
+  "CMakeFiles/bench_ablation_cache_first.dir/bench_ablation_cache_first.cc.o.d"
+  "bench_ablation_cache_first"
+  "bench_ablation_cache_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memo.dir/bench_ablation_memo.cc.o"
+  "CMakeFiles/bench_ablation_memo.dir/bench_ablation_memo.cc.o.d"
+  "bench_ablation_memo"
+  "bench_ablation_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimal.dir/bench_ablation_optimal.cc.o"
+  "CMakeFiles/bench_ablation_optimal.dir/bench_ablation_optimal.cc.o.d"
+  "bench_ablation_optimal"
+  "bench_ablation_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sample.dir/bench_ablation_sample.cc.o"
+  "CMakeFiles/bench_ablation_sample.dir/bench_ablation_sample.cc.o.d"
+  "bench_ablation_sample"
+  "bench_ablation_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

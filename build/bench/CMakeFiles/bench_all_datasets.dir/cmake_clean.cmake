@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_all_datasets.dir/bench_all_datasets.cc.o"
+  "CMakeFiles/bench_all_datasets.dir/bench_all_datasets.cc.o.d"
+  "bench_all_datasets"
+  "bench_all_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

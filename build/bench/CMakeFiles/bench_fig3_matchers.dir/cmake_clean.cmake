@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_matchers.dir/bench_fig3_matchers.cc.o"
+  "CMakeFiles/bench_fig3_matchers.dir/bench_fig3_matchers.cc.o.d"
+  "bench_fig3_matchers"
+  "bench_fig3_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3c_ordering.dir/bench_fig3c_ordering.cc.o"
+  "CMakeFiles/bench_fig3c_ordering.dir/bench_fig3c_ordering.cc.o.d"
+  "bench_fig3c_ordering"
+  "bench_fig3c_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

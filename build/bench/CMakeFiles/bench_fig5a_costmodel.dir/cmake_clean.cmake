@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_costmodel.dir/bench_fig5a_costmodel.cc.o"
+  "CMakeFiles/bench_fig5a_costmodel.dir/bench_fig5a_costmodel.cc.o.d"
+  "bench_fig5a_costmodel"
+  "bench_fig5a_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_addrule.dir/bench_fig5c_addrule.cc.o"
+  "CMakeFiles/bench_fig5c_addrule.dir/bench_fig5c_addrule.cc.o.d"
+  "bench_fig5c_addrule"
+  "bench_fig5c_addrule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_addrule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interactivity.dir/bench_interactivity.cc.o"
+  "CMakeFiles/bench_interactivity.dir/bench_interactivity.cc.o.d"
+  "bench_interactivity"
+  "bench_interactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_repl.dir/emdbg_repl.cpp.o"
+  "CMakeFiles/emdbg_repl.dir/emdbg_repl.cpp.o.d"
+  "emdbg_repl"
+  "emdbg_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_workflow.dir/incremental_workflow.cpp.o"
+  "CMakeFiles/incremental_workflow.dir/incremental_workflow.cpp.o.d"
+  "incremental_workflow"
+  "incremental_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

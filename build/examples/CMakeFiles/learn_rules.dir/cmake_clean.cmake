@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_rules.dir/learn_rules.cpp.o"
+  "CMakeFiles/learn_rules.dir/learn_rules.cpp.o.d"
+  "learn_rules"
+  "learn_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_explorer.dir/ordering_explorer.cpp.o"
+  "CMakeFiles/ordering_explorer.dir/ordering_explorer.cpp.o.d"
+  "ordering_explorer"
+  "ordering_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_debugging.dir/product_debugging.cpp.o"
+  "CMakeFiles/product_debugging.dir/product_debugging.cpp.o.d"
+  "product_debugging"
+  "product_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

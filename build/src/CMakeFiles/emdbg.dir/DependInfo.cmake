@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/blocking_stats.cc" "src/CMakeFiles/emdbg.dir/block/blocking_stats.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/block/blocking_stats.cc.o.d"
+  "/root/repo/src/block/candidate_pairs.cc" "src/CMakeFiles/emdbg.dir/block/candidate_pairs.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/block/candidate_pairs.cc.o.d"
+  "/root/repo/src/block/key_blocker.cc" "src/CMakeFiles/emdbg.dir/block/key_blocker.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/block/key_blocker.cc.o.d"
+  "/root/repo/src/block/overlap_blocker.cc" "src/CMakeFiles/emdbg.dir/block/overlap_blocker.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/block/overlap_blocker.cc.o.d"
+  "/root/repo/src/block/similarity_join.cc" "src/CMakeFiles/emdbg.dir/block/similarity_join.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/block/similarity_join.cc.o.d"
+  "/root/repo/src/block/sorted_neighborhood.cc" "src/CMakeFiles/emdbg.dir/block/sorted_neighborhood.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/block/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/core/adaptive_matcher.cc" "src/CMakeFiles/emdbg.dir/core/adaptive_matcher.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/adaptive_matcher.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/emdbg.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/debug_session.cc" "src/CMakeFiles/emdbg.dir/core/debug_session.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/debug_session.cc.o.d"
+  "/root/repo/src/core/early_exit_matcher.cc" "src/CMakeFiles/emdbg.dir/core/early_exit_matcher.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/early_exit_matcher.cc.o.d"
+  "/root/repo/src/core/edit_log.cc" "src/CMakeFiles/emdbg.dir/core/edit_log.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/edit_log.cc.o.d"
+  "/root/repo/src/core/exhaustive_optimizer.cc" "src/CMakeFiles/emdbg.dir/core/exhaustive_optimizer.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/exhaustive_optimizer.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/emdbg.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/feature.cc" "src/CMakeFiles/emdbg.dir/core/feature.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/feature.cc.o.d"
+  "/root/repo/src/core/feature_profiler.cc" "src/CMakeFiles/emdbg.dir/core/feature_profiler.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/feature_profiler.cc.o.d"
+  "/root/repo/src/core/greedy_cost_optimizer.cc" "src/CMakeFiles/emdbg.dir/core/greedy_cost_optimizer.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/greedy_cost_optimizer.cc.o.d"
+  "/root/repo/src/core/greedy_reduction_optimizer.cc" "src/CMakeFiles/emdbg.dir/core/greedy_reduction_optimizer.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/greedy_reduction_optimizer.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/emdbg.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/match_result.cc" "src/CMakeFiles/emdbg.dir/core/match_result.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/match_result.cc.o.d"
+  "/root/repo/src/core/match_state.cc" "src/CMakeFiles/emdbg.dir/core/match_state.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/match_state.cc.o.d"
+  "/root/repo/src/core/matching_function.cc" "src/CMakeFiles/emdbg.dir/core/matching_function.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/matching_function.cc.o.d"
+  "/root/repo/src/core/memo.cc" "src/CMakeFiles/emdbg.dir/core/memo.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/memo.cc.o.d"
+  "/root/repo/src/core/memo_matcher.cc" "src/CMakeFiles/emdbg.dir/core/memo_matcher.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/memo_matcher.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "src/CMakeFiles/emdbg.dir/core/ordering.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/ordering.cc.o.d"
+  "/root/repo/src/core/pair_context.cc" "src/CMakeFiles/emdbg.dir/core/pair_context.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/pair_context.cc.o.d"
+  "/root/repo/src/core/parallel_matcher.cc" "src/CMakeFiles/emdbg.dir/core/parallel_matcher.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/parallel_matcher.cc.o.d"
+  "/root/repo/src/core/precompute_matcher.cc" "src/CMakeFiles/emdbg.dir/core/precompute_matcher.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/precompute_matcher.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/CMakeFiles/emdbg.dir/core/predicate.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/predicate.cc.o.d"
+  "/root/repo/src/core/rudimentary_matcher.cc" "src/CMakeFiles/emdbg.dir/core/rudimentary_matcher.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/rudimentary_matcher.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/CMakeFiles/emdbg.dir/core/rule.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/rule.cc.o.d"
+  "/root/repo/src/core/rule_generator.cc" "src/CMakeFiles/emdbg.dir/core/rule_generator.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/rule_generator.cc.o.d"
+  "/root/repo/src/core/rule_parser.cc" "src/CMakeFiles/emdbg.dir/core/rule_parser.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/rule_parser.cc.o.d"
+  "/root/repo/src/core/rule_simplifier.cc" "src/CMakeFiles/emdbg.dir/core/rule_simplifier.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/rule_simplifier.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/CMakeFiles/emdbg.dir/core/sampler.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/sampler.cc.o.d"
+  "/root/repo/src/core/state_io.cc" "src/CMakeFiles/emdbg.dir/core/state_io.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/state_io.cc.o.d"
+  "/root/repo/src/core/threshold_advisor.cc" "src/CMakeFiles/emdbg.dir/core/threshold_advisor.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/core/threshold_advisor.cc.o.d"
+  "/root/repo/src/data/candidate_io.cc" "src/CMakeFiles/emdbg.dir/data/candidate_io.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/data/candidate_io.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/emdbg.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/emdbg.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/CMakeFiles/emdbg.dir/data/record.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/data/record.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/emdbg.dir/data/table.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/data/table.cc.o.d"
+  "/root/repo/src/data/table_io.cc" "src/CMakeFiles/emdbg.dir/data/table_io.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/data/table_io.cc.o.d"
+  "/root/repo/src/learn/decision_tree.cc" "src/CMakeFiles/emdbg.dir/learn/decision_tree.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/learn/decision_tree.cc.o.d"
+  "/root/repo/src/learn/random_forest.cc" "src/CMakeFiles/emdbg.dir/learn/random_forest.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/learn/random_forest.cc.o.d"
+  "/root/repo/src/learn/rule_extraction.cc" "src/CMakeFiles/emdbg.dir/learn/rule_extraction.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/learn/rule_extraction.cc.o.d"
+  "/root/repo/src/text/alignment.cc" "src/CMakeFiles/emdbg.dir/text/alignment.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/alignment.cc.o.d"
+  "/root/repo/src/text/cosine.cc" "src/CMakeFiles/emdbg.dir/text/cosine.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/cosine.cc.o.d"
+  "/root/repo/src/text/exact.cc" "src/CMakeFiles/emdbg.dir/text/exact.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/exact.cc.o.d"
+  "/root/repo/src/text/jaro.cc" "src/CMakeFiles/emdbg.dir/text/jaro.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/jaro.cc.o.d"
+  "/root/repo/src/text/levenshtein.cc" "src/CMakeFiles/emdbg.dir/text/levenshtein.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/levenshtein.cc.o.d"
+  "/root/repo/src/text/monge_elkan.cc" "src/CMakeFiles/emdbg.dir/text/monge_elkan.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/monge_elkan.cc.o.d"
+  "/root/repo/src/text/numeric.cc" "src/CMakeFiles/emdbg.dir/text/numeric.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/numeric.cc.o.d"
+  "/root/repo/src/text/set_similarity.cc" "src/CMakeFiles/emdbg.dir/text/set_similarity.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/set_similarity.cc.o.d"
+  "/root/repo/src/text/similarity_registry.cc" "src/CMakeFiles/emdbg.dir/text/similarity_registry.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/similarity_registry.cc.o.d"
+  "/root/repo/src/text/soft_tfidf.cc" "src/CMakeFiles/emdbg.dir/text/soft_tfidf.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/soft_tfidf.cc.o.d"
+  "/root/repo/src/text/soundex.cc" "src/CMakeFiles/emdbg.dir/text/soundex.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/soundex.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/emdbg.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/emdbg.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/bitmap.cc" "src/CMakeFiles/emdbg.dir/util/bitmap.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/bitmap.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/emdbg.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/emdbg.dir/util/random.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/emdbg.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/emdbg.dir/util/status.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/emdbg.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for emdbg.
+# This may be replaced when dependencies are built.

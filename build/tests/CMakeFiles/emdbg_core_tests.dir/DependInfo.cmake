@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_matcher_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/adaptive_matcher_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/adaptive_matcher_test.cc.o.d"
+  "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/cost_model_test.cc.o.d"
+  "/root/repo/tests/core/debug_session_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/debug_session_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/debug_session_test.cc.o.d"
+  "/root/repo/tests/core/edit_log_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/edit_log_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/edit_log_test.cc.o.d"
+  "/root/repo/tests/core/exhaustive_optimizer_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/exhaustive_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/exhaustive_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/explain_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/explain_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/explain_test.cc.o.d"
+  "/root/repo/tests/core/feature_profiler_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/feature_profiler_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/feature_profiler_test.cc.o.d"
+  "/root/repo/tests/core/feature_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/feature_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/feature_test.cc.o.d"
+  "/root/repo/tests/core/greedy_optimizers_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/greedy_optimizers_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/greedy_optimizers_test.cc.o.d"
+  "/root/repo/tests/core/guided_debugging_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/guided_debugging_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/guided_debugging_test.cc.o.d"
+  "/root/repo/tests/core/incremental_stress_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/incremental_stress_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/incremental_stress_test.cc.o.d"
+  "/root/repo/tests/core/incremental_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/incremental_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/incremental_test.cc.o.d"
+  "/root/repo/tests/core/match_result_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/match_result_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/match_result_test.cc.o.d"
+  "/root/repo/tests/core/match_state_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/match_state_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/match_state_test.cc.o.d"
+  "/root/repo/tests/core/matcher_param_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/matcher_param_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/matcher_param_test.cc.o.d"
+  "/root/repo/tests/core/matchers_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/matchers_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/matchers_test.cc.o.d"
+  "/root/repo/tests/core/matching_function_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/matching_function_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/matching_function_test.cc.o.d"
+  "/root/repo/tests/core/memo_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/memo_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/memo_test.cc.o.d"
+  "/root/repo/tests/core/ordering_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/ordering_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/ordering_test.cc.o.d"
+  "/root/repo/tests/core/pair_context_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/pair_context_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/pair_context_test.cc.o.d"
+  "/root/repo/tests/core/parallel_matcher_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/parallel_matcher_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/parallel_matcher_test.cc.o.d"
+  "/root/repo/tests/core/parser_fuzz_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/predicate_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/predicate_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/predicate_test.cc.o.d"
+  "/root/repo/tests/core/rule_generator_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_generator_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_generator_test.cc.o.d"
+  "/root/repo/tests/core/rule_parser_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_parser_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_parser_test.cc.o.d"
+  "/root/repo/tests/core/rule_simplifier_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_simplifier_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_simplifier_test.cc.o.d"
+  "/root/repo/tests/core/rule_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rule_test.cc.o.d"
+  "/root/repo/tests/core/rules_io_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rules_io_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/rules_io_test.cc.o.d"
+  "/root/repo/tests/core/sampler_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/sampler_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/sampler_test.cc.o.d"
+  "/root/repo/tests/core/state_io_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/state_io_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/state_io_test.cc.o.d"
+  "/root/repo/tests/core/threshold_advisor_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/threshold_advisor_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/threshold_advisor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emdbg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/block/blocking_stats_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/block/blocking_stats_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/block/blocking_stats_test.cc.o.d"
+  "/root/repo/tests/block/candidate_pairs_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/block/candidate_pairs_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/block/candidate_pairs_test.cc.o.d"
+  "/root/repo/tests/block/key_blocker_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/block/key_blocker_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/block/key_blocker_test.cc.o.d"
+  "/root/repo/tests/block/overlap_blocker_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/block/overlap_blocker_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/block/overlap_blocker_test.cc.o.d"
+  "/root/repo/tests/block/similarity_join_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/block/similarity_join_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/block/similarity_join_test.cc.o.d"
+  "/root/repo/tests/block/sorted_neighborhood_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/block/sorted_neighborhood_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/block/sorted_neighborhood_test.cc.o.d"
+  "/root/repo/tests/data/attr_kind_param_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/attr_kind_param_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/attr_kind_param_test.cc.o.d"
+  "/root/repo/tests/data/candidate_io_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/candidate_io_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/candidate_io_test.cc.o.d"
+  "/root/repo/tests/data/datasets_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/datasets_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/datasets_test.cc.o.d"
+  "/root/repo/tests/data/generator_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/generator_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/generator_test.cc.o.d"
+  "/root/repo/tests/data/record_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/record_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/record_test.cc.o.d"
+  "/root/repo/tests/data/table_io_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/table_io_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/table_io_test.cc.o.d"
+  "/root/repo/tests/data/table_test.cc" "tests/CMakeFiles/emdbg_data_tests.dir/data/table_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_data_tests.dir/data/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emdbg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

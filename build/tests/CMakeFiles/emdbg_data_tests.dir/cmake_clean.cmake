@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_data_tests.dir/block/blocking_stats_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/block/blocking_stats_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/block/candidate_pairs_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/block/candidate_pairs_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/block/key_blocker_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/block/key_blocker_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/block/overlap_blocker_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/block/overlap_blocker_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/block/similarity_join_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/block/similarity_join_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/block/sorted_neighborhood_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/block/sorted_neighborhood_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/attr_kind_param_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/attr_kind_param_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/candidate_io_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/candidate_io_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/datasets_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/datasets_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/generator_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/generator_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/record_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/record_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/table_io_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/table_io_test.cc.o.d"
+  "CMakeFiles/emdbg_data_tests.dir/data/table_test.cc.o"
+  "CMakeFiles/emdbg_data_tests.dir/data/table_test.cc.o.d"
+  "emdbg_data_tests"
+  "emdbg_data_tests.pdb"
+  "emdbg_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

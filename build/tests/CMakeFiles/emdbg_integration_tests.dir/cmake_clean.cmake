@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_integration_tests.dir/integration_test.cc.o"
+  "CMakeFiles/emdbg_integration_tests.dir/integration_test.cc.o.d"
+  "emdbg_integration_tests"
+  "emdbg_integration_tests.pdb"
+  "emdbg_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

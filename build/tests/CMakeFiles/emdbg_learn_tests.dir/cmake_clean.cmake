@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_learn_tests.dir/learn/decision_tree_test.cc.o"
+  "CMakeFiles/emdbg_learn_tests.dir/learn/decision_tree_test.cc.o.d"
+  "CMakeFiles/emdbg_learn_tests.dir/learn/random_forest_test.cc.o"
+  "CMakeFiles/emdbg_learn_tests.dir/learn/random_forest_test.cc.o.d"
+  "CMakeFiles/emdbg_learn_tests.dir/learn/rule_extraction_test.cc.o"
+  "CMakeFiles/emdbg_learn_tests.dir/learn/rule_extraction_test.cc.o.d"
+  "emdbg_learn_tests"
+  "emdbg_learn_tests.pdb"
+  "emdbg_learn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_learn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/alignment_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/alignment_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/alignment_test.cc.o.d"
+  "/root/repo/tests/text/cosine_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/cosine_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/cosine_test.cc.o.d"
+  "/root/repo/tests/text/jaro_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/jaro_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/jaro_test.cc.o.d"
+  "/root/repo/tests/text/levenshtein_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/levenshtein_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/levenshtein_test.cc.o.d"
+  "/root/repo/tests/text/monge_elkan_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/monge_elkan_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/monge_elkan_test.cc.o.d"
+  "/root/repo/tests/text/numeric_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/numeric_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/numeric_test.cc.o.d"
+  "/root/repo/tests/text/set_similarity_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/set_similarity_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/set_similarity_test.cc.o.d"
+  "/root/repo/tests/text/similarity_properties_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/similarity_properties_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/similarity_properties_test.cc.o.d"
+  "/root/repo/tests/text/similarity_registry_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/similarity_registry_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/similarity_registry_test.cc.o.d"
+  "/root/repo/tests/text/soft_tfidf_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/soft_tfidf_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/soft_tfidf_test.cc.o.d"
+  "/root/repo/tests/text/soundex_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/soundex_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/soundex_test.cc.o.d"
+  "/root/repo/tests/text/tfidf_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/tfidf_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/tfidf_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_test.cc" "tests/CMakeFiles/emdbg_text_tests.dir/text/tokenizer_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_text_tests.dir/text/tokenizer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emdbg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_text_tests.dir/text/alignment_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/alignment_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/cosine_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/cosine_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/jaro_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/jaro_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/levenshtein_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/levenshtein_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/monge_elkan_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/monge_elkan_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/numeric_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/numeric_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/set_similarity_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/set_similarity_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/similarity_properties_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/similarity_properties_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/similarity_registry_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/similarity_registry_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/soft_tfidf_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/soft_tfidf_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/soundex_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/soundex_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/tfidf_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/tfidf_test.cc.o.d"
+  "CMakeFiles/emdbg_text_tests.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/emdbg_text_tests.dir/text/tokenizer_test.cc.o.d"
+  "emdbg_text_tests"
+  "emdbg_text_tests.pdb"
+  "emdbg_text_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_text_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_util_tests.dir/util/bitmap_fuzz_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/bitmap_fuzz_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/bitmap_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/bitmap_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/csv_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/csv_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/random_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/random_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/stats_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/stats_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/status_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/status_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/string_util_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/string_util_test.cc.o.d"
+  "emdbg_util_tests"
+  "emdbg_util_tests.pdb"
+  "emdbg_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/emdbg_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdbg_text_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdbg_data_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdbg_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdbg_learn_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdbg_integration_tests[1]_include.cmake")

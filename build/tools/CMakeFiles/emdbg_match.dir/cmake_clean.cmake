@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdbg_match.dir/emdbg_match.cc.o"
+  "CMakeFiles/emdbg_match.dir/emdbg_match.cc.o.d"
+  "emdbg_match"
+  "emdbg_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdbg_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

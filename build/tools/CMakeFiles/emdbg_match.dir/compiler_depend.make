@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emdbg_match.
+# This may be replaced when dependencies are built.
