@@ -221,7 +221,12 @@ bench/CMakeFiles/bench_fig3_matchers.dir/bench_fig3_matchers.cc.o: \
  /root/repo/src/data/datasets.h /root/repo/src/data/generator.h \
  /root/repo/src/util/string_util.h \
  /root/repo/src/core/early_exit_matcher.h /root/repo/src/core/matcher.h \
- /root/repo/src/core/match_result.h /root/repo/src/core/memo_matcher.h \
+ /root/repo/src/core/match_result.h /root/repo/src/util/cancellation.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/memo_matcher.h \
  /root/repo/src/core/match_state.h /root/repo/src/core/memo.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -233,8 +238,7 @@ bench/CMakeFiles/bench_fig3_matchers.dir/bench_fig3_matchers.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -248,8 +252,4 @@ bench/CMakeFiles/bench_fig3_matchers.dir/bench_fig3_matchers.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/precompute_matcher.h \
  /root/repo/src/core/rudimentary_matcher.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/util/stopwatch.h

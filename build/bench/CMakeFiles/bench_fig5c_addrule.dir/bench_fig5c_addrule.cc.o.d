@@ -244,10 +244,10 @@ bench/CMakeFiles/bench_fig5c_addrule.dir/bench_fig5c_addrule.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/core/memo_matcher.h /root/repo/src/core/matcher.h \
- /root/repo/src/util/stats.h /root/repo/src/util/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/memo_matcher.h \
+ /root/repo/src/core/matcher.h /root/repo/src/util/stats.h \
+ /root/repo/src/util/stopwatch.h

@@ -252,8 +252,8 @@ bench/CMakeFiles/bench_parallel.dir/bench_parallel.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/matcher.h \
- /root/repo/src/core/match_result.h /root/repo/src/core/ordering.h \
- /root/repo/src/core/parallel_matcher.h /root/repo/src/util/stopwatch.h \
+ /root/repo/src/core/match_result.h /root/repo/src/util/cancellation.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/ordering.h \
+ /root/repo/src/core/parallel_matcher.h /root/repo/src/util/stopwatch.h

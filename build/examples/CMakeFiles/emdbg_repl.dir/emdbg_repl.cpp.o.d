@@ -218,6 +218,11 @@ examples/CMakeFiles/emdbg_repl.dir/emdbg_repl.cpp.o: \
  /usr/include/c++/12/atomic /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/edit_log.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/core/incremental.h /root/repo/src/core/match_result.h \
  /root/repo/src/core/match_state.h /root/repo/src/core/memo.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
@@ -242,10 +247,13 @@ examples/CMakeFiles/emdbg_repl.dir/emdbg_repl.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/explain.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /root/repo/src/core/explain.h \
  /root/repo/src/core/ordering.h /root/repo/src/util/random.h \
  /root/repo/src/core/rule_parser.h /root/repo/src/core/state_io.h \
- /root/repo/src/core/feature_profiler.h /usr/include/c++/12/array \
+ /root/repo/src/core/feature_profiler.h \
  /root/repo/src/core/rule_simplifier.h \
  /root/repo/src/core/threshold_advisor.h /root/repo/src/data/datasets.h \
  /root/repo/src/data/generator.h /root/repo/src/data/table_io.h \

@@ -215,9 +215,15 @@ examples/CMakeFiles/incremental_workflow.dir/incremental_workflow.cpp.o: \
  /usr/include/c++/12/atomic /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/data/table.h \
- /root/repo/src/core/edit_log.h /root/repo/src/core/incremental.h \
- /root/repo/src/core/match_result.h /root/repo/src/core/match_state.h \
- /root/repo/src/core/memo.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/edit_log.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/core/incremental.h /root/repo/src/core/match_result.h \
+ /root/repo/src/core/match_state.h /root/repo/src/core/memo.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -239,12 +245,13 @@ examples/CMakeFiles/incremental_workflow.dir/incremental_workflow.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/explain.h \
- /root/repo/src/core/ordering.h /root/repo/src/util/random.h \
- /root/repo/src/core/rule_parser.h /root/repo/src/core/state_io.h \
- /root/repo/src/data/datasets.h /root/repo/src/data/generator.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/string_util.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/explain.h \
+ /root/repo/src/core/ordering.h /root/repo/src/util/random.h \
+ /root/repo/src/core/rule_parser.h /root/repo/src/core/state_io.h \
+ /root/repo/src/data/datasets.h /root/repo/src/data/generator.h \
+ /root/repo/src/util/stopwatch.h /root/repo/src/util/string_util.h

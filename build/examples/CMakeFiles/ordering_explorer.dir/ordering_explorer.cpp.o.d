@@ -240,12 +240,12 @@ examples/CMakeFiles/ordering_explorer.dir/ordering_explorer.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/data/table.h \
- /root/repo/src/core/ordering.h /root/repo/src/core/cost_model.h \
- /root/repo/src/util/random.h /root/repo/src/core/rule_generator.h \
- /root/repo/src/core/sampler.h /root/repo/src/data/datasets.h \
- /root/repo/src/data/generator.h /root/repo/src/util/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/string_util.h
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/ordering.h \
+ /root/repo/src/core/cost_model.h /root/repo/src/util/random.h \
+ /root/repo/src/core/rule_generator.h /root/repo/src/core/sampler.h \
+ /root/repo/src/data/datasets.h /root/repo/src/data/generator.h \
+ /root/repo/src/util/stopwatch.h /root/repo/src/util/string_util.h

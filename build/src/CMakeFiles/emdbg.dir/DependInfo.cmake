@@ -67,6 +67,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/emdbg.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/tfidf.cc.o.d"
   "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/emdbg.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/text/tokenizer.cc.o.d"
   "/root/repo/src/util/bitmap.cc" "src/CMakeFiles/emdbg.dir/util/bitmap.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/bitmap.cc.o.d"
+  "/root/repo/src/util/cancellation.cc" "src/CMakeFiles/emdbg.dir/util/cancellation.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/cancellation.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/emdbg.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/crc32c.cc.o.d"
   "/root/repo/src/util/csv.cc" "src/CMakeFiles/emdbg.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/csv.cc.o.d"
   "/root/repo/src/util/random.cc" "src/CMakeFiles/emdbg.dir/util/random.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/random.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/CMakeFiles/emdbg.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/emdbg.dir/util/stats.cc.o.d"

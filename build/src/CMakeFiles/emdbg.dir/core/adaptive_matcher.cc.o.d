@@ -220,7 +220,13 @@ src/CMakeFiles/emdbg.dir/core/adaptive_matcher.cc.o: \
  /root/repo/src/../src/block/candidate_pairs.h \
  /root/repo/src/../src/util/bitmap.h /root/repo/src/../src/data/table.h \
  /root/repo/src/../src/core/matcher.h \
- /root/repo/src/../src/core/match_result.h /usr/include/c++/12/algorithm \
+ /root/repo/src/../src/core/match_result.h \
+ /root/repo/src/../src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -229,7 +235,7 @@ src/CMakeFiles/emdbg.dir/core/adaptive_matcher.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/../src/core/memo.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -253,8 +259,4 @@ src/CMakeFiles/emdbg.dir/core/adaptive_matcher.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/../src/core/rule_profile.h \
- /root/repo/src/../src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/../src/util/stopwatch.h

@@ -220,6 +220,11 @@ src/CMakeFiles/emdbg.dir/core/debug_session.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/../src/data/table.h /root/repo/src/../src/core/edit_log.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/core/incremental.h \
  /root/repo/src/../src/core/match_result.h \
  /root/repo/src/../src/core/match_state.h \
@@ -246,17 +251,28 @@ src/CMakeFiles/emdbg.dir/core/debug_session.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/../src/core/explain.h \
- /root/repo/src/../src/core/ordering.h \
- /root/repo/src/../src/util/random.h \
- /root/repo/src/../src/core/rule_parser.h \
- /root/repo/src/../src/core/state_io.h \
- /root/repo/src/../src/core/memo_matcher.h \
- /root/repo/src/../src/core/matcher.h \
- /root/repo/src/../src/core/sampler.h \
- /root/repo/src/../src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /root/repo/src/../src/util/cancellation.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/core/explain.h \
+ /root/repo/src/../src/core/ordering.h \
+ /root/repo/src/../src/util/random.h \
+ /root/repo/src/../src/core/rule_parser.h \
+ /root/repo/src/../src/core/state_io.h /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
+ /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
+ /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/../src/core/memo_matcher.h \
+ /root/repo/src/../src/core/matcher.h \
+ /root/repo/src/../src/core/sampler.h /root/repo/src/../src/util/csv.h \
+ /root/repo/src/../src/util/stopwatch.h \
  /root/repo/src/../src/util/string_util.h

@@ -244,8 +244,9 @@ src/CMakeFiles/emdbg.dir/core/memo_matcher.cc.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/../src/data/table.h \
- /root/repo/src/../src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /root/repo/src/../src/util/cancellation.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/util/stopwatch.h

@@ -9,8 +9,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/adaptive_matcher_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/adaptive_matcher_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/adaptive_matcher_test.cc.o.d"
+  "/root/repo/tests/core/cancellation_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/cancellation_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/cancellation_test.cc.o.d"
   "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/cost_model_test.cc.o.d"
   "/root/repo/tests/core/debug_session_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/debug_session_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/debug_session_test.cc.o.d"
+  "/root/repo/tests/core/durable_session_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/durable_session_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/durable_session_test.cc.o.d"
   "/root/repo/tests/core/edit_log_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/edit_log_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/edit_log_test.cc.o.d"
   "/root/repo/tests/core/exhaustive_optimizer_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/exhaustive_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/exhaustive_optimizer_test.cc.o.d"
   "/root/repo/tests/core/explain_test.cc" "tests/CMakeFiles/emdbg_core_tests.dir/core/explain_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_core_tests.dir/core/explain_test.cc.o.d"

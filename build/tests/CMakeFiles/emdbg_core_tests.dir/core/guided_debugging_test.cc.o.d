@@ -325,9 +325,11 @@ tests/CMakeFiles/emdbg_core_tests.dir/core/guided_debugging_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/explain.h \
- /root/repo/src/core/ordering.h /root/repo/src/util/random.h \
- /root/repo/src/core/rule_parser.h /root/repo/src/core/state_io.h \
- /root/repo/src/core/rule_simplifier.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/core/explain.h /root/repo/src/core/ordering.h \
+ /root/repo/src/util/random.h /root/repo/src/core/rule_parser.h \
+ /root/repo/src/core/state_io.h /root/repo/src/core/rule_simplifier.h \
  /root/repo/src/core/threshold_advisor.h /root/repo/tests/test_util.h \
  /root/repo/src/data/generator.h

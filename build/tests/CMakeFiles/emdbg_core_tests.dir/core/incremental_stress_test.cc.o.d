@@ -296,13 +296,12 @@ tests/CMakeFiles/emdbg_core_tests.dir/core/incremental_stress_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/incremental.h /root/repo/src/block/candidate_pairs.h \
  /root/repo/src/util/bitmap.h /root/repo/src/core/match_result.h \
- /root/repo/src/core/match_state.h \
+ /root/repo/src/util/status.h /root/repo/src/core/match_state.h \
  /root/repo/src/core/matching_function.h /root/repo/src/core/rule.h \
  /root/repo/src/core/predicate.h /root/repo/src/core/feature.h \
- /root/repo/src/data/record.h /root/repo/src/util/status.h \
- /root/repo/src/text/similarity_registry.h /root/repo/src/text/tfidf.h \
- /root/repo/src/text/tokenizer.h /root/repo/src/core/memo.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/data/record.h /root/repo/src/text/similarity_registry.h \
+ /root/repo/src/text/tfidf.h /root/repo/src/text/tokenizer.h \
+ /root/repo/src/core/memo.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -325,6 +324,8 @@ tests/CMakeFiles/emdbg_core_tests.dir/core/incremental_stress_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/pair_context.h /root/repo/src/data/table.h \
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/memo_matcher.h /root/repo/src/core/matcher.h \
  /root/repo/src/core/rule_generator.h /root/repo/src/util/random.h \
  /root/repo/src/core/sampler.h /root/repo/src/core/state_io.h \

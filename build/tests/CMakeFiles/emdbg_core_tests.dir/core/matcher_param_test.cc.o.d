@@ -323,7 +323,9 @@ tests/CMakeFiles/emdbg_core_tests.dir/core/matcher_param_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/bitmap.h \
  /root/repo/src/core/matcher.h /root/repo/src/block/candidate_pairs.h \
  /root/repo/src/core/match_result.h /root/repo/src/core/pair_context.h \
- /root/repo/src/data/table.h /root/repo/src/core/ordering.h \
+ /root/repo/src/data/table.h /root/repo/src/util/cancellation.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/ordering.h \
  /root/repo/src/core/cost_model.h /root/repo/src/util/random.h \
  /root/repo/src/core/rudimentary_matcher.h \
  /root/repo/src/core/rule_generator.h /root/repo/src/core/sampler.h \

@@ -295,15 +295,16 @@ tests/CMakeFiles/emdbg_core_tests.dir/core/matchers_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/early_exit_matcher.h /root/repo/src/core/matcher.h \
  /root/repo/src/block/candidate_pairs.h /root/repo/src/util/bitmap.h \
- /root/repo/src/core/match_result.h \
+ /root/repo/src/core/match_result.h /root/repo/src/util/status.h \
  /root/repo/src/core/matching_function.h /root/repo/src/core/rule.h \
  /root/repo/src/core/predicate.h /root/repo/src/core/feature.h \
- /root/repo/src/data/record.h /root/repo/src/util/status.h \
- /root/repo/src/text/similarity_registry.h /root/repo/src/text/tfidf.h \
- /root/repo/src/text/tokenizer.h /root/repo/src/core/pair_context.h \
- /root/repo/src/data/table.h /root/repo/src/core/memo_matcher.h \
- /root/repo/src/core/match_state.h /root/repo/src/core/memo.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/data/record.h /root/repo/src/text/similarity_registry.h \
+ /root/repo/src/text/tfidf.h /root/repo/src/text/tokenizer.h \
+ /root/repo/src/core/pair_context.h /root/repo/src/data/table.h \
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/core/memo_matcher.h /root/repo/src/core/match_state.h \
+ /root/repo/src/core/memo.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -325,11 +325,14 @@ tests/CMakeFiles/emdbg_integration_tests.dir/integration_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/explain.h \
- /root/repo/src/core/ordering.h /root/repo/src/util/random.h \
- /root/repo/src/core/rule_parser.h /root/repo/src/core/state_io.h \
- /root/repo/src/core/memo_matcher.h /root/repo/src/core/matcher.h \
- /root/repo/src/data/datasets.h /root/repo/src/data/generator.h \
- /root/repo/src/data/table_io.h /root/repo/src/learn/rule_extraction.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/cancellation.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/core/explain.h /root/repo/src/core/ordering.h \
+ /root/repo/src/util/random.h /root/repo/src/core/rule_parser.h \
+ /root/repo/src/core/state_io.h /root/repo/src/core/memo_matcher.h \
+ /root/repo/src/core/matcher.h /root/repo/src/data/datasets.h \
+ /root/repo/src/data/generator.h /root/repo/src/data/table_io.h \
+ /root/repo/src/learn/rule_extraction.h \
  /root/repo/src/learn/random_forest.h \
  /root/repo/src/learn/decision_tree.h /root/repo/tests/test_util.h

@@ -325,5 +325,7 @@ tests/CMakeFiles/emdbg_learn_tests.dir/learn/rule_extraction_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/matcher.h \
- /root/repo/src/core/match_result.h /root/repo/src/core/sampler.h \
+ /root/repo/src/core/match_result.h /root/repo/src/util/cancellation.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/sampler.h \
  /root/repo/tests/test_util.h /root/repo/src/data/generator.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/util/bitmap_fuzz_test.cc" "tests/CMakeFiles/emdbg_util_tests.dir/util/bitmap_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_util_tests.dir/util/bitmap_fuzz_test.cc.o.d"
   "/root/repo/tests/util/bitmap_test.cc" "tests/CMakeFiles/emdbg_util_tests.dir/util/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_util_tests.dir/util/bitmap_test.cc.o.d"
+  "/root/repo/tests/util/crc32c_test.cc" "tests/CMakeFiles/emdbg_util_tests.dir/util/crc32c_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_util_tests.dir/util/crc32c_test.cc.o.d"
   "/root/repo/tests/util/csv_test.cc" "tests/CMakeFiles/emdbg_util_tests.dir/util/csv_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_util_tests.dir/util/csv_test.cc.o.d"
   "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/emdbg_util_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_util_tests.dir/util/random_test.cc.o.d"
   "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/emdbg_util_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/emdbg_util_tests.dir/util/stats_test.cc.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/emdbg_util_tests.dir/util/bitmap_fuzz_test.cc.o.d"
   "CMakeFiles/emdbg_util_tests.dir/util/bitmap_test.cc.o"
   "CMakeFiles/emdbg_util_tests.dir/util/bitmap_test.cc.o.d"
+  "CMakeFiles/emdbg_util_tests.dir/util/crc32c_test.cc.o"
+  "CMakeFiles/emdbg_util_tests.dir/util/crc32c_test.cc.o.d"
   "CMakeFiles/emdbg_util_tests.dir/util/csv_test.cc.o"
   "CMakeFiles/emdbg_util_tests.dir/util/csv_test.cc.o.d"
   "CMakeFiles/emdbg_util_tests.dir/util/random_test.cc.o"

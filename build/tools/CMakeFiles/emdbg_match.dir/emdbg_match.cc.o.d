@@ -240,12 +240,13 @@ tools/CMakeFiles/emdbg_match.dir/emdbg_match.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/matcher.h \
- /root/repo/src/core/match_result.h /root/repo/src/core/ordering.h \
+ /root/repo/src/core/match_result.h /root/repo/src/util/cancellation.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/ordering.h \
  /root/repo/src/util/random.h /root/repo/src/core/parallel_matcher.h \
  /root/repo/src/core/rule_parser.h /root/repo/src/core/sampler.h \
  /root/repo/src/data/candidate_io.h /root/repo/src/data/table_io.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/string_util.h
+ /root/repo/src/util/stopwatch.h /root/repo/src/util/string_util.h

@@ -6,7 +6,12 @@
 ///   del <rule-name>           remove a rule
 ///   set <rule> <pred#> <t>    change a predicate threshold
 ///   rules                     list rules with stable ids
-///   run                       apply the rules (incremental after 1st run)
+///   run [deadline_ms]         apply the rules (incremental after 1st run);
+///                             Ctrl-C or an exceeded deadline stops the run
+///                             cleanly and keeps the session alive
+///   durable <dir>             enable crash-safe journaling + checkpoints
+///   checkpoint                force a checkpoint now
+///   recover <dir>             restore a crashed durable session
 ///   score                     precision/recall vs labels (synthetic mode)
 ///   explain <a#> <b#>         full decision trace for a pair
 ///   why <a#> <b#>             near-miss analysis for an unmatched pair
@@ -35,6 +40,7 @@
 #include "src/core/threshold_advisor.h"
 #include "src/data/datasets.h"
 #include "src/data/table_io.h"
+#include "src/util/cancellation.h"
 #include "src/util/string_util.h"
 
 using namespace emdbg;
@@ -51,8 +57,9 @@ RuleId FindRuleByName(const MatchingFunction& fn, const std::string& name) {
 void PrintHelp() {
   std::printf(
       "commands: add <dsl> | del <rule> | set <rule> <pred#> <t> | rules |"
-      " run | score | explain <a> <b> | why <a> <b> | advise <rule> <pred#>"
-      " | lint | profile <fn> <attr> | undo | history | report |"
+      " run [deadline_ms] | score | explain <a> <b> | why <a> <b> |"
+      " advise <rule> <pred#> | lint | profile <fn> <attr> | undo |"
+      " history | report | durable <dir> | checkpoint | recover <dir> |"
       " save <p> | load <p> | mem | help | quit\n");
 }
 
@@ -99,6 +106,11 @@ int main(int argc, char** argv) {
 
   DebugSession session(std::move(a), std::move(b), std::move(pairs));
   PrintHelp();
+
+  // Ctrl-C during a run cancels it (the run returns partial and the
+  // session stays alive); the token is re-armed before each run.
+  CancellationToken cancel;
+  SigintCancellation sigint(cancel);
 
   std::string line;
   while (std::printf("emdbg> "), std::fflush(stdout),
@@ -157,10 +169,52 @@ int main(int argc, char** argv) {
         std::printf("%s\n", r.ToString(session.catalog()).c_str());
       }
     } else if (cmd == "run") {
-      const Bitmap& matches = session.Run();
-      std::printf("%zu / %zu pairs match (%s)\n", matches.Count(),
-                  session.candidates().size(),
-                  session.last_stats().ToString().c_str());
+      double deadline_ms = 0.0;
+      in >> deadline_ms;
+      cancel.Reset();  // a Ctrl-C from a previous run must not linger
+      const RunControl control =
+          deadline_ms > 0
+              ? RunControl(cancel, Deadline::AfterMillis(deadline_ms))
+              : RunControl(cancel);
+      const MatchResult result = session.Run(control);
+      if (result.partial) {
+        std::printf("run stopped early (%s): %zu of %zu pairs evaluated, "
+                    "%zu matched so far (%s)\n",
+                    result.status.ToString().c_str(),
+                    result.pairs_completed, session.candidates().size(),
+                    result.MatchCount(),
+                    session.last_stats().ToString().c_str());
+      } else {
+        std::printf("%zu / %zu pairs match (%s)\n", result.MatchCount(),
+                    session.candidates().size(),
+                    session.last_stats().ToString().c_str());
+      }
+    } else if (cmd == "durable") {
+      std::string dir;
+      in >> dir;
+      if (dir.empty()) {
+        std::printf("usage: durable <dir>\n");
+        continue;
+      }
+      const Status s = session.EnableDurability(dir);
+      std::printf("%s\n", s.ok() ? "durability on — every edit is "
+                                   "journaled, checkpoint written"
+                                 : s.ToString().c_str());
+    } else if (cmd == "checkpoint") {
+      const Status s = session.Checkpoint();
+      std::printf("%s\n",
+                  s.ok() ? "checkpoint written" : s.ToString().c_str());
+    } else if (cmd == "recover") {
+      std::string dir;
+      in >> dir;
+      if (dir.empty()) {
+        std::printf("usage: recover <dir>\n");
+        continue;
+      }
+      const Status s = session.Recover(dir);
+      std::printf("%s\n", s.ok() ? "session recovered — checkpoint loaded "
+                                   "and journal replayed"
+                                 : s.ToString().c_str());
     } else if (cmd == "score") {
       if (!have_labels) {
         std::printf("no labels loaded\n");

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Build-and-test gate for emdbg.
+#
+#   scripts/check.sh                 # release build + full test suite
+#   scripts/check.sh asan            # AddressSanitizer build + tests
+#   scripts/check.sh tsan            # ThreadSanitizer build + tests
+#                                    #   (the cancellation/worker-drain
+#                                    #   paths are the interesting part)
+#   scripts/check.sh all             # release, then asan, then tsan
+#
+# Each mode uses its own build directory (build/, build-asan/,
+# build-tsan/) so switching sanitizers never requires a clean.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_mode() {
+  local mode="$1" dir sanitize
+  case "$mode" in
+    release) dir=build;      sanitize="" ;;
+    asan)    dir=build-asan; sanitize=address ;;
+    tsan)    dir=build-tsan; sanitize=thread ;;
+    *) echo "unknown mode '$mode' (want release, asan, tsan, or all)" >&2
+       exit 2 ;;
+  esac
+
+  echo "==> [$mode] configure"
+  if [ -n "$sanitize" ]; then
+    cmake -B "$dir" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DEMDBG_SANITIZE="$sanitize" \
+      -DEMDBG_BUILD_BENCHMARKS=OFF >/dev/null
+  else
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  fi
+
+  echo "==> [$mode] build"
+  cmake --build "$dir" -j "$jobs"
+
+  echo "==> [$mode] test"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+case "${1:-release}" in
+  all)
+    run_mode release
+    run_mode asan
+    run_mode tsan
+    ;;
+  *)
+    run_mode "${1:-release}"
+    ;;
+esac
+
+echo "==> all checks passed"

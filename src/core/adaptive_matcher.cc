@@ -12,10 +12,13 @@ namespace emdbg {
 
 MatchResult AdaptiveMemoMatcher::Run(const MatchingFunction& fn,
                                      const CandidateSet& pairs,
-                                     PairContext& ctx) {
+                                     PairContext& ctx,
+                                     const RunControl& control) {
   Stopwatch timer;
+  StopCheck stop(control);
   MatchResult result;
   result.matches = Bitmap(pairs.size());
+  result.MarkComplete(pairs.size());
 
   const size_t n = fn.num_rules();
   std::vector<RuleProfile> profiles;
@@ -31,6 +34,10 @@ MatchResult AdaptiveMemoMatcher::Run(const MatchingFunction& fn,
   std::vector<size_t> pred_order;
 
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (stop.ShouldStop()) {
+      result.MarkPartialPrefix(i, pairs.size(), stop.Reason());
+      break;
+    }
     const PairId pair = pairs.pair(i);
     // Score every rule under the pair's actual memo contents (α ∈ {0,1}).
     for (size_t r = 0; r < n; ++r) {

@@ -27,8 +27,9 @@ class AdaptiveMemoMatcher final : public Matcher {
   /// matcher runs (EnsureFeature/EstimateForFunction).
   explicit AdaptiveMemoMatcher(const CostModel& model) : model_(model) {}
 
+  using Matcher::Run;
   MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
-                  PairContext& ctx) override;
+                  PairContext& ctx, const RunControl& control) override;
 
   const char* name() const override { return "DM+EE(adaptive)"; }
 

@@ -89,6 +89,17 @@ class DebugSession {
   /// the match bitmap (aligned with candidates()).
   const Bitmap& Run();
 
+  /// Controlled variant: honours `control`'s cancellation token and
+  /// deadline (checked once per candidate pair). When the run is stopped
+  /// early the returned result is partial — `result.partial` is true,
+  /// `result.status` says why (kCancelled / kDeadlineExceeded), and only
+  /// the bits flagged in `result.evaluated` are meaningful. A partial
+  /// first run does NOT mark the session as started: the memo keeps all
+  /// values computed so far (a retry resumes cheaply), but edits stay in
+  /// the pre-run regime until a run completes. When the maintained result
+  /// is already up to date this returns it immediately as complete.
+  MatchResult Run(const RunControl& control);
+
   /// True if Run() has been called at least once.
   bool has_run() const { return started_; }
 
@@ -136,9 +147,45 @@ class DebugSession {
   /// CSV). No similarity values are recomputed.
   Status ResumeSession(const std::string& prefix);
 
+  // ---- Crash-safe durability. Once enabled, every committed edit is
+  // appended to an fsync'd journal before the edit call returns, and the
+  // full state (rules + memo + bitmaps) is checkpointed every N edits.
+  // After a crash (kill -9 included), Recover() on a fresh session
+  // rebuilds exactly the state of the last committed edit: it loads the
+  // newest checkpoint and replays the journal records on top. ----
+
+  /// Turns on durability in `dir` (created if missing). Requires a
+  /// completed run in incremental mode — durability covers the
+  /// interactive post-run editing loop. Writes an initial checkpoint
+  /// immediately. `checkpoint_every` is the number of journaled edits
+  /// after which the session checkpoints and truncates the journal.
+  Status EnableDurability(const std::string& dir,
+                          size_t checkpoint_every = 25);
+
+  /// Forces a checkpoint now (normally automatic). Writes
+  /// checkpoint.<epoch>.rules / .state, atomically repoints
+  /// checkpoint.meta at the new epoch, starts a fresh journal, and
+  /// removes the previous epoch's files. A crash at any point leaves
+  /// either the old or the new checkpoint fully intact.
+  Status Checkpoint();
+
+  /// Restores a crashed durable session into this (not-yet-run) session:
+  /// loads the checkpoint named by `dir`/checkpoint.meta, replays the
+  /// journal, re-enables durability in `dir`, and writes a fresh
+  /// checkpoint. The tables/candidates must match the crashed session's.
+  /// ParseError on corrupt files (a torn final journal record — a crash
+  /// mid-append — is tolerated and dropped; that edit never committed).
+  Status Recover(const std::string& dir, size_t checkpoint_every = 25);
+
+  bool durable() const { return journal_ != nullptr; }
+
+  /// Journaled edits since the last checkpoint.
+  size_t edits_since_checkpoint() const { return edits_since_checkpoint_; }
+
  private:
-  /// First-run path: estimate, order, full run.
-  void FirstRun();
+  /// First-run path: estimate, order, full run. Returns the full result;
+  /// a partial one (stopped by `control`) leaves the session not-started.
+  MatchResult FirstRun(const RunControl& control);
 
   /// Brings the cost model up to date with `fn`'s features and orders a
   /// freshly added rule's predicates (Lemma 3).
@@ -165,6 +212,26 @@ class DebugSession {
   bool started_ = false;
   MatchStats last_stats_;
   MatchStats total_stats_;
+
+  // ---- Durability (see EnableDurability). ----
+
+  /// Writes checkpoint epoch_+1 and swaps the journal; shared by
+  /// EnableDurability / Checkpoint / Recover.
+  Status WriteCheckpoint();
+
+  /// Routes committed edits into the journal and triggers the periodic
+  /// checkpoint.
+  void AttachJournalSink();
+
+  /// Applies one journal payload during Recover (journaling is not yet
+  /// attached, so replay does not re-journal).
+  Status ApplyJournalRecord(std::string_view payload);
+
+  std::string durability_dir_;
+  uint64_t epoch_ = 0;
+  size_t checkpoint_every_ = 0;
+  size_t edits_since_checkpoint_ = 0;
+  std::unique_ptr<EditJournal> journal_;
 };
 
 }  // namespace emdbg

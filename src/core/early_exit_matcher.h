@@ -10,8 +10,9 @@ namespace emdbg {
 /// evaluation still recomputes its similarity value from scratch.
 class EarlyExitMatcher final : public Matcher {
  public:
+  using Matcher::Run;
   MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
-                  PairContext& ctx) override;
+                  PairContext& ctx, const RunControl& control) override;
   const char* name() const override { return "EE"; }
 };
 

@@ -14,13 +14,18 @@ IncrementalMatcher::IncrementalMatcher(PairContext& ctx,
     : ctx_(ctx), pairs_(pairs), options_(options) {}
 
 MatchStats IncrementalMatcher::FullRun(const MatchingFunction& fn) {
+  return FullRun(fn, RunControl()).stats;
+}
+
+MatchResult IncrementalMatcher::FullRun(const MatchingFunction& fn,
+                                        const RunControl& control) {
   fn_ = fn;
   MemoMatcher matcher(
       MemoMatcher::Options{.check_cache_first = options_.check_cache_first});
-  const MatchResult result =
-      matcher.RunWithState(fn_, pairs_, ctx_, state_);
-  has_run_ = true;
-  return result.stats;
+  MatchResult result =
+      matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
+  has_run_ = !result.partial;
+  return result;
 }
 
 Status IncrementalMatcher::Resume(const MatchingFunction& fn,

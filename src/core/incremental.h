@@ -6,6 +6,7 @@
 #include "src/core/match_state.h"
 #include "src/core/matching_function.h"
 #include "src/core/pair_context.h"
+#include "src/util/cancellation.h"
 
 namespace emdbg {
 
@@ -52,6 +53,15 @@ class IncrementalMatcher {
   /// memo persists across FullRun calls (Sec. 6 reuse), decision bitmaps
   /// are rebuilt.
   MatchStats FullRun(const MatchingFunction& fn);
+
+  /// Controlled full run: checks `control` once per pair. If the run is
+  /// stopped early the result is partial (see match_result.h) and
+  /// has_run() becomes false — the memo keeps everything computed so far
+  /// (a later run resumes cheaply), but the decision bitmaps are
+  /// incomplete, so incremental edits stay rejected until a complete
+  /// FullRun succeeds.
+  MatchResult FullRun(const MatchingFunction& fn,
+                      const RunControl& control);
 
   /// Adopts previously materialized state (e.g. from LoadMatchState) for
   /// `fn` without re-running anything; subsequent edits are incremental.

@@ -12,6 +12,15 @@ std::string MatchStats::ToString() const {
       rule_evaluations, elapsed_ms);
 }
 
+void MatchResult::MarkPartialPrefix(size_t completed, size_t num_pairs,
+                                    Status stop_status) {
+  partial = true;
+  pairs_completed = completed;
+  status = std::move(stop_status);
+  evaluated = Bitmap(num_pairs);
+  for (size_t i = 0; i < completed; ++i) evaluated.Set(i);
+}
+
 std::string QualityMetrics::ToString() const {
   return StrFormat("P=%.3f R=%.3f F1=%.3f (tp=%zu fp=%zu fn=%zu)", precision,
                    recall, f1, true_positives, false_positives,

@@ -6,6 +6,7 @@
 
 #include "src/block/candidate_pairs.h"
 #include "src/util/bitmap.h"
+#include "src/util/status.h"
 
 namespace emdbg {
 
@@ -33,11 +34,39 @@ struct MatchStats {
 
 /// Output of a matcher: per-pair decisions (bit i ⇔ candidate pair i
 /// matched) plus work counters.
+///
+/// Partial results (graceful degradation): when a run is stopped early by
+/// a `RunControl` (cancellation or deadline), `partial` is true, `status`
+/// explains why (kCancelled / kDeadlineExceeded), and only the pairs
+/// marked in `evaluated` carry valid match bits — everything else is
+/// unevaluated and left 0. Complete runs have `partial == false`,
+/// an OK `status`, `pairs_completed == pairs.size()`, and an empty
+/// `evaluated` bitmap (all bits are valid).
 struct MatchResult {
   Bitmap matches;
   MatchStats stats;
 
+  /// False for a complete run; true when stopped early.
+  bool partial = false;
+  /// Number of candidate pairs whose match bit is valid.
+  size_t pairs_completed = 0;
+  /// Populated only when `partial`: bit i ⇔ pair i was evaluated.
+  Bitmap evaluated;
+  /// OK when complete; kCancelled or kDeadlineExceeded when partial.
+  Status status;
+
   size_t MatchCount() const { return matches.Count(); }
+
+  /// Marks a complete run over `num_pairs` pairs.
+  void MarkComplete(size_t num_pairs) {
+    partial = false;
+    pairs_completed = num_pairs;
+    status = Status::Ok();
+  }
+
+  /// Marks a run stopped after the prefix [0, completed) was evaluated.
+  void MarkPartialPrefix(size_t completed, size_t num_pairs,
+                         Status stop_status);
 };
 
 /// Precision/recall of predicted matches against ground-truth labels

@@ -5,6 +5,7 @@
 #include "src/core/match_result.h"
 #include "src/core/matching_function.h"
 #include "src/core/pair_context.h"
+#include "src/util/cancellation.h"
 
 namespace emdbg {
 
@@ -16,10 +17,20 @@ class Matcher {
  public:
   virtual ~Matcher() = default;
 
-  /// Evaluates `fn` over all pairs. The context supplies feature
-  /// computation (and its token caches persist across calls).
+  /// Evaluates `fn` over all pairs, checking `control` once per pair. A
+  /// cancelled or deadline-exceeded run returns a partial MatchResult
+  /// (see match_result.h) instead of blocking until completion. The
+  /// context supplies feature computation (and its token caches persist
+  /// across calls).
   virtual MatchResult Run(const MatchingFunction& fn,
-                          const CandidateSet& pairs, PairContext& ctx) = 0;
+                          const CandidateSet& pairs, PairContext& ctx,
+                          const RunControl& control) = 0;
+
+  /// Uncontrolled convenience overload: runs to completion.
+  MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
+                  PairContext& ctx) {
+    return Run(fn, pairs, ctx, RunControl());
+  }
 
   /// Short name for reports ("R", "EE", "DM+EE", ...).
   virtual const char* name() const = 0;

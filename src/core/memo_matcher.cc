@@ -7,20 +7,23 @@
 namespace emdbg {
 
 MatchResult MemoMatcher::Run(const MatchingFunction& fn,
-                             const CandidateSet& pairs, PairContext& ctx) {
+                             const CandidateSet& pairs, PairContext& ctx,
+                             const RunControl& control) {
   DenseMemo memo(pairs.size(), ctx.catalog().size());
-  return RunImpl(fn, pairs, ctx, nullptr, memo);
+  return RunImpl(fn, pairs, ctx, nullptr, memo, control);
 }
 
 MatchResult MemoMatcher::RunWithMemo(const MatchingFunction& fn,
                                      const CandidateSet& pairs,
-                                     PairContext& ctx, Memo& memo) {
-  return RunImpl(fn, pairs, ctx, nullptr, memo);
+                                     PairContext& ctx, Memo& memo,
+                                     const RunControl& control) {
+  return RunImpl(fn, pairs, ctx, nullptr, memo, control);
 }
 
 MatchResult MemoMatcher::RunWithState(const MatchingFunction& fn,
                                       const CandidateSet& pairs,
-                                      PairContext& ctx, MatchState& state) {
+                                      PairContext& ctx, MatchState& state,
+                                      const RunControl& control) {
   if (!state.initialized() || state.num_pairs() != pairs.size()) {
     state.Initialize(pairs.size(), ctx.catalog().size());
   } else {
@@ -37,22 +40,30 @@ MatchResult MemoMatcher::RunWithState(const MatchingFunction& fn,
       state.PredFalse(p.id).Fill(false);
     }
   }
-  MatchResult result = RunImpl(fn, pairs, ctx, &state, state.memo());
+  MatchResult result = RunImpl(fn, pairs, ctx, &state, state.memo(),
+                               control);
   state.matches() = result.matches;
   return result;
 }
 
 MatchResult MemoMatcher::RunImpl(const MatchingFunction& fn,
                                  const CandidateSet& pairs, PairContext& ctx,
-                                 MatchState* state, Memo& memo) {
+                                 MatchState* state, Memo& memo,
+                                 const RunControl& control) {
   Stopwatch timer;
+  StopCheck stop(control);
   MatchResult result;
   result.matches = Bitmap(pairs.size());
+  result.MarkComplete(pairs.size());
 
   // Scratch order buffer reused across pairs (check-cache-first).
   std::vector<size_t> order;
 
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (stop.ShouldStop()) {
+      result.MarkPartialPrefix(i, pairs.size(), stop.Reason());
+      break;
+    }
     const PairId pair = pairs.pair(i);
     for (const Rule& rule : fn.rules()) {
       if (rule.empty()) continue;

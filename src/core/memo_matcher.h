@@ -24,31 +24,41 @@ class MemoMatcher final : public Matcher {
   MemoMatcher() : MemoMatcher(Options{}) {}
   explicit MemoMatcher(Options options) : options_(options) {}
 
+  using Matcher::Run;
+
   /// Runs with a private DenseMemo that is discarded afterwards.
   MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
-                  PairContext& ctx) override;
+                  PairContext& ctx, const RunControl& control) override;
 
   /// Runs against a caller-supplied memo (e.g. a HashMemo for the
   /// Sec. 7.4 dense-vs-sparse trade-off). The memo's prior contents are
   /// reused; no decision bitmaps are recorded.
   MatchResult RunWithMemo(const MatchingFunction& fn,
                           const CandidateSet& pairs, PairContext& ctx,
-                          Memo& memo);
+                          Memo& memo,
+                          const RunControl& control = RunControl());
 
   /// Runs against persistent state: reuses `state`'s memo if already
   /// initialized (values computed in previous debugging iterations are
   /// reused, Sec. 6), and records the per-rule true / per-predicate false
   /// bitmaps the incremental algorithms need. Rule/predicate bitmaps are
   /// reset; the memo is not.
+  ///
+  /// If the run is stopped early (partial result), `state`'s decision
+  /// bitmaps cover only the evaluated prefix; the memo keeps everything
+  /// computed so far, so a re-run resumes cheaply. Callers must not treat
+  /// a partial state as a complete materialization.
   MatchResult RunWithState(const MatchingFunction& fn,
                            const CandidateSet& pairs, PairContext& ctx,
-                           MatchState& state);
+                           MatchState& state,
+                           const RunControl& control = RunControl());
 
   const char* name() const override { return "DM+EE"; }
 
  private:
   MatchResult RunImpl(const MatchingFunction& fn, const CandidateSet& pairs,
-                      PairContext& ctx, MatchState* state, Memo& memo);
+                      PairContext& ctx, MatchState* state, Memo& memo,
+                      const RunControl& control);
 
   Options options_;
 };

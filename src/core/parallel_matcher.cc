@@ -1,6 +1,7 @@
 #include "src/core/parallel_matcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -11,7 +12,8 @@ namespace emdbg {
 
 MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
                                      const CandidateSet& pairs,
-                                     PairContext& ctx) {
+                                     PairContext& ctx,
+                                     const RunControl& control) {
   Stopwatch timer;
   // Serial phase: make all shared state read-only for the workers.
   ctx.Prewarm(fn.UsedFeatures());
@@ -22,11 +24,22 @@ MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
   DenseMemo memo(pairs.size(), ctx.catalog().size());
   std::vector<uint8_t> decisions(pairs.size(), 0);
   std::vector<MatchStats> thread_stats(num_threads);
+  // Per-worker drain point: first index of its chunk NOT evaluated.
+  std::vector<size_t> worker_stopped_at(num_threads, 0);
+  std::atomic<bool> any_stopped{false};
 
   auto worker = [&](size_t tid, size_t begin, size_t end) {
     MatchStats& stats = thread_stats[tid];
+    StopCheck stop(control);
+    worker_stopped_at[tid] = end;
     std::vector<size_t> order;
     for (size_t i = begin; i < end; ++i) {
+      if (stop.ShouldStop()) {
+        // Clean drain: record progress and fall through to thread exit.
+        worker_stopped_at[tid] = i;
+        any_stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
       const PairId pair = pairs.pair(i);
       for (const Rule& rule : fn.rules()) {
         if (rule.empty()) continue;
@@ -72,6 +85,7 @@ MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
     }
   };
 
+  std::vector<size_t> chunk_begin(num_threads, 0);
   if (num_threads == 1) {
     worker(0, 0, pairs.size());
   } else {
@@ -81,8 +95,11 @@ MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
     for (size_t t = 0; t < num_threads; ++t) {
       const size_t begin = std::min(t * chunk, pairs.size());
       const size_t end = std::min(begin + chunk, pairs.size());
+      chunk_begin[t] = begin;
       threads.emplace_back(worker, t, begin, end);
     }
+    // All workers join unconditionally — a stopped run drains threads
+    // instead of abandoning them.
     for (std::thread& t : threads) t.join();
   }
 
@@ -92,6 +109,20 @@ MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
     if (decisions[i]) result.matches.Set(i);
   }
   for (const MatchStats& s : thread_stats) result.stats += s;
+  result.MarkComplete(pairs.size());
+  if (any_stopped.load(std::memory_order_relaxed)) {
+    // Valid bits are the union of the per-worker completed ranges.
+    result.partial = true;
+    result.status = control.StopStatus();
+    result.evaluated = Bitmap(pairs.size());
+    result.pairs_completed = 0;
+    for (size_t t = 0; t < num_threads; ++t) {
+      for (size_t i = chunk_begin[t]; i < worker_stopped_at[t]; ++i) {
+        result.evaluated.Set(i);
+        ++result.pairs_completed;
+      }
+    }
+  }
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

@@ -25,8 +25,14 @@ class ParallelMemoMatcher final : public Matcher {
   ParallelMemoMatcher() : ParallelMemoMatcher(Options{}) {}
   explicit ParallelMemoMatcher(Options options) : options_(options) {}
 
+  using Matcher::Run;
+
+  /// Cancellation/deadline: every worker checks `control` once per pair
+  /// and drains cleanly; all threads are joined before Run returns (no
+  /// detached or leaked threads). On a partial result, `evaluated` is the
+  /// union of the per-worker completed ranges — not necessarily a prefix.
   MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
-                  PairContext& ctx) override;
+                  PairContext& ctx, const RunControl& control) override;
 
   const char* name() const override { return "DM+EE(parallel)"; }
 

@@ -8,10 +8,13 @@ namespace emdbg {
 
 MatchResult PrecomputeMatcher::Run(const MatchingFunction& fn,
                                    const CandidateSet& pairs,
-                                   PairContext& ctx) {
+                                   PairContext& ctx,
+                                   const RunControl& control) {
   Stopwatch timer;
+  StopCheck stop(control);
   MatchResult result;
   result.matches = Bitmap(pairs.size());
+  result.MarkComplete(pairs.size());
 
   // Phase 1: fill the memo (Algorithm 2, lines 4-8).
   std::vector<FeatureId> features;
@@ -25,6 +28,13 @@ MatchResult PrecomputeMatcher::Run(const MatchingFunction& fn,
   }
   DenseMemo memo(pairs.size(), ctx.catalog().size());
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (stop.ShouldStop()) {
+      // Precomputation never sets match bits, so nothing is valid yet.
+      result.MarkPartialPrefix(0, pairs.size(), stop.Reason());
+      last_precompute_ms_ = timer.ElapsedMillis();
+      result.stats.elapsed_ms = timer.ElapsedMillis();
+      return result;
+    }
     const PairId pair = pairs.pair(i);
     for (const FeatureId f : features) {
       memo.Store(i, f, ctx.ComputeFeature(f, pair));
@@ -35,6 +45,10 @@ MatchResult PrecomputeMatcher::Run(const MatchingFunction& fn,
 
   // Phase 2: match via lookups (Algorithm 1 or 3 over the memo).
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (stop.ShouldStop()) {
+      result.MarkPartialPrefix(i, pairs.size(), stop.Reason());
+      break;
+    }
     bool any_rule_true = false;
     for (const Rule& rule : fn.rules()) {
       if (rule.empty()) continue;

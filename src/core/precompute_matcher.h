@@ -26,8 +26,9 @@ class PrecomputeMatcher final : public Matcher {
   explicit PrecomputeMatcher(Scope scope, bool early_exit = true)
       : scope_(scope), early_exit_(early_exit) {}
 
+  using Matcher::Run;
   MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
-                  PairContext& ctx) override;
+                  PairContext& ctx, const RunControl& control) override;
 
   const char* name() const override {
     return scope_ == Scope::kProduction ? "PPR+EE" : "FPR+EE";

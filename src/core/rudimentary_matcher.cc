@@ -6,11 +6,18 @@ namespace emdbg {
 
 MatchResult RudimentaryMatcher::Run(const MatchingFunction& fn,
                                     const CandidateSet& pairs,
-                                    PairContext& ctx) {
+                                    PairContext& ctx,
+                                    const RunControl& control) {
   Stopwatch timer;
+  StopCheck stop(control);
   MatchResult result;
   result.matches = Bitmap(pairs.size());
+  result.MarkComplete(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (stop.ShouldStop()) {
+      result.MarkPartialPrefix(i, pairs.size(), stop.Reason());
+      break;
+    }
     const PairId pair = pairs.pair(i);
     bool any_rule_true = false;
     for (const Rule& rule : fn.rules()) {

@@ -10,8 +10,9 @@ namespace emdbg {
 /// predicate is a black box; no memoing, no early exit).
 class RudimentaryMatcher final : public Matcher {
  public:
+  using Matcher::Run;
   MatchResult Run(const MatchingFunction& fn, const CandidateSet& pairs,
-                  PairContext& ctx) override;
+                  PairContext& ctx, const RunControl& control) override;
   const char* name() const override { return "R"; }
 };
 

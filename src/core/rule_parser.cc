@@ -1,6 +1,7 @@
 #include "src/core/rule_parser.h"
 
 #include <cctype>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,13 @@
 namespace emdbg {
 
 namespace {
+
+// Defensive limits over untrusted rule text (see rule_parser.h).
+constexpr size_t kMaxRuleTextBytes = 64u << 10;
+constexpr size_t kMaxFunctionTextBytes = 8u << 20;
+constexpr size_t kMaxPredicatesPerRule = 256;
+constexpr size_t kMaxRulesPerFunction = 4096;
+constexpr size_t kMaxIdentifierBytes = 256;
 
 /// Token kinds for the tiny DSL lexer.
 enum class TokKind { kIdent, kNumber, kOp, kLParen, kRParen, kComma,
@@ -100,6 +108,10 @@ class TokenStream {
               input_[pos_] == '_')) {
         ++pos_;
       }
+      if (pos_ - start > kMaxIdentifierBytes) {
+        return Status::ParseError(
+            StrFormat("identifier exceeds %zu bytes", kMaxIdentifierBytes));
+      }
       Token t;
       t.kind = TokKind::kIdent;
       t.text = std::string(input_.substr(start, pos_ - start));
@@ -146,13 +158,13 @@ Result<CompareOp> OpFromText(const std::string& text) {
   return Status::ParseError(StrFormat("bad operator '%s'", text.c_str()));
 }
 
-/// predicate := simfn "(" attrA "," attrB ")" op number
-Result<Predicate> ParsePredicate(TokenStream& ts, FeatureCatalog& catalog) {
-  Result<Token> fn_tok = ts.Expect(TokKind::kIdent, "similarity function");
-  if (!fn_tok.ok()) return fn_tok.status();
-  Result<SimFunction> fn = SimFunctionFromName(fn_tok->text);
-  if (!fn.ok()) return fn.status();
-
+/// Parses "(" attrA "," attrB ")" op number — everything after the
+/// similarity-function identifier, which both call sites have already
+/// consumed (ParseRule needs one identifier of lookahead to decide
+/// between a rule name and a predicate).
+Result<Predicate> ParsePredicateBody(TokenStream& ts,
+                                     FeatureCatalog& catalog,
+                                     SimFunction fn) {
   EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kLParen, "'('").status());
   Result<Token> attr_a = ts.Expect(TokKind::kIdent, "attribute name");
   if (!attr_a.ok()) return attr_a.status();
@@ -164,11 +176,15 @@ Result<Predicate> ParsePredicate(TokenStream& ts, FeatureCatalog& catalog) {
   if (!op_tok.ok()) return op_tok.status();
   Result<Token> num = ts.Expect(TokKind::kNumber, "threshold");
   if (!num.ok()) return num.status();
+  if (!std::isfinite(num->number)) {
+    return Status::ParseError(
+        StrFormat("threshold '%s' is not finite", num->text.c_str()));
+  }
 
   Result<CompareOp> op = OpFromText(op_tok->text);
   if (!op.ok()) return op.status();
   Result<FeatureId> feature =
-      catalog.InternByName(*fn, attr_a->text, attr_b->text);
+      catalog.InternByName(fn, attr_a->text, attr_b->text);
   if (!feature.ok()) return feature.status();
 
   Predicate p;
@@ -178,9 +194,39 @@ Result<Predicate> ParsePredicate(TokenStream& ts, FeatureCatalog& catalog) {
   return p;
 }
 
+/// predicate := simfn "(" attrA "," attrB ")" op number
+Result<Predicate> ParsePredicate(TokenStream& ts, FeatureCatalog& catalog) {
+  Result<Token> fn_tok = ts.Expect(TokKind::kIdent, "similarity function");
+  if (!fn_tok.ok()) return fn_tok.status();
+  Result<SimFunction> fn = SimFunctionFromName(fn_tok->text);
+  if (!fn.ok()) return fn.status();
+  return ParsePredicateBody(ts, catalog, *fn);
+}
+
+/// True if `name` is an identifier the lexer would produce — safe to
+/// emit as a "name:" prefix in serialized DSL.
+bool IsDslIdentifier(std::string_view name) {
+  if (name.empty() || name.size() > kMaxIdentifierBytes) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) &&
+      name[0] != '_') {
+    return false;
+  }
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog) {
+  if (text.size() > kMaxRuleTextBytes) {
+    return Status::ParseError(StrFormat(
+        "rule text is %zu bytes, limit is %zu", text.size(),
+        kMaxRuleTextBytes));
+  }
   TokenStream ts(text);
   Rule rule;
 
@@ -200,33 +246,13 @@ Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog) {
         (void)ts.Next();
         rule.set_name(name_tok.text);
       } else {
-        // Not a name — push the identifier back by re-lexing from a fresh
-        // stream is awkward; instead parse the predicate body with the
-        // already-consumed function name.
+        // Not a name — parse the predicate body with the already-consumed
+        // identifier as the similarity-function name.
         Result<SimFunction> fn = SimFunctionFromName(name_tok.text);
         if (!fn.ok()) return fn.status();
-        EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kLParen, "'('").status());
-        Result<Token> attr_a = ts.Expect(TokKind::kIdent, "attribute name");
-        if (!attr_a.ok()) return attr_a.status();
-        EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kComma, "','").status());
-        Result<Token> attr_b = ts.Expect(TokKind::kIdent, "attribute name");
-        if (!attr_b.ok()) return attr_b.status();
-        EMDBG_RETURN_IF_ERROR(ts.Expect(TokKind::kRParen, "')'").status());
-        Result<Token> op_tok =
-            ts.Expect(TokKind::kOp, "comparison operator");
-        if (!op_tok.ok()) return op_tok.status();
-        Result<Token> num = ts.Expect(TokKind::kNumber, "threshold");
-        if (!num.ok()) return num.status();
-        Result<CompareOp> op = OpFromText(op_tok->text);
-        if (!op.ok()) return op.status();
-        Result<FeatureId> feature =
-            catalog.InternByName(*fn, attr_a->text, attr_b->text);
-        if (!feature.ok()) return feature.status();
-        Predicate p;
-        p.feature = *feature;
-        p.op = *op;
-        p.threshold = num->number;
-        rule.AddPredicate(p);
+        Result<Predicate> p = ParsePredicateBody(ts, catalog, *fn);
+        if (!p.ok()) return p.status();
+        rule.AddPredicate(*p);
       }
     } else {
       return Status::ParseError("rule must start with a name or predicate");
@@ -249,6 +275,10 @@ Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog) {
           StrFormat("expected AND or end of rule, got '%s'",
                     next->text.c_str()));
     }
+    if (rule.size() >= kMaxPredicatesPerRule) {
+      return Status::ParseError(StrFormat(
+          "rule has more than %zu predicates", kMaxPredicatesPerRule));
+    }
     Result<Predicate> p = ParsePredicate(ts, catalog);
     if (!p.ok()) return p.status();
     rule.AddPredicate(*p);
@@ -259,12 +289,21 @@ Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog) {
 
 Result<MatchingFunction> ParseMatchingFunction(std::string_view text,
                                                FeatureCatalog& catalog) {
+  if (text.size() > kMaxFunctionTextBytes) {
+    return Status::ParseError(StrFormat(
+        "rule-set text is %zu bytes, limit is %zu", text.size(),
+        kMaxFunctionTextBytes));
+  }
   // Split into rule chunks on newlines / ';' / standalone OR keywords.
   MatchingFunction fn;
   std::string current;
   auto flush = [&]() -> Status {
     const std::string_view trimmed = TrimAscii(current);
     if (!trimmed.empty()) {
+      if (fn.num_rules() >= kMaxRulesPerFunction) {
+        return Status::ParseError(StrFormat(
+            "rule set has more than %zu rules", kMaxRulesPerFunction));
+      }
       Result<Rule> rule = ParseRule(trimmed, catalog);
       if (!rule.ok()) return rule.status();
       fn.AddRule(*rule);
@@ -322,6 +361,39 @@ Result<MatchingFunction> LoadRulesFile(const std::string& path,
   Result<std::string> text = ReadFileToString(path);
   if (!text.ok()) return text.status();
   return ParseMatchingFunction(*text, catalog);
+}
+
+std::string PredicateToDsl(const Predicate& p,
+                           const FeatureCatalog& catalog) {
+  // %.17g prints enough digits that ParseDouble reconstructs the
+  // identical double (round-trip exactness, unlike the %.4g display
+  // form).
+  return StrFormat("%s %s %.17g", catalog.Name(p.feature).c_str(),
+                   CompareOpSymbol(p.op), p.threshold);
+}
+
+std::string RuleToDsl(const Rule& rule, const FeatureCatalog& catalog) {
+  std::string out;
+  if (IsDslIdentifier(rule.name()) &&
+      !EqualsIgnoreCase(rule.name(), "and")) {
+    out += rule.name();
+    out += ": ";
+  }
+  for (size_t i = 0; i < rule.size(); ++i) {
+    if (i != 0) out += " AND ";
+    out += PredicateToDsl(rule.predicate(i), catalog);
+  }
+  return out;
+}
+
+std::string FunctionToDsl(const MatchingFunction& fn,
+                          const FeatureCatalog& catalog) {
+  std::string out;
+  for (const Rule& rule : fn.rules()) {
+    out += RuleToDsl(rule, catalog);
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace emdbg

@@ -23,6 +23,12 @@ namespace emdbg {
 ///
 /// Features are interned into `catalog` on first use (attribute names must
 /// exist in the respective schemas).
+///
+/// Defensive limits (ParseError when exceeded, so untrusted rule files
+/// cannot trigger unbounded allocation): rule text <= 64 KiB, input text
+/// <= 8 MiB, <= 256 predicates per rule, <= 4096 rules per function,
+/// identifiers <= 256 bytes. Thresholds must be finite — NaN or infinity
+/// (e.g. an overflowing literal like 1e999) is rejected.
 
 /// Parses a single rule (no leading name handling beyond the grammar).
 Result<Rule> ParseRule(std::string_view text, FeatureCatalog& catalog);
@@ -40,6 +46,22 @@ Status SaveRulesFile(const MatchingFunction& fn,
 /// Loads a rule-set file written by SaveRulesFile (or by hand).
 Result<MatchingFunction> LoadRulesFile(const std::string& path,
                                        FeatureCatalog& catalog);
+
+// ---- Precise DSL serialization. Unlike the display-oriented ToString
+// methods (which round thresholds for readability), these print
+// thresholds with enough digits that re-parsing reconstructs the
+// identical double. Used by checkpointing and the durable edit journal,
+// where exact round-trips matter. ----
+
+std::string PredicateToDsl(const Predicate& p, const FeatureCatalog& catalog);
+
+/// Single-line form "name: pred AND pred ..." — the name prefix is
+/// emitted only when it is a plain identifier the grammar can re-parse.
+/// The rule must be non-empty (the DSL cannot express empty rules).
+std::string RuleToDsl(const Rule& rule, const FeatureCatalog& catalog);
+
+std::string FunctionToDsl(const MatchingFunction& fn,
+                          const FeatureCatalog& catalog);
 
 }  // namespace emdbg
 

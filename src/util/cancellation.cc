@@ -1,0 +1,61 @@
+#include "src/util/cancellation.h"
+
+#include <csignal>
+#include <limits>
+
+namespace emdbg {
+
+double Deadline::remaining_millis() const {
+  if (!has_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+      .count();
+}
+
+Status RunControl::StopStatus() const {
+  if (cancelled()) return Status::Cancelled("run cancelled by caller");
+  if (deadline_expired()) {
+    return Status::DeadlineExceeded("run exceeded its deadline");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// The flag the signal handler writes. Owned (kept alive) by the
+/// SigintCancellation instance; only ever written with a relaxed store,
+/// which is async-signal-safe.
+std::atomic<bool>* g_sigint_flag = nullptr;
+
+void (*g_previous_handler)(int) = SIG_DFL;
+
+extern "C" void EmdbgSigintHandler(int) {
+  std::atomic<bool>* flag = g_sigint_flag;
+  if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SigintCancellation::SigintCancellation(CancellationToken token)
+    : token_(std::move(token)) {
+  g_sigint_flag = token_.flag();
+#if defined(_WIN32)
+  g_previous_handler = std::signal(SIGINT, EmdbgSigintHandler);
+#else
+  // sigaction with SA_RESTART so interrupted reads (the REPL prompt)
+  // resume instead of failing with EINTR.
+  struct sigaction sa = {};
+  struct sigaction old = {};
+  sa.sa_handler = EmdbgSigintHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, &old);
+  g_previous_handler = old.sa_handler;
+#endif
+}
+
+SigintCancellation::~SigintCancellation() {
+  std::signal(SIGINT, g_previous_handler);
+  g_sigint_flag = nullptr;
+}
+
+}  // namespace emdbg

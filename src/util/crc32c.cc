@@ -1,0 +1,35 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace emdbg {
+
+namespace {
+
+/// Table for the reflected Castagnoli polynomial 0x82F63B78.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace emdbg

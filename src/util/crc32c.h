@@ -1,0 +1,29 @@
+#ifndef EMDBG_UTIL_CRC32C_H_
+#define EMDBG_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace emdbg {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum used by the
+/// durable-state formats (state files, edit journal) to detect torn writes
+/// and bit rot. Software table-driven implementation; fast enough for the
+/// session-file sizes involved (a few MB at checkpoint time).
+
+/// Extends a running CRC with `size` bytes. Start with `crc = 0`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+/// One-shot CRC of a buffer.
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace emdbg
+
+#endif  // EMDBG_UTIL_CRC32C_H_

@@ -1,61 +1,118 @@
 #include "src/util/csv.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "src/util/string_util.h"
 
 namespace emdbg {
 
+bool CsvParser::Fail(std::string message, size_t line, size_t column) {
+  status_ = Status::ParseError(
+      StrFormat("%s at line %zu, column %zu", message.c_str(), line, column));
+  // Park the cursor at EOF so subsequent NextRow calls return false.
+  pos_ = data_.size();
+  return false;
+}
+
 bool CsvParser::NextRow(CsvRow* row) {
   if (!status_.ok() || pos_ >= data_.size()) return false;
   row->clear();
   ++line_;
+  column_ = 1;
   std::string field;
   bool in_quotes = false;
   bool field_was_quoted = false;
+  // Where the currently open quote started, for error reporting.
+  size_t quote_line = 0, quote_column = 0;
+
+  // Advances past `c`, keeping the line/column cursor in sync. Newlines
+  // only advance `line_` when inside quotes — outside quotes they end the
+  // row and NextRow bumps the counter itself.
+  auto advance = [&](char c) {
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+  };
+
+  auto check_field_limit = [&]() {
+    if (field.size() >= limits_.max_field_bytes) {
+      return Fail(StrFormat("field exceeds %zu bytes",
+                            limits_.max_field_bytes),
+                  line_, column_);
+    }
+    return true;
+  };
+  auto push_field = [&]() {
+    if (row->size() >= limits_.max_row_fields) {
+      return Fail(StrFormat("row exceeds %zu fields",
+                            limits_.max_row_fields),
+                  line_, column_);
+    }
+    row->push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+    return true;
+  };
+
   while (pos_ < data_.size()) {
     const char c = data_[pos_];
+    if (c == '\0') {
+      // NUL bytes never appear in legitimate CSV text; they usually mean
+      // a binary file or truncated/corrupted download was passed in.
+      return Fail("embedded NUL byte", line_, column_);
+    }
     if (in_quotes) {
       if (c == '"') {
         if (pos_ + 1 < data_.size() && data_[pos_ + 1] == '"') {
+          if (!check_field_limit()) return false;
           field.push_back('"');
-          pos_ += 2;
+          advance(c);
+          advance(data_[pos_]);
         } else {
           in_quotes = false;
-          ++pos_;
+          advance(c);
         }
       } else {
+        if (!check_field_limit()) return false;
         field.push_back(c);
-        ++pos_;
+        advance(c);
       }
       continue;
     }
     if (c == '"' && field.empty() && !field_was_quoted) {
       in_quotes = true;
       field_was_quoted = true;
-      ++pos_;
+      quote_line = line_;
+      quote_column = column_;
+      advance(c);
     } else if (c == delim_) {
-      row->push_back(std::move(field));
-      field.clear();
-      field_was_quoted = false;
-      ++pos_;
+      if (!push_field()) return false;
+      advance(c);
     } else if (c == '\n' || c == '\r') {
       ++pos_;
       if (c == '\r' && pos_ < data_.size() && data_[pos_] == '\n') ++pos_;
-      row->push_back(std::move(field));
-      return true;
+      return push_field();
     } else {
+      if (!check_field_limit()) return false;
       field.push_back(c);
-      ++pos_;
+      advance(c);
     }
   }
   if (in_quotes) {
-    status_ = Status::ParseError(
-        StrFormat("unterminated quoted field at line %zu", line_));
-    return false;
+    return Fail("unterminated quoted field: end of input reached with the "
+                "quote still open; quote opened",
+                quote_line, quote_column);
   }
-  row->push_back(std::move(field));
-  return true;
+  return push_field();
 }
 
 Result<std::vector<CsvRow>> ParseCsv(std::string_view data, char delim) {
@@ -126,6 +183,51 @@ Status WriteStringToFile(const std::string& path, std::string_view data) {
   const int close_rc = std::fclose(f);
   if (written != data.size() || close_rc != 0) {
     return Status::IoError(StrFormat("error writing %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  // Temp file in the same directory so rename(2) stays within one
+  // filesystem and is atomic.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot open %s for write: %s",
+                                     tmp.c_str(), std::strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(StrFormat("error writing %s: %s", tmp.c_str(),
+                                       std::strerror(err)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Data must be on disk before the rename makes it visible, or a crash
+  // could leave a renamed-but-empty file.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(StrFormat("fsync %s failed: %s", tmp.c_str(),
+                                     std::strerror(err)));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(StrFormat("close %s failed", tmp.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError(StrFormat("rename %s -> %s failed: %s",
+                                     tmp.c_str(), path.c_str(),
+                                     std::strerror(err)));
   }
   return Status::Ok();
 }

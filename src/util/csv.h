@@ -1,6 +1,7 @@
 #ifndef EMDBG_UTIL_CSV_H_
 #define EMDBG_UTIL_CSV_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,15 +17,30 @@ namespace emdbg {
 /// One parsed row.
 using CsvRow = std::vector<std::string>;
 
+/// Defensive limits applied while parsing. Untrusted input that exceeds
+/// them yields a ParseError with line/column context instead of unbounded
+/// allocation. The defaults are far above anything a legitimate entity-
+/// matching table contains.
+struct CsvLimits {
+  /// Maximum bytes in a single field.
+  size_t max_field_bytes = 16u << 20;  // 16 MiB
+  /// Maximum fields in a single row.
+  size_t max_row_fields = 1u << 20;  // ~1M
+};
+
 /// Streaming CSV parser over an in-memory buffer.
 class CsvParser {
  public:
   explicit CsvParser(std::string_view data, char delim = ',')
-      : data_(data), delim_(delim) {}
+      : CsvParser(data, delim, CsvLimits{}) {}
+  CsvParser(std::string_view data, char delim, CsvLimits limits)
+      : data_(data), delim_(delim), limits_(limits) {}
 
   /// Reads the next row into `row`. Returns false at end of input.
-  /// Malformed input (unterminated quote) yields a ParseError status via
-  /// `status()` and stops the stream.
+  /// Malformed input (unterminated quote, embedded NUL byte, a field or
+  /// row exceeding the limits) yields a ParseError status via `status()`
+  /// — with the line and column where the problem starts — and stops the
+  /// stream.
   bool NextRow(CsvRow* row);
 
   const Status& status() const { return status_; }
@@ -33,10 +49,15 @@ class CsvParser {
   size_t line() const { return line_; }
 
  private:
+  /// Sets a ParseError at the current position and fails the stream.
+  bool Fail(std::string message, size_t line, size_t column);
+
   std::string_view data_;
   size_t pos_ = 0;
   size_t line_ = 0;
+  size_t column_ = 0;  // 1-based byte column within the current line
   char delim_;
+  CsvLimits limits_;
   Status status_;
 };
 
@@ -52,8 +73,14 @@ std::string WriteCsv(const std::vector<CsvRow>& rows, char delim = ',');
 /// Reads an entire file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Writes a string to a file (truncates).
+/// Writes a string to a file (truncates). Not atomic: a crash mid-write
+/// leaves a partial file. Use WriteFileAtomic for durable state.
 Status WriteStringToFile(const std::string& path, std::string_view data);
+
+/// Crash-safe write: writes to a temp file in the same directory, fsyncs
+/// it, then renames over `path`. Readers either see the old file or the
+/// complete new one, never a torn write.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
 
 }  // namespace emdbg
 

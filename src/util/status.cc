@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -1,0 +1,325 @@
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/debug_session.h"
+#include "src/core/edit_log.h"
+#include "src/core/rule_parser.h"
+#include "src/util/crc32c.h"
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+#include "tests/test_util.h"
+
+namespace emdbg {
+namespace {
+
+/// Durability/crash-recovery tests. A "crash" is simulated by abandoning
+/// the session object: everything the contract promises to survive a
+/// kill -9 is already fsync'd on disk, and nothing in the destructor
+/// cleans up, so a dropped session is indistinguishable from a killed
+/// process as far as the files are concerned.
+class DurableSessionTest : public ::testing::Test {
+ protected:
+  DurableSessionTest()
+      : dir_(::testing::TempDir() + "/emdbg_durable_" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name()) {
+    std::filesystem::remove_all(dir_);
+  }
+
+  ~DurableSessionTest() override { std::filesystem::remove_all(dir_); }
+
+  /// A session over the deterministic SmallProducts dataset with two
+  /// rules and a completed first run. Every call builds an identical
+  /// session (same generator seed), which is the recovery contract: the
+  /// tables/candidates must match the crashed session's.
+  std::unique_ptr<DebugSession> FreshSession() {
+    GeneratedDataset ds = testing::SmallProducts();
+    auto session = std::make_unique<DebugSession>(
+        std::move(ds.a), std::move(ds.b), std::move(ds.candidates));
+    EXPECT_TRUE(
+        session->AddRuleText("r1: jaccard(title, title) >= 0.5").ok());
+    EXPECT_TRUE(
+        session
+            ->AddRuleText("r2: exact_match(modelno, modelno) >= 1 AND "
+                          "jaro_winkler(brand, brand) >= 0.85")
+            .ok());
+    session->Run();
+    EXPECT_TRUE(session->has_run());
+    return session;
+  }
+
+  /// A blank session over the same dataset — the recovery target (Recover
+  /// requires a session that has not run yet).
+  std::unique_ptr<DebugSession> FreshSessionForRecovery() {
+    GeneratedDataset ds = testing::SmallProducts();
+    return std::make_unique<DebugSession>(
+        std::move(ds.a), std::move(ds.b), std::move(ds.candidates));
+  }
+
+  std::string Dsl(DebugSession& s) {
+    return FunctionToDsl(s.function(), s.catalog());
+  }
+
+  std::string journal_path() const { return dir_ + "/journal.log"; }
+
+  std::string dir_;
+};
+
+TEST_F(DurableSessionTest, EnableRequiresCompletedRun) {
+  GeneratedDataset ds = testing::SmallProducts();
+  DebugSession session(std::move(ds.a), std::move(ds.b),
+                       std::move(ds.candidates));
+  EXPECT_EQ(session.EnableDurability(dir_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DurableSessionTest, EnableWritesCheckpointFiles) {
+  auto session = FreshSession();
+  ASSERT_TRUE(session->EnableDurability(dir_).ok());
+  EXPECT_TRUE(session->durable());
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/checkpoint.meta"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/checkpoint.1.features"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/checkpoint.1.rules"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/checkpoint.1.state"));
+  EXPECT_TRUE(std::filesystem::exists(journal_path()));
+  EXPECT_EQ(session->EnableDurability(dir_).code(),
+            StatusCode::kFailedPrecondition)
+      << "double enable";
+}
+
+TEST_F(DurableSessionTest, RecoverRestoresEditsFromJournal) {
+  // Survivor: same edits, no crash — the ground truth.
+  auto survivor = FreshSession();
+
+  {
+    auto session = FreshSession();
+    // Large cadence: all edits stay in the journal, none in a checkpoint.
+    ASSERT_TRUE(session->EnableDurability(dir_, 100).ok());
+    for (DebugSession* s : {session.get(), survivor.get()}) {
+      ASSERT_TRUE(
+          s->AddRuleText("r3: jaccard(category, category) >= 0.9").ok());
+      const Rule& r1 = *s->function().RuleById(s->function().rule(0).id());
+      ASSERT_TRUE(
+          s->SetThreshold(r1.id(), r1.predicate(0).id, 0.65).ok());
+      ASSERT_TRUE(s->RemoveRule(s->function().rule(1).id()).ok());
+    }
+    EXPECT_EQ(session->edits_since_checkpoint(), 3u);
+    EXPECT_EQ(Dsl(*session), Dsl(*survivor));
+    // Crash: session dropped without a checkpoint.
+  }
+
+  auto recovered = FreshSessionForRecovery();
+  ASSERT_TRUE(recovered->Recover(dir_).ok());
+  EXPECT_TRUE(recovered->durable());
+  EXPECT_TRUE(recovered->has_run());
+  EXPECT_EQ(Dsl(*recovered), Dsl(*survivor));
+  EXPECT_EQ(recovered->Run(), survivor->Run());
+
+  // The recovered memo is live: further identical edits stay in lockstep.
+  for (DebugSession* s : {recovered.get(), survivor.get()}) {
+    const Rule& r = *s->function().RuleById(s->function().rule(0).id());
+    ASSERT_TRUE(s->SetThreshold(r.id(), r.predicate(0).id, 0.45).ok());
+  }
+  EXPECT_EQ(recovered->Run(), survivor->Run());
+  EXPECT_EQ(Dsl(*recovered), Dsl(*survivor));
+}
+
+TEST_F(DurableSessionTest, CheckpointCadenceTruncatesJournal) {
+  auto session = FreshSession();
+  ASSERT_TRUE(session->EnableDurability(dir_, 2).ok());
+
+  const Rule& r1 = session->function().rule(0);
+  ASSERT_TRUE(
+      session->SetThreshold(r1.id(), r1.predicate(0).id, 0.61).ok());
+  EXPECT_EQ(session->edits_since_checkpoint(), 1u);
+  {
+    auto contents = EditJournal::Read(journal_path());
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents->epoch, 1u);
+    EXPECT_EQ(contents->records.size(), 1u);
+  }
+
+  // Second edit crosses the cadence: checkpoint + fresh journal.
+  ASSERT_TRUE(
+      session->SetThreshold(r1.id(), r1.predicate(0).id, 0.62).ok());
+  EXPECT_EQ(session->edits_since_checkpoint(), 0u);
+  {
+    auto contents = EditJournal::Read(journal_path());
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents->epoch, 2u);
+    EXPECT_TRUE(contents->records.empty());
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/checkpoint.2.state"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/checkpoint.1.state"))
+      << "superseded epoch files must be cleaned up";
+
+  // Crash now; recovery needs only the checkpoint.
+  session.reset();
+  auto recovered = FreshSessionForRecovery();
+  ASSERT_TRUE(recovered->Recover(dir_).ok());
+  const Rule& rec_r1 = recovered->function().rule(0);
+  EXPECT_DOUBLE_EQ(rec_r1.predicate(0).threshold, 0.62);
+}
+
+TEST_F(DurableSessionTest, TornFinalJournalRecordIsDropped) {
+  double original_threshold = 0.0;
+  {
+    auto session = FreshSession();
+    original_threshold =
+        session->function().rule(0).predicate(0).threshold;
+    ASSERT_TRUE(session->EnableDurability(dir_, 100).ok());
+  }
+  // Simulate a crash mid-append: a half-written record with no newline
+  // and a CRC that cannot match.
+  {
+    std::FILE* f = std::fopen(journal_path().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("00000000 set_thresho", f);
+    std::fclose(f);
+  }
+  auto recovered = FreshSessionForRecovery();
+  ASSERT_TRUE(recovered->Recover(dir_).ok())
+      << "a torn tail is the signature of a crash mid-append and must "
+         "be tolerated";
+  EXPECT_DOUBLE_EQ(recovered->function().rule(0).predicate(0).threshold,
+                   original_threshold)
+      << "the torn edit never committed and must not be applied";
+}
+
+TEST_F(DurableSessionTest, CorruptEarlierJournalRecordIsParseError) {
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_, 100).ok());
+    const Rule& r1 = session->function().rule(0);
+    ASSERT_TRUE(
+        session->SetThreshold(r1.id(), r1.predicate(0).id, 0.61).ok());
+    ASSERT_TRUE(
+        session->SetThreshold(r1.id(), r1.predicate(0).id, 0.62).ok());
+  }
+  // Flip one payload byte of the first record; the second record after it
+  // means this is not a torn tail.
+  auto text = ReadFileToString(journal_path());
+  ASSERT_TRUE(text.ok());
+  const size_t first_record = text->find('\n') + 1;
+  const size_t payload = text->find(' ', first_record) + 1;
+  (*text)[payload] ^= 0x20;
+  ASSERT_TRUE(WriteStringToFile(journal_path(), *text).ok());
+
+  auto recovered = FreshSessionForRecovery();
+  EXPECT_EQ(recovered->Recover(dir_).code(), StatusCode::kParseError);
+}
+
+TEST_F(DurableSessionTest, StaleEpochJournalIsIgnored) {
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_, 100).ok());
+  }
+  // A journal left behind by an older epoch (crash between the meta
+  // write and the journal reset): structurally valid, wrong epoch. Its
+  // record would remove a rule if it were wrongly replayed.
+  const std::string payload = "remove_rule 0";
+  const std::string stale = "EMDBGJ1 999\n" +
+                            StrFormat("%08x ", Crc32c(payload)) + payload +
+                            "\n";
+  ASSERT_TRUE(WriteStringToFile(journal_path(), stale).ok());
+
+  auto recovered = FreshSessionForRecovery();
+  ASSERT_TRUE(recovered->Recover(dir_).ok());
+  EXPECT_EQ(recovered->function().num_rules(), 2u)
+      << "a stale journal's edits are inside the checkpoint already";
+}
+
+TEST_F(DurableSessionTest, MissingJournalMeansNothingToReplay) {
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_).ok());
+  }
+  std::filesystem::remove(journal_path());
+  auto recovered = FreshSessionForRecovery();
+  ASSERT_TRUE(recovered->Recover(dir_).ok());
+  EXPECT_EQ(recovered->function().num_rules(), 2u);
+}
+
+TEST_F(DurableSessionTest, UndoIsJournaledAsItsInverse) {
+  auto survivor = FreshSession();
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_, 100).ok());
+    for (DebugSession* s : {session.get(), survivor.get()}) {
+      const Rule& r1 = *s->function().RuleById(s->function().rule(0).id());
+      ASSERT_TRUE(
+          s->SetThreshold(r1.id(), r1.predicate(0).id, 0.9).ok());
+      ASSERT_TRUE(
+          s->AddRuleText("r3: jaccard(category, category) >= 0.8").ok());
+      ASSERT_TRUE(s->Undo().ok());  // removes r3 again
+      ASSERT_TRUE(s->Undo().ok());  // threshold back to the original
+    }
+  }
+  auto recovered = FreshSessionForRecovery();
+  ASSERT_TRUE(recovered->Recover(dir_).ok());
+  EXPECT_EQ(Dsl(*recovered), Dsl(*survivor));
+  EXPECT_EQ(recovered->Run(), survivor->Run());
+}
+
+TEST_F(DurableSessionTest, RecoverFromMissingDirIsIoError) {
+  auto session = FreshSessionForRecovery();
+  EXPECT_EQ(session->Recover(dir_ + "/nope").code(), StatusCode::kIoError);
+}
+
+TEST_F(DurableSessionTest, CorruptMetaIsParseError) {
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_).ok());
+  }
+  ASSERT_TRUE(
+      WriteStringToFile(dir_ + "/checkpoint.meta", "WHATEVER 1\n").ok());
+  auto recovered = FreshSessionForRecovery();
+  EXPECT_EQ(recovered->Recover(dir_).code(), StatusCode::kParseError);
+}
+
+TEST_F(DurableSessionTest, CorruptStateFileIsDetectedByCrc) {
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_).ok());
+  }
+  const std::string state_path = dir_ + "/checkpoint.1.state";
+  auto bytes = ReadFileToString(state_path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x01;  // one flipped bit mid-file
+  ASSERT_TRUE(WriteStringToFile(state_path, *bytes).ok());
+
+  auto recovered = FreshSessionForRecovery();
+  EXPECT_EQ(recovered->Recover(dir_).code(), StatusCode::kParseError);
+}
+
+TEST_F(DurableSessionTest, RecoverAfterEnableOnRecoveredSession) {
+  // Recovery chains: crash, recover, edit, crash again, recover again.
+  {
+    auto session = FreshSession();
+    ASSERT_TRUE(session->EnableDurability(dir_, 100).ok());
+    const Rule& r1 = session->function().rule(0);
+    ASSERT_TRUE(
+        session->SetThreshold(r1.id(), r1.predicate(0).id, 0.7).ok());
+  }
+  {
+    auto recovered = FreshSessionForRecovery();
+    ASSERT_TRUE(recovered->Recover(dir_, 100).ok());
+    EXPECT_DOUBLE_EQ(recovered->function().rule(0).predicate(0).threshold,
+                     0.7);
+    ASSERT_TRUE(
+        recovered
+            ->AddRuleText("r3: jaccard(category, category) >= 0.95")
+            .ok());
+  }
+  auto again = FreshSessionForRecovery();
+  ASSERT_TRUE(again->Recover(dir_).ok());
+  EXPECT_EQ(again->function().num_rules(), 3u);
+  EXPECT_DOUBLE_EQ(again->function().rule(0).predicate(0).threshold, 0.7);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -149,5 +149,97 @@ TEST_F(RuleParserTest, RoundTripThroughToString) {
   }
 }
 
+// ---- Hardening: defensive limits & non-finite thresholds. ----
+
+TEST_F(RuleParserTest, NonFiniteThresholdRejected) {
+  // 1e400 overflows double to +inf; the lexer rejects it as a bad
+  // number, naming the offending literal.
+  auto rule = ParseRule("jaccard(name, name) >= 1e400", catalog_);
+  ASSERT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rule.status().message().find("1e400"), std::string::npos)
+      << rule.status();
+  EXPECT_FALSE(
+      ParseRule("jaccard(name, name) >= -1e999", catalog_).ok());
+}
+
+TEST_F(RuleParserTest, OversizedRuleTextRejected) {
+  std::string dsl = "jaccard(name, name) >= 0.5";
+  dsl += std::string((64u << 10), ' ');  // pad past the 64 KiB cap
+  auto rule = ParseRule(dsl, catalog_);
+  ASSERT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(RuleParserTest, TooManyPredicatesRejected) {
+  std::string dsl = "jaccard(name, name) >= 0.5";
+  for (size_t i = 0; i < 256; ++i) {
+    dsl += " AND jaccard(name, name) >= 0.5";
+  }
+  auto rule = ParseRule(dsl, catalog_);
+  ASSERT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rule.status().message().find("predicates"), std::string::npos)
+      << rule.status();
+}
+
+TEST_F(RuleParserTest, TooManyRulesRejected) {
+  std::string text;
+  for (size_t i = 0; i < 4097; ++i) {
+    text += "jaccard(name, name) >= 0.5\n";
+  }
+  auto fn = ParseMatchingFunction(text, catalog_);
+  ASSERT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(RuleParserTest, OversizedIdentifierRejected) {
+  const std::string long_name(300, 'x');
+  auto rule =
+      ParseRule(long_name + ": jaccard(name, name) >= 0.5", catalog_);
+  ASSERT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(RuleParserTest, LimitsAdmitRealisticInput) {
+  // A 255-predicate rule and a deeply nested realistic function parse.
+  std::string dsl = "big: jaccard(name, name) >= 0.5";
+  for (size_t i = 0; i < 254; ++i) {
+    dsl += " AND jaro(zip, zip) >= 0.1";
+  }
+  EXPECT_TRUE(ParseRule(dsl, catalog_).ok());
+}
+
+// ---- Precise serialization (the checkpoint format). ----
+
+TEST_F(RuleParserTest, DslSerializersRoundTripExactThresholds) {
+  // Thresholds chosen to be unrepresentable in short decimal: %.17g must
+  // reproduce them bit-for-bit where ToString's %.4g would not.
+  auto fn = ParseMatchingFunction(
+      "r1: jaccard(name, name) >= 0.12345678901234567 AND "
+      "jaro(zip, zip) < 0.70000000000000007\n"
+      "r2: exact_match(phone, phone) >= 1\n",
+      catalog_);
+  ASSERT_TRUE(fn.ok());
+  const std::string dsl = FunctionToDsl(*fn, catalog_);
+  auto reparsed = ParseMatchingFunction(dsl, catalog_);
+  ASSERT_TRUE(reparsed.ok()) << dsl;
+  ASSERT_EQ(reparsed->num_rules(), fn->num_rules());
+  for (size_t i = 0; i < fn->num_rules(); ++i) {
+    ASSERT_EQ(reparsed->rule(i).size(), fn->rule(i).size());
+    EXPECT_EQ(reparsed->rule(i).name(), fn->rule(i).name());
+    for (size_t k = 0; k < fn->rule(i).size(); ++k) {
+      const Predicate& orig = fn->rule(i).predicate(k);
+      const Predicate& back = reparsed->rule(i).predicate(k);
+      EXPECT_EQ(back.op, orig.op);
+      EXPECT_EQ(back.feature, orig.feature);
+      EXPECT_EQ(back.threshold, orig.threshold)
+          << "threshold drifted through DSL round-trip";
+    }
+  }
+  // Double round-trip is a fixed point.
+  EXPECT_EQ(FunctionToDsl(*reparsed, catalog_), dsl);
+}
+
 }  // namespace
 }  // namespace emdbg

@@ -1,6 +1,7 @@
 #include "src/core/state_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include "src/core/rule_generator.h"
 #include "src/core/rule_parser.h"
 #include "src/core/sampler.h"
+#include "src/util/crc32c.h"
 #include "src/util/csv.h"
 #include "tests/test_util.h"
 
@@ -149,6 +151,111 @@ TEST_F(StateIoTest, LoadRejectsTruncatedFile) {
 TEST_F(StateIoTest, LoadMissingFileIsIoError) {
   EXPECT_EQ(LoadMatchState("/no/such/state.bin").status().code(),
             StatusCode::kIoError);
+}
+
+TEST_F(StateIoTest, BitFlipsAnywhereAreDetected) {
+  const MatchingFunction fn = SomeRules();
+  MemoMatcher matcher;
+  MatchState state;
+  matcher.RunWithState(fn, ds_.candidates, *ctx_, state);
+  ASSERT_TRUE(SaveMatchState(state, path_).ok());
+  auto clean = ReadFileToString(path_);
+  ASSERT_TRUE(clean.ok());
+
+  // Flip one bit at positions spread across every section of the file
+  // (magic, header, memo, bitmaps, trailing checksums); each corruption
+  // must surface as ParseError, never as a bad load or a crash.
+  for (size_t step = 0; step < 32; ++step) {
+    const size_t byte = (clean->size() - 1) * step / 31;
+    std::string corrupt = *clean;
+    corrupt[byte] ^= 0x04;
+    ASSERT_TRUE(WriteStringToFile(path_, corrupt).ok());
+    const auto loaded = LoadMatchState(path_);
+    ASSERT_FALSE(loaded.ok()) << "undetected flip at byte " << byte;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "byte " << byte << ": " << loaded.status();
+  }
+}
+
+TEST_F(StateIoTest, TruncationAtEveryBoundaryIsParseError) {
+  const MatchingFunction fn = SomeRules();
+  MemoMatcher matcher;
+  MatchState state;
+  matcher.RunWithState(fn, ds_.candidates, *ctx_, state);
+  ASSERT_TRUE(SaveMatchState(state, path_).ok());
+  auto full = ReadFileToString(path_);
+  ASSERT_TRUE(full.ok());
+
+  for (const size_t keep :
+       {size_t{0}, size_t{4}, size_t{8}, size_t{12}, size_t{16},
+        size_t{24}, full->size() / 4, full->size() - 4,
+        full->size() - 1}) {
+    ASSERT_TRUE(WriteStringToFile(path_, full->substr(0, keep)).ok());
+    const auto loaded = LoadMatchState(path_);
+    ASSERT_FALSE(loaded.ok()) << "accepted truncation to " << keep;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+TEST_F(StateIoTest, OversizedHeaderRejectedBeforeAllocation) {
+  // A hand-crafted v2 file whose header claims ~10^24 memo bytes — with a
+  // *valid* header checksum, so only the dimension validation stands
+  // between the parser and a gargantuan allocation. The payload sections
+  // are absent; the load must fail from the size check alone.
+  std::string file("EMDBGST2", 8);
+  std::string header;
+  const uint64_t num_pairs = 1ull << 40;
+  const uint64_t num_features = 1ull << 40;
+  header.append(reinterpret_cast<const char*>(&num_pairs), 8);
+  header.append(reinterpret_cast<const char*>(&num_features), 8);
+  const uint32_t crc = Crc32c(header);
+  header.append(reinterpret_cast<const char*>(&crc), 4);
+  file += header;
+  ASSERT_TRUE(WriteStringToFile(path_, file).ok());
+
+  const auto loaded = LoadMatchState(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+
+  // Same again with dimensions whose product overflows 64 bits.
+  std::string file2("EMDBGST2", 8);
+  std::string header2;
+  const uint64_t huge = ~0ull;
+  header2.append(reinterpret_cast<const char*>(&huge), 8);
+  header2.append(reinterpret_cast<const char*>(&huge), 8);
+  const uint32_t crc2 = Crc32c(header2);
+  header2.append(reinterpret_cast<const char*>(&crc2), 4);
+  file2 += header2;
+  ASSERT_TRUE(WriteStringToFile(path_, file2).ok());
+  EXPECT_EQ(LoadMatchState(path_).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(StateIoTest, CorruptSectionCountRejectedBeforeLoop) {
+  // Grow the rule-bitmap count field to an absurd value; the loader must
+  // reject it against the remaining file size before looping.
+  const MatchingFunction fn = SomeRules();
+  MemoMatcher matcher;
+  MatchState state;
+  matcher.RunWithState(fn, ds_.candidates, *ctx_, state);
+  ASSERT_TRUE(SaveMatchState(state, path_).ok());
+  auto bytes = ReadFileToString(path_);
+  ASSERT_TRUE(bytes.ok());
+  // The rule-count u64 sits right after magic + header(+crc) + memo(+crc)
+  // + matches bitmap(+crc).
+  const size_t num_pairs = state.num_pairs();
+  const size_t memo_bytes = num_pairs * state.memo().num_features() * 4;
+  const size_t match_bytes = ((num_pairs + 63) / 64) * 8;
+  const size_t count_pos = 8 + (16 + 4) + (memo_bytes + 4) +
+                           (match_bytes + 4);
+  ASSERT_LT(count_pos + 8, bytes->size());
+  const uint64_t absurd = 1ull << 60;
+  std::memcpy(bytes->data() + count_pos, &absurd, 8);
+  ASSERT_TRUE(WriteStringToFile(path_, *bytes).ok());
+  const auto loaded = LoadMatchState(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
 }
 
 }  // namespace

@@ -1,0 +1,59 @@
+#include "src/util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+// Known-answer vectors: the standard CRC-32C check value plus the iSCSI
+// test vectors from RFC 3720 Appendix B.4.
+TEST(Crc32cTest, StandardCheckValue) {
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32cTest, Rfc3720Zeros) {
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, Rfc3720Ones) {
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, Rfc3720Incrementing) {
+  std::string data(32, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(data), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesCrc) {
+  std::string data = "durable state must notice bit rot";
+  const uint32_t clean = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data), clean)
+          << "flip byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emdbg

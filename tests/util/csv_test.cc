@@ -93,6 +93,98 @@ TEST(CsvTest, ReadMissingFileIsIoError) {
   EXPECT_EQ(text.status().code(), StatusCode::kIoError);
 }
 
+TEST(CsvTest, UnterminatedQuoteReportsOpeningPosition) {
+  // The quote opens on line 2, column 3; input ends before it closes.
+  auto rows = ParseCsv("a,b\n1,\"oops\n2,3\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rows.status().message().find("unterminated"),
+            std::string::npos)
+      << rows.status();
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos)
+      << rows.status();
+  EXPECT_NE(rows.status().message().find("column 3"), std::string::npos)
+      << rows.status();
+}
+
+TEST(CsvTest, EmbeddedNulByteIsParseError) {
+  const std::string data{"a,b\n1,x\0y\n", 10};
+  auto rows = ParseCsv(data);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rows.status().message().find("NUL"), std::string::npos)
+      << rows.status();
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos)
+      << rows.status();
+}
+
+TEST(CsvTest, NulInsideQuotedFieldIsParseError) {
+  const std::string data{"\"a\0b\"\n", 6};
+  auto rows = ParseCsv(data);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, FieldSizeLimitEnforced) {
+  CsvLimits limits;
+  limits.max_field_bytes = 8;
+  const std::string data = "short,also\nok," + std::string(100, 'x') + "\n";
+  CsvParser parser(data, ',', limits);
+  CsvRow row;
+  EXPECT_TRUE(parser.NextRow(&row));
+  EXPECT_FALSE(parser.NextRow(&row));
+  EXPECT_EQ(parser.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parser.status().message().find("field"), std::string::npos)
+      << parser.status();
+}
+
+TEST(CsvTest, RowFieldCountLimitEnforced) {
+  CsvLimits limits;
+  limits.max_row_fields = 4;
+  CsvParser parser("a,b,c,d,e,f\n", ',', limits);
+  CsvRow row;
+  EXPECT_FALSE(parser.NextRow(&row));
+  EXPECT_EQ(parser.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, DefaultLimitsAcceptNormalInput) {
+  // A wide-ish row with a biggish field stays well inside the defaults.
+  const std::string big_field(1 << 16, 'y');
+  std::string data = big_field;
+  for (int i = 0; i < 200; ++i) data += ",f";
+  data += "\n";
+  auto rows = ParseCsv(data);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ((*rows)[0].size(), 201u);
+}
+
+TEST(CsvTest, FailedStreamStaysFailed) {
+  const std::string data{"bad\0byte\nmore,rows\n", 19};
+  CsvParser parser(data);
+  CsvRow row;
+  EXPECT_FALSE(parser.NextRow(&row));
+  EXPECT_FALSE(parser.NextRow(&row)) << "a failed stream must not resume";
+  EXPECT_EQ(parser.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, AtomicWriteRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/emdbg_csv_atomic_test.csv";
+  ASSERT_TRUE(WriteFileAtomic(path, "first\n").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second\n").ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "second\n");
+  EXPECT_FALSE(std::remove((path + ".tmp").c_str()) == 0)
+      << "temp file must not linger";
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, AtomicWriteToBadDirectoryIsIoError) {
+  EXPECT_EQ(WriteFileAtomic("/nonexistent/dir/file.txt", "x").code(),
+            StatusCode::kIoError);
+}
+
 TEST(CsvTest, ParserReportsLineNumbers) {
   CsvParser parser("a\nb\nc\n");
   CsvRow row;

@@ -7,7 +7,11 @@
 /// Usage:
 ///   emdbg_match --a=a.csv --b=b.csv --rules=r.rules
 ///               (--pairs=pairs.csv | --block-key=category)
-///               [--out=matches.csv] [--threads=N]
+///               [--out=matches.csv] [--threads=N] [--deadline-ms=N]
+///
+/// Ctrl-C (SIGINT) or an exceeded --deadline-ms stops the run cleanly:
+/// the pairs evaluated so far are still written out, with a warning that
+/// the result is partial.
 
 #include <cstdio>
 #include <string>
@@ -21,6 +25,7 @@
 #include "src/core/sampler.h"
 #include "src/data/candidate_io.h"
 #include "src/data/table_io.h"
+#include "src/util/cancellation.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -36,6 +41,7 @@ struct Args {
   std::string block_key;
   std::string out_path = "matches.csv";
   size_t threads = 1;
+  int64_t deadline_ms = 0;  // 0 = no deadline
 
   static bool Parse(int argc, char** argv, Args* out) {
     for (int i = 1; i < argc; ++i) {
@@ -56,6 +62,9 @@ struct Args {
       } else if (StartsWith(arg, "--threads=") &&
                  ParseInt64(arg.substr(10), &n) && n > 0) {
         out->threads = static_cast<size_t>(n);
+      } else if (StartsWith(arg, "--deadline-ms=") &&
+                 ParseInt64(arg.substr(14), &n) && n > 0) {
+        out->deadline_ms = n;
       } else {
         return false;
       }
@@ -75,7 +84,7 @@ int main(int argc, char** argv) {
         stderr,
         "usage: emdbg_match --a=a.csv --b=b.csv --rules=r.rules "
         "(--pairs=p.csv | --block-key=attr) [--out=matches.csv] "
-        "[--threads=N]\n");
+        "[--threads=N] [--deadline-ms=N]\n");
     return 1;
   }
 
@@ -123,22 +132,40 @@ int main(int argc, char** argv) {
   const CostModel model = CostModel::EstimateForFunction(*fn, ctx, sample);
   ApplyOrdering(*fn, OrderingStrategy::kGreedyReduction, model, nullptr);
 
+  // Ctrl-C trips the token; the matcher drains and returns a partial
+  // result instead of the process dying mid-run.
+  CancellationToken cancel;
+  SigintCancellation sigint(cancel);
+  RunControl control =
+      args.deadline_ms > 0
+          ? RunControl(cancel, Deadline::AfterMillis(
+                                   static_cast<double>(args.deadline_ms)))
+          : RunControl(cancel);
+
   Stopwatch timer;
   MatchResult result;
   if (args.threads > 1) {
     ParallelMemoMatcher matcher(
         ParallelMemoMatcher::Options{.num_threads = args.threads});
-    result = matcher.Run(*fn, pairs, ctx);
+    result = matcher.Run(*fn, pairs, ctx, control);
   } else {
     MemoMatcher matcher(MemoMatcher::Options{.check_cache_first = true});
-    result = matcher.Run(*fn, pairs, ctx);
+    result = matcher.Run(*fn, pairs, ctx, control);
   }
   std::printf("%zu matches in %.1f ms (%s)\n", result.MatchCount(),
               timer.ElapsedMillis(), result.stats.ToString().c_str());
+  if (result.partial) {
+    std::fprintf(stderr,
+                 "warning: run stopped early (%s); writing the %zu of %zu "
+                 "pairs that were evaluated\n",
+                 result.status.ToString().c_str(), result.pairs_completed,
+                 pairs.size());
+  }
 
-  // Matched pairs only.
+  // Matched pairs only; on a partial run, only evaluated pairs count.
   CandidateSet matched;
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (result.partial && !result.evaluated.Get(i)) continue;
     if (result.matches.Get(i)) matched.Add(pairs.pair(i));
   }
   const Status save = SaveCandidatesCsv(matched, nullptr, args.out_path);
