@@ -23,6 +23,10 @@
 ///   ./build/examples/emdbg_repl                        # synthetic products
 ///   ./build/examples/emdbg_repl a.csv b.csv category   # own data + key blocker
 ///
+/// `--threads=N` (anywhere on the command line) runs full and
+/// incremental matching on the session's persistent work-stealing pool
+/// (0 = all hardware threads); results are identical to serial.
+///
 /// Also scriptable: pipe commands via stdin.
 
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/block/key_blocker.h"
 #include "src/core/debug_session.h"
@@ -72,16 +77,29 @@ int main(int argc, char** argv) {
   PairLabels labels;
   bool have_labels = false;
 
-  if (argc >= 4) {
-    auto ta = LoadTableCsv(argv[1]);
-    auto tb = LoadTableCsv(argv[2]);
+  DebugSession::Options options;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t n = 0;
+    if (StartsWith(arg, "--threads=") &&
+        ParseInt64(arg.substr(10), &n) && n >= 0) {
+      options.num_threads = static_cast<size_t>(n);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  if (positional.size() >= 3) {
+    auto ta = LoadTableCsv(positional[0]);
+    auto tb = LoadTableCsv(positional[1]);
     if (!ta.ok() || !tb.ok()) {
       std::fprintf(stderr, "load failed: %s %s\n",
                    ta.status().ToString().c_str(),
                    tb.status().ToString().c_str());
       return 1;
     }
-    auto blocked = KeyBlocker(argv[3]).Block(*ta, *tb);
+    auto blocked = KeyBlocker(positional[2]).Block(*ta, *tb);
     if (!blocked.ok()) {
       std::fprintf(stderr, "blocking failed: %s\n",
                    blocked.status().ToString().c_str());
@@ -104,7 +122,12 @@ int main(int argc, char** argv) {
                 pairs.size());
   }
 
-  DebugSession session(std::move(a), std::move(b), std::move(pairs));
+  DebugSession session(std::move(a), std::move(b), std::move(pairs),
+                       options);
+  if (session.pool() != nullptr) {
+    std::printf("worker pool: %zu threads\n",
+                session.pool()->num_workers());
+  }
   PrintHelp();
 
   // Ctrl-C during a run cancels it (the run returns partial and the

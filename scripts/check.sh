@@ -3,13 +3,17 @@
 #
 #   scripts/check.sh                 # release build + full test suite
 #   scripts/check.sh asan            # AddressSanitizer build + tests
-#   scripts/check.sh tsan            # ThreadSanitizer build + tests
-#                                    #   (the cancellation/worker-drain
-#                                    #   paths are the interesting part)
+#   scripts/check.sh tsan            # ThreadSanitizer build + the
+#                                    #   thread-pool / parallel-matcher /
+#                                    #   incremental / session tests (the
+#                                    #   concurrent paths; EMDBG_TSAN_ALL=1
+#                                    #   runs the whole suite)
 #   scripts/check.sh all             # release, then asan, then tsan
 #
 # Each mode uses its own build directory (build/, build-asan/,
-# build-tsan/) so switching sanitizers never requires a clean.
+# build-tsan/) so switching sanitizers never requires a clean; the
+# sanitizer modes configure through the CMake presets in
+# CMakePresets.json.
 
 set -euo pipefail
 
@@ -17,31 +21,38 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
+# The tests that exercise concurrency: the work-stealing pool itself and
+# everything that fans out over it (parallel matcher, pooled incremental
+# re-matching, multi-threaded sessions, prewarm, cancellation drains).
+tsan_filter='ThreadPool|Parallel|WorkerPool|MultiThreaded|Cancel|Sharded'
+
 run_mode() {
-  local mode="$1" dir sanitize
+  local mode="$1" dir
   case "$mode" in
-    release) dir=build;      sanitize="" ;;
-    asan)    dir=build-asan; sanitize=address ;;
-    tsan)    dir=build-tsan; sanitize=thread ;;
+    release) dir=build ;;
+    asan)    dir=build-asan ;;
+    tsan)    dir=build-tsan ;;
     *) echo "unknown mode '$mode' (want release, asan, tsan, or all)" >&2
        exit 2 ;;
   esac
 
   echo "==> [$mode] configure"
-  if [ -n "$sanitize" ]; then
-    cmake -B "$dir" -S . \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DEMDBG_SANITIZE="$sanitize" \
-      -DEMDBG_BUILD_BENCHMARKS=OFF >/dev/null
-  else
+  if [ "$mode" = release ]; then
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  else
+    cmake --preset "$mode" >/dev/null
   fi
 
   echo "==> [$mode] build"
   cmake --build "$dir" -j "$jobs"
 
   echo "==> [$mode] test"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  if [ "$mode" = tsan ] && [ "${EMDBG_TSAN_ALL:-0}" != 1 ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
+      -R "$tsan_filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
 }
 
 case "${1:-release}" in

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/core/memo_matcher.h"
+#include "src/core/parallel_matcher.h"
 #include "src/core/sampler.h"
 #include "src/util/csv.h"
 #include "src/util/stopwatch.h"
@@ -176,6 +177,29 @@ DebugSession::DebugSession(Table a, Table b, CandidateSet pairs,
       catalog_(a_.schema(), b_.schema()),
       rng_(options.seed) {
   ctx_ = std::make_unique<PairContext>(a_, b_, catalog_);
+  if (options_.num_threads != 1) {
+    // One persistent pool for the session's lifetime: threads spawn here
+    // once and are reused by every full run, prewarm, and edit.
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+IncrementalMatcher::Options DebugSession::IncOptions() {
+  return IncrementalMatcher::Options{
+      .check_cache_first = options_.check_cache_first,
+      .pool = pool_.get()};
+}
+
+MatchResult DebugSession::BatchRun(const RunControl& control) {
+  if (pool_ != nullptr && pool_->num_workers() > 1) {
+    ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
+        .check_cache_first = options_.check_cache_first,
+        .pool = pool_.get()});
+    return matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_, control);
+  }
+  MemoMatcher matcher(
+      MemoMatcher::Options{.check_cache_first = options_.check_cache_first});
+  return matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_, control);
 }
 
 const MatchingFunction& DebugSession::function() const {
@@ -290,17 +314,12 @@ MatchResult DebugSession::FirstRun(const RunControl& control) {
   MatchResult result;
   if (options_.incremental) {
     if (inc_ == nullptr) {
-      inc_ = std::make_unique<IncrementalMatcher>(
-          *ctx_, pairs_,
-          IncrementalMatcher::Options{
-              .check_cache_first = options_.check_cache_first});
+      inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_,
+                                                   IncOptions());
     }
     result = inc_->FullRun(fn_, control);
   } else {
-    MemoMatcher matcher(MemoMatcher::Options{
-        .check_cache_first = options_.check_cache_first});
-    result = matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_,
-                                  control);
+    result = BatchRun(control);
     batch_dirty_ = result.partial;
   }
   last_stats_ = result.stats;
@@ -317,10 +336,7 @@ const Bitmap& DebugSession::Run() {
   } else if (!options_.incremental && batch_dirty_) {
     // Non-incremental mode: rerun everything, but keep the memo — the
     // "precomputation variation" of Sec. 7.6.
-    MemoMatcher matcher(MemoMatcher::Options{
-        .check_cache_first = options_.check_cache_first});
-    last_stats_ =
-        matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_).stats;
+    last_stats_ = BatchRun(RunControl()).stats;
     total_stats_ += last_stats_;
     batch_dirty_ = false;
   }
@@ -330,10 +346,7 @@ const Bitmap& DebugSession::Run() {
 MatchResult DebugSession::Run(const RunControl& control) {
   if (!started_) return FirstRun(control);
   if (!options_.incremental && batch_dirty_) {
-    MemoMatcher matcher(MemoMatcher::Options{
-        .check_cache_first = options_.check_cache_first});
-    MatchResult result = matcher.RunWithState(fn_, pairs_, *ctx_,
-                                              batch_state_, control);
+    MatchResult result = BatchRun(control);
     last_stats_ = result.stats;
     total_stats_ += last_stats_;
     batch_dirty_ = result.partial;
@@ -389,10 +402,7 @@ Status DebugSession::ResumeSession(const std::string& prefix) {
   if (!rules.ok()) return rules.status();
   Result<MatchState> state = LoadMatchState(prefix + ".state");
   if (!state.ok()) return state.status();
-  inc_ = std::make_unique<IncrementalMatcher>(
-      *ctx_, pairs_,
-      IncrementalMatcher::Options{
-          .check_cache_first = options_.check_cache_first});
+  inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_, IncOptions());
   EMDBG_RETURN_IF_ERROR(inc_->Resume(*rules, std::move(*state)));
   fn_ = *rules;
   started_ = true;
@@ -430,17 +440,12 @@ MatchStats DebugSession::Reoptimize() {
   fn_ = current;
   if (options_.incremental) {
     if (inc_ == nullptr) {
-      inc_ = std::make_unique<IncrementalMatcher>(
-          *ctx_, pairs_,
-          IncrementalMatcher::Options{
-              .check_cache_first = options_.check_cache_first});
+      inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_,
+                                                   IncOptions());
     }
     last_stats_ = inc_->FullRun(fn_);
   } else {
-    MemoMatcher matcher(MemoMatcher::Options{
-        .check_cache_first = options_.check_cache_first});
-    last_stats_ =
-        matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_).stats;
+    last_stats_ = BatchRun(RunControl()).stats;
     batch_dirty_ = false;
   }
   total_stats_ += last_stats_;
@@ -641,10 +646,7 @@ Status DebugSession::Recover(const std::string& dir,
   Result<MatchState> state = LoadMatchState(StatePath(dir, *epoch));
   if (!state.ok()) return state.status();
 
-  inc_ = std::make_unique<IncrementalMatcher>(
-      *ctx_, pairs_,
-      IncrementalMatcher::Options{
-          .check_cache_first = options_.check_cache_first});
+  inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_, IncOptions());
   EMDBG_RETURN_IF_ERROR(inc_->Resume(*rules, std::move(*state)));
   fn_ = *rules;
   started_ = true;

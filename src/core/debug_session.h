@@ -44,6 +44,13 @@ class DebugSession {
     /// Sample fraction for cost/selectivity estimation (paper: 1%).
     double sample_fraction = 0.01;
     uint64_t seed = 42;
+    /// Worker threads for full runs and incremental re-matching: 1 =
+    /// serial (default), 0 = hardware_concurrency(), N = exactly N. The
+    /// session owns one persistent work-stealing ThreadPool for its
+    /// whole lifetime (threads spawn once, not per run); results are
+    /// identical to serial for every value (see DESIGN.md, Threading
+    /// model).
+    size_t num_threads = 1;
   };
 
   /// Takes ownership of the data. The candidate pairs index into the
@@ -131,6 +138,10 @@ class DebugSession {
   /// The cost model built at first Run() (null before).
   const CostModel* cost_model() const { return model_.get(); }
 
+  /// The session's persistent worker pool, or null when running serially
+  /// (Options::num_threads == 1).
+  ThreadPool* pool() { return pool_.get(); }
+
   /// Re-estimates the cost model, re-orders all rules with the configured
   /// strategy, and performs a fresh full run. Useful after many edits
   /// have drifted away from the original ordering.
@@ -191,12 +202,24 @@ class DebugSession {
   /// freshly added rule's predicates (Lemma 3).
   void PrepareRule(Rule& rule);
 
+  /// Options for constructing the incremental engine (check-cache-first
+  /// plus the session's pool).
+  IncrementalMatcher::Options IncOptions();
+
+  /// Non-incremental full run of `fn_` into batch_state_ — parallel when
+  /// the session has a pool, serial MemoMatcher otherwise (identical
+  /// results either way).
+  MatchResult BatchRun(const RunControl& control);
+
   Table a_;
   Table b_;
   CandidateSet pairs_;
   Options options_;
   FeatureCatalog catalog_;
   std::unique_ptr<PairContext> ctx_;
+  /// Persistent worker pool (null when num_threads == 1). Declared
+  /// before the matchers that borrow it so it outlives them.
+  std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
 
   /// Authoritative function before the first run / in non-incremental

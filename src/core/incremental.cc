@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/core/memo_matcher.h"
+#include "src/core/parallel_matcher.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -20,10 +21,17 @@ MatchStats IncrementalMatcher::FullRun(const MatchingFunction& fn) {
 MatchResult IncrementalMatcher::FullRun(const MatchingFunction& fn,
                                         const RunControl& control) {
   fn_ = fn;
-  MemoMatcher matcher(
-      MemoMatcher::Options{.check_cache_first = options_.check_cache_first});
-  MatchResult result =
-      matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
+  MatchResult result;
+  if (options_.pool != nullptr && options_.pool->num_workers() > 1) {
+    ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
+        .check_cache_first = options_.check_cache_first,
+        .pool = options_.pool});
+    result = matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
+  } else {
+    MemoMatcher matcher(MemoMatcher::Options{
+        .check_cache_first = options_.check_cache_first});
+    result = matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
+  }
   has_run_ = !result.partial;
   return result;
 }
@@ -45,6 +53,45 @@ void IncrementalMatcher::SyncMemoWidth() {
   state_.memo().GrowFeatures(ctx_.catalog().size());
 }
 
+void IncrementalMatcher::EnsureDecisionBitmaps() {
+  for (const Rule& r : fn_.rules()) {
+    (void)state_.RuleTrue(r.id());
+    for (const Predicate& p : r.predicates()) {
+      (void)state_.PredFalse(p.id);
+    }
+  }
+}
+
+MatchStats IncrementalMatcher::ForEachPair(
+    const std::function<void(size_t i, MatchStats& stats,
+                             PredicateOrderScratch& scratch)>& body) {
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr || pool->num_workers() <= 1 ||
+      pairs_.size() < options_.min_parallel_pairs) {
+    MatchStats stats;
+    PredicateOrderScratch scratch;
+    for (size_t i = 0; i < pairs_.size(); ++i) body(i, stats, scratch);
+    return stats;
+  }
+  // Parallel prerequisites: shared context read-only, decision bitmaps
+  // pre-materialized (no map rehash under concurrent access). Bodies
+  // touch only pair-i state and chunks are 64-aligned, so no two
+  // workers ever share a bitmap word (ThreadPool's alignment contract).
+  ctx_.Prewarm(fn_.UsedFeatures(), pool);
+  EnsureDecisionBitmaps();
+  struct alignas(64) WorkerState {
+    MatchStats stats;
+    PredicateOrderScratch scratch;
+  };
+  std::vector<WorkerState> ws(pool->num_workers());
+  pool->ParallelFor(pairs_.size(), [&](size_t w, size_t i) {
+    body(i, ws[w].stats, ws[w].scratch);
+  });
+  MatchStats total;
+  for (const WorkerState& w : ws) total += w.stats;
+  return total;
+}
+
 double IncrementalMatcher::AcquireFeature(FeatureId f, size_t i,
                                           MatchStats& stats) {
   double value = 0.0;
@@ -59,26 +106,13 @@ double IncrementalMatcher::AcquireFeature(FeatureId f, size_t i,
 }
 
 bool IncrementalMatcher::EvalRule(const Rule& r, size_t i,
-                                  MatchStats& stats) {
+                                  MatchStats& stats,
+                                  PredicateOrderScratch& scratch) {
   // Check-cache-first partition (Sec. 5.4.3), as in MemoMatcher.
-  std::vector<size_t> order;
-  order.reserve(r.size());
-  if (options_.check_cache_first) {
-    for (size_t k = 0; k < r.size(); ++k) {
-      if (state_.memo().Contains(i, r.predicate(k).feature)) {
-        order.push_back(k);
-      }
-    }
-    for (size_t k = 0; k < r.size(); ++k) {
-      if (!state_.memo().Contains(i, r.predicate(k).feature)) {
-        order.push_back(k);
-      }
-    }
-  } else {
-    for (size_t k = 0; k < r.size(); ++k) order.push_back(k);
-  }
-  for (const size_t k : order) {
-    const Predicate& p = r.predicate(k);
+  const uint32_t* order =
+      scratch.Build(r, state_.memo(), i, options_.check_cache_first);
+  for (size_t k = 0; k < r.size(); ++k) {
+    const Predicate& p = r.predicate(order[k]);
     ++stats.predicate_evaluations;
     const double value = AcquireFeature(p.feature, i, stats);
     if (!p.Test(value)) {
@@ -100,13 +134,14 @@ bool IncrementalMatcher::RuleKnownFalse(const Rule& r, size_t i) const {
 }
 
 void IncrementalMatcher::RematchPair(size_t i, size_t from,
-                                     MatchStats& stats) {
+                                     MatchStats& stats,
+                                     PredicateOrderScratch& scratch) {
   for (size_t pos = from; pos < fn_.num_rules(); ++pos) {
     const Rule& rule = fn_.rule(pos);
     if (rule.empty()) continue;
     if (RuleKnownFalse(rule, i)) continue;
     ++stats.rule_evaluations;
-    if (EvalRule(rule, i, stats)) {
+    if (EvalRule(rule, i, stats, scratch)) {
       state_.matches().Set(i);
       state_.RuleTrue(rule.id()).Set(i);
       return;
@@ -126,14 +161,15 @@ Result<MatchStats> IncrementalMatcher::AddRule(const Rule& rule) {
   const Rule& r = *fn_.RuleById(rid);
   if (!r.empty()) {
     // Algorithm 10: only unmatched pairs can be affected.
-    for (size_t i = 0; i < pairs_.size(); ++i) {
-      if (state_.matches().Get(i)) continue;
-      ++stats.rule_evaluations;
-      if (EvalRule(r, i, stats)) {
+    stats = ForEachPair([&](size_t i, MatchStats& s,
+                            PredicateOrderScratch& scratch) {
+      if (state_.matches().Get(i)) return;
+      ++s.rule_evaluations;
+      if (EvalRule(r, i, s, scratch)) {
         state_.matches().Set(i);
         state_.RuleTrue(rid).Set(i);
       }
-    }
+    });
   }
   stats.elapsed_ms = timer.ElapsedMillis();
   return stats;
@@ -149,11 +185,10 @@ Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
   if (rule == nullptr) {
     return Status::NotFound(StrFormat("rule %u not found", rid));
   }
-  MatchStats stats;
   // Snapshot the pairs this rule was responsible for, then drop its state.
-  std::vector<size_t> affected;
+  Bitmap affected;
   if (const Bitmap* bm = state_.FindRuleTrue(rid); bm != nullptr) {
-    affected = bm->ToIndices();
+    affected = *bm;
   }
   for (const Predicate& p : rule->predicates()) {
     state_.ErasePredicate(p.id);
@@ -161,9 +196,14 @@ Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
   state_.EraseRule(rid);
   EMDBG_RETURN_IF_ERROR(fn_.RemoveRule(rid));
   // Algorithm 9: re-check the affected pairs against the remaining rules.
-  for (const size_t i : affected) {
-    state_.matches().Clear(i);
-    RematchPair(i, 0, stats);
+  MatchStats stats;
+  if (!affected.empty()) {
+    stats = ForEachPair([&](size_t i, MatchStats& s,
+                            PredicateOrderScratch& scratch) {
+      if (!affected.Get(i)) return;
+      state_.matches().Clear(i);
+      RematchPair(i, 0, s, scratch);
+    });
   }
   stats.elapsed_ms = timer.ElapsedMillis();
   return stats;
@@ -171,15 +211,17 @@ Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
 
 MatchStats IncrementalMatcher::RecheckMatchedPairs(RuleId rid,
                                                    const Predicate& p) {
-  MatchStats stats;
-  const std::vector<size_t> affected = state_.RuleTrue(rid).ToIndices();
+  // Snapshot: the loop clears RuleTrue(rid) bits as it goes.
+  const Bitmap affected = state_.RuleTrue(rid);
   const size_t rule_pos = fn_.FindRule(rid);
-  for (const size_t i : affected) {
-    ++stats.predicate_evaluations;
-    const double value = AcquireFeature(p.feature, i, stats);
+  return ForEachPair([&, this](size_t i, MatchStats& s,
+                               PredicateOrderScratch& scratch) {
+    if (!affected.Get(i)) return;
+    ++s.predicate_evaluations;
+    const double value = AcquireFeature(p.feature, i, s);
     if (p.Test(value)) {
       state_.PredFalse(p.id).Clear(i);
-      continue;  // still matched by this rule
+      return;  // still matched by this rule
     }
     state_.PredFalse(p.id).Set(i);
     state_.RuleTrue(rid).Clear(i);
@@ -193,31 +235,29 @@ MatchStats IncrementalMatcher::RecheckMatchedPairs(RuleId rid,
       const Rule& other = fn_.rule(pos);
       if (other.empty()) continue;
       if (RuleKnownFalse(other, i)) continue;
-      ++stats.rule_evaluations;
-      if (EvalRule(other, i, stats)) {
+      ++s.rule_evaluations;
+      if (EvalRule(other, i, s, scratch)) {
         state_.matches().Set(i);
         state_.RuleTrue(other.id()).Set(i);
         break;
       }
     }
-  }
-  return stats;
+  });
 }
 
 MatchStats IncrementalMatcher::RecheckUnmatchedPairs(
     RuleId rid, const Bitmap& candidates) {
-  MatchStats stats;
   const Rule& rule = *fn_.RuleById(rid);
-  for (size_t i = candidates.FindNext(0); i < candidates.size();
-       i = candidates.FindNext(i + 1)) {
-    if (state_.matches().Get(i)) continue;
-    ++stats.rule_evaluations;
-    if (EvalRule(rule, i, stats)) {
+  return ForEachPair([&, this](size_t i, MatchStats& s,
+                               PredicateOrderScratch& scratch) {
+    if (!candidates.Get(i)) return;
+    if (state_.matches().Get(i)) return;
+    ++s.rule_evaluations;
+    if (EvalRule(rule, i, s, scratch)) {
       state_.matches().Set(i);
       state_.RuleTrue(rid).Set(i);
     }
-  }
-  return stats;
+  });
 }
 
 Result<MatchStats> IncrementalMatcher::AddPredicate(RuleId rid,
@@ -240,14 +280,15 @@ Result<MatchStats> IncrementalMatcher::AddPredicate(RuleId rid,
     // Empty rules are false everywhere, so this transition can only add
     // matches: evaluate like a newly added rule (Algorithm 10).
     const Rule& r = *fn_.RuleById(rid);
-    for (size_t i = 0; i < pairs_.size(); ++i) {
-      if (state_.matches().Get(i)) continue;
-      ++stats.rule_evaluations;
-      if (EvalRule(r, i, stats)) {
+    stats = ForEachPair([&](size_t i, MatchStats& s,
+                            PredicateOrderScratch& scratch) {
+      if (state_.matches().Get(i)) return;
+      ++s.rule_evaluations;
+      if (EvalRule(r, i, s, scratch)) {
         state_.matches().Set(i);
         state_.RuleTrue(rid).Set(i);
       }
-    }
+    });
   } else {
     // Algorithm 7: adding a predicate can only shrink the rule's matches.
     Predicate added = p;
@@ -282,12 +323,14 @@ Result<MatchStats> IncrementalMatcher::RemovePredicate(RuleId rid,
   if (updated->empty()) {
     // The rule degenerated to empty = false everywhere: un-match the
     // pairs it was responsible for and re-match them elsewhere.
-    const std::vector<size_t> affected = state_.RuleTrue(rid).ToIndices();
+    const Bitmap affected = state_.RuleTrue(rid);
     state_.RuleTrue(rid).Fill(false);
-    for (const size_t i : affected) {
+    stats = ForEachPair([&](size_t i, MatchStats& s,
+                            PredicateOrderScratch& scratch) {
+      if (!affected.Get(i)) return;
       state_.matches().Clear(i);
-      RematchPair(i, 0, stats);
-    }
+      RematchPair(i, 0, s, scratch);
+    });
   } else {
     // Algorithm 8: only unmatched pairs that the predicate rejected can
     // become matches.

@@ -1,12 +1,16 @@
 #ifndef EMDBG_CORE_INCREMENTAL_H_
 #define EMDBG_CORE_INCREMENTAL_H_
 
+#include <functional>
+
 #include "src/block/candidate_pairs.h"
 #include "src/core/match_result.h"
 #include "src/core/match_state.h"
 #include "src/core/matching_function.h"
 #include "src/core/pair_context.h"
+#include "src/core/predicate_order.h"
 #include "src/util/cancellation.h"
+#include "src/util/thread_pool.h"
 
 namespace emdbg {
 
@@ -41,6 +45,18 @@ class IncrementalMatcher {
     /// Use the Sec. 5.4.3 check-cache-first predicate order during
     /// evaluations.
     bool check_cache_first = true;
+    /// Borrowed persistent work-stealing pool (must outlive the
+    /// matcher). When set, full runs AND the affected-pair re-matching
+    /// of every edit fan out across its workers — the paper's headline
+    /// interactive operation was fully serial before. Each pair's
+    /// re-evaluation touches only its own memo row and bitmap bit, and
+    /// chunks are 64-aligned (see ThreadPool), so the result — matches,
+    /// decision bitmaps, even the MatchStats counters — is identical to
+    /// the serial path for every thread count. Null = serial.
+    ThreadPool* pool = nullptr;
+    /// Edits touching fewer pairs than this run serially even with a
+    /// pool (fan-out overhead would dominate sub-millisecond edits).
+    size_t min_parallel_pairs = 1024;
   };
 
   /// `ctx` and `pairs` must outlive the matcher.
@@ -114,7 +130,9 @@ class IncrementalMatcher {
 
   /// Evaluates rule `r` for pair `i` with memoing; records the first
   /// false predicate in PredFalse. Does not touch RuleTrue/matches.
-  bool EvalRule(const Rule& r, size_t i, MatchStats& stats);
+  /// `scratch` is the caller's (per-worker) predicate-order buffer.
+  bool EvalRule(const Rule& r, size_t i, MatchStats& stats,
+                PredicateOrderScratch& scratch);
 
   /// True if some predicate of `r` has its false-bit set for pair `i`
   /// (sound "rule is false" shortcut under I3).
@@ -123,10 +141,26 @@ class IncrementalMatcher {
   /// Re-evaluates pair `i` against rules at positions [from, end) in the
   /// current order; on the first true rule marks the pair matched and
   /// sets the responsible-rule bit. Uses the known-false shortcut.
-  void RematchPair(size_t i, size_t from, MatchStats& stats);
+  void RematchPair(size_t i, size_t from, MatchStats& stats,
+                   PredicateOrderScratch& scratch);
 
   /// Grows the memo if the catalog gained features since initialization.
   void SyncMemoWidth();
+
+  /// Runs body(i, stats, scratch) over every pair index in [0, n),
+  /// fanned out over the pool when one is configured and the range is
+  /// worth it, serial otherwise; returns the summed stats. Parallel
+  /// prerequisites (prewarmed context, pre-materialized decision
+  /// bitmaps) are established here. Bodies must only touch pair-i state
+  /// (memo row i, bit i) — see Options::pool.
+  MatchStats ForEachPair(
+      const std::function<void(size_t i, MatchStats& stats,
+                               PredicateOrderScratch& scratch)>& body);
+
+  /// Pre-creates RuleTrue/PredFalse bitmaps for every rule/predicate of
+  /// the current function (MatchState's maps must not rehash under
+  /// concurrent first access from workers).
+  void EnsureDecisionBitmaps();
 
   /// Shared tail of AddPredicate / tighten: re-check pairs in RuleTrue(r)
   /// against predicate `p` (already updated in fn_).

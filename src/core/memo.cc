@@ -1,6 +1,8 @@
 #include "src/core/memo.h"
 
+#include <algorithm>
 #include <limits>
+#include <mutex>
 
 namespace emdbg {
 
@@ -40,6 +42,78 @@ Status DenseMemo::LoadRawValues(const std::vector<float>& values) {
   }
   filled_.store(filled, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+struct ShardedMemo::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<uint64_t, float> map;
+};
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedMemo::~ShardedMemo() = default;
+
+ShardedMemo::ShardedMemo(size_t num_shards) {
+  // Power-of-two shard count makes the stripe function a mask.
+  shards_.resize(RoundUpPow2(std::max<size_t>(1, num_shards)));
+  for (auto& shard : shards_) shard = std::make_unique<Shard>();
+}
+
+bool ShardedMemo::Lookup(size_t pair_index, FeatureId feature,
+                         double* value) const {
+  const Shard& shard = ShardFor(pair_index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(Key(pair_index, feature));
+  if (it == shard.map.end()) return false;
+  *value = static_cast<double>(it->second);
+  return true;
+}
+
+void ShardedMemo::Store(size_t pair_index, FeatureId feature,
+                        double value) {
+  Shard& shard = ShardFor(pair_index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map[Key(pair_index, feature)] = static_cast<float>(value);
+}
+
+bool ShardedMemo::Contains(size_t pair_index, FeatureId feature) const {
+  const Shard& shard = ShardFor(pair_index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.count(Key(pair_index, feature)) > 0;
+}
+
+size_t ShardedMemo::FilledCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+size_t ShardedMemo::MemoryBytes() const {
+  size_t total = shards_.size() * sizeof(Shard);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size() * 48 +
+             shard->map.bucket_count() * sizeof(void*);
+  }
+  return total;
+}
+
+void ShardedMemo::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
 }
 
 size_t HashMemo::MemoryBytes() const {

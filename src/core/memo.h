@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,15 @@ class Memo {
 
   /// Removes all stored values.
   virtual void Clear() = 0;
+
+  /// Thread-safety contract: true if concurrent Store/Lookup/Contains on
+  /// *different pair rows* is safe (the parallel matcher's access
+  /// pattern — each candidate pair is evaluated by exactly one worker).
+  /// Implementations returning false (HashMemo: a rehash moves every
+  /// bucket) are rejected by ParallelMemoMatcher with a clear Status
+  /// instead of racing; wrap them in a ShardedMemo to share across
+  /// workers.
+  virtual bool SafeForConcurrentRows() const { return false; }
 };
 
 /// Dense pairs x features float matrix with NaN as the "absent" sentinel.
@@ -78,6 +88,8 @@ class DenseMemo final : public Memo {
     return data_.size() * sizeof(float);
   }
   void Clear() override;
+
+  bool SafeForConcurrentRows() const override { return true; }
 
   size_t num_pairs() const { return num_pairs_; }
   size_t num_features() const { return num_features_; }
@@ -135,6 +147,49 @@ class HashMemo final : public Memo {
   }
 
   std::unordered_map<uint64_t, float> map_;
+};
+
+/// Sparse memo safe for concurrent workers: the key space is split into
+/// shards by pair index, each shard a mutex-protected hash map. Pair-row
+/// striping means one worker's pairs always land in the same shards it is
+/// already touching, so lock contention is limited to hash collisions of
+/// the stripe function — in practice near zero for the parallel matcher's
+/// disjoint-row access pattern. This is the low-fill-rate (Sec. 7.4)
+/// alternative when a dense pairs × features matrix is too large.
+class ShardedMemo final : public Memo {
+ public:
+  static constexpr size_t kDefaultShards = 64;
+
+  explicit ShardedMemo(size_t num_shards = kDefaultShards);
+  ~ShardedMemo() override;  // out-of-line: Shard is incomplete here
+
+  bool Lookup(size_t pair_index, FeatureId feature,
+              double* value) const override;
+  void Store(size_t pair_index, FeatureId feature, double value) override;
+  bool Contains(size_t pair_index, FeatureId feature) const override;
+  size_t FilledCount() const override;
+  size_t MemoryBytes() const override;
+  void Clear() override;
+
+  bool SafeForConcurrentRows() const override { return true; }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard;
+
+  static uint64_t Key(size_t pair_index, FeatureId feature) {
+    return (static_cast<uint64_t>(pair_index) << 32) |
+           static_cast<uint64_t>(feature);
+  }
+  const Shard& ShardFor(size_t pair_index) const {
+    return *shards_[pair_index & (shards_.size() - 1)];
+  }
+  Shard& ShardFor(size_t pair_index) {
+    return *shards_[pair_index & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace emdbg

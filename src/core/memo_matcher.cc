@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/core/predicate_order.h"
 #include "src/util/stopwatch.h"
 
 namespace emdbg {
@@ -57,7 +58,7 @@ MatchResult MemoMatcher::RunImpl(const MatchingFunction& fn,
   result.MarkComplete(pairs.size());
 
   // Scratch order buffer reused across pairs (check-cache-first).
-  std::vector<size_t> order;
+  PredicateOrderScratch scratch;
 
   for (size_t i = 0; i < pairs.size(); ++i) {
     if (stop.ShouldStop()) {
@@ -69,27 +70,12 @@ MatchResult MemoMatcher::RunImpl(const MatchingFunction& fn,
       if (rule.empty()) continue;
       ++result.stats.rule_evaluations;
 
-      const size_t m = rule.size();
-      order.clear();
-      if (options_.check_cache_first) {
-        // Stable partition: memoized features first (Sec. 5.4.3).
-        for (size_t k = 0; k < m; ++k) {
-          if (memo.Contains(i, rule.predicate(k).feature)) {
-            order.push_back(k);
-          }
-        }
-        for (size_t k = 0; k < m; ++k) {
-          if (!memo.Contains(i, rule.predicate(k).feature)) {
-            order.push_back(k);
-          }
-        }
-      } else {
-        for (size_t k = 0; k < m; ++k) order.push_back(k);
-      }
+      const uint32_t* order =
+          scratch.Build(rule, memo, i, options_.check_cache_first);
 
       bool rule_true = true;
-      for (const size_t k : order) {
-        const Predicate& p = rule.predicate(k);
+      for (size_t k = 0; k < rule.size(); ++k) {
+        const Predicate& p = rule.predicate(order[k]);
         ++result.stats.predicate_evaluations;
         double value = 0.0;
         if (memo.Lookup(i, p.feature, &value)) {

@@ -1,5 +1,7 @@
 #include "src/core/pair_context.h"
 
+#include <algorithm>
+
 #include "src/text/similarity_registry.h"
 
 namespace emdbg {
@@ -30,22 +32,52 @@ const TokenList* PairContext::CachedTokens(bool table_b, AttrIndex attr,
   return slots[slot].get();
 }
 
-void PairContext::Prewarm(const std::vector<FeatureId>& features) {
+void PairContext::Prewarm(const std::vector<FeatureId>& features,
+                          ThreadPool* pool) {
+  // Serial phase: TF-IDF corpus models mutate a shared map.
+  for (const FeatureId f : features) {
+    const Feature& feature = catalog_.feature(f);
+    if (GetSimFunctionInfo(feature.fn).needs_tfidf) {
+      (void)ModelFor(feature.attr_a, feature.attr_b);
+    }
+  }
+  if (!options_.cache_tokens) return;
+
+  // Deduplicated (table, attribute, token kind) tokenization tasks —
+  // several features usually share attributes.
+  struct Task {
+    bool table_b;
+    AttrIndex attr;
+    bool qgrams;
+    bool operator==(const Task&) const = default;
+  };
+  std::vector<Task> tasks;
   for (const FeatureId f : features) {
     const Feature& feature = catalog_.feature(f);
     const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
-    if (info.needs_tfidf) {
-      (void)ModelFor(feature.attr_a, feature.attr_b);
-    }
-    if (info.tokens == TokenNeed::kNone || !options_.cache_tokens) {
-      continue;
-    }
+    if (info.tokens == TokenNeed::kNone) continue;
     const bool qgrams = info.tokens == TokenNeed::kQGram3;
-    for (uint32_t row = 0; row < a_.num_rows(); ++row) {
-      (void)CachedTokens(false, feature.attr_a, row, qgrams);
+    for (const Task t : {Task{false, feature.attr_a, qgrams},
+                         Task{true, feature.attr_b, qgrams}}) {
+      if (std::find(tasks.begin(), tasks.end(), t) == tasks.end()) {
+        tasks.push_back(t);
+      }
     }
-    for (uint32_t row = 0; row < b_.num_rows(); ++row) {
-      (void)CachedTokens(true, feature.attr_b, row, qgrams);
+  }
+
+  for (const Task& t : tasks) {
+    const uint32_t rows =
+        t.table_b ? b_.num_rows() : a_.num_rows();
+    if (pool != nullptr && pool->num_workers() > 1) {
+      // Each row fills a distinct cache slot: safe without locking.
+      pool->ParallelFor(rows, [&](size_t, size_t row) {
+        (void)CachedTokens(t.table_b, t.attr, static_cast<uint32_t>(row),
+                           t.qgrams);
+      });
+    } else {
+      for (uint32_t row = 0; row < rows; ++row) {
+        (void)CachedTokens(t.table_b, t.attr, row, t.qgrams);
+      }
     }
   }
 }

@@ -10,6 +10,7 @@
 #include "src/core/feature.h"
 #include "src/data/table.h"
 #include "src/text/tfidf.h"
+#include "src/util/thread_pool.h"
 
 namespace emdbg {
 
@@ -69,7 +70,13 @@ class PairContext {
   /// read-only on shared state and therefore safe to call from multiple
   /// threads concurrently (used by ParallelMemoMatcher). No-op slots when
   /// token caching is disabled.
-  void Prewarm(const std::vector<FeatureId>& features);
+  ///
+  /// With a pool, the per-record tokenization fans out across workers
+  /// (distinct cache slots, no synchronization needed); TF-IDF model
+  /// construction stays serial (corpus-level shared state). Re-warming an
+  /// already-warm context is cheap either way — only null slots tokenize.
+  void Prewarm(const std::vector<FeatureId>& features,
+               ThreadPool* pool = nullptr);
 
   /// Approximate heap bytes held by the token caches.
   size_t TokenCacheBytes() const;

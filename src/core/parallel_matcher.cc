@@ -1,126 +1,158 @@
 #include "src/core/parallel_matcher.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <vector>
 
 #include "src/core/memo.h"
+#include "src/core/predicate_order.h"
 #include "src/util/stopwatch.h"
 
 namespace emdbg {
+
+ParallelMemoMatcher::ParallelMemoMatcher(Options options)
+    : options_(options) {}
+
+ThreadPool& ParallelMemoMatcher::pool() {
+  if (options_.pool != nullptr) return *options_.pool;
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return *owned_pool_;
+}
 
 MatchResult ParallelMemoMatcher::Run(const MatchingFunction& fn,
                                      const CandidateSet& pairs,
                                      PairContext& ctx,
                                      const RunControl& control) {
-  Stopwatch timer;
-  // Serial phase: make all shared state read-only for the workers.
-  ctx.Prewarm(fn.UsedFeatures());
-
-  const size_t num_threads = std::max<size_t>(
-      1, options_.num_threads != 0 ? options_.num_threads
-                                   : std::thread::hardware_concurrency());
   DenseMemo memo(pairs.size(), ctx.catalog().size());
-  std::vector<uint8_t> decisions(pairs.size(), 0);
-  std::vector<MatchStats> thread_stats(num_threads);
-  // Per-worker drain point: first index of its chunk NOT evaluated.
-  std::vector<size_t> worker_stopped_at(num_threads, 0);
-  std::atomic<bool> any_stopped{false};
+  return RunImpl(fn, pairs, ctx, nullptr, memo, control);
+}
 
-  auto worker = [&](size_t tid, size_t begin, size_t end) {
-    MatchStats& stats = thread_stats[tid];
-    StopCheck stop(control);
-    worker_stopped_at[tid] = end;
-    std::vector<size_t> order;
-    for (size_t i = begin; i < end; ++i) {
-      if (stop.ShouldStop()) {
-        // Clean drain: record progress and fall through to thread exit.
-        worker_stopped_at[tid] = i;
-        any_stopped.store(true, std::memory_order_relaxed);
-        return;
-      }
-      const PairId pair = pairs.pair(i);
-      for (const Rule& rule : fn.rules()) {
-        if (rule.empty()) continue;
-        ++stats.rule_evaluations;
-        const size_t m = rule.size();
-        order.clear();
-        if (options_.check_cache_first) {
-          for (size_t k = 0; k < m; ++k) {
-            if (memo.Contains(i, rule.predicate(k).feature)) {
-              order.push_back(k);
-            }
-          }
-          for (size_t k = 0; k < m; ++k) {
-            if (!memo.Contains(i, rule.predicate(k).feature)) {
-              order.push_back(k);
-            }
-          }
+MatchResult ParallelMemoMatcher::RunWithMemo(const MatchingFunction& fn,
+                                             const CandidateSet& pairs,
+                                             PairContext& ctx, Memo& memo,
+                                             const RunControl& control) {
+  if (!memo.SafeForConcurrentRows() && pool().num_workers() > 1) {
+    MatchResult result;
+    result.matches = Bitmap(pairs.size());
+    result.evaluated = Bitmap(pairs.size());
+    result.partial = true;
+    result.pairs_completed = 0;
+    result.status = Status::InvalidArgument(
+        "memo is not safe for concurrent Store (HashMemo rehash moves "
+        "every bucket); use DenseMemo, wrap it in a ShardedMemo, or run "
+        "single-threaded");
+    return result;
+  }
+  return RunImpl(fn, pairs, ctx, nullptr, memo, control);
+}
+
+MatchResult ParallelMemoMatcher::RunWithState(const MatchingFunction& fn,
+                                              const CandidateSet& pairs,
+                                              PairContext& ctx,
+                                              MatchState& state,
+                                              const RunControl& control) {
+  if (!state.initialized() || state.num_pairs() != pairs.size()) {
+    state.Initialize(pairs.size(), ctx.catalog().size());
+  } else {
+    state.memo().GrowFeatures(ctx.catalog().size());
+    state.matches().Fill(false);
+  }
+  // Serial phase: materialize every decision bitmap before workers start
+  // (MatchState's map must not rehash under concurrent first access).
+  for (const Rule& r : fn.rules()) {
+    state.RuleTrue(r.id()).Fill(false);
+    for (const Predicate& p : r.predicates()) {
+      state.PredFalse(p.id).Fill(false);
+    }
+  }
+  MatchResult result =
+      RunImpl(fn, pairs, ctx, &state, state.memo(), control);
+  state.matches() = result.matches;
+  return result;
+}
+
+MatchResult ParallelMemoMatcher::RunImpl(const MatchingFunction& fn,
+                                         const CandidateSet& pairs,
+                                         PairContext& ctx,
+                                         MatchState* state, Memo& memo,
+                                         const RunControl& control) {
+  Stopwatch timer;
+  ThreadPool& pool = this->pool();
+  const size_t workers = pool.num_workers();
+
+  // Serial phase: make all shared context state read-only for workers.
+  ctx.Prewarm(fn.UsedFeatures(), &pool);
+
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+  result.MarkComplete(pairs.size());
+
+  struct alignas(64) WorkerState {
+    MatchStats stats;
+    PredicateOrderScratch scratch;
+  };
+  std::vector<WorkerState> worker_state(workers);
+
+  // Per-pair body. Every access is indexed by the pair `i` being
+  // evaluated: memo row i, bit i of the match/decision bitmaps. Chunks
+  // are 64-aligned, so workers never share a bitmap word and no
+  // synchronization is needed (see ThreadPool's alignment contract).
+  auto body = [&](size_t w, size_t i) {
+    WorkerState& ws = worker_state[w];
+    const PairId pair = pairs.pair(i);
+    for (const Rule& rule : fn.rules()) {
+      if (rule.empty()) continue;
+      ++ws.stats.rule_evaluations;
+      const uint32_t* order =
+          ws.scratch.Build(rule, memo, i, options_.check_cache_first);
+      bool rule_true = true;
+      for (size_t k = 0; k < rule.size(); ++k) {
+        const Predicate& p = rule.predicate(order[k]);
+        ++ws.stats.predicate_evaluations;
+        double value = 0.0;
+        if (memo.Lookup(i, p.feature, &value)) {
+          ++ws.stats.memo_hits;
         } else {
-          for (size_t k = 0; k < m; ++k) order.push_back(k);
+          value = ctx.ComputeFeature(p.feature, pair);
+          memo.Store(i, p.feature, value);
+          ++ws.stats.feature_computations;
         }
-        bool rule_true = true;
-        for (const size_t k : order) {
-          const Predicate& p = rule.predicate(k);
-          ++stats.predicate_evaluations;
-          double value = 0.0;
-          if (memo.Lookup(i, p.feature, &value)) {
-            ++stats.memo_hits;
-          } else {
-            value = ctx.ComputeFeature(p.feature, pair);
-            memo.Store(i, p.feature, value);
-            ++stats.feature_computations;
-          }
-          if (!p.Test(value)) {
-            rule_true = false;
-            break;
-          }
+        if (!p.Test(value)) {
+          rule_true = false;
+          if (state != nullptr) state->PredFalse(p.id).Set(i);
+          break;  // early exit: rule is false
         }
-        if (rule_true) {
-          decisions[i] = 1;
-          break;
-        }
+      }
+      if (rule_true) {
+        result.matches.Set(i);
+        if (state != nullptr) state->RuleTrue(rule.id()).Set(i);
+        break;  // early exit: pair is a match
       }
     }
   };
 
-  std::vector<size_t> chunk_begin(num_threads, 0);
-  if (num_threads == 1) {
-    worker(0, 0, pairs.size());
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    const size_t chunk = (pairs.size() + num_threads - 1) / num_threads;
-    for (size_t t = 0; t < num_threads; ++t) {
-      const size_t begin = std::min(t * chunk, pairs.size());
-      const size_t end = std::min(begin + chunk, pairs.size());
-      chunk_begin[t] = begin;
-      threads.emplace_back(worker, t, begin, end);
-    }
-    // All workers join unconditionally — a stopped run drains threads
-    // instead of abandoning them.
-    for (std::thread& t : threads) t.join();
-  }
+  const ThreadPool::ForResult run = pool.ParallelFor(
+      pairs.size(), control, body,
+      ThreadPool::ForOptions{.grain = options_.grain,
+                             .steal = options_.dynamic_schedule});
 
-  MatchResult result;
-  result.matches = Bitmap(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    if (decisions[i]) result.matches.Set(i);
+  for (const WorkerState& ws : worker_state) result.stats += ws.stats;
+  if (options_.per_worker_stats != nullptr) {
+    options_.per_worker_stats->clear();
+    for (const WorkerState& ws : worker_state) {
+      options_.per_worker_stats->push_back(ws.stats);
+    }
   }
-  for (const MatchStats& s : thread_stats) result.stats += s;
-  result.MarkComplete(pairs.size());
-  if (any_stopped.load(std::memory_order_relaxed)) {
-    // Valid bits are the union of the per-worker completed ranges.
+  if (run.stopped) {
+    // Exact partial contract: valid bits are precisely the pairs whose
+    // evaluation ran to completion.
     result.partial = true;
-    result.status = control.StopStatus();
+    result.status = run.status;
     result.evaluated = Bitmap(pairs.size());
-    result.pairs_completed = 0;
-    for (size_t t = 0; t < num_threads; ++t) {
-      for (size_t i = chunk_begin[t]; i < worker_stopped_at[t]; ++i) {
-        result.evaluated.Set(i);
-        ++result.pairs_completed;
-      }
+    result.pairs_completed = run.items_completed;
+    for (const auto& [begin, end] : run.completed) {
+      for (size_t i = begin; i < end; ++i) result.evaluated.Set(i);
     }
   }
   result.stats.elapsed_ms = timer.ElapsedMillis();

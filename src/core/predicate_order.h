@@ -1,0 +1,65 @@
+#ifndef EMDBG_CORE_PREDICATE_ORDER_H_
+#define EMDBG_CORE_PREDICATE_ORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/memo.h"
+#include "src/core/rule.h"
+
+namespace emdbg {
+
+/// Per-evaluation predicate order with small-buffer storage.
+///
+/// Every matcher builds, per (pair, rule), the evaluation order of the
+/// rule's predicates — either as-written or the Sec. 5.4.3
+/// check-cache-first partition (memoized features first, both halves
+/// keeping the optimizer's relative order). This used to be a
+/// `std::vector` rebuilt per rule evaluation; on the parallel hot path
+/// that is one heap allocation per (pair, rule). Rules are short (the
+/// paper's Products set has 4–9 predicates), so a small inline buffer
+/// covers essentially every evaluation; longer rules spill to a reused
+/// heap vector. One scratch instance per worker, reused across pairs.
+class PredicateOrderScratch {
+ public:
+  static constexpr size_t kInlineCapacity = 16;
+
+  /// Fills the order for `rule` at pair row `pair_index` and returns a
+  /// pointer to rule.size() indices. The buffer is valid until the next
+  /// Build call on this scratch.
+  const uint32_t* Build(const Rule& rule, const Memo& memo,
+                        size_t pair_index, bool check_cache_first) {
+    const size_t m = rule.size();
+    uint32_t* out = inline_;
+    if (m > kInlineCapacity) {
+      if (heap_.size() < m) heap_.resize(m);
+      out = heap_.data();
+    }
+    if (!check_cache_first) {
+      for (size_t k = 0; k < m; ++k) out[k] = static_cast<uint32_t>(k);
+      return out;
+    }
+    // Stable partition: memoized features first (Sec. 5.4.3).
+    size_t filled = 0;
+    for (size_t k = 0; k < m; ++k) {
+      if (memo.Contains(pair_index, rule.predicate(k).feature)) {
+        out[filled++] = static_cast<uint32_t>(k);
+      }
+    }
+    for (size_t k = 0; k < m; ++k) {
+      if (!memo.Contains(pair_index, rule.predicate(k).feature)) {
+        out[filled++] = static_cast<uint32_t>(k);
+      }
+    }
+    return out;
+  }
+
+ private:
+  uint32_t inline_[kInlineCapacity];
+  std::vector<uint32_t> heap_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_CORE_PREDICATE_ORDER_H_

@@ -292,5 +292,49 @@ TEST_F(DebugSessionTest, CostModelAvailableAfterRun) {
   EXPECT_NE(session->cost_model(), nullptr);
 }
 
+TEST_F(DebugSessionTest, MultiThreadedSessionMatchesSerial) {
+  // The same debugging script driven through a serial session and a
+  // pooled one (both incremental and batch mode) must produce identical
+  // matches at every step.
+  const char* kRules[] = {
+      "r1: exact_match(modelno, modelno) >= 1 AND "
+      "jaccard(title, title) >= 0.4",
+      "r2: jaccard(title, title) >= 0.55 AND "
+      "exact_match(category, category) >= 1",
+      "r3: levenshtein(brand, brand) >= 0.8 AND "
+      "numeric(price, price) >= 0.9",
+  };
+  for (const bool incremental : {true, false}) {
+    auto serial = MakeSession(
+        DebugSession::Options{.incremental = incremental, .num_threads = 1});
+    auto pooled = MakeSession(
+        DebugSession::Options{.incremental = incremental, .num_threads = 4});
+    EXPECT_EQ(serial->pool(), nullptr);
+    ASSERT_NE(pooled->pool(), nullptr);
+    EXPECT_EQ(pooled->pool()->num_workers(), 4u);
+
+    ASSERT_TRUE(serial->AddRuleText(kRules[0]).ok());
+    ASSERT_TRUE(pooled->AddRuleText(kRules[0]).ok());
+    EXPECT_EQ(serial->Run(), pooled->Run()) << "incremental="
+                                            << incremental;
+
+    // Post-run edits: the pooled session re-matches affected pairs on
+    // its worker pool; results must stay identical.
+    for (const char* rule : {kRules[1], kRules[2]}) {
+      auto rs = serial->AddRuleText(rule);
+      auto rp = pooled->AddRuleText(rule);
+      ASSERT_TRUE(rs.ok());
+      ASSERT_TRUE(rp.ok());
+      EXPECT_EQ(serial->Run(), pooled->Run());
+    }
+    const RuleId last_serial = serial->function().rules().back().id();
+    const RuleId last_pooled = pooled->function().rules().back().id();
+    ASSERT_TRUE(serial->RemoveRule(last_serial).ok());
+    ASSERT_TRUE(pooled->RemoveRule(last_pooled).ok());
+    EXPECT_EQ(serial->Run(), pooled->Run());
+    EXPECT_EQ(serial->Run(), Oracle(*serial));
+  }
+}
+
 }  // namespace
 }  // namespace emdbg

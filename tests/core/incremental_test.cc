@@ -263,6 +263,83 @@ TEST_F(IncrementalTest, RandomEditSequenceStaysConsistent) {
   }
 }
 
+// Same property with the affected-pair re-matching fanned out over a
+// work-stealing pool (min_parallel_pairs = 0 forces the parallel path
+// even on this small dataset). Every edit's result must be identical to
+// the serial oracle regardless of scheduling.
+TEST_F(IncrementalTest, RandomEditsConsistentWithWorkerPool) {
+  ThreadPool pool(4);
+  IncrementalMatcher inc(*ctx_, ds_.candidates,
+                         IncrementalMatcher::Options{
+                             .pool = &pool, .min_parallel_pairs = 0});
+  inc.FullRun(gen_->Generate());
+  Rng rng(8);  // same seed as RandomEditSequenceStaysConsistent
+  for (int step = 0; step < 60; ++step) {
+    const uint64_t op = rng.Uniform(6);
+    const size_t num_rules = inc.function().num_rules();
+    if (op == 0 || num_rules == 0) {
+      ASSERT_TRUE(inc.AddRule(gen_->GenerateRule(rng)).ok());
+    } else if (op == 1 && num_rules > 1) {
+      const RuleId rid =
+          inc.function().rule(rng.Uniform(num_rules)).id();
+      ASSERT_TRUE(inc.RemoveRule(rid).ok());
+    } else if (op == 2) {
+      const RuleId rid =
+          inc.function().rule(rng.Uniform(num_rules)).id();
+      const Rule donor = gen_->GenerateRule(rng);
+      ASSERT_TRUE(inc.AddPredicate(rid, donor.predicate(0)).ok());
+    } else if (op == 3) {
+      const Rule& rule = inc.function().rule(rng.Uniform(num_rules));
+      if (rule.empty()) continue;
+      const PredicateId pid =
+          rule.predicate(rng.Uniform(rule.size())).id;
+      ASSERT_TRUE(inc.RemovePredicate(rule.id(), pid).ok());
+    } else {
+      const Rule& rule = inc.function().rule(rng.Uniform(num_rules));
+      if (rule.empty()) continue;
+      const Predicate& p = rule.predicate(rng.Uniform(rule.size()));
+      const double t = rng.NextDouble();
+      ASSERT_TRUE(inc.SetThreshold(rule.id(), p.id, t).ok());
+    }
+    ASSERT_EQ(inc.matches(), OracleMatches(inc.function()))
+        << "diverged at step " << step << " (op " << op << ")";
+  }
+}
+
+// Parallel and serial incremental engines must report identical work
+// counters for the same edit (no lost or duplicated MatchStats).
+TEST_F(IncrementalTest, PoolPreservesEditStats) {
+  ThreadPool pool(4);
+  IncrementalMatcher serial(*ctx_, ds_.candidates);
+  IncrementalMatcher parallel(*ctx_, ds_.candidates,
+                              IncrementalMatcher::Options{
+                                  .pool = &pool, .min_parallel_pairs = 0});
+  const MatchingFunction fn = gen_->Generate();
+  serial.FullRun(fn);
+  parallel.FullRun(fn);
+
+  Rng rng(17);
+  const Rule extra = gen_->GenerateRule(rng);
+  const auto s = serial.AddRule(extra);
+  const auto p = parallel.AddRule(extra);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(s->rule_evaluations, p->rule_evaluations);
+  EXPECT_EQ(s->predicate_evaluations, p->predicate_evaluations);
+  EXPECT_EQ(s->feature_computations, p->feature_computations);
+  EXPECT_EQ(s->memo_hits, p->memo_hits);
+  EXPECT_EQ(serial.matches(), parallel.matches());
+
+  const RuleId rid = serial.last_added_rule_id();
+  const auto s2 = serial.RemoveRule(rid);
+  const auto p2 = parallel.RemoveRule(parallel.last_added_rule_id());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(s2->rule_evaluations, p2->rule_evaluations);
+  EXPECT_EQ(s2->predicate_evaluations, p2->predicate_evaluations);
+  EXPECT_EQ(serial.matches(), parallel.matches());
+}
+
 // Same property with check-cache-first disabled.
 TEST_F(IncrementalTest, RandomEditsConsistentWithoutCheckCacheFirst) {
   IncrementalMatcher inc(*ctx_, ds_.candidates,

@@ -1,0 +1,188 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/bitmap.h"
+#include "src/util/cancellation.h"
+
+namespace emdbg {
+namespace {
+
+using ForOptions = ThreadPool::ForOptions;
+using ForResult = ThreadPool::ForResult;
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  const ForResult r = pool.ParallelFor(kN, [&](size_t, size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.items_completed, kN);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  std::atomic<bool> bad{false};
+  pool.ParallelFor(5'000, [&](size_t w, size_t) {
+    if (w >= 3) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, ZeroItemsAndSingleWorker) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::atomic<size_t> count{0};
+  ForResult r = pool.ParallelFor(0, [&](size_t, size_t) { ++count; });
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(count.load(), 0u);
+  r = pool.ParallelFor(1'000, [&](size_t, size_t) { ++count; });
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(count.load(), 1'000u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossRuns) {
+  ThreadPool pool(4);
+  for (int run = 0; run < 20; ++run) {
+    std::atomic<size_t> count{0};
+    const ForResult r = pool.ParallelFor(
+        997, [&](size_t, size_t) { count.fetch_add(1); });
+    ASSERT_TRUE(r.complete());
+    ASSERT_EQ(count.load(), 997u);
+  }
+}
+
+TEST(ThreadPoolTest, SharedBitmapWordsNeverCollide) {
+  // The alignment contract: chunk boundaries are multiples of 64, so two
+  // workers never write the same Bitmap word. Setting bit i for every
+  // item must therefore produce an all-ones bitmap with plain
+  // (unsynchronized) writes — under TSan this test is the proof.
+  ThreadPool pool(4);
+  constexpr size_t kN = 64 * 257 + 13;  // deliberately not word-aligned
+  Bitmap bm(kN);
+  const ForResult r =
+      pool.ParallelFor(kN, [&](size_t, size_t i) { bm.Set(i); });
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(bm.Count(), kN);
+}
+
+TEST(ThreadPoolTest, GrainIsRoundedToAlignment) {
+  ThreadPool pool(4);
+  Bitmap bm(5'000);
+  // A pathological grain of 1 must still respect the 64-index alignment.
+  const ForResult r = pool.ParallelFor(
+      5'000, RunControl(), [&](size_t, size_t i) { bm.Set(i); },
+      ForOptions{.grain = 1});
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(bm.Count(), 5'000u);
+}
+
+TEST(ThreadPoolTest, StaticScheduleCoversEverything) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(8'000);
+  const ForResult r = pool.ParallelFor(
+      8'000, RunControl(),
+      [&](size_t, size_t i) { visits[i].fetch_add(1); },
+      ForOptions{.steal = false});
+  EXPECT_TRUE(r.complete());
+  for (size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PreCancelledRunsNothing) {
+  ThreadPool pool(4);
+  CancellationToken cancel;
+  cancel.RequestCancel();
+  std::atomic<size_t> count{0};
+  const ForResult r = pool.ParallelFor(
+      10'000, RunControl(cancel),
+      [&](size_t, size_t) { count.fetch_add(1); }, ForOptions{});
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(count.load(), 0u);
+  EXPECT_EQ(r.items_completed, 0u);
+  EXPECT_TRUE(r.completed.empty());
+}
+
+TEST(ThreadPoolTest, CancelledRunReportsExactCompletedSet) {
+  // The partial-result contract: `completed` names exactly the items
+  // whose body ran — no more, no fewer. Cancel from inside the body so
+  // the test is deterministic regardless of scheduling.
+  ThreadPool pool(4);
+  constexpr size_t kN = 50'000;
+  for (const size_t trigger : {0u, 100u, 12'345u}) {
+    CancellationToken cancel;
+    std::vector<std::atomic<int>> visits(kN);
+    std::atomic<size_t> ran{0};
+    const ForResult r = pool.ParallelFor(
+        kN, RunControl(cancel),
+        [&](size_t, size_t i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+          if (ran.fetch_add(1) >= trigger) cancel.RequestCancel();
+        },
+        ForOptions{});
+    ASSERT_TRUE(r.stopped);
+    ASSERT_EQ(r.status.code(), StatusCode::kCancelled);
+    // Reported ranges are disjoint, sorted, and match the visited set.
+    Bitmap reported(kN);
+    size_t total = 0, prev_end = 0;
+    for (const auto& [begin, end] : r.completed) {
+      ASSERT_LT(begin, end);
+      ASSERT_GE(begin, prev_end);
+      prev_end = end;
+      total += end - begin;
+      for (size_t i = begin; i < end; ++i) reported.Set(i);
+    }
+    ASSERT_EQ(total, r.items_completed);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load() == 1, reported.Get(i))
+          << "index " << i << " trigger " << trigger;
+      ASSERT_LE(visits[i].load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DeadlineStopsTheRun) {
+  ThreadPool pool(2);
+  const RunControl control(Deadline::AfterMillis(0));
+  std::atomic<size_t> count{0};
+  const ForResult r = pool.ParallelFor(
+      1'000'000, control, [&](size_t, size_t) { count.fetch_add(1); },
+      ForOptions{});
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(r.items_completed, 1'000'000u);
+}
+
+TEST(ThreadPoolTest, ParallelReduceSumsAcrossWorkers) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100'000;
+  const uint64_t total = pool.ParallelReduce(
+      kN, RunControl(), uint64_t{0},
+      [](size_t, size_t i, uint64_t& acc) { acc += i; },
+      [](uint64_t& into, const uint64_t& v) { into += v; });
+  EXPECT_EQ(total, uint64_t{kN} * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, HardwareDefaultHasAtLeastOneWorker) {
+  ThreadPool pool;  // 0 = hardware_concurrency
+  EXPECT_GE(pool.num_workers(), 1u);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(100, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+}  // namespace
+}  // namespace emdbg

@@ -60,7 +60,8 @@ struct Args {
       } else if (StartsWith(arg, "--out=")) {
         out->out_path = arg.substr(6);
       } else if (StartsWith(arg, "--threads=") &&
-                 ParseInt64(arg.substr(10), &n) && n > 0) {
+                 ParseInt64(arg.substr(10), &n) && n >= 0) {
+        // 0 = all hardware threads.
         out->threads = static_cast<size_t>(n);
       } else if (StartsWith(arg, "--deadline-ms=") &&
                  ParseInt64(arg.substr(14), &n) && n > 0) {
@@ -144,9 +145,12 @@ int main(int argc, char** argv) {
 
   Stopwatch timer;
   MatchResult result;
-  if (args.threads > 1) {
-    ParallelMemoMatcher matcher(
-        ParallelMemoMatcher::Options{.num_threads = args.threads});
+  if (args.threads != 1) {
+    // Persistent pool (0 = all hardware threads): spawned once here, so a
+    // tool embedding several runs would reuse the same workers.
+    ThreadPool pool(args.threads);
+    ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
+        .check_cache_first = true, .pool = &pool});
     result = matcher.Run(*fn, pairs, ctx, control);
   } else {
     MemoMatcher matcher(MemoMatcher::Options{.check_cache_first = true});
