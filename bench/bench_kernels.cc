@@ -1,0 +1,381 @@
+/// Extension bench: the interned-id kernel layer versus the string
+/// kernels it replaces.
+///
+/// Three sections, written to BENCH_kernels.json:
+///   * per-kernel microbenchmarks over real candidate pairs — the string
+///     path re-derives sorted/weighted token structures per call (as the
+///     pre-interning evaluator did), the id path reads the prebuilt
+///     per-record arrays that PairContext now caches;
+///   * scalar vs bit-parallel (Myers) Levenshtein at 32..256 chars;
+///   * end-to-end MemoMatcher wall clock with interning off vs on, for two
+///     Table 2 dataset profiles (context construction + matching, so the
+///     id path pays its own build cost).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/memo_matcher.h"
+#include "src/text/cosine.h"
+#include "src/text/id_kernels.h"
+#include "src/text/levenshtein.h"
+#include "src/text/monge_elkan.h"
+#include "src/text/set_similarity.h"
+#include "src/text/soft_tfidf.h"
+#include "src/text/tfidf.h"
+#include "src/text/token_interner.h"
+#include "src/text/tokenizer.h"
+#include "src/util/random.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg::bench {
+namespace {
+
+struct KernelPoint {
+  std::string name;
+  double string_ns = 0.0;  // per pair
+  double id_ns = 0.0;
+  double speedup = 0.0;
+};
+
+struct LevPoint {
+  size_t length = 0;
+  double scalar_ns = 0.0;  // per pair
+  double myers_ns = 0.0;
+  double speedup = 0.0;
+};
+
+struct E2ePoint {
+  std::string dataset;
+  size_t candidates = 0;
+  double string_ms = 0.0;
+  double id_ms = 0.0;
+  double speedup = 0.0;
+};
+
+// Prebuilt per-record structures for one attribute column of both tables:
+// what PairContext caches for the id path, plus the raw token lists the
+// string path starts from.
+struct Column {
+  std::vector<TokenList> words_a, words_b;
+  std::vector<TokenList> qgrams_a, qgrams_b;
+  std::vector<TokenIds> ids_a, ids_b;          // words
+  std::vector<TokenIds> qids_a, qids_b;        // q-grams
+  std::vector<IdTfVector> tf_a, tf_b;
+  std::vector<IdWeightVector> w_a, w_b;
+  TfIdfModel model;
+  std::shared_ptr<const std::vector<uint32_t>> ranks;
+};
+
+Column BuildColumn(const BenchEnv& env, AttrIndex attr,
+                   TokenInterner& interner) {
+  Column col;
+  auto build_side = [&](const Table& t, std::vector<TokenList>& words,
+                        std::vector<TokenList>& qgrams,
+                        std::vector<TokenIds>& ids,
+                        std::vector<TokenIds>& qids) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      words.push_back(AlnumTokenize(t.Value(r, attr)));
+      qgrams.push_back(QGramTokenize(t.Value(r, attr), 3));
+      TokenIds w;
+      w.doc = InternDocIds(words.back(), interner);
+      w.sorted = SortedUniqueIds(w.doc);
+      ids.push_back(std::move(w));
+      TokenIds q;
+      q.doc = InternDocIds(qgrams.back(), interner);
+      q.sorted = SortedUniqueIds(q.doc);
+      qids.push_back(std::move(q));
+    }
+  };
+  build_side(env.ds.a, col.words_a, col.qgrams_a, col.ids_a, col.qids_a);
+  build_side(env.ds.b, col.words_b, col.qgrams_b, col.ids_b, col.qids_b);
+  for (const TokenList& d : col.words_a) col.model.AddDocument(d);
+  for (const TokenList& d : col.words_b) col.model.AddDocument(d);
+  col.ranks = interner.LexRanks();
+  std::vector<double> idf_by_id;
+  idf_by_id.reserve(interner.size());
+  for (uint32_t id = 0; id < interner.size(); ++id) {
+    idf_by_id.push_back(col.model.Idf(std::string(interner.Text(id))));
+  }
+  auto build_tf = [&](const std::vector<TokenIds>& ids,
+                      std::vector<IdTfVector>& tf,
+                      std::vector<IdWeightVector>& w) {
+    for (const TokenIds& d : ids) {
+      tf.push_back(MakeIdTfVector(d.doc, *col.ranks));
+      w.push_back(MakeIdWeightVector(tf.back(), idf_by_id));
+    }
+  };
+  build_tf(col.ids_a, col.tf_a, col.w_a);
+  build_tf(col.ids_b, col.tf_b, col.w_b);
+  return col;
+}
+
+// Times `fn(pair)` over the pair sample, `reps` times; returns the best
+// per-pair nanoseconds (min over reps, the usual microbench estimator).
+template <typename Fn>
+double TimePerPair(const std::vector<PairId>& pairs, size_t reps, Fn fn) {
+  double best_ms = 1e300;
+  double sink = 0.0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    for (const PairId& p : pairs) sink += fn(p);
+    best_ms = std::min(best_ms, timer.ElapsedMillis());
+  }
+  // Defeat dead-code elimination without touching the timing loop.
+  if (sink == -1.0) std::printf("impossible\n");
+  return best_ms * 1e6 / static_cast<double>(pairs.size());
+}
+
+std::vector<KernelPoint> BenchKernels(const BenchEnv& env, size_t reps,
+                                      std::vector<PairId> pairs) {
+  TokenInterner interner;
+  const Column col = BuildColumn(env, 0, interner);
+  const auto& ranks = *col.ranks;
+
+  std::vector<KernelPoint> points;
+  auto add = [&](const char* name, double string_ns, double id_ns) {
+    points.push_back(
+        {name, string_ns, id_ns, id_ns > 0.0 ? string_ns / id_ns : 0.0});
+    std::printf("%-12s string %9.1f ns/pair   id %8.1f ns/pair   %5.2fx\n",
+                name, string_ns, id_ns,
+                id_ns > 0.0 ? string_ns / id_ns : 0.0);
+  };
+
+  add("jaccard",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return JaccardSimilarity(col.words_a[p.a],
+                                             col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdJaccard(col.ids_a[p.a].sorted, col.ids_b[p.b].sorted);
+      }));
+  add("dice",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return DiceSimilarity(col.words_a[p.a],
+                                          col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdDice(col.ids_a[p.a].sorted, col.ids_b[p.b].sorted);
+      }));
+  add("overlap",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return OverlapCoefficient(col.words_a[p.a],
+                                              col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdOverlap(col.ids_a[p.a].sorted, col.ids_b[p.b].sorted);
+      }));
+  add("trigram",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return JaccardSimilarity(col.qgrams_a[p.a],
+                                             col.qgrams_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdJaccard(col.qids_a[p.a].sorted, col.qids_b[p.b].sorted);
+      }));
+  add("cosine",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return CosineSimilarity(col.words_a[p.a],
+                                            col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdCosineTf(col.tf_a[p.a], col.tf_b[p.b], ranks);
+      }));
+  add("tfidf",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return col.model.Similarity(col.words_a[p.a],
+                                                col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdTfIdfCosine(col.w_a[p.a], col.w_b[p.b], ranks);
+      }));
+  add("soft_tfidf",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return SoftTfIdfSimilarity(col.model, col.words_a[p.a],
+                                               col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdSoftTfIdf(col.w_a[p.a], col.w_b[p.b], ranks, interner);
+      }));
+  add("monge_elkan",
+      TimePerPair(pairs, reps,
+                  [&](PairId p) {
+                    return MongeElkanSimilarity(col.words_a[p.a],
+                                                col.words_b[p.b]);
+                  }),
+      TimePerPair(pairs, reps, [&](PairId p) {
+        return IdMongeElkan(col.words_a[p.a], col.words_b[p.b],
+                            col.ids_a[p.a], col.ids_b[p.b]);
+      }));
+  return points;
+}
+
+std::vector<LevPoint> BenchLevenshtein(size_t reps) {
+  std::vector<LevPoint> points;
+  Rng rng(99);
+  const char* alphabet = "abcdefgh";
+  for (const size_t len : {size_t{32}, size_t{64}, size_t{128},
+                           size_t{256}}) {
+    // 256 pairs per length; strings share a common prefix half the time
+    // so the workload is not all-mismatch.
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 256; ++i) {
+      std::string a;
+      std::string b;
+      for (size_t k = 0; k < len; ++k) {
+        a.push_back(alphabet[rng.Uniform(8)]);
+        b.push_back(rng.Uniform(2) != 0u ? a.back()
+                                         : alphabet[rng.Uniform(8)]);
+      }
+      pairs.emplace_back(std::move(a), std::move(b));
+    }
+    auto time_ns = [&](auto fn) {
+      double best_ms = 1e300;
+      size_t sink = 0;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        Stopwatch timer;
+        for (const auto& [a, b] : pairs) sink += fn(a, b);
+        best_ms = std::min(best_ms, timer.ElapsedMillis());
+      }
+      if (sink == size_t(-1)) std::printf("impossible\n");
+      return best_ms * 1e6 / static_cast<double>(pairs.size());
+    };
+    const double scalar = time_ns([](const std::string& a,
+                                     const std::string& b) {
+      return LevenshteinDistanceScalar(a, b);
+    });
+    const double myers = time_ns([](const std::string& a,
+                                    const std::string& b) {
+      return LevenshteinDistance(a, b);
+    });
+    points.push_back({len, scalar, myers, scalar / myers});
+    std::printf(
+        "levenshtein %3zu chars: scalar %9.1f ns   myers %8.1f ns   "
+        "%5.2fx\n",
+        len, scalar, myers, scalar / myers);
+  }
+  return points;
+}
+
+E2ePoint BenchEndToEnd(DatasetId dataset, const BenchOptions& opts) {
+  BenchOptions local = opts;
+  local.dataset = dataset;
+  const BenchEnv env = BenchEnv::Make(local);
+  const MatchingFunction fn =
+      env.RuleSubset(std::min<size_t>(opts.rules, 80), 4242);
+  auto run_ms = [&](bool intern) {
+    double best = 1e300;
+    for (size_t rep = 0; rep < opts.reps; ++rep) {
+      // Fresh context per run: the id path pays interning + array
+      // construction inside the measured window, same as the string path
+      // pays tokenization.
+      PairContext ctx(env.ds.a, env.ds.b, env.catalog,
+                      PairContext::Options{.cache_tokens = true,
+                                           .intern_tokens = intern});
+      MemoMatcher matcher;
+      Stopwatch timer;
+      (void)matcher.Run(fn, env.ds.candidates, ctx);
+      best = std::min(best, timer.ElapsedMillis());
+    }
+    return best;
+  };
+  E2ePoint point;
+  point.dataset = env.profile.name;
+  point.candidates = env.ds.candidates.size();
+  point.string_ms = run_ms(false);
+  point.id_ms = run_ms(true);
+  point.speedup = point.id_ms > 0.0 ? point.string_ms / point.id_ms : 0.0;
+  std::printf(
+      "end-to-end %-12s %7zu pairs: strings %9.1f ms   ids %8.1f ms   "
+      "%5.2fx\n",
+      point.dataset.c_str(), point.candidates, point.string_ms,
+      point.id_ms, point.speedup);
+  return point;
+}
+
+void WriteJson(const BenchOptions& opts,
+               const std::vector<KernelPoint>& kernels,
+               const std::vector<LevPoint>& lev,
+               const std::vector<E2ePoint>& e2e, const char* path) {
+  const std::string tmp = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"kernels\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", opts.scale);
+  std::fprintf(f, "  \"reps\": %zu,\n", opts.reps);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelPoint& p = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"string_ns_per_pair\": %.1f, "
+                 "\"id_ns_per_pair\": %.1f, \"speedup\": %.2f}%s\n",
+                 p.name.c_str(), p.string_ns, p.id_ns, p.speedup,
+                 i + 1 == kernels.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"levenshtein\": [\n");
+  for (size_t i = 0; i < lev.size(); ++i) {
+    const LevPoint& p = lev[i];
+    std::fprintf(f,
+                 "    {\"length\": %zu, \"scalar_ns\": %.1f, "
+                 "\"myers_ns\": %.1f, \"speedup\": %.2f}%s\n",
+                 p.length, p.scalar_ns, p.myers_ns, p.speedup,
+                 i + 1 == lev.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"end_to_end\": [\n");
+  for (size_t i = 0; i < e2e.size(); ++i) {
+    const E2ePoint& p = e2e[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"candidates\": %zu, "
+                 "\"string_ms\": %.1f, \"id_ms\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 p.dataset.c_str(), p.candidates, p.string_ms, p.id_ms,
+                 p.speedup, i + 1 == e2e.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path) != 0) {
+    std::fprintf(stderr, "cannot rename %s to %s\n", tmp.c_str(), path);
+  }
+}
+
+void Run(const BenchOptions& opts) {
+  const BenchEnv env = BenchEnv::Make(opts);
+  PrintHeader("Extension: interned-id kernels vs string kernels", opts,
+              env);
+
+  std::vector<PairId> pairs = env.ds.candidates.pairs();
+  if (pairs.size() > 20000) pairs.resize(20000);
+
+  const std::vector<KernelPoint> kernels =
+      BenchKernels(env, opts.reps + 1, pairs);
+  const std::vector<LevPoint> lev = BenchLevenshtein(opts.reps + 1);
+  std::vector<E2ePoint> e2e;
+  e2e.push_back(BenchEndToEnd(DatasetId::kProducts, opts));
+  e2e.push_back(BenchEndToEnd(DatasetId::kBooks, opts));
+
+  WriteJson(opts, kernels, lev, e2e, "BENCH_kernels.json");
+  std::printf("wrote BENCH_kernels.json\n");
+}
+
+}  // namespace
+}  // namespace emdbg::bench
+
+int main(int argc, char** argv) {
+  emdbg::bench::Run(emdbg::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,10 +1,28 @@
 #include "src/core/pair_context.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/text/similarity_registry.h"
 
 namespace emdbg {
+
+namespace {
+
+/// Runs `fn(row)` for every row, fanning out over the pool when one is
+/// available. Callers guarantee distinct rows touch distinct slots.
+template <typename Fn>
+void ForEachRow(ThreadPool* pool, uint32_t rows, Fn&& fn) {
+  if (pool != nullptr && pool->num_workers() > 1) {
+    pool->ParallelFor(rows, [&](size_t, size_t row) {
+      fn(static_cast<uint32_t>(row));
+    });
+  } else {
+    for (uint32_t row = 0; row < rows; ++row) fn(row);
+  }
+}
+
+}  // namespace
 
 PairContext::PairContext(const Table& a, const Table& b,
                          const FeatureCatalog& catalog, Options options)
@@ -14,6 +32,21 @@ PairContext::PairContext(const Table& a, const Table& b,
     cache_a_.qgrams.resize(a_.num_attributes() * a_.num_rows());
     cache_b_.words.resize(b_.num_attributes() * b_.num_rows());
     cache_b_.qgrams.resize(b_.num_attributes() * b_.num_rows());
+    if (options_.intern_tokens) {
+      interner_ = std::make_unique<TokenInterner>();
+      idc_a_.words.resize(cache_a_.words.size());
+      idc_a_.qgrams.resize(cache_a_.qgrams.size());
+      idc_a_.word_tf.resize(cache_a_.words.size());
+      idc_a_.words_built.assign(a_.num_attributes(), false);
+      idc_a_.qgrams_built.assign(a_.num_attributes(), false);
+      idc_a_.tf_built.assign(a_.num_attributes(), false);
+      idc_b_.words.resize(cache_b_.words.size());
+      idc_b_.qgrams.resize(cache_b_.qgrams.size());
+      idc_b_.word_tf.resize(cache_b_.words.size());
+      idc_b_.words_built.assign(b_.num_attributes(), false);
+      idc_b_.qgrams_built.assign(b_.num_attributes(), false);
+      idc_b_.tf_built.assign(b_.num_attributes(), false);
+    }
   }
 }
 
@@ -30,6 +63,88 @@ const TokenList* PairContext::CachedTokens(bool table_b, AttrIndex attr,
         qgrams ? QGramTokenize(text, 3) : AlnumTokenize(text));
   }
   return slots[slot].get();
+}
+
+void PairContext::BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
+                                ThreadPool* pool) {
+  IdCache& idc = table_b ? idc_b_ : idc_a_;
+  auto& built = qgrams ? idc.qgrams_built : idc.words_built;
+  if (built[attr]) return;
+  const Table& table = table_b ? b_ : a_;
+  auto& slots = qgrams ? idc.qgrams : idc.words;
+  const uint32_t rows = table.num_rows();
+  // Serial phase: interning mutates the shared dictionary. Tokenization is
+  // usually already done (Prewarm fills token slots in parallel first).
+  for (uint32_t row = 0; row < rows; ++row) {
+    const TokenList* tokens = CachedTokens(table_b, attr, row, qgrams);
+    auto ids = std::make_unique<TokenIds>();
+    ids->doc = InternDocIds(*tokens, *interner_);
+    slots[attr * rows + row] = std::move(ids);
+  }
+  ranks_ = interner_->LexRanks();
+  // Parallel phase: per-row sorting touches distinct slots, reads nothing
+  // shared.
+  ForEachRow(pool, rows, [&](uint32_t row) {
+    TokenIds& ids = *slots[attr * rows + row];
+    ids.sorted = SortedUniqueIds(ids.doc);
+  });
+  built[attr] = true;
+}
+
+void PairContext::BuildTfColumn(bool table_b, AttrIndex attr,
+                                ThreadPool* pool) {
+  IdCache& idc = table_b ? idc_b_ : idc_a_;
+  if (idc.tf_built[attr]) return;
+  BuildIdColumn(table_b, attr, /*qgrams=*/false, pool);
+  const Table& table = table_b ? b_ : a_;
+  const uint32_t rows = table.num_rows();
+  const auto ranks = ranks_;
+  ForEachRow(pool, rows, [&](uint32_t row) {
+    const size_t slot = attr * rows + row;
+    idc.word_tf[slot] = std::make_unique<IdTfVector>(
+        MakeIdTfVector(idc.words[slot]->doc, *ranks));
+  });
+  idc.tf_built[attr] = true;
+}
+
+PairContext::ModelIdCache& PairContext::EnsureModelIds(AttrIndex attr_a,
+                                                       AttrIndex attr_b,
+                                                       ThreadPool* pool) {
+  ModelIdCache& mc = model_ids_[std::make_pair(attr_a, attr_b)];
+  if (mc.built) return mc;
+  const TfIdfModel& model = ModelFor(attr_a, attr_b);
+  BuildTfColumn(false, attr_a, pool);
+  BuildTfColumn(true, attr_b, pool);
+  // idf-by-id over the whole current vocabulary: Idf(text) is a pure
+  // function of the model, so values match the string path exactly.
+  const uint32_t vocab = interner_->size();
+  mc.idf_by_id.reserve(vocab);
+  for (uint32_t id = static_cast<uint32_t>(mc.idf_by_id.size()); id < vocab;
+       ++id) {
+    mc.idf_by_id.push_back(model.Idf(std::string(interner_->Text(id))));
+  }
+  mc.rows_a.resize(a_.num_rows());
+  mc.rows_b.resize(b_.num_rows());
+  ForEachRow(pool, a_.num_rows(), [&](uint32_t row) {
+    mc.rows_a[row] = std::make_unique<IdWeightVector>(MakeIdWeightVector(
+        *idc_a_.word_tf[attr_a * a_.num_rows() + row], mc.idf_by_id));
+  });
+  ForEachRow(pool, b_.num_rows(), [&](uint32_t row) {
+    mc.rows_b[row] = std::make_unique<IdWeightVector>(MakeIdWeightVector(
+        *idc_b_.word_tf[attr_b * b_.num_rows() + row], mc.idf_by_id));
+  });
+  mc.built = true;
+  return mc;
+}
+
+const TokenIds& PairContext::CachedIds(bool table_b, AttrIndex attr,
+                                       uint32_t row, bool qgrams) {
+  IdCache& idc = table_b ? idc_b_ : idc_a_;
+  const auto& built = qgrams ? idc.qgrams_built : idc.words_built;
+  if (!built[attr]) BuildIdColumn(table_b, attr, qgrams, nullptr);
+  const Table& table = table_b ? b_ : a_;
+  const auto& slots = qgrams ? idc.qgrams : idc.words;
+  return *slots[attr * table.num_rows() + row];
 }
 
 void PairContext::Prewarm(const std::vector<FeatureId>& features,
@@ -80,12 +195,91 @@ void PairContext::Prewarm(const std::vector<FeatureId>& features,
       }
     }
   }
+
+  // Id phase: build every interned-id structure the features' fast paths
+  // will read, so concurrent ComputeFeature calls stay read-only.
+  if (interner_ == nullptr) return;
+  for (const FeatureId f : features) {
+    const Feature& feature = catalog_.feature(f);
+    const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
+    if (!info.id_path) continue;
+    const bool qgrams = info.tokens == TokenNeed::kQGram3;
+    BuildIdColumn(false, feature.attr_a, qgrams, pool);
+    BuildIdColumn(true, feature.attr_b, qgrams, pool);
+    if (feature.fn == SimFunction::kCosine) {
+      BuildTfColumn(false, feature.attr_a, pool);
+      BuildTfColumn(true, feature.attr_b, pool);
+    }
+    if (info.needs_tfidf) {
+      (void)EnsureModelIds(feature.attr_a, feature.attr_b, pool);
+    }
+  }
+}
+
+double PairContext::ComputeFeatureIds(const Feature& feature,
+                                      const SimFunctionInfo& info,
+                                      PairId pair) {
+  switch (feature.fn) {
+    case SimFunction::kJaccard:
+    case SimFunction::kDice:
+    case SimFunction::kOverlap:
+    case SimFunction::kTrigram: {
+      const bool qgrams = info.tokens == TokenNeed::kQGram3;
+      const TokenIds& ia = CachedIds(false, feature.attr_a, pair.a, qgrams);
+      const TokenIds& ib = CachedIds(true, feature.attr_b, pair.b, qgrams);
+      switch (feature.fn) {
+        case SimFunction::kDice:
+          return IdDice(ia.sorted, ib.sorted);
+        case SimFunction::kOverlap:
+          return IdOverlap(ia.sorted, ib.sorted);
+        default:  // Jaccard and Trigram (= Jaccard over 3-grams)
+          return IdJaccard(ia.sorted, ib.sorted);
+      }
+    }
+    case SimFunction::kCosine: {
+      BuildTfColumn(false, feature.attr_a, nullptr);
+      BuildTfColumn(true, feature.attr_b, nullptr);
+      const IdTfVector& ta =
+          *idc_a_.word_tf[feature.attr_a * a_.num_rows() + pair.a];
+      const IdTfVector& tb =
+          *idc_b_.word_tf[feature.attr_b * b_.num_rows() + pair.b];
+      return IdCosineTf(ta, tb, *ranks_);
+    }
+    case SimFunction::kMongeElkan: {
+      const TokenIds& ia = CachedIds(false, feature.attr_a, pair.a, false);
+      const TokenIds& ib = CachedIds(true, feature.attr_b, pair.b, false);
+      const TokenList* ta = CachedTokens(false, feature.attr_a, pair.a, false);
+      const TokenList* tb = CachedTokens(true, feature.attr_b, pair.b, false);
+      return IdMongeElkan(*ta, *tb, ia, ib);
+    }
+    case SimFunction::kTfIdf: {
+      const ModelIdCache& mc =
+          EnsureModelIds(feature.attr_a, feature.attr_b, nullptr);
+      return IdTfIdfCosine(*mc.rows_a[pair.a], *mc.rows_b[pair.b], *ranks_);
+    }
+    case SimFunction::kSoftTfIdf: {
+      const ModelIdCache& mc =
+          EnsureModelIds(feature.attr_a, feature.attr_b, nullptr);
+      return IdSoftTfIdf(*mc.rows_a[pair.a], *mc.rows_b[pair.b], *ranks_,
+                         *interner_);
+    }
+    default:
+      return 0.0;  // unreachable: gated on info.id_path
+  }
 }
 
 double PairContext::ComputeFeature(FeatureId f, PairId pair) {
   compute_count_.fetch_add(1, std::memory_order_relaxed);
   const Feature& feature = catalog_.feature(f);
   const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
+
+  // Quantize to float: the memo stores float, and matching decisions must
+  // not depend on whether a value came from computation or from the memo
+  // (otherwise rule/predicate *order* could change results at threshold
+  // boundaries).
+  if (info.id_path && interner_ != nullptr) {
+    return static_cast<float>(ComputeFeatureIds(feature, info, pair));
+  }
 
   SimArg arg_a;
   arg_a.text = a_.Value(pair.a, feature.attr_a);
@@ -104,10 +298,6 @@ double PairContext::ComputeFeature(FeatureId f, PairId pair) {
   if (info.needs_tfidf) {
     model = &ModelFor(feature.attr_a, feature.attr_b);
   }
-  // Quantize to float: the memo stores float, and matching decisions must
-  // not depend on whether a value came from computation or from the memo
-  // (otherwise rule/predicate *order* could change results at threshold
-  // boundaries).
   return static_cast<float>(
       ComputeSimilarity(feature.fn, arg_a, arg_b, model));
 }
@@ -144,6 +334,41 @@ size_t CacheBytes(const std::vector<std::unique_ptr<TokenList>>& slots) {
   return bytes;
 }
 
+size_t IdSlotBytes(const std::vector<std::unique_ptr<TokenIds>>& slots) {
+  size_t bytes = slots.capacity() * sizeof(std::unique_ptr<TokenIds>);
+  for (const auto& slot : slots) {
+    if (slot != nullptr) {
+      bytes += sizeof(TokenIds) +
+               (slot->doc.capacity() + slot->sorted.capacity()) *
+                   sizeof(TokenId);
+    }
+  }
+  return bytes;
+}
+
+size_t TfSlotBytes(const std::vector<std::unique_ptr<IdTfVector>>& slots) {
+  size_t bytes = slots.capacity() * sizeof(std::unique_ptr<IdTfVector>);
+  for (const auto& slot : slots) {
+    if (slot != nullptr) {
+      bytes += sizeof(IdTfVector) +
+               slot->entries.capacity() * sizeof(slot->entries[0]);
+    }
+  }
+  return bytes;
+}
+
+size_t WeightRowBytes(
+    const std::vector<std::unique_ptr<IdWeightVector>>& rows) {
+  size_t bytes = rows.capacity() * sizeof(std::unique_ptr<IdWeightVector>);
+  for (const auto& row : rows) {
+    if (row != nullptr) {
+      bytes += sizeof(IdWeightVector) +
+               row->entries.capacity() * sizeof(row->entries[0]);
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 size_t PairContext::TokenCacheBytes() const {
@@ -151,11 +376,34 @@ size_t PairContext::TokenCacheBytes() const {
          CacheBytes(cache_b_.words) + CacheBytes(cache_b_.qgrams);
 }
 
+size_t PairContext::IdCacheBytes() const {
+  size_t bytes = 0;
+  for (const IdCache* idc : {&idc_a_, &idc_b_}) {
+    bytes += IdSlotBytes(idc->words) + IdSlotBytes(idc->qgrams) +
+             TfSlotBytes(idc->word_tf);
+  }
+  for (const auto& [key, mc] : model_ids_) {
+    bytes += mc.idf_by_id.capacity() * sizeof(double);
+    bytes += WeightRowBytes(mc.rows_a) + WeightRowBytes(mc.rows_b);
+  }
+  if (ranks_ != nullptr) bytes += ranks_->capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
 void PairContext::ClearTokenCaches() {
   for (auto& slot : cache_a_.words) slot.reset();
   for (auto& slot : cache_a_.qgrams) slot.reset();
   for (auto& slot : cache_b_.words) slot.reset();
   for (auto& slot : cache_b_.qgrams) slot.reset();
+  for (IdCache* idc : {&idc_a_, &idc_b_}) {
+    for (auto& slot : idc->words) slot.reset();
+    for (auto& slot : idc->qgrams) slot.reset();
+    for (auto& slot : idc->word_tf) slot.reset();
+    std::fill(idc->words_built.begin(), idc->words_built.end(), false);
+    std::fill(idc->qgrams_built.begin(), idc->qgrams_built.end(), false);
+    std::fill(idc->tf_built.begin(), idc->tf_built.end(), false);
+  }
+  model_ids_.clear();
 }
 
 }  // namespace emdbg

@@ -9,7 +9,9 @@
 #include "src/block/candidate_pairs.h"
 #include "src/core/feature.h"
 #include "src/data/table.h"
+#include "src/text/id_kernels.h"
 #include "src/text/tfidf.h"
+#include "src/text/token_interner.h"
 #include "src/util/thread_pool.h"
 
 namespace emdbg {
@@ -27,11 +29,26 @@ namespace emdbg {
 ///   * TF-IDF corpus models per attribute pair (document-frequency tables
 ///     are corpus-level state of the similarity function itself and are
 ///     always cached).
+///
+/// On top of the raw token lists the context keeps an interned integer-id
+/// representation (Options::intern_tokens, on by default): a TokenInterner
+/// maps every distinct token to a dense uint32 id, and each (record, attr)
+/// slot caches sorted-unique id arrays, lex-ordered term-frequency vectors
+/// and id-indexed TF-IDF weight vectors. The set-family kernels (Jaccard,
+/// Dice, overlap, trigram, cosine, TF-IDF, soft TF-IDF, Monge-Elkan) then
+/// run over integer spans instead of heap-allocated strings — same doubles
+/// bit-for-bit (see src/text/id_kernels.h), several times faster. Id
+/// structures are built a whole column at a time on first touch or during
+/// Prewarm.
 class PairContext {
  public:
   struct Options {
     /// Cache word/q-gram token lists per (table, row, attribute).
     bool cache_tokens = true;
+    /// Intern tokens to dense uint32 ids and evaluate the set-family
+    /// kernels on integer arrays (requires cache_tokens; bit-identical
+    /// results). Disable to force the string kernels.
+    bool intern_tokens = true;
   };
 
   /// The tables and catalog must outlive the context.
@@ -65,15 +82,16 @@ class PairContext {
     compute_count_.store(0, std::memory_order_relaxed);
   }
 
-  /// Fills the token caches and TF-IDF models every feature in `features`
-  /// will touch. After prewarming, ComputeFeature for those features is
-  /// read-only on shared state and therefore safe to call from multiple
-  /// threads concurrently (used by ParallelMemoMatcher). No-op slots when
-  /// token caching is disabled.
+  /// Fills the token caches, interned-id columns and TF-IDF models every
+  /// feature in `features` will touch. After prewarming, ComputeFeature
+  /// for those features is read-only on shared state and therefore safe to
+  /// call from multiple threads concurrently (used by
+  /// ParallelMemoMatcher). No-op slots when token caching is disabled.
   ///
-  /// With a pool, the per-record tokenization fans out across workers
-  /// (distinct cache slots, no synchronization needed); TF-IDF model
-  /// construction stays serial (corpus-level shared state). Re-warming an
+  /// With a pool, the per-record tokenization and the per-record id-array
+  /// sorting fan out across workers (distinct cache slots, no
+  /// synchronization needed); TF-IDF model construction and token
+  /// interning stay serial (corpus-level shared state). Re-warming an
   /// already-warm context is cheap either way — only null slots tokenize.
   void Prewarm(const std::vector<FeatureId>& features,
                ThreadPool* pool = nullptr);
@@ -81,7 +99,15 @@ class PairContext {
   /// Approximate heap bytes held by the token caches.
   size_t TokenCacheBytes() const;
 
-  /// Drops token caches (models are kept).
+  /// Approximate heap bytes held by the interned-id caches (id arrays, tf
+  /// vectors, TF-IDF weight vectors; excludes the interner itself).
+  size_t IdCacheBytes() const;
+
+  /// The token dictionary, or nullptr when interning is disabled (exposed
+  /// for memory accounting: ArenaBytes/DictionaryBytes).
+  const TokenInterner* interner() const { return interner_.get(); }
+
+  /// Drops token and id caches (models and the token dictionary are kept).
   void ClearTokenCaches();
 
  private:
@@ -91,8 +117,45 @@ class PairContext {
     std::vector<std::unique_ptr<TokenList>> qgrams;
   };
 
+  // Interned-id mirror of TokenCache, built a whole (attr, kind) column at
+  // a time so the interner mutates in one predictable (serial) place.
+  struct IdCache {
+    std::vector<std::unique_ptr<TokenIds>> words;
+    std::vector<std::unique_ptr<TokenIds>> qgrams;
+    std::vector<std::unique_ptr<IdTfVector>> word_tf;
+    std::vector<bool> words_built;   // per attr
+    std::vector<bool> qgrams_built;  // per attr
+    std::vector<bool> tf_built;      // per attr
+  };
+
+  // Per TF-IDF model (attr_a, attr_b): idf-by-id table plus one
+  // L2-normalized weight vector per row of each side.
+  struct ModelIdCache {
+    std::vector<double> idf_by_id;
+    std::vector<std::unique_ptr<IdWeightVector>> rows_a;
+    std::vector<std::unique_ptr<IdWeightVector>> rows_b;
+    bool built = false;
+  };
+
   const TokenList* CachedTokens(bool table_b, AttrIndex attr, uint32_t row,
                                 bool qgrams);
+
+  /// Id-path evaluation for functions with SimFunctionInfo::id_path.
+  double ComputeFeatureIds(const Feature& feature,
+                           const SimFunctionInfo& info, PairId pair);
+
+  const TokenIds& CachedIds(bool table_b, AttrIndex attr, uint32_t row,
+                            bool qgrams);
+
+  /// Builds doc + sorted-unique id arrays for every row of one column.
+  /// Interning is serial; the per-row sorting fans out over `pool`.
+  void BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
+                     ThreadPool* pool);
+  /// Builds lex-ordered term-frequency vectors for one words column.
+  void BuildTfColumn(bool table_b, AttrIndex attr, ThreadPool* pool);
+  /// Builds the idf table and per-row weight vectors for one model.
+  ModelIdCache& EnsureModelIds(AttrIndex attr_a, AttrIndex attr_b,
+                               ThreadPool* pool);
 
   const Table& a_;
   const Table& b_;
@@ -102,6 +165,13 @@ class PairContext {
   TokenCache cache_b_;
   std::map<std::pair<AttrIndex, AttrIndex>, std::unique_ptr<TfIdfModel>>
       models_;
+  std::unique_ptr<TokenInterner> interner_;
+  IdCache idc_a_;
+  IdCache idc_b_;
+  std::map<std::pair<AttrIndex, AttrIndex>, ModelIdCache> model_ids_;
+  /// Lexicographic-rank snapshot, refreshed whenever a build interns new
+  /// tokens (serial phases only; concurrent readers see a settled value).
+  std::shared_ptr<const std::vector<uint32_t>> ranks_;
   std::atomic<size_t> compute_count_{0};
 };
 

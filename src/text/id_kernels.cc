@@ -1,0 +1,258 @@
+#include "src/text/id_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/text/jaro.h"
+
+namespace emdbg {
+
+std::vector<TokenId> InternDocIds(const TokenList& tokens,
+                                  TokenInterner& interner) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(interner.Intern(t));
+  return ids;
+}
+
+std::vector<TokenId> SortedUniqueIds(std::span<const TokenId> doc) {
+  std::vector<TokenId> out(doc.begin(), doc.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+IdTfVector MakeIdTfVector(std::span<const TokenId> doc,
+                          const std::vector<uint32_t>& rank) {
+  IdTfVector out;
+  std::vector<TokenId> lex(doc.begin(), doc.end());
+  std::sort(lex.begin(), lex.end(), [&rank](TokenId x, TokenId y) {
+    return rank[x] < rank[y];
+  });
+  for (size_t i = 0; i < lex.size();) {
+    size_t j = i;
+    while (j < lex.size() && lex[j] == lex[i]) ++j;
+    out.entries.emplace_back(lex[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  // Same accumulation order and operand types as CosineSimilarity's
+  // "norm += double(f) * f" loop over the lex-ordered tf map.
+  for (const auto& [id, count] : out.entries) {
+    out.norm_sq += static_cast<double>(count) * count;
+  }
+  return out;
+}
+
+IdWeightVector MakeIdWeightVector(const IdTfVector& tf,
+                                  std::span<const double> idf_by_id) {
+  // Mirrors TfIdfModel::Vectorize: weights and the norm accumulate over
+  // entries in lexicographic term order, then one multiply per entry.
+  IdWeightVector out;
+  out.entries.reserve(tf.entries.size());
+  double norm_sq = 0.0;
+  for (const auto& [id, count] : tf.entries) {
+    const double w = static_cast<double>(count) * idf_by_id[id];
+    out.entries.emplace_back(id, w);
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [id, w] : out.entries) w *= inv;
+  }
+  return out;
+}
+
+namespace {
+
+/// Index of the first element >= key in [lo, n), by exponential then binary
+/// search — O(log gap) instead of O(log n) when matches cluster.
+size_t Gallop(const TokenId* data, size_t lo, size_t n, TokenId key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < n && data[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(
+      std::lower_bound(data + lo, data + hi, key) - data);
+}
+
+size_t GallopIntersectionSize(std::span<const TokenId> small,
+                              std::span<const TokenId> large) {
+  size_t count = 0;
+  size_t j = 0;
+  for (const TokenId key : small) {
+    j = Gallop(large.data(), j, large.size(), key);
+    if (j == large.size()) break;
+    if (large[j] == key) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IdIntersectionSize(std::span<const TokenId> a,
+                          std::span<const TokenId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= 16) return GallopIntersectionSize(a, b);
+  // Branch-light linear merge: advance via comparison results instead of
+  // three-way branching.
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  while (i < na && j < nb) {
+    const TokenId x = a[i];
+    const TokenId y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+double IdJaccard(std::span<const TokenId> a, std::span<const TokenId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = IdIntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double IdDice(std::span<const TokenId> a, std::span<const TokenId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = IdIntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double IdOverlap(std::span<const TokenId> a, std::span<const TokenId> b) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  const size_t inter = IdIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double IdCosineTf(const IdTfVector& a, const IdTfVector& b,
+                  const std::vector<uint32_t>& rank) {
+  if (a.entries.empty() && b.entries.empty()) return 1.0;
+  if (a.entries.empty() || b.entries.empty()) return 0.0;
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    const uint32_t ra = rank[a.entries[i].first];
+    const uint32_t rb = rank[b.entries[j].first];
+    if (ra == rb) {
+      dot += static_cast<double>(a.entries[i].second) * b.entries[j].second;
+      ++i;
+      ++j;
+    } else if (ra < rb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::min(1.0, dot / (std::sqrt(a.norm_sq) * std::sqrt(b.norm_sq)));
+}
+
+double IdTfIdfCosine(const IdWeightVector& a, const IdWeightVector& b,
+                     const std::vector<uint32_t>& rank) {
+  if (a.entries.empty() && b.entries.empty()) return 1.0;
+  if (a.entries.empty() || b.entries.empty()) return 0.0;
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    const uint32_t ra = rank[a.entries[i].first];
+    const uint32_t rb = rank[b.entries[j].first];
+    if (ra == rb) {
+      dot += a.entries[i].second * b.entries[j].second;
+      ++i;
+      ++j;
+    } else if (ra < rb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::min(1.0, dot);
+}
+
+double IdSoftTfIdf(const IdWeightVector& a, const IdWeightVector& b,
+                   const std::vector<uint32_t>& rank,
+                   const TokenInterner& interner, double threshold) {
+  if (a.entries.empty() && b.entries.empty()) return 1.0;
+  if (a.entries.empty() || b.entries.empty()) return 0.0;
+  double score = 0.0;
+  for (const auto& [id_a, weight_a] : a.entries) {
+    // Exact-match shortcut: if a's term also occurs in b, the best partner
+    // is that term with similarity exactly 1.0 (Jaro-Winkler reaches 1.0
+    // only on equal strings), so the string path's scan would end on the
+    // same (sim, weight) pair.
+    const uint32_t ra = rank[id_a];
+    const auto it = std::lower_bound(
+        b.entries.begin(), b.entries.end(), ra,
+        [&rank](const std::pair<TokenId, double>& e, uint32_t key) {
+          return rank[e.first] < key;
+        });
+    double best_sim = 0.0;
+    double best_weight = 0.0;
+    if (it != b.entries.end() && it->first == id_a) {
+      best_sim = 1.0;
+      best_weight = it->second;
+    } else {
+      const std::string_view term_a = interner.Text(id_a);
+      for (const auto& [id_b, weight_b] : b.entries) {
+        const double sim = JaroWinklerSimilarity(term_a, interner.Text(id_b));
+        if (sim > best_sim || (sim == best_sim && weight_b > best_weight)) {
+          best_sim = sim;
+          best_weight = weight_b;
+        }
+      }
+    }
+    if (best_sim >= threshold) {
+      score += weight_a * best_weight * best_sim;
+    }
+  }
+  return std::min(score, 1.0);
+}
+
+double IdMongeElkanDirected(const TokenList& a_tokens, const TokenIds& a_ids,
+                            const TokenList& b_tokens,
+                            const TokenIds& b_ids) {
+  if (a_tokens.empty() && b_tokens.empty()) return 1.0;
+  if (a_tokens.empty() || b_tokens.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a_tokens.size(); ++i) {
+    double best = 0.0;
+    if (std::binary_search(b_ids.sorted.begin(), b_ids.sorted.end(),
+                           a_ids.doc[i])) {
+      // The string path's inner loop would stop at this token with
+      // best == JW(t, t) == 1.0 exactly.
+      best = 1.0;
+    } else {
+      for (const std::string& tb : b_tokens) {
+        best = std::max(best, JaroWinklerSimilarity(a_tokens[i], tb));
+        if (best == 1.0) break;
+      }
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(a_tokens.size());
+}
+
+double IdMongeElkan(const TokenList& a_tokens, const TokenList& b_tokens,
+                    const TokenIds& a_ids, const TokenIds& b_ids) {
+  return (IdMongeElkanDirected(a_tokens, a_ids, b_tokens, b_ids) +
+          IdMongeElkanDirected(b_tokens, b_ids, a_tokens, a_ids)) /
+         2.0;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,106 @@
+#ifndef EMDBG_TEXT_ID_KERNELS_H_
+#define EMDBG_TEXT_ID_KERNELS_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/text/token_interner.h"
+#include "src/text/tokenizer.h"
+
+namespace emdbg {
+
+/// Integer-id fast path for the set-family similarity kernels.
+///
+/// Every kernel here is a drop-in replacement for its string counterpart in
+/// set_similarity/cosine/tfidf/soft_tfidf/monge_elkan and returns
+/// *bit-identical* doubles: intersection kernels only exchange string
+/// comparisons for integer comparisons (counts are exact), and the
+/// floating-point kernels accumulate in byte-lexicographic token order —
+/// exactly the order the string path inherits from std::map / sorted
+/// vectors — via TokenInterner::LexRanks(). The differential tests in
+/// tests/text/id_kernels_differential_test.cc enforce this for all 16
+/// similarity functions.
+
+/// Per-record token ids.
+struct TokenIds {
+  std::vector<TokenId> doc;     ///< document order, parallel to the TokenList
+  std::vector<TokenId> sorted;  ///< sorted-unique by raw id value
+};
+
+/// Interns every token of `tokens` (mutating `interner`) and returns the
+/// document-order id list.
+std::vector<TokenId> InternDocIds(const TokenList& tokens,
+                                  TokenInterner& interner);
+
+/// Sorted-unique (by raw id value) copy of a document-order id list.
+std::vector<TokenId> SortedUniqueIds(std::span<const TokenId> doc);
+
+/// Term-frequency vector in byte-lexicographic token order (the order
+/// std::map<std::string, int> iterates in), with the squared L2 norm
+/// accumulated in that same order — matches CosineSimilarity's norm loop
+/// bit-for-bit.
+struct IdTfVector {
+  std::vector<std::pair<TokenId, uint32_t>> entries;  ///< (id, count)
+  double norm_sq = 0.0;
+};
+
+IdTfVector MakeIdTfVector(std::span<const TokenId> doc,
+                          const std::vector<uint32_t>& rank);
+
+/// L2-normalized TF-IDF weight vector in byte-lexicographic token order —
+/// replicates TfIdfModel::Vectorize bit-for-bit given
+/// idf_by_id[id] == model.Idf(interner.Text(id)).
+struct IdWeightVector {
+  std::vector<std::pair<TokenId, double>> entries;  ///< (id, weight)
+};
+
+IdWeightVector MakeIdWeightVector(const IdTfVector& tf,
+                                  std::span<const double> idf_by_id);
+
+/// |A ∩ B| over sorted-unique id arrays. Uses a branch-light linear merge,
+/// switching to galloping (exponential search) probes of the longer array
+/// when the lengths are heavily skewed.
+size_t IdIntersectionSize(std::span<const TokenId> a,
+                          std::span<const TokenId> b);
+
+/// Set-overlap kernels over sorted-unique id arrays; same empty-input
+/// conventions as the string versions in set_similarity.h.
+double IdJaccard(std::span<const TokenId> a, std::span<const TokenId> b);
+double IdDice(std::span<const TokenId> a, std::span<const TokenId> b);
+double IdOverlap(std::span<const TokenId> a, std::span<const TokenId> b);
+
+/// Term-frequency cosine (CosineSimilarity) over prebuilt tf vectors.
+double IdCosineTf(const IdTfVector& a, const IdTfVector& b,
+                  const std::vector<uint32_t>& rank);
+
+/// TF-IDF cosine (TfIdfModel::Similarity) over prebuilt weight vectors.
+/// `a_empty`/`b_empty` are the emptiness of the underlying *token lists*
+/// (weight vectors are empty exactly when the token lists are, but the
+/// caller already knows and it keeps the contract explicit).
+double IdTfIdfCosine(const IdWeightVector& a, const IdWeightVector& b,
+                     const std::vector<uint32_t>& rank);
+
+/// Soft TF-IDF (SoftTfIdfSimilarity) over prebuilt weight vectors. Exact
+/// token matches short-circuit the inner Jaro-Winkler scan via a rank
+/// binary search; fuzzy-only terms fall back to the same lexicographic
+/// scan as the string path, reading token bytes from the interner.
+double IdSoftTfIdf(const IdWeightVector& a, const IdWeightVector& b,
+                   const std::vector<uint32_t>& rank,
+                   const TokenInterner& interner, double threshold = 0.9);
+
+/// Monge-Elkan (symmetric) with an integer-id candidate filter: a token
+/// that also occurs on the other side scores exactly 1.0 without running
+/// any Jaro-Winkler comparisons (JW(t, t) == 1.0 and 1.0 is the loop's
+/// early-exit maximum, so the skip is bit-identical).
+double IdMongeElkan(const TokenList& a_tokens, const TokenList& b_tokens,
+                    const TokenIds& a_ids, const TokenIds& b_ids);
+
+/// One direction (exposed for tests, mirrors MongeElkanDirected).
+double IdMongeElkanDirected(const TokenList& a_tokens, const TokenIds& a_ids,
+                            const TokenList& b_tokens, const TokenIds& b_ids);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_TEXT_ID_KERNELS_H_

@@ -1,11 +1,125 @@
 #include "src/text/levenshtein.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace emdbg {
 
+namespace {
+
+// Myers' bit-parallel edit distance. The pattern `a` (m rows, m >= 1) is
+// encoded as per-character match masks; each text character of `b` then
+// advances a whole 64-row column of the DP matrix with ~17 word ops. For
+// m > 64 the column is split into ceil(m/64) blocks chained by the
+// horizontal delta carries (the edlib/Hyyro block formulation). The score
+// tracks row m exactly: D[m][j] changes by the Ph/Mh bit at row m, so the
+// returned value equals the scalar DP's.
+//
+// `bound == SIZE_MAX` disables the early exit; otherwise the scan stops as
+// soon as D[m][j] - (n - j) > bound (the score can decrease by at most one
+// per remaining column), returning bound + 1 per the bounded contract.
+size_t MyersDistance(std::string_view a, std::string_view b, size_t bound) {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  const size_t blocks = (m + 63) >> 6;
+
+  // Peq[c * blocks + k]: match mask of pattern block k for byte c. Small
+  // patterns (the common case) stay on the stack.
+  constexpr size_t kInlineBlocks = 4;  // up to 256-byte patterns
+  std::array<uint64_t, 256 * kInlineBlocks> peq_stack;
+  std::array<uint64_t, kInlineBlocks> pv_stack;
+  std::array<uint64_t, kInlineBlocks> mv_stack;
+  std::vector<uint64_t> heap;
+  uint64_t* peq = peq_stack.data();
+  uint64_t* pv = pv_stack.data();
+  uint64_t* mv = mv_stack.data();
+  if (blocks > kInlineBlocks) {
+    heap.assign(256 * blocks + 2 * blocks, 0);
+    peq = heap.data();
+    pv = peq + 256 * blocks;
+    mv = pv + blocks;
+  } else {
+    std::fill(peq, peq + 256 * blocks, 0);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const auto c = static_cast<unsigned char>(a[i]);
+    peq[static_cast<size_t>(c) * blocks + (i >> 6)] |= uint64_t{1}
+                                                       << (i & 63);
+  }
+  for (size_t k = 0; k < blocks; ++k) {
+    pv[k] = ~uint64_t{0};
+    mv[k] = 0;
+  }
+
+  size_t score = m;
+  const uint64_t last_bit = uint64_t{1} << ((m - 1) & 63);
+  const size_t top = blocks - 1;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t* eq_col =
+        peq + static_cast<size_t>(static_cast<unsigned char>(b[j])) * blocks;
+    int hin = 1;  // row 0 is D[0][j] = j: +1 every column
+    for (size_t k = 0; k < blocks; ++k) {
+      uint64_t eq = eq_col[k];
+      const uint64_t pvk = pv[k];
+      const uint64_t mvk = mv[k];
+      const uint64_t xv = eq | mvk;
+      if (hin < 0) eq |= 1;
+      const uint64_t xh = (((eq & pvk) + pvk) ^ pvk) | eq;
+      uint64_t ph = mvk | ~(xh | pvk);
+      uint64_t mh = pvk & xh;
+      if (k == top) {
+        if (ph & last_bit) {
+          ++score;
+        } else if (mh & last_bit) {
+          --score;
+        }
+      }
+      int hout = 0;
+      if (ph >> 63) {
+        hout = 1;
+      } else if (mh >> 63) {
+        hout = -1;
+      }
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) {
+        ph |= 1;
+      } else if (hin < 0) {
+        mh |= 1;
+      }
+      pv[k] = mh | ~(xv | ph);
+      mv[k] = ph & xv;
+      hin = hout;
+    }
+    // Even if every remaining column decrements the score, can it still
+    // come back under the bound? (For the unbounded call bound is
+    // SIZE_MAX, so the first test is always false.)
+    if (score > bound && score - bound > n - (j + 1)) return bound + 1;
+  }
+  return score;
+}
+
+}  // namespace
+
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // shorter string = pattern
+  if (a.empty()) return b.size();
+  return MyersDistance(a, b, static_cast<size_t>(-1));
+}
+
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (n - m > bound) return bound + 1;
+  if (m == 0) return n;  // n <= bound here, so min(n, bound+1) == n
+  return std::min(MyersDistance(a, b, bound), bound + 1);
+}
+
+size_t LevenshteinDistanceScalar(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);  // keep the DP row short
   const size_t m = a.size();
   const size_t n = b.size();
@@ -24,8 +138,8 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   return row[m];
 }
 
-size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
-                                  size_t bound) {
+size_t LevenshteinDistanceBoundedScalar(std::string_view a,
+                                        std::string_view b, size_t bound) {
   if (a.size() > b.size()) std::swap(a, b);
   const size_t m = a.size();
   const size_t n = b.size();
@@ -38,8 +152,7 @@ size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
     // Only cells with |i - j| <= bound can be <= bound.
     const size_t lo = j > bound ? j - bound : 1;
     const size_t hi = std::min(m, j + bound);
-    size_t prev_diag = lo >= 2 ? row[lo - 1] : (lo == 1 ? row[0] : 0);
-    if (lo == 1) prev_diag = row[0];
+    size_t prev_diag = row[lo - 1];
     row[0] = j <= bound ? j : kInf;
     size_t row_min = kInf;
     for (size_t i = lo; i <= hi; ++i) {

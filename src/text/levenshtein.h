@@ -6,14 +6,28 @@
 
 namespace emdbg {
 
-/// Unit-cost edit distance (insert/delete/substitute), two-row DP.
+/// Unit-cost edit distance (insert/delete/substitute). Computed with
+/// Myers' bit-parallel algorithm (Myers 1999, multi-block for patterns
+/// longer than 64 bytes): O(ceil(m/64) * n) word operations instead of the
+/// scalar DP's O(m * n) cell updates, with identical results (edit
+/// distance is an integer — there is nothing to drift).
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
 
-/// Banded edit distance: returns min(distance, bound+1) without exploring
-/// cells further than `bound` off-diagonal. Useful when callers only need
-/// "distance <= k".
+/// Bounded edit distance: returns min(distance, bound+1). Bit-parallel
+/// with per-column early exit — once even the best remaining completion
+/// cannot come back under `bound`, it stops scanning (preserving the
+/// banded DP's early-exit contract).
 size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
                                   size_t bound);
+
+/// Reference two-row scalar DP (kept as the differential-test oracle for
+/// the bit-parallel implementation).
+size_t LevenshteinDistanceScalar(std::string_view a, std::string_view b);
+
+/// Reference banded scalar DP: min(distance, bound+1) exploring only cells
+/// within `bound` of the diagonal (differential-test oracle).
+size_t LevenshteinDistanceBoundedScalar(std::string_view a,
+                                        std::string_view b, size_t bound);
 
 /// Similarity in [0,1]: 1 - distance / max(|a|,|b|). Two empty strings are
 /// defined to have similarity 1.

@@ -4,11 +4,8 @@
 
 namespace emdbg {
 
-namespace {
-
-// Intersection size of two sorted unique vectors.
-size_t SortedIntersectionSize(const std::vector<std::string>& a,
-                              const std::vector<std::string>& b) {
+size_t SortedUniqueIntersectionSize(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b) {
   size_t i = 0;
   size_t j = 0;
   size_t count = 0;
@@ -27,37 +24,44 @@ size_t SortedIntersectionSize(const std::vector<std::string>& a,
   return count;
 }
 
-}  // namespace
-
 size_t IntersectionSize(const TokenList& a, const TokenList& b) {
-  return SortedIntersectionSize(ToSortedUnique(a), ToSortedUnique(b));
+  return SortedUniqueIntersectionSize(ToSortedUnique(a), ToSortedUnique(b));
 }
 
-double JaccardSimilarity(const TokenList& a, const TokenList& b) {
-  const auto sa = ToSortedUnique(a);
-  const auto sb = ToSortedUnique(b);
-  if (sa.empty() && sb.empty()) return 1.0;
-  const size_t inter = SortedIntersectionSize(sa, sb);
-  const size_t uni = sa.size() + sb.size() - inter;
+double JaccardSortedUnique(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = SortedUniqueIntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-double DiceSimilarity(const TokenList& a, const TokenList& b) {
-  const auto sa = ToSortedUnique(a);
-  const auto sb = ToSortedUnique(b);
-  if (sa.empty() && sb.empty()) return 1.0;
-  const size_t inter = SortedIntersectionSize(sa, sb);
+double DiceSortedUnique(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = SortedUniqueIntersectionSize(a, b);
   return 2.0 * static_cast<double>(inter) /
-         static_cast<double>(sa.size() + sb.size());
+         static_cast<double>(a.size() + b.size());
+}
+
+double OverlapSortedUnique(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  const size_t inter = SortedUniqueIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double JaccardSimilarity(const TokenList& a, const TokenList& b) {
+  return JaccardSortedUnique(ToSortedUnique(a), ToSortedUnique(b));
+}
+
+double DiceSimilarity(const TokenList& a, const TokenList& b) {
+  return DiceSortedUnique(ToSortedUnique(a), ToSortedUnique(b));
 }
 
 double OverlapCoefficient(const TokenList& a, const TokenList& b) {
-  const auto sa = ToSortedUnique(a);
-  const auto sb = ToSortedUnique(b);
-  if (sa.empty() || sb.empty()) return sa.empty() && sb.empty() ? 1.0 : 0.0;
-  const size_t inter = SortedIntersectionSize(sa, sb);
-  return static_cast<double>(inter) /
-         static_cast<double>(std::min(sa.size(), sb.size()));
+  return OverlapSortedUnique(ToSortedUnique(a), ToSortedUnique(b));
 }
 
 double TrigramSimilarity(std::string_view a, std::string_view b) {

@@ -2,6 +2,7 @@
 #define EMDBG_TEXT_SET_SIMILARITY_H_
 
 #include <string_view>
+#include <vector>
 
 #include "src/text/tokenizer.h"
 
@@ -11,6 +12,12 @@ namespace emdbg {
 /// semantics (duplicates collapse); both-empty inputs score 1.0 for Jaccard/
 /// Dice and 0.0 for overlap of empty-vs-nonempty, matching the usual EM
 /// library conventions (e.g. py_stringmatching).
+///
+/// The TokenList overloads call ToSortedUnique internally — one sort and
+/// one allocation per argument per call. Callers that evaluate many pairs
+/// should sort once and use the pre-sorted overloads (PairContext goes one
+/// step further and runs these kernels over interned integer ids; see
+/// src/text/id_kernels.h).
 
 /// |A ∩ B| / |A ∪ B|.
 double JaccardSimilarity(const TokenList& a, const TokenList& b);
@@ -23,6 +30,17 @@ double OverlapCoefficient(const TokenList& a, const TokenList& b);
 
 /// Raw intersection size under set semantics.
 size_t IntersectionSize(const TokenList& a, const TokenList& b);
+
+/// Pre-sorted variants: both arguments must be sorted and duplicate-free
+/// (e.g. from ToSortedUnique) — no per-call re-sorting.
+double JaccardSortedUnique(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+double DiceSortedUnique(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+double OverlapSortedUnique(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+size_t SortedUniqueIntersectionSize(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b);
 
 /// Jaccard over padded character 3-grams of the raw strings — "Trigram" in
 /// the paper's Table 3.

@@ -24,34 +24,36 @@ namespace {
 // cheapest ... soft TF-IDF most expensive).
 constexpr std::array<SimFunctionInfo, kNumSimFunctions> kInfos = {{
     {SimFunction::kExactMatch, "exact_match", "Exact Match", TokenNeed::kNone,
-     false, 1.0},
-    {SimFunction::kJaro, "jaro", "Jaro", TokenNeed::kNone, false, 2.5},
+     false, false, 1.0},
+    {SimFunction::kJaro, "jaro", "Jaro", TokenNeed::kNone, false, false, 2.5},
     {SimFunction::kJaroWinkler, "jaro_winkler", "Jaro Winkler",
-     TokenNeed::kNone, false, 3.9},
+     TokenNeed::kNone, false, false, 3.9},
     {SimFunction::kLevenshtein, "levenshtein", "Levenshtein",
-     TokenNeed::kNone, false, 6.1},
-    {SimFunction::kCosine, "cosine", "Cosine", TokenNeed::kWords, false,
+     TokenNeed::kNone, false, false, 6.1},
+    {SimFunction::kCosine, "cosine", "Cosine", TokenNeed::kWords, false, true,
      16.9},
     {SimFunction::kTrigram, "trigram", "Trigram", TokenNeed::kQGram3, false,
-     24.0},
+     true, 24.0},
     {SimFunction::kJaccard, "jaccard", "Jaccard", TokenNeed::kWords, false,
-     33.8},
+     true, 33.8},
     {SimFunction::kSoundex, "soundex", "Soundex", TokenNeed::kNone, false,
-     43.9},
-    {SimFunction::kTfIdf, "tf_idf", "TF-IDF", TokenNeed::kWords, true, 60.9},
+     false, 43.9},
+    {SimFunction::kTfIdf, "tf_idf", "TF-IDF", TokenNeed::kWords, true, true,
+     60.9},
     {SimFunction::kSoftTfIdf, "soft_tf_idf", "Soft TF-IDF", TokenNeed::kWords,
-     true, 109.5},
+     true, true, 109.5},
     {SimFunction::kOverlap, "overlap", "Overlap", TokenNeed::kWords, false,
-     30.0},
-    {SimFunction::kDice, "dice", "Dice", TokenNeed::kWords, false, 33.0},
+     true, 30.0},
+    {SimFunction::kDice, "dice", "Dice", TokenNeed::kWords, false, true,
+     33.0},
     {SimFunction::kNumeric, "numeric", "Numeric", TokenNeed::kNone, false,
-     1.5},
+     false, 1.5},
     {SimFunction::kMongeElkan, "monge_elkan", "Monge-Elkan",
-     TokenNeed::kWords, false, 45.0},
+     TokenNeed::kWords, false, true, 45.0},
     {SimFunction::kNeedlemanWunsch, "needleman_wunsch", "Needleman-Wunsch",
-     TokenNeed::kNone, false, 28.0},
+     TokenNeed::kNone, false, false, 28.0},
     {SimFunction::kSmithWaterman, "smith_waterman", "Smith-Waterman",
-     TokenNeed::kNone, false, 30.0},
+     TokenNeed::kNone, false, false, 30.0},
 }};
 
 std::string NormalizeName(std::string_view name) {

@@ -52,6 +52,11 @@ struct SimFunctionInfo {
   TokenNeed tokens;
   /// True for TF-IDF-family functions that need corpus statistics.
   bool needs_tfidf;
+  /// True for functions with an interned token-id fast path (PairContext
+  /// evaluates them over sorted uint32 id arrays / id-indexed weight
+  /// vectors instead of heap-allocated strings; bit-identical results —
+  /// see src/text/id_kernels.h).
+  bool id_path;
   /// Rough relative cost used only as a prior before the cost model has
   /// measured anything (1 = an exact match).
   double cost_hint;

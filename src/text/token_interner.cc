@@ -1,0 +1,71 @@
+#include "src/text/token_interner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace emdbg {
+
+TokenId TokenInterner::Intern(std::string_view token) {
+  const auto it = map_.find(token);
+  if (it != map_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(tokens_.size());
+  const std::string_view stored = Store(token);
+  tokens_.push_back(stored);
+  map_.emplace(stored, id);
+  return id;
+}
+
+TokenId TokenInterner::Find(std::string_view token) const {
+  const auto it = map_.find(token);
+  return it == map_.end() ? kInvalidTokenId : it->second;
+}
+
+std::shared_ptr<const std::vector<uint32_t>> TokenInterner::LexRanks() {
+  if (ranks_ != nullptr && ranks_->size() == tokens_.size()) return ranks_;
+  std::vector<uint32_t> order(tokens_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t x, uint32_t y) {
+    return tokens_[x] < tokens_[y];
+  });
+  auto ranks = std::make_shared<std::vector<uint32_t>>(tokens_.size());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    (*ranks)[order[pos]] = pos;
+  }
+  ranks_ = std::move(ranks);
+  return ranks_;
+}
+
+std::string_view TokenInterner::Store(std::string_view token) {
+  if (chunks_.empty() ||
+      chunks_.back().capacity - chunks_.back().used < token.size()) {
+    Chunk chunk;
+    chunk.capacity = std::max(kChunkBytes, token.size());
+    chunk.data = std::make_unique<char[]>(chunk.capacity);
+    chunks_.push_back(std::move(chunk));
+  }
+  Chunk& chunk = chunks_.back();
+  char* dst = chunk.data.get() + chunk.used;
+  std::memcpy(dst, token.data(), token.size());
+  chunk.used += token.size();
+  return std::string_view(dst, token.size());
+}
+
+size_t TokenInterner::ArenaBytes() const {
+  size_t bytes = chunks_.capacity() * sizeof(Chunk);
+  for (const Chunk& c : chunks_) bytes += c.capacity;
+  return bytes;
+}
+
+size_t TokenInterner::DictionaryBytes() const {
+  // unordered_map: buckets + one node per entry (libstdc++ node = hash +
+  // next pointer + value); tokens_: one string_view per id.
+  size_t bytes = tokens_.capacity() * sizeof(std::string_view);
+  bytes += map_.bucket_count() * sizeof(void*);
+  bytes += map_.size() *
+           (sizeof(std::pair<std::string_view, TokenId>) + 2 * sizeof(void*));
+  if (ranks_ != nullptr) bytes += ranks_->capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace emdbg

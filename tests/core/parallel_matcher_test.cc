@@ -51,6 +51,24 @@ TEST_F(ParallelMatcherTest, AgreesWithSerialAcrossThreadCounts) {
   }
 }
 
+TEST_F(ParallelMatcherTest, InterningBitIdenticalSerialAndParallel) {
+  // Same matching function evaluated three ways: serial with the string
+  // kernels (interning off), serial with the interned-id fast path, and
+  // parallel with the fast path — all three match bitmaps must be equal.
+  const MatchingFunction fn = Rules(10, 19);
+  PairContext ctx_off(
+      ds_.a, ds_.b, catalog_,
+      PairContext::Options{.cache_tokens = true, .intern_tokens = false});
+  MemoMatcher serial;
+  const Bitmap strings = serial.Run(fn, ds_.candidates, ctx_off).matches;
+  const Bitmap ids = serial.Run(fn, ds_.candidates, *ctx_).matches;
+  EXPECT_EQ(ids, strings);
+  ParallelMemoMatcher parallel(
+      ParallelMemoMatcher::Options{.num_threads = 4});
+  PairContext ctx_fresh(ds_.a, ds_.b, catalog_);
+  EXPECT_EQ(parallel.Run(fn, ds_.candidates, ctx_fresh).matches, strings);
+}
+
 TEST_F(ParallelMatcherTest, CheckCacheFirstVariantAgrees) {
   const MatchingFunction fn = Rules(8, 9);
   MemoMatcher serial;

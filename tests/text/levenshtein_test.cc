@@ -1,5 +1,6 @@
 #include "src/text/levenshtein.h"
 
+#include <algorithm>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -56,6 +57,88 @@ TEST(LevenshteinTest, BoundedMatchesExactWithinBound) {
       }
     }
   }
+}
+
+TEST(LevenshteinTest, BoundZeroBoundary) {
+  // bound = 0: only exact equality may return 0; anything else must
+  // report "exceeds bound" as exactly bound + 1.
+  EXPECT_EQ(LevenshteinDistanceBounded("", "", 0), 0u);
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "abc", 0), 0u);
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "abd", 0), 1u);
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "abcd", 0), 1u);
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "xyz", 0), 1u);
+}
+
+TEST(LevenshteinTest, EqualStringsAtEveryBound) {
+  const std::string s = "interactive debugging of entity matching";
+  for (size_t bound : {size_t{0}, size_t{1}, size_t{7}, s.size()}) {
+    EXPECT_EQ(LevenshteinDistanceBounded(s, s, bound), 0u) << bound;
+    EXPECT_EQ(LevenshteinDistanceBoundedScalar(s, s, bound), 0u) << bound;
+  }
+}
+
+TEST(LevenshteinTest, BandExactlyExhausted) {
+  // distance == bound: the band is used up exactly and must still report
+  // the true distance, while bound - 1 must clamp to bound.
+  const std::string a = "abcdefgh";
+  const std::string b = "abxdefgh";   // distance 1
+  const std::string c = "xxcdefgh";   // distance 2
+  EXPECT_EQ(LevenshteinDistanceBounded(a, b, 1), 1u);
+  EXPECT_EQ(LevenshteinDistanceBounded(a, c, 2), 2u);
+  EXPECT_EQ(LevenshteinDistanceBounded(a, c, 1), 2u);  // bound + 1
+  // Pure length difference equal to the bound.
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "abcxy", 2), 2u);
+  EXPECT_EQ(LevenshteinDistanceBounded("abc", "abcxyz", 2), 3u);  // bound + 1
+  // Scalar reference agrees on the same boundaries.
+  EXPECT_EQ(LevenshteinDistanceBoundedScalar(a, c, 2), 2u);
+  EXPECT_EQ(LevenshteinDistanceBoundedScalar(a, c, 1), 2u);
+  EXPECT_EQ(LevenshteinDistanceBoundedScalar("abc", "abcxy", 2), 2u);
+}
+
+TEST(LevenshteinTest, BitParallelMatchesScalarAcrossBlockBoundaries) {
+  // Random strings whose lengths straddle the 64/128/192/256-char block
+  // boundaries of the bit-parallel kernel.
+  Rng rng(6);
+  const std::string alphabet = "abcde";
+  const size_t lengths[] = {0, 1, 31, 63, 64, 65, 100, 127, 128,
+                            129, 191, 192, 193, 255, 256, 300};
+  for (size_t la : lengths) {
+    for (size_t lb : {la, la + 1, la / 2, la + 40}) {
+      std::string a;
+      std::string b;
+      for (size_t i = 0; i < la; ++i) a.push_back(alphabet[rng.Uniform(5)]);
+      for (size_t i = 0; i < lb; ++i) b.push_back(alphabet[rng.Uniform(5)]);
+      const size_t scalar = LevenshteinDistanceScalar(a, b);
+      EXPECT_EQ(LevenshteinDistance(a, b), scalar)
+          << "lengths " << la << " x " << lb;
+      for (size_t bound : {size_t{0}, size_t{2}, size_t{10}, size_t{64},
+                           la + lb}) {
+        const size_t got = LevenshteinDistanceBounded(a, b, bound);
+        const size_t want = std::min(scalar, bound + 1);
+        EXPECT_EQ(got, want)
+            << "lengths " << la << " x " << lb << " bound " << bound;
+        EXPECT_EQ(LevenshteinDistanceBoundedScalar(a, b, bound), want)
+            << "lengths " << la << " x " << lb << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinTest, BitParallelHandlesHighBytes) {
+  // UTF-8 multi-byte sequences are compared byte-by-byte; the Peq table
+  // must index bytes >= 128 correctly.
+  const std::string a = "caf\xc3\xa9";         // "café"
+  const std::string b = "caf\xc3\xa8";         // "cafè"
+  EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistanceScalar(a, b));
+  EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+  std::string long_a;
+  std::string long_b;
+  for (int i = 0; i < 40; ++i) {
+    long_a += "\xe6\x9d\xb1\xe4\xba\xac";  // 東京
+    long_b += i % 3 ? "\xe6\x9d\xb1\xe4\xba\xac" : "x";
+  }
+  EXPECT_EQ(LevenshteinDistance(long_a, long_b),
+            LevenshteinDistanceScalar(long_a, long_b));
 }
 
 TEST(LevenshteinTest, TriangleInequalityProperty) {

@@ -1,0 +1,109 @@
+#include "src/text/token_interner.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace emdbg {
+namespace {
+
+TEST(TokenInternerTest, AssignsDenseFirstSeenIds) {
+  TokenInterner interner;
+  EXPECT_EQ(interner.Intern("zebra"), 0u);
+  EXPECT_EQ(interner.Intern("apple"), 1u);
+  EXPECT_EQ(interner.Intern("zebra"), 0u);  // dedup
+  EXPECT_EQ(interner.Intern("mango"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(TokenInternerTest, TextRoundTrip) {
+  TokenInterner interner;
+  const TokenId id = interner.Intern("hello");
+  EXPECT_EQ(interner.Text(id), "hello");
+  EXPECT_EQ(interner.Find("hello"), id);
+  EXPECT_EQ(interner.Find("absent"), kInvalidTokenId);
+}
+
+TEST(TokenInternerTest, HandlesEmptyAndBinaryTokens) {
+  TokenInterner interner;
+  const TokenId empty = interner.Intern("");
+  const TokenId nul = interner.Intern(std::string_view("a\0b", 3));
+  EXPECT_NE(empty, nul);
+  EXPECT_EQ(interner.Text(empty), "");
+  EXPECT_EQ(interner.Text(nul), std::string_view("a\0b", 3));
+  EXPECT_EQ(interner.Intern(std::string_view("a\0b", 3)), nul);
+}
+
+TEST(TokenInternerTest, LexRanksMatchSortedOrder) {
+  TokenInterner interner;
+  const std::vector<std::string> words = {"pear", "apple", "fig", "banana"};
+  for (const auto& w : words) interner.Intern(w);
+  const auto ranks = interner.LexRanks();
+  // apple < banana < fig < pear
+  EXPECT_EQ((*ranks)[interner.Find("apple")], 0u);
+  EXPECT_EQ((*ranks)[interner.Find("banana")], 1u);
+  EXPECT_EQ((*ranks)[interner.Find("fig")], 2u);
+  EXPECT_EQ((*ranks)[interner.Find("pear")], 3u);
+}
+
+TEST(TokenInternerTest, GrowthPreservesRelativeRankOrder) {
+  TokenInterner interner;
+  Rng rng(7);
+  auto random_word = [&rng] {
+    std::string w;
+    const size_t len = 1 + rng.Uniform(10);
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    return w;
+  };
+  std::vector<TokenId> first_batch;
+  for (int i = 0; i < 200; ++i) first_batch.push_back(interner.Intern(random_word()));
+  const auto ranks_before = interner.LexRanks();
+  for (int i = 0; i < 200; ++i) interner.Intern(random_word());
+  const auto ranks_after = interner.LexRanks();
+  // The invariant cached id arrays rely on: interning new tokens never
+  // swaps the relative order of existing ones.
+  for (size_t i = 0; i < first_batch.size(); ++i) {
+    for (size_t j = i + 1; j < first_batch.size(); ++j) {
+      const TokenId x = first_batch[i];
+      const TokenId y = first_batch[j];
+      if (x == y) continue;
+      EXPECT_EQ((*ranks_before)[x] < (*ranks_before)[y],
+                (*ranks_after)[x] < (*ranks_after)[y]);
+    }
+  }
+}
+
+TEST(TokenInternerTest, ArenaSurvivesManyChunks) {
+  TokenInterner interner;
+  // ~200k distinct tokens x ~8 bytes >> one 64 KB chunk: forces chunk
+  // growth; all earlier views must stay valid.
+  std::vector<TokenId> ids;
+  for (int i = 0; i < 200000; ++i) {
+    ids.push_back(interner.Intern("token_" + std::to_string(i)));
+  }
+  EXPECT_EQ(interner.size(), 200000u);
+  EXPECT_EQ(interner.Text(ids[0]), "token_0");
+  EXPECT_EQ(interner.Text(ids[123456]), "token_123456");
+  EXPECT_GT(interner.ArenaBytes(), size_t{200000 * 6});
+  EXPECT_GT(interner.DictionaryBytes(), size_t{200000 * sizeof(void*)});
+}
+
+TEST(TokenInternerTest, OversizedTokenGetsOwnChunk) {
+  TokenInterner interner;
+  const std::string big(1 << 20, 'x');  // 1 MB > chunk size
+  const TokenId small = interner.Intern("small");
+  const TokenId huge = interner.Intern(big);
+  EXPECT_EQ(interner.Text(huge).size(), big.size());
+  EXPECT_EQ(interner.Text(huge), big);
+  EXPECT_EQ(interner.Text(small), "small");
+  EXPECT_GE(interner.ArenaBytes(), big.size());
+}
+
+}  // namespace
+}  // namespace emdbg
