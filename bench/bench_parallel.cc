@@ -227,6 +227,17 @@ void WriteJson(const BenchOptions& opts, const BenchEnv& env, size_t hw,
   std::fprintf(f, "  \"rules\": %zu,\n", opts.rules);
   std::fprintf(f, "  \"reps\": %zu,\n", opts.reps);
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
+  if (hw < 2) {
+    // On a single-core box the >1-thread wall-clock points measure
+    // time-sliced threads, not parallel speedup; flag the run so readers
+    // (and CI gates) lean on the makespan model instead.
+    std::fprintf(f, "  \"wall_clock_unverified\": true,\n");
+    std::fprintf(f,
+                 "  \"wall_clock_caveat\": \"hardware_concurrency=%zu: "
+                 "multi-thread wall-clock numbers are time-sliced, not "
+                 "parallel; trust the makespan model columns\",\n",
+                 hw);
+  }
   std::fprintf(f, "  \"serial_ms\": {");
   for (size_t i = 0; i < serial.size(); ++i) {
     std::fprintf(f, "%s\"%s\": %.3f", i == 0 ? "" : ", ",
@@ -291,6 +302,12 @@ void Run(const BenchOptions& opts) {
       BuildWorkloads(env.ds.candidates, cost);
 
   const size_t hw = std::thread::hardware_concurrency();
+  if (hw < 2) {
+    std::printf(
+        "WARNING: hardware_concurrency=%zu — wall-clock speedups below "
+        "are time-sliced, not parallel (stamped into the JSON)\n",
+        hw);
+  }
   std::vector<size_t> thread_counts;
   for (size_t t = 1; t <= std::max<size_t>(8, hw); t *= 2) {
     thread_counts.push_back(t);

@@ -132,12 +132,15 @@ int main(int argc, char** argv) {
 
   // Ctrl-C during a run cancels it (the run returns partial and the
   // session stays alive); the token is re-armed before each run.
+  // SIGTERM / SIGHUP additionally request exit: the prompt read returns
+  // with EINTR, the loop breaks, and a durable session is checkpointed
+  // before the process leaves — service-style shutdown for scripted use.
   CancellationToken cancel;
-  SigintCancellation sigint(cancel);
+  ShutdownSignals shutdown(cancel);
 
   std::string line;
   while (std::printf("emdbg> "), std::fflush(stdout),
-         std::getline(std::cin, line)) {
+         !shutdown.exit_requested() && std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string cmd;
     in >> cmd;
@@ -384,6 +387,21 @@ int main(int argc, char** argv) {
       std::printf("unknown command '%s'\n", cmd.c_str());
       PrintHelp();
     }
+  }
+
+  if (shutdown.exit_requested() && session.durable()) {
+    const Status s = session.Checkpoint();
+    if (s.ok()) {
+      std::fprintf(stderr, "\nshutdown requested: durable session "
+                           "checkpointed; resume with 'recover <dir>'\n");
+    } else {
+      std::fprintf(stderr,
+                   "\nshutdown requested, but the final checkpoint failed: "
+                   "%s (the journal is still authoritative)\n",
+                   s.ToString().c_str());
+    }
+  } else if (shutdown.exit_requested()) {
+    std::fprintf(stderr, "\nshutdown requested: exiting\n");
   }
   return 0;
 }

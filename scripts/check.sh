@@ -23,8 +23,12 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 # The tests that exercise concurrency: the work-stealing pool itself and
 # everything that fans out over it (parallel matcher, pooled incremental
-# re-matching, multi-threaded sessions, prewarm, cancellation drains).
+# re-matching, multi-threaded sessions, prewarm, cancellation drains),
+# plus the serve layer (worker pool + poll loop + per-session queues),
+# its wire protocol, the soak test, and fault injection (its registry is
+# read from every worker thread).
 tsan_filter='ThreadPool|Parallel|WorkerPool|MultiThreaded|Cancel|Sharded'
+tsan_filter+='|Server|Soak|Wire|SessionDigest|Fault'
 
 run_mode() {
   local mode="$1" dir

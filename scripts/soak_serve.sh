@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Soak test for the debug service: the loadgen drives N concurrent durable
+# sessions against emdbg_serve under deterministic fault injection
+# (journal fsync failures, dropped connection reads, slowed workers),
+# SIGKILLs the server mid-flight, restarts it, and resumes every session.
+# The loadgen exits nonzero if any post-crash session digest differs from
+# its pre-crash value — i.e. if a single acknowledged edit was lost.
+#
+# A second phase checks clean SIGTERM shutdown: the server must drain,
+# checkpoint, and exit 0 on its own.
+#
+#   scripts/soak_serve.sh [build-dir]          # default: build
+#
+# Produces BENCH_serve.json in the repo root. Takes ~30s.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+serve="$build/tools/emdbg_serve"
+loadgen="$build/tools/emdbg_loadgen"
+for bin in "$serve" "$loadgen"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin — build with: cmake --build $build -j --target $(basename "$bin")" >&2
+    exit 2
+  fi
+done
+
+root="$(mktemp -d /tmp/emdbg_soak.XXXXXX)"
+trap 'rm -rf "$root"' EXIT
+
+echo "==> soak: fault-injected load + kill -9 recovery (root $root)"
+"$loadgen" \
+  --server-bin="$serve" \
+  --dataset=products --scale=0.02 \
+  --sessions=8 --edits=25 \
+  --durability-root="$root/sessions" \
+  --workers=4 \
+  --server-arg=--fault=journal.fsync:9 \
+  --server-arg=--fault=serve.slow_task:5 \
+  --server-arg=--fault-prob=serve.read:0.02:7
+
+python3 - <<'EOF'
+import json
+with open("BENCH_serve.json") as f:
+    bench = json.load(f)
+assert bench.get("recovery", {}).get("digest_mismatches", 1) == 0, bench
+print("==> soak: zero lost acknowledged edits; BENCH_serve.json is valid")
+EOF
+
+echo "==> shutdown: SIGTERM must drain and exit cleanly"
+log="$root/serve.log"
+"$serve" --dataset=products --scale=0.01 --port=0 \
+  --durability-root="$root/shutdown" >"$log" 2>&1 &
+pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening ' "$log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '^listening ' "$log" || { cat "$log" >&2; exit 1; }
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "server exited $rc after SIGTERM" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "==> shutdown: clean exit after SIGTERM"
+echo "==> soak_serve: all checks passed"

@@ -170,13 +170,22 @@ bool TakeIndex(std::string_view& rest, size_t* out) {
 
 DebugSession::DebugSession(Table a, Table b, CandidateSet pairs,
                            Options options)
+    : DebugSession(std::make_shared<const Table>(std::move(a)),
+                   std::make_shared<const Table>(std::move(b)),
+                   std::make_shared<const CandidateSet>(std::move(pairs)),
+                   options) {}
+
+DebugSession::DebugSession(std::shared_ptr<const Table> a,
+                           std::shared_ptr<const Table> b,
+                           std::shared_ptr<const CandidateSet> pairs,
+                           Options options)
     : a_(std::move(a)),
       b_(std::move(b)),
       pairs_(std::move(pairs)),
       options_(options),
-      catalog_(a_.schema(), b_.schema()),
+      catalog_(a_->schema(), b_->schema()),
       rng_(options.seed) {
-  ctx_ = std::make_unique<PairContext>(a_, b_, catalog_);
+  ctx_ = std::make_unique<PairContext>(*a_, *b_, catalog_);
   if (options_.num_threads != 1) {
     // One persistent pool for the session's lifetime: threads spawn here
     // once and are reused by every full run, prewarm, and edit.
@@ -195,11 +204,11 @@ MatchResult DebugSession::BatchRun(const RunControl& control) {
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = options_.check_cache_first,
         .pool = pool_.get()});
-    return matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_, control);
+    return matcher.RunWithState(fn_, *pairs_, *ctx_, batch_state_, control);
   }
   MemoMatcher matcher(
       MemoMatcher::Options{.check_cache_first = options_.check_cache_first});
-  return matcher.RunWithState(fn_, pairs_, *ctx_, batch_state_, control);
+  return matcher.RunWithState(fn_, *pairs_, *ctx_, batch_state_, control);
 }
 
 const MatchingFunction& DebugSession::function() const {
@@ -306,7 +315,7 @@ MatchResult DebugSession::FirstRun(const RunControl& control) {
   // Estimate the cost model on a small random sample (paper: 1%), order
   // the rules with the configured strategy, then run fully.
   const CandidateSet sample =
-      SamplePairs(pairs_, options_.sample_fraction, rng_);
+      SamplePairs(*pairs_, options_.sample_fraction, rng_);
   model_ = std::make_unique<CostModel>(
       CostModel::EstimateForFunction(fn_, *ctx_, sample));
   ApplyOrdering(fn_, options_.ordering, *model_, &rng_);
@@ -314,7 +323,7 @@ MatchResult DebugSession::FirstRun(const RunControl& control) {
   MatchResult result;
   if (options_.incremental) {
     if (inc_ == nullptr) {
-      inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_,
+      inc_ = std::make_unique<IncrementalMatcher>(*ctx_, *pairs_,
                                                    IncOptions());
     }
     result = inc_->FullRun(fn_, control);
@@ -357,7 +366,7 @@ MatchResult DebugSession::Run(const RunControl& control) {
   MatchResult result;
   result.matches =
       options_.incremental ? inc_->matches() : batch_state_.matches();
-  result.MarkComplete(pairs_.size());
+  result.MarkComplete(pairs_->size());
   return result;
 }
 
@@ -402,7 +411,7 @@ Status DebugSession::ResumeSession(const std::string& prefix) {
   if (!rules.ok()) return rules.status();
   Result<MatchState> state = LoadMatchState(prefix + ".state");
   if (!state.ok()) return state.status();
-  inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_, IncOptions());
+  inc_ = std::make_unique<IncrementalMatcher>(*ctx_, *pairs_, IncOptions());
   EMDBG_RETURN_IF_ERROR(inc_->Resume(*rules, std::move(*state)));
   fn_ = *rules;
   started_ = true;
@@ -433,14 +442,14 @@ std::string DebugSession::RuleActivityReport() const {
 MatchStats DebugSession::Reoptimize() {
   MatchingFunction current = function();
   const CandidateSet sample =
-      SamplePairs(pairs_, options_.sample_fraction, rng_);
+      SamplePairs(*pairs_, options_.sample_fraction, rng_);
   model_ = std::make_unique<CostModel>(
       CostModel::EstimateForFunction(current, *ctx_, sample));
   ApplyOrdering(current, options_.ordering, *model_, &rng_);
   fn_ = current;
   if (options_.incremental) {
     if (inc_ == nullptr) {
-      inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_,
+      inc_ = std::make_unique<IncrementalMatcher>(*ctx_, *pairs_,
                                                    IncOptions());
     }
     last_stats_ = inc_->FullRun(fn_);
@@ -646,7 +655,7 @@ Status DebugSession::Recover(const std::string& dir,
   Result<MatchState> state = LoadMatchState(StatePath(dir, *epoch));
   if (!state.ok()) return state.status();
 
-  inc_ = std::make_unique<IncrementalMatcher>(*ctx_, pairs_, IncOptions());
+  inc_ = std::make_unique<IncrementalMatcher>(*ctx_, *pairs_, IncOptions());
   EMDBG_RETURN_IF_ERROR(inc_->Resume(*rules, std::move(*state)));
   fn_ = *rules;
   started_ = true;

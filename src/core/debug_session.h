@@ -60,12 +60,22 @@ class DebugSession {
                      Options{}) {}
   DebugSession(Table a, Table b, CandidateSet pairs, Options options);
 
+  /// Shared-corpus constructor: many sessions (the multi-tenant debug
+  /// service) reference one immutable copy of the tables and candidate
+  /// set instead of each owning a private copy. The corpus must stay
+  /// alive for the session's lifetime (the shared_ptrs enforce it) and is
+  /// never mutated by the session — all mutable state (rules, memo,
+  /// bitmaps, feature caches) is per-session.
+  DebugSession(std::shared_ptr<const Table> a,
+               std::shared_ptr<const Table> b,
+               std::shared_ptr<const CandidateSet> pairs, Options options);
+
   DebugSession(const DebugSession&) = delete;
   DebugSession& operator=(const DebugSession&) = delete;
 
   FeatureCatalog& catalog() { return catalog_; }
   PairContext& context() { return *ctx_; }
-  const CandidateSet& candidates() const { return pairs_; }
+  const CandidateSet& candidates() const { return *pairs_; }
   const Options& options() const { return options_; }
 
   /// The current matching function (authoritative copy).
@@ -211,9 +221,11 @@ class DebugSession {
   /// results either way).
   MatchResult BatchRun(const RunControl& control);
 
-  Table a_;
-  Table b_;
-  CandidateSet pairs_;
+  /// Immutable corpus, possibly shared with other sessions (see the
+  /// shared-corpus constructor). Only read after construction.
+  std::shared_ptr<const Table> a_;
+  std::shared_ptr<const Table> b_;
+  std::shared_ptr<const CandidateSet> pairs_;
   Options options_;
   FeatureCatalog catalog_;
   std::unique_ptr<PairContext> ctx_;

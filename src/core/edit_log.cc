@@ -10,6 +10,7 @@
 #include "src/core/rule_parser.h"
 #include "src/util/crc32c.h"
 #include "src/util/csv.h"
+#include "src/util/fault_injection.h"
 #include "src/util/string_util.h"
 
 namespace emdbg {
@@ -76,12 +77,19 @@ Status EditJournal::Append(std::string_view payload) {
   std::string line = StrFormat("%08x ", Crc32c(payload));
   line.append(payload);
   line.push_back('\n');
+  // Injected before anything reaches the file: the record is guaranteed
+  // absent on disk, the clean "write failed, nothing committed" case.
+  if (FaultFire("journal.write")) {
+    return Status::IoError("journal append failed (injected)");
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
     return Status::IoError("journal append failed");
   }
-  // The edit must be on disk before we report it committed.
-  if (::fsync(::fileno(file_)) != 0) {
+  // The edit must be on disk before we report it committed. An injected
+  // failure here models the nasty half: the record is in the file but the
+  // edit was never acknowledged — recovery may legitimately replay it.
+  if (FaultFire("journal.fsync") || ::fsync(::fileno(file_)) != 0) {
     return Status::IoError(
         StrFormat("journal fsync failed: %s", std::strerror(errno)));
   }

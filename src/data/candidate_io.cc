@@ -30,10 +30,17 @@ Result<LoadedCandidates> LoadCandidatesCsv(const std::string& path) {
   CsvParser parser(*text);
   CsvRow header;
   if (!parser.NextRow(&header)) {
-    return Status::ParseError("empty candidate file");
+    if (!parser.status().ok()) {
+      return Status(parser.status().code(),
+                    StrFormat("%s: %s", path.c_str(),
+                              parser.status().message().c_str()));
+    }
+    return Status::ParseError(
+        StrFormat("%s: empty candidate file", path.c_str()));
   }
   if (header.size() < 2 || header[0] != "a" || header[1] != "b") {
-    return Status::ParseError("expected header 'a,b[,label]'");
+    return Status::ParseError(
+        StrFormat("%s: expected header 'a,b[,label]'", path.c_str()));
   }
   const bool has_labels = header.size() >= 3 && header[2] == "label";
 
@@ -45,15 +52,16 @@ Result<LoadedCandidates> LoadCandidatesCsv(const std::string& path) {
     if (row.size() == 1 && row[0].empty()) continue;  // trailing newline
     if (row.size() != header.size()) {
       return Status::ParseError(
-          StrFormat("line %zu: expected %zu fields, got %zu",
-                    parser.line(), header.size(), row.size()));
+          StrFormat("%s: line %zu: expected %zu fields, got %zu",
+                    path.c_str(), parser.line(), header.size(),
+                    row.size()));
     }
     int64_t a = 0;
     int64_t b = 0;
     if (!ParseInt64(row[0], &a) || !ParseInt64(row[1], &b) || a < 0 ||
         b < 0) {
-      return Status::ParseError(
-          StrFormat("line %zu: bad pair indices", parser.line()));
+      return Status::ParseError(StrFormat("%s: line %zu: bad pair indices",
+                                          path.c_str(), parser.line()));
     }
     out.candidates.Add(
         PairId{static_cast<uint32_t>(a), static_cast<uint32_t>(b)});
@@ -61,12 +69,17 @@ Result<LoadedCandidates> LoadCandidatesCsv(const std::string& path) {
       int64_t label = 0;
       if (!ParseInt64(row[2], &label) || (label != 0 && label != 1)) {
         return Status::ParseError(
-            StrFormat("line %zu: label must be 0 or 1", parser.line()));
+            StrFormat("%s: line %zu: label must be 0 or 1", path.c_str(),
+                      parser.line()));
       }
       label_bits.push_back(label == 1);
     }
   }
-  if (!parser.status().ok()) return parser.status();
+  if (!parser.status().ok()) {
+    return Status(parser.status().code(),
+                  StrFormat("%s: %s", path.c_str(),
+                            parser.status().message().c_str()));
+  }
   if (has_labels) {
     out.labels = PairLabels(out.candidates.size());
     for (size_t i = 0; i < label_bits.size(); ++i) {

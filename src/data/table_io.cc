@@ -5,27 +5,48 @@
 
 namespace emdbg {
 
+namespace {
+
+/// Prefixes a load error with the source name so a multi-file startup
+/// (the debug service loads tables, candidates, and rules in one go)
+/// reports exactly which artifact is bad and where.
+Status WithContext(const Status& s, const std::string& source) {
+  if (s.ok()) return s;
+  return Status(s.code(),
+                StrFormat("%s: %s", source.c_str(), s.message().c_str()));
+}
+
+}  // namespace
+
 Result<Table> TableFromCsv(std::string_view csv_text,
                            std::string table_name) {
   CsvParser parser(csv_text);
   CsvRow header;
   if (!parser.NextRow(&header)) {
-    if (!parser.status().ok()) return parser.status();
-    return Status::ParseError("empty CSV input: missing header row");
+    if (!parser.status().ok()) {
+      return WithContext(parser.status(), table_name);
+    }
+    return Status::ParseError(StrFormat(
+        "%s: empty CSV input: missing header row", table_name.c_str()));
   }
-  Table table(std::move(table_name), Schema(header));
+  Table table(table_name, Schema(header));
   CsvRow row;
   while (parser.NextRow(&row)) {
     // A lone trailing newline parses as a single empty field; skip it.
     if (row.size() == 1 && row[0].empty()) continue;
     if (row.size() != header.size()) {
-      return Status::ParseError(
-          StrFormat("line %zu: expected %zu fields, got %zu", parser.line(),
-                    header.size(), row.size()));
+      return Status::ParseError(StrFormat(
+          "%s: line %zu: expected %zu fields, got %zu", table_name.c_str(),
+          parser.line(), header.size(), row.size()));
     }
-    EMDBG_RETURN_IF_ERROR(table.AppendRow(row));
+    const Status append = table.AppendRow(row);
+    if (!append.ok()) {
+      return Status(append.code(),
+                    StrFormat("%s: line %zu: %s", table_name.c_str(),
+                              parser.line(), append.message().c_str()));
+    }
   }
-  if (!parser.status().ok()) return parser.status();
+  if (!parser.status().ok()) return WithContext(parser.status(), table_name);
   return table;
 }
 

@@ -1,0 +1,112 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/serve/wire.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& host,
+                                         uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("bad IPv4 address '%s'", host.c_str()));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status s = Status::IoError(
+        StrFormat("connect %s:%u: %s", host.c_str(), port,
+                  std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  return ServeClient(fd);
+}
+
+Status ServeClient::Send(std::string_view command) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  return WriteFrameFd(fd_, command);
+}
+
+Result<std::string> ServeClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string payload;
+  EMDBG_RETURN_IF_ERROR(ReadFrameFd(fd_, &payload));
+  return payload;
+}
+
+Result<std::string> ServeClient::Call(std::string_view command) {
+  EMDBG_RETURN_IF_ERROR(Send(command));
+  Result<std::string> resp = ReadResponse();
+  if (!resp.ok()) return resp.status();
+  std::string_view body = TrimAscii(*resp);
+  if (StartsWith(body, "ok")) {
+    return std::string(TrimAscii(body.substr(2)));
+  }
+  if (StartsWith(body, "err ")) {
+    std::string_view rest = TrimAscii(body.substr(4));
+    const size_t sp = rest.find(' ');
+    const std::string_view name =
+        sp == std::string_view::npos ? rest : rest.substr(0, sp);
+    const std::string_view msg =
+        sp == std::string_view::npos ? std::string_view()
+                                     : TrimAscii(rest.substr(sp + 1));
+    StatusCode code;
+    if (StatusCodeFromName(name, &code)) {
+      return Status(code, std::string(msg));
+    }
+    return Status::Internal("unparseable error response: " + *resp);
+  }
+  return Status::Internal("malformed response: " + *resp);
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void ServeClient::CloseAbruptly() {
+  if (fd_ < 0) return;
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace emdbg

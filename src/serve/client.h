@@ -1,0 +1,57 @@
+#ifndef EMDBG_SERVE_CLIENT_H_
+#define EMDBG_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Blocking client for the debug service protocol (see server.h): one
+/// frame out, one frame back. Used by the load generator, the soak
+/// harness, and the tests; deliberately tiny — no connection pooling, no
+/// retries. Thread-compatible (one thread per client).
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to `host:port` (host is a dotted-quad, e.g. "127.0.0.1").
+  static Result<ServeClient> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// One round trip. "ok ..." responses return everything after the "ok"
+  /// (trimmed, possibly empty); "err <Code> <msg>" responses become a
+  /// non-OK Status with that code. IoError means the connection itself
+  /// failed (the server vanished mid-call — the request outcome is
+  /// *indeterminate*: an edit may or may not have committed).
+  Result<std::string> Call(std::string_view command);
+
+  /// Split halves of Call, for pipelining several requests in flight.
+  Status Send(std::string_view command);
+  Result<std::string> ReadResponse();
+
+  /// Graceful close.
+  void Close();
+
+  /// Abrupt close (RST via SO_LINGER 0): simulates a client crash /
+  /// network drop for the fault tests.
+  void CloseAbruptly();
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_SERVE_CLIENT_H_

@@ -1,0 +1,40 @@
+#include "src/serve/session_digest.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/rule_parser.h"
+#include "src/util/crc32c.h"
+
+namespace emdbg {
+
+uint32_t SessionStateDigest(DebugSession& session) {
+  const Bitmap& matches = session.Run();
+  // The rules vector is kept in evaluation order, which the cost model is
+  // free to permute between runs (and a recovered session replays edits in
+  // a different order than the original saw them). The digest fingerprints
+  // logical state, so hash the rules as a sorted multiset of DSL lines.
+  std::vector<std::string> lines;
+  lines.reserve(session.function().rules().size());
+  for (const Rule& rule : session.function().rules()) {
+    // Empty rules have no DSL form; fold in a stable marker instead.
+    if (rule.empty()) {
+      lines.push_back("!empty " + rule.name());
+    } else {
+      lines.push_back(RuleToDsl(rule, session.catalog()));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string rules_text;
+  for (const std::string& line : lines) {
+    rules_text += line;
+    rules_text += "\n";
+  }
+  uint32_t crc = Crc32c(rules_text);
+  const std::vector<uint64_t>& words = matches.words();
+  crc = Crc32cExtend(crc, words.data(), words.size() * sizeof(uint64_t));
+  return crc;
+}
+
+}  // namespace emdbg

@@ -1,0 +1,133 @@
+#include "src/serve/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+void EncodeFrame(std::string_view payload, std::string* out) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char header[4];
+  header[0] = static_cast<char>(n & 0xff);
+  header[1] = static_cast<char>((n >> 8) & 0xff);
+  header[2] = static_cast<char>((n >> 16) & 0xff);
+  header[3] = static_cast<char>((n >> 24) & 0xff);
+  out->append(header, 4);
+  out->append(payload);
+}
+
+uint32_t DecodeFrameLength(const char* header) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(header);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+bool ExtractFrame(std::string* buffer, std::string* payload,
+                  size_t max_frame, bool* error) {
+  *error = false;
+  if (buffer->size() < 4) return false;
+  const uint32_t n = DecodeFrameLength(buffer->data());
+  if (n > max_frame) {
+    *error = true;
+    return false;
+  }
+  if (buffer->size() < 4 + static_cast<size_t>(n)) return false;
+  payload->assign(buffer->data() + 4, n);
+  buffer->erase(0, 4 + static_cast<size_t>(n));
+  return true;
+}
+
+namespace {
+
+/// send() with MSG_NOSIGNAL so a peer that vanished mid-write surfaces as
+/// EPIPE instead of killing the process; falls back to write() for
+/// non-socket fds (pipes in tests).
+ssize_t SendSome(int fd, const char* data, size_t n) {
+  const ssize_t r = ::send(fd, data, n, MSG_NOSIGNAL);
+  if (r < 0 && errno == ENOTSOCK) return ::write(fd, data, n);
+  return r;
+}
+
+}  // namespace
+
+Status WriteFrameFd(int fd, std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  EncodeFrame(payload, &frame);
+  size_t off = 0;
+  // A peer that stops reading would stall us in EAGAIN forever; bound the
+  // total stall so a server worker can shed the connection instead.
+  int stalls = 0;
+  while (off < frame.size()) {
+    const ssize_t n = SendSome(fd, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      stalls = 0;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (++stalls > 10) {
+        return Status::IoError("frame write stalled: peer not reading");
+      }
+      struct pollfd p = {fd, POLLOUT, 0};
+      (void)::poll(&p, 1, 500);
+      continue;
+    }
+    return Status::IoError(
+        StrFormat("frame write failed: %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes (blocking; polls through EAGAIN so it also
+/// works on a nonblocking fd). `eof_ok` allows a clean EOF at offset 0.
+Status ReadExact(int fd, char* out, size_t n, bool eof_ok) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, out + off, n - off);
+    if (r > 0) {
+      off += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (eof_ok && off == 0) return Status::IoError("connection closed");
+      return Status::IoError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      struct pollfd p = {fd, POLLIN, 0};
+      (void)::poll(&p, 1, 1000);
+      continue;
+    }
+    return Status::IoError(
+        StrFormat("frame read failed: %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReadFrameFd(int fd, std::string* payload, size_t max_frame) {
+  char header[4];
+  EMDBG_RETURN_IF_ERROR(ReadExact(fd, header, 4, /*eof_ok=*/true));
+  const uint32_t n = DecodeFrameLength(header);
+  if (n > max_frame) {
+    return Status::ParseError(
+        StrFormat("frame length %u exceeds limit %zu", n, max_frame));
+  }
+  payload->resize(n);
+  if (n == 0) return Status::Ok();
+  return ReadExact(fd, payload->data(), n, /*eof_ok=*/false);
+}
+
+}  // namespace emdbg

@@ -1,0 +1,50 @@
+#ifndef EMDBG_SERVE_WIRE_H_
+#define EMDBG_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Length-prefixed framing for the debug service (see DESIGN.md, "Service
+/// architecture"). One frame = a 4-byte little-endian payload length
+/// followed by that many payload bytes. Requests and responses are each
+/// one frame; payloads are single text lines ("set_threshold 0 1 0.8",
+/// "ok matches=412", "err ResourceExhausted session table full"), so the
+/// protocol stays greppable in packet dumps while the framing keeps
+/// parsing trivial and injection-proof (no in-band delimiters).
+
+/// Upper bound a receiver enforces before allocating; a frame claiming
+/// more is a protocol error and the connection is dropped.
+inline constexpr size_t kMaxFrameBytes = 1 << 20;
+
+/// Appends the 4-byte header + payload to `out` (for buffered writers).
+void EncodeFrame(std::string_view payload, std::string* out);
+
+/// Parses the length header from 4 raw bytes.
+uint32_t DecodeFrameLength(const char* header);
+
+/// Incremental frame extractor for a nonblocking read buffer: when
+/// `buffer` starts with a complete frame, moves its payload into
+/// `payload`, strips it from `buffer`, and returns true. Sets `*error`
+/// (and returns false) when the buffered header is malformed — a length
+/// above `max_frame` — which the caller must treat as fatal for the
+/// connection.
+bool ExtractFrame(std::string* buffer, std::string* payload, size_t max_frame,
+                  bool* error);
+
+/// Blocking frame IO over a socket/pipe fd (used by the client and the
+/// tests; the server's poll loop reads nonblocking and uses ExtractFrame).
+/// WriteFrameFd retries on EINTR/EAGAIN (polling for writability) and
+/// never raises SIGPIPE. ReadFrameFd returns IoError("connection closed")
+/// on clean EOF before a frame starts, ParseError on an oversized length.
+Status WriteFrameFd(int fd, std::string_view payload);
+Status ReadFrameFd(int fd, std::string* payload,
+                   size_t max_frame = kMaxFrameBytes);
+
+}  // namespace emdbg
+
+#endif  // EMDBG_SERVE_WIRE_H_

@@ -58,4 +58,51 @@ SigintCancellation::~SigintCancellation() {
   g_sigint_flag = nullptr;
 }
 
+namespace {
+
+std::atomic<bool> g_exit_requested{false};
+
+extern "C" void EmdbgTerminateHandler(int) {
+  g_exit_requested.store(true, std::memory_order_relaxed);
+  std::atomic<bool>* flag = g_sigint_flag;
+  if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShutdownSignals::ShutdownSignals(CancellationToken token)
+    : token_(std::move(token)) {
+  g_sigint_flag = token_.flag();
+  g_exit_requested.store(false, std::memory_order_relaxed);
+#if defined(_WIN32)
+  std::signal(SIGINT, EmdbgSigintHandler);
+  std::signal(SIGTERM, EmdbgTerminateHandler);
+#else
+  struct sigaction sa = {};
+  sa.sa_handler = EmdbgSigintHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // prompt reads resume after Ctrl-C
+  sigaction(SIGINT, &sa, nullptr);
+  struct sigaction term = {};
+  term.sa_handler = EmdbgTerminateHandler;
+  sigemptyset(&term.sa_mask);
+  term.sa_flags = 0;  // no SA_RESTART: blocked reads return EINTR
+  sigaction(SIGTERM, &term, nullptr);
+  sigaction(SIGHUP, &term, nullptr);
+#endif
+}
+
+ShutdownSignals::~ShutdownSignals() {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+#if !defined(_WIN32)
+  std::signal(SIGHUP, SIG_DFL);
+#endif
+  g_sigint_flag = nullptr;
+}
+
+bool ShutdownSignals::exit_requested() const noexcept {
+  return g_exit_requested.load(std::memory_order_relaxed);
+}
+
 }  // namespace emdbg

@@ -160,6 +160,33 @@ class SigintCancellation {
   CancellationToken token_;  // keeps the flag alive for the handler
 };
 
+/// RAII bridge from the process-termination signals to a token, for tools
+/// that must drain instead of dying mid-write: SIGINT, SIGTERM, and
+/// SIGHUP all trip `token` (cancelling any in-flight run); SIGTERM/SIGHUP
+/// additionally latch `exit_requested`, so the tool's main loop can
+/// distinguish "cancel the current run, keep the session" (Ctrl-C) from
+/// "checkpoint durable state and exit" (service shutdown semantics).
+///
+/// SIGINT is installed with SA_RESTART (an interactive prompt read
+/// resumes); SIGTERM/SIGHUP are installed *without* it, so a blocking
+/// stdin read fails with EINTR and the main loop gets to run its drain
+/// path promptly. Only one instance (of this or SigintCancellation) may
+/// be alive per process.
+class ShutdownSignals {
+ public:
+  explicit ShutdownSignals(CancellationToken token);
+  ~ShutdownSignals();
+
+  ShutdownSignals(const ShutdownSignals&) = delete;
+  ShutdownSignals& operator=(const ShutdownSignals&) = delete;
+
+  /// True once SIGTERM or SIGHUP has been received.
+  bool exit_requested() const noexcept;
+
+ private:
+  CancellationToken token_;  // keeps the flag alive for the handler
+};
+
 }  // namespace emdbg
 
 #endif  // EMDBG_UTIL_CANCELLATION_H_

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/util/fault_injection.h"
 #include "src/util/string_util.h"
 
 namespace emdbg {
@@ -195,6 +196,21 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
   if (fd < 0) {
     return Status::IoError(StrFormat("cannot open %s for write: %s",
                                      tmp.c_str(), std::strerror(errno)));
+  }
+  // Injected torn write: half the payload reaches the temp file, then the
+  // "crash" — the temp file is deliberately left behind (as a real crash
+  // would) and the rename never happens, so `path` keeps its old content.
+  if (FaultFire("state.atomic_write")) {
+    const size_t half = data.size() / 2;
+    size_t torn = 0;
+    while (torn < half) {
+      const ssize_t n = ::write(fd, data.data() + torn, half - torn);
+      if (n <= 0) break;
+      torn += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("torn write to %s (injected)", tmp.c_str()));
   }
   size_t off = 0;
   while (off < data.size()) {

@@ -1,0 +1,107 @@
+#include "src/util/fault_injection.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace emdbg {
+
+namespace {
+
+struct SiteState {
+  FaultInjection::Plan plan;
+  uint64_t calls = 0;
+  uint64_t failures = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: used from atexit paths
+  return *r;
+}
+
+/// Armed-site count, readable without the lock. Nonzero = slow path.
+std::atomic<size_t> g_armed{0};
+
+/// SplitMix64: the per-call decision for probability plans is a pure
+/// function of (seed, call index), so schedules replay exactly.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjection::Arm(std::string_view site, const Plan& plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.insert_or_assign(std::string(site),
+                                                 SiteState{plan, 0, 0});
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(std::string(site)) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed.fetch_sub(r.sites.size(), std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+bool FaultInjection::AnyArmed() {
+  return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+bool FaultInjection::Fire(std::string_view site) {
+  if (!AnyArmed()) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(std::string(site));
+  if (it == r.sites.end()) return false;
+  SiteState& s = it->second;
+  const uint64_t index = s.calls++;
+  if (index < s.plan.skip) return false;
+  if (s.failures >= s.plan.max_failures) return false;
+  bool fail;
+  if (s.plan.probability > 0.0) {
+    const double u =
+        static_cast<double>(Mix(s.plan.seed ^ index) >> 11) * 0x1.0p-53;
+    fail = u < s.plan.probability;
+  } else if (s.plan.every == 0) {
+    fail = index == s.plan.skip && s.failures == 0;
+  } else {
+    fail = (index - s.plan.skip) % s.plan.every == 0;
+  }
+  if (fail) ++s.failures;
+  return fail;
+}
+
+uint64_t FaultInjection::Calls(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(std::string(site));
+  return it == r.sites.end() ? 0 : it->second.calls;
+}
+
+uint64_t FaultInjection::Failures(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(std::string(site));
+  return it == r.sites.end() ? 0 : it->second.failures;
+}
+
+}  // namespace emdbg

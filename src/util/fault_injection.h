@@ -1,0 +1,91 @@
+#ifndef EMDBG_UTIL_FAULT_INJECTION_H_
+#define EMDBG_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+// Deterministic fault injection for robustness tests.
+//
+// Production code guards its fragile operations with named injection
+// points ("sites"): `if (FaultInjection::Fire("journal.fsync")) { fail }`.
+// Untouched, every site is a single relaxed atomic load — no locks, no
+// allocation — so the hooks stay in release builds. Tests (and the soak
+// harness) arm sites with deterministic plans: skip the first K calls,
+// then fail once, every Nth call, or with a seeded pseudo-random
+// probability that is a pure function of (seed, call index) — so a soak
+// run with the same seed injects byte-identical fault schedules.
+//
+// Sites currently wired in:
+//   journal.write      EditJournal::Append, before the record is written
+//   journal.fsync      EditJournal::Append, at the fsync (the record may
+//                      already be in the file: the "committed on disk but
+//                      never acknowledged" case recovery must tolerate)
+//   state.atomic_write WriteFileAtomic: the write tears partway through
+//                      and the temp file is left behind (crash
+//                      mid-checkpoint; the rename never happens)
+//   serve.accept       Server: drop an incoming connection at accept
+//   serve.read         Server: drop an established connection mid-read
+//   serve.slow_task    Server worker: sleep before executing a request
+//   serve.session      Server: fail session creation (allocation-failure
+//                      stand-in at the admission point)
+//
+// Compiled in by default; -DEMDBG_FAULT_INJECTION=0 turns every Fire()
+// into a constant false for zero-cost builds.
+
+#ifndef EMDBG_FAULT_INJECTION
+#define EMDBG_FAULT_INJECTION 1
+#endif
+
+namespace emdbg {
+
+class FaultInjection {
+ public:
+  /// When a site should fail. All counters are per-site and deterministic.
+  struct Plan {
+    /// Calls that succeed before injection starts.
+    uint64_t skip = 0;
+    /// After `skip`: 0 = fail exactly once; N = fail every Nth call
+    /// (call skip, skip+N, skip+2N, ...).
+    uint64_t every = 0;
+    /// Cap on injected failures (applies to `every` and `probability`).
+    uint64_t max_failures = UINT64_MAX;
+    /// When > 0, overrides the counter schedule after `skip`: each call
+    /// fails independently with this probability, derived purely from
+    /// (seed, per-site call index) — rerunning with the same seed gives
+    /// the same schedule.
+    double probability = 0.0;
+    uint64_t seed = 1;
+  };
+
+  /// Arms `site` with `plan` (replacing any existing plan and resetting
+  /// its counters).
+  static void Arm(std::string_view site, const Plan& plan);
+
+  /// Disarms one site / all sites. Counters are discarded.
+  static void Disarm(std::string_view site);
+  static void DisarmAll();
+
+  /// The per-site hook: true = the caller must simulate a failure now.
+  /// Cheap no-op (one relaxed atomic load) while nothing is armed.
+  static bool Fire(std::string_view site);
+
+  /// Calls / injected failures observed at `site` since it was armed.
+  static uint64_t Calls(std::string_view site);
+  static uint64_t Failures(std::string_view site);
+
+  /// True when at least one site is armed (the fast-path gate).
+  static bool AnyArmed();
+};
+
+#if EMDBG_FAULT_INJECTION
+inline bool FaultFire(std::string_view site) {
+  return FaultInjection::Fire(site);
+}
+#else
+inline bool FaultFire(std::string_view) { return false; }
+#endif
+
+}  // namespace emdbg
+
+#endif  // EMDBG_UTIL_FAULT_INJECTION_H_

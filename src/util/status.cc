@@ -26,8 +26,34 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromName(std::string_view name, StatusCode* out) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,
+      StatusCode::kIoError,
+      StatusCode::kParseError,
+      StatusCode::kCancelled,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
+  };
+  for (const StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

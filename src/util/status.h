@@ -3,6 +3,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -22,10 +23,18 @@ enum class StatusCode {
   kParseError,
   kCancelled,
   kDeadlineExceeded,
+  /// A bounded resource (session table, request queue, connection slots)
+  /// is full; the caller should back off and retry. This is the explicit
+  /// load-shedding signal of the debug service.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: parses "InvalidArgument" etc. Returns false
+/// on an unknown name. Used by the wire protocol to round-trip statuses.
+bool StatusCodeFromName(std::string_view name, StatusCode* out);
 
 /// A cheap, exception-free error carrier. All fallible APIs in emdbg return
 /// `Status` (or `Result<T>` when they also produce a value).
@@ -70,6 +79,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

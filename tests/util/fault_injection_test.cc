@@ -1,0 +1,168 @@
+#include "src/util/fault_injection.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emdbg {
+namespace {
+
+/// Every test disarms on both ends: the registry is process-global and
+/// other suites (journal fault tests, serve soak) use the same sites.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() { FaultInjection::DisarmAll(); }
+  ~FaultInjectionTest() override { FaultInjection::DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSiteNeverFires) {
+  EXPECT_FALSE(FaultInjection::AnyArmed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultInjection::Fire("test.unarmed"));
+  }
+  EXPECT_EQ(FaultInjection::Calls("test.unarmed"), 0u)
+      << "unarmed sites must not even allocate counter state";
+}
+
+TEST_F(FaultInjectionTest, ArmingOneSiteLeavesOthersAlone) {
+  FaultInjection::Plan plan;
+  plan.skip = 0;  // fail the first call
+  FaultInjection::Arm("test.a", plan);
+  EXPECT_TRUE(FaultInjection::AnyArmed());
+  EXPECT_FALSE(FaultInjection::Fire("test.b"));
+  EXPECT_TRUE(FaultInjection::Fire("test.a"));
+}
+
+TEST_F(FaultInjectionTest, DefaultPlanFailsExactlyOnce) {
+  FaultInjection::Arm("test.once", FaultInjection::Plan{});
+  EXPECT_TRUE(FaultInjection::Fire("test.once"));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(FaultInjection::Fire("test.once"));
+  }
+  EXPECT_EQ(FaultInjection::Calls("test.once"), 21u);
+  EXPECT_EQ(FaultInjection::Failures("test.once"), 1u);
+}
+
+TEST_F(FaultInjectionTest, SkipDelaysTheSingleFailure) {
+  FaultInjection::Plan plan;
+  plan.skip = 3;
+  FaultInjection::Arm("test.skip", plan);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(FaultInjection::Fire("test.skip")) << "call " << i;
+  }
+  EXPECT_TRUE(FaultInjection::Fire("test.skip")) << "4th call must fail";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FaultInjection::Fire("test.skip"));
+  }
+  EXPECT_EQ(FaultInjection::Failures("test.skip"), 1u);
+}
+
+TEST_F(FaultInjectionTest, EveryNthFailsOnSchedule) {
+  FaultInjection::Plan plan;
+  plan.skip = 2;
+  plan.every = 3;
+  FaultInjection::Arm("test.every", plan);
+  std::vector<int> failed_at;
+  for (int i = 0; i < 12; ++i) {
+    if (FaultInjection::Fire("test.every")) failed_at.push_back(i);
+  }
+  // 0-based call indices: skip, skip+every, skip+2*every, ...
+  EXPECT_EQ(failed_at, (std::vector<int>{2, 5, 8, 11}));
+  EXPECT_EQ(FaultInjection::Failures("test.every"), 4u);
+}
+
+TEST_F(FaultInjectionTest, MaxFailuresCapsTheSchedule) {
+  FaultInjection::Plan plan;
+  plan.every = 2;
+  plan.max_failures = 3;
+  FaultInjection::Arm("test.cap", plan);
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (FaultInjection::Fire("test.cap")) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(FaultInjection::Failures("test.cap"), 3u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleIsAFunctionOfSeed) {
+  FaultInjection::Plan plan;
+  plan.probability = 0.3;
+  plan.seed = 42;
+  auto schedule = [&plan]() {
+    FaultInjection::Arm("test.prob", plan);
+    std::vector<bool> out;
+    out.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(FaultInjection::Fire("test.prob"));
+    }
+    return out;
+  };
+  const std::vector<bool> first = schedule();
+  const std::vector<bool> replay = schedule();
+  EXPECT_EQ(first, replay) << "same seed must replay byte-identically";
+
+  plan.seed = 43;
+  const std::vector<bool> other = schedule();
+  EXPECT_NE(first, other) << "different seeds must diverge";
+
+  // ~30% over 200 draws: allow a generous band, no flaky tolerance needed
+  // because the schedule is deterministic.
+  const size_t failures = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(failures, 30u);
+  EXPECT_LT(failures, 90u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityRespectsSkipAndCap) {
+  FaultInjection::Plan plan;
+  plan.probability = 1.0;
+  plan.skip = 5;
+  plan.max_failures = 2;
+  FaultInjection::Arm("test.prob_cap", plan);
+  std::vector<int> failed_at;
+  for (int i = 0; i < 20; ++i) {
+    if (FaultInjection::Fire("test.prob_cap")) failed_at.push_back(i);
+  }
+  EXPECT_EQ(failed_at, (std::vector<int>{5, 6}));
+}
+
+TEST_F(FaultInjectionTest, RearmResetsCounters) {
+  FaultInjection::Plan plan;
+  plan.every = 1;
+  FaultInjection::Arm("test.rearm", plan);
+  EXPECT_TRUE(FaultInjection::Fire("test.rearm"));
+  EXPECT_EQ(FaultInjection::Calls("test.rearm"), 1u);
+  FaultInjection::Arm("test.rearm", plan);
+  EXPECT_EQ(FaultInjection::Calls("test.rearm"), 0u);
+  EXPECT_EQ(FaultInjection::Failures("test.rearm"), 0u);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiringAndDropsCounters) {
+  FaultInjection::Plan plan;
+  plan.every = 1;
+  FaultInjection::Arm("test.disarm", plan);
+  EXPECT_TRUE(FaultInjection::Fire("test.disarm"));
+  FaultInjection::Disarm("test.disarm");
+  EXPECT_FALSE(FaultInjection::Fire("test.disarm"));
+  EXPECT_EQ(FaultInjection::Calls("test.disarm"), 0u);
+  EXPECT_FALSE(FaultInjection::AnyArmed());
+  // Disarming a site that was never armed is a no-op, not an error.
+  FaultInjection::Disarm("test.never_armed");
+  EXPECT_FALSE(FaultInjection::AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, DisarmAllClearsEverySite) {
+  FaultInjection::Plan plan;
+  plan.every = 1;
+  FaultInjection::Arm("test.x", plan);
+  FaultInjection::Arm("test.y", plan);
+  EXPECT_TRUE(FaultInjection::AnyArmed());
+  FaultInjection::DisarmAll();
+  EXPECT_FALSE(FaultInjection::AnyArmed());
+  EXPECT_FALSE(FaultInjection::Fire("test.x"));
+  EXPECT_FALSE(FaultInjection::Fire("test.y"));
+}
+
+}  // namespace
+}  // namespace emdbg

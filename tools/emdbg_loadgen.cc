@@ -1,0 +1,636 @@
+/// Load generator + recovery benchmark for the debug service
+/// (tools/emdbg_serve.cc). Drives N concurrent sessions, each streaming a
+/// deterministic rule-editing workload, and writes BENCH_serve.json with
+/// session throughput, edit→result latency percentiles, and — in
+/// self-contained mode — the recovery time after a real kill -9.
+///
+/// Two modes:
+///
+///   External server (CI smoke / manual):
+///     emdbg_loadgen --port=P [--host=127.0.0.1] --dataset=products
+///                   --sessions=8 --edits=40 [--durable]
+///
+///   Self-contained (spawns the server, kill -9s it, restarts, resumes):
+///     emdbg_loadgen --server-bin=./emdbg_serve --dataset=products
+///                   --scale=0.02 --sessions=8 --edits=40
+///                   --durability-root=/tmp/emdbg_soak
+///                   [--server-arg=--fault=journal.fsync:11] ...
+///
+/// In self-contained mode every session is durable with a deterministic
+/// token; after the load phase the tool records each session's state
+/// digest, SIGKILLs the server, restarts it on the same durability root,
+/// resumes every session, and requires the post-crash digests to be
+/// bit-identical — zero lost acknowledged edits. Exit status is nonzero
+/// on any digest mismatch.
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/datasets.h"
+#include "src/serve/client.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+using namespace emdbg;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  std::string server_bin;  // non-empty = self-contained mode
+  std::vector<std::string> server_args;
+  std::string dataset = "products";
+  double scale = 0.02;
+  int64_t seed = -1;
+  size_t sessions = 8;
+  size_t edits = 40;
+  bool durable = false;
+  std::string durability_root = "/tmp/emdbg_loadgen";
+  std::string out_path = "BENCH_serve.json";
+  size_t workers = 2;
+
+  static bool Parse(int argc, char** argv, Args* out) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      int64_t n = 0;
+      if (StartsWith(arg, "--host=")) {
+        out->host = arg.substr(7);
+      } else if (StartsWith(arg, "--port=") &&
+                 ParseInt64(arg.substr(7), &out->port)) {
+      } else if (StartsWith(arg, "--server-bin=")) {
+        out->server_bin = arg.substr(13);
+      } else if (StartsWith(arg, "--server-arg=")) {
+        out->server_args.push_back(arg.substr(13));
+      } else if (StartsWith(arg, "--dataset=")) {
+        out->dataset = arg.substr(10);
+      } else if (StartsWith(arg, "--scale=") &&
+                 ParseDouble(arg.substr(8), &out->scale) && out->scale > 0 &&
+                 out->scale <= 1.0) {
+      } else if (StartsWith(arg, "--seed=") &&
+                 ParseInt64(arg.substr(7), &out->seed) && out->seed >= 0) {
+      } else if (StartsWith(arg, "--sessions=") &&
+                 ParseInt64(arg.substr(11), &n) && n > 0) {
+        out->sessions = static_cast<size_t>(n);
+      } else if (StartsWith(arg, "--edits=") &&
+                 ParseInt64(arg.substr(8), &n) && n >= 0) {
+        out->edits = static_cast<size_t>(n);
+      } else if (arg == "--durable") {
+        out->durable = true;
+      } else if (StartsWith(arg, "--durability-root=")) {
+        out->durability_root = arg.substr(18);
+      } else if (StartsWith(arg, "--out=")) {
+        out->out_path = arg.substr(6);
+      } else if (StartsWith(arg, "--workers=") &&
+                 ParseInt64(arg.substr(10), &n) && n > 0) {
+        out->workers = static_cast<size_t>(n);
+      } else {
+        return false;
+      }
+    }
+    // Self-contained mode implies durable sessions (that is the point).
+    if (!out->server_bin.empty()) out->durable = true;
+    return !out->server_bin.empty() || out->port > 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Child server management (self-contained mode).
+// ---------------------------------------------------------------------------
+
+struct ChildServer {
+  pid_t pid = -1;
+  int out_fd = -1;  // child's stdout (the "listening ... port=" line)
+  uint16_t port = 0;
+};
+
+bool SpawnServer(const Args& args, ChildServer* child) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return false;
+  std::vector<std::string> argv_s;
+  argv_s.push_back(args.server_bin);
+  argv_s.push_back("--dataset=" + args.dataset);
+  argv_s.push_back(StrFormat("--scale=%g", args.scale));
+  if (args.seed >= 0) {
+    argv_s.push_back(StrFormat("--seed=%lld",
+                               static_cast<long long>(args.seed)));
+  }
+  argv_s.push_back(StrFormat("--workers=%zu", args.workers));
+  argv_s.push_back("--durability-root=" + args.durability_root);
+  for (const std::string& extra : args.server_args) argv_s.push_back(extra);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    std::vector<char*> argv_c;
+    for (std::string& s : argv_s) argv_c.push_back(s.data());
+    argv_c.push_back(nullptr);
+    ::execv(argv_c[0], argv_c.data());
+    std::fprintf(stderr, "execv %s failed: %s\n", argv_c[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+
+  // Scrape the ephemeral port from the child's first complete stdout line.
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t r = ::read(pipe_fds[0], &c, 1);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      std::fprintf(stderr, "server exited before announcing a port\n");
+      ::close(pipe_fds[0]);
+      int st = 0;
+      ::waitpid(pid, &st, 0);
+      return false;
+    }
+    if (c != '\n') {
+      line.push_back(c);
+      continue;
+    }
+    if (line.find("port=") != std::string::npos) break;
+    line.clear();
+  }
+  const size_t at = line.find("port=");
+  int64_t port = 0;
+  if (!ParseInt64(TrimAscii(line.substr(at + 5)), &port) || port <= 0 ||
+      port > 65535) {
+    std::fprintf(stderr, "unparseable server banner: %s\n", line.c_str());
+    ::close(pipe_fds[0]);
+    ::kill(pid, SIGKILL);
+    int st = 0;
+    ::waitpid(pid, &st, 0);
+    return false;
+  }
+  child->pid = pid;
+  child->out_fd = pipe_fds[0];
+  child->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+void KillServer(ChildServer* child, int sig) {
+  if (child->pid <= 0) return;
+  ::kill(child->pid, sig);
+  int st = 0;
+  ::waitpid(child->pid, &st, 0);
+  if (child->out_fd >= 0) ::close(child->out_fd);
+  child->pid = -1;
+  child->out_fd = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Workload.
+// ---------------------------------------------------------------------------
+
+struct SessionOutcome {
+  bool ok = false;
+  std::string token;
+  std::string digest;  // "d3adb33f" from the final digest call
+  double open_ms = 0;
+  double first_run_ms = 0;
+  std::vector<double> edit_ms;
+  size_t err_shed = 0;
+  size_t err_io = 0;
+  size_t degraded_resumes = 0;
+  size_t err_other = 0;
+};
+
+/// Deterministic per-(session, step) threshold in [0.30, 0.75).
+double StepThreshold(size_t session, size_t step) {
+  return 0.30 + 0.45 * static_cast<double>((session * 131 + step * 53) % 90) /
+                    90.0;
+}
+
+Result<ServeClient> ConnectRetry(const std::string& host, uint16_t port,
+                                 int attempts) {
+  Status last = Status::Ok();
+  for (int i = 0; i < attempts; ++i) {
+    Result<ServeClient> c = ServeClient::Connect(host, port);
+    if (c.ok()) return c;
+    last = c.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return last;
+}
+
+/// Reattaches (or resumes) after a dropped connection / degraded session.
+bool Reestablish(ServeClient& client, const Args& args, uint16_t port,
+                 const std::string& token, SessionOutcome* out) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (!client.connected()) {
+      Result<ServeClient> c = ConnectRetry(args.host, port, 20);
+      if (!c.ok()) return false;
+      client = std::move(*c);
+    }
+    Result<std::string> r = client.Call("attach " + token);
+    if (r.ok() && r->find("degraded=1") == std::string::npos) return true;
+    if (r.ok() || r.status().code() == StatusCode::kNotFound) {
+      // Degraded (or gone from the live table entirely): rebuild from the
+      // durable state.
+      Result<std::string> res = client.Call("resume " + token);
+      if (res.ok()) {
+        out->degraded_resumes++;
+        return true;
+      }
+      if (res.status().code() == StatusCode::kIoError) {
+        client.Close();
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (r.status().code() == StatusCode::kIoError) {
+      client.Close();
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// One Call with reconnect-on-failure; returns false when the session is
+/// unreachable. Latency (ms) for successful acknowledged calls is
+/// appended to `lat` when non-null.
+bool RobustCall(ServeClient& client, const Args& args, uint16_t port,
+                const std::string& token, const std::string& cmd,
+                SessionOutcome* out, std::vector<double>* lat,
+                std::string* resp_out = nullptr) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    Stopwatch sw;
+    Result<std::string> r = client.Call(cmd);
+    const double ms = sw.ElapsedMillis();
+    if (r.ok()) {
+      if (lat != nullptr) lat->push_back(ms);
+      if (resp_out != nullptr) *resp_out = *r;
+      return true;
+    }
+    switch (r.status().code()) {
+      case StatusCode::kResourceExhausted:
+        out->err_shed++;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        break;
+      case StatusCode::kIoError:
+        // Connection loss or journal degrade: the call's fate is
+        // indeterminate. Re-establish and move on (the digest at the end
+        // reflects whatever actually committed).
+        out->err_io++;
+        if (r.status().message().find("degraded") == std::string::npos) {
+          client.Close();
+        }
+        if (!Reestablish(client, args, port, token, out)) return false;
+        return true;  // treat as settled; do not re-apply the edit
+      case StatusCode::kFailedPrecondition:
+        if (r.status().message().find("degraded") != std::string::npos) {
+          if (!Reestablish(client, args, port, token, out)) return false;
+          break;  // session rebuilt; retry the command
+        }
+        out->err_other++;
+        return true;
+      default:
+        out->err_other++;
+        return true;
+    }
+  }
+  return false;
+}
+
+SessionOutcome RunSession(const Args& args, uint16_t port, size_t index,
+                          const std::string& attr0,
+                          const std::string& attr1) {
+  SessionOutcome out;
+  out.token = StrFormat("lg%zu", index);
+  Result<ServeClient> conn = ConnectRetry(args.host, port, 100);
+  if (!conn.ok()) return out;
+  ServeClient client = std::move(*conn);
+
+  Stopwatch sw;
+  const std::string open_cmd =
+      args.durable ? "open durable token=" + out.token
+                   : "open token=" + out.token;
+  // The open itself can be the request a fault eats (dropped read, shed
+  // connection): reconnect and retry. A kAlreadyExists answer means an
+  // earlier attempt actually landed — attach to it instead.
+  bool open_ok = false;
+  for (int attempt = 0; attempt < 50 && !open_ok; ++attempt) {
+    if (!client.connected()) {
+      Result<ServeClient> c = ConnectRetry(args.host, port, 20);
+      if (!c.ok()) return out;
+      client = std::move(*c);
+    }
+    Result<std::string> opened = client.Call(open_cmd);
+    if (!opened.ok() &&
+        opened.status().code() == StatusCode::kAlreadyExists) {
+      open_ok = Reestablish(client, args, port, out.token, &out);
+      break;
+    }
+    if (opened.ok()) {
+      open_ok = true;
+      break;
+    }
+    switch (opened.status().code()) {
+      case StatusCode::kIoError:
+        out.err_io++;
+        client.Close();
+        break;
+      case StatusCode::kResourceExhausted:
+        out.err_shed++;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        break;
+      default:
+        return out;  // a real refusal (bad token, no durability root)
+    }
+  }
+  if (!open_ok) return out;
+  out.open_ms = sw.ElapsedMillis();
+
+  sw.Restart();
+  if (!RobustCall(client, args, port, out.token,
+                  StrFormat("add_rule base: jaccard(%s, %s) >= 0.55",
+                            attr0.c_str(), attr0.c_str()),
+                  &out, nullptr) ||
+      !RobustCall(client, args, port, out.token, "run", &out, nullptr)) {
+    return out;
+  }
+  out.first_run_ms = sw.ElapsedMillis();
+
+  size_t added = 0;
+  for (size_t e = 0; e < args.edits; ++e) {
+    std::string cmd;
+    if (e % 2 == 0) {
+      cmd = StrFormat("set_threshold 0 0 %.3f", StepThreshold(index, e));
+    } else {
+      cmd = StrFormat("add_rule r%zu: jaccard(%s, %s) >= %.3f",
+                      added++, attr1.c_str(), attr1.c_str(),
+                      StepThreshold(index, e));
+    }
+    if (!RobustCall(client, args, port, out.token, cmd, &out,
+                    &out.edit_ms)) {
+      return out;
+    }
+  }
+
+  std::string digest_resp;
+  if (!RobustCall(client, args, port, out.token, "digest", &out, nullptr,
+                  &digest_resp)) {
+    return out;
+  }
+  const size_t at = digest_resp.find("digest=");
+  if (at == std::string::npos) return out;
+  out.digest = digest_resp.substr(at + 7, 8);
+  out.ok = true;
+  return out;
+}
+
+struct LatencyStats {
+  double mean = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;
+  size_t n = 0;
+};
+
+LatencyStats Summarize(std::vector<double> v) {
+  LatencyStats s;
+  s.n = v.size();
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  double sum = 0;
+  for (double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  auto pct = [&v](double p) {
+    const size_t i = static_cast<size_t>(p * static_cast<double>(v.size()));
+    return v[std::min(i, v.size() - 1)];
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  s.max = v.back();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Args::Parse(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: emdbg_loadgen (--port=P | --server-bin=PATH) "
+        "[--host=H] [--dataset=NAME] [--scale=F] [--seed=N] "
+        "[--sessions=N] [--edits=N] [--durable] [--durability-root=DIR] "
+        "[--workers=N] [--server-arg=ARG]... [--out=FILE]\n");
+    return 2;
+  }
+
+  // Attribute names for the edit DSL come from the (tiny) dataset profile;
+  // no corpus is generated on the loadgen side.
+  Result<DatasetId> id = DatasetIdFromName(args.dataset);
+  if (!id.ok()) {
+    std::fprintf(stderr, "error: %s\n", id.status().message().c_str());
+    return 2;
+  }
+  const DatasetProfile profile = PaperDatasetProfile(*id);
+  const std::string attr0 = profile.attributes[0].name;
+  const std::string attr1 =
+      profile.attributes[profile.attributes.size() > 1 ? 1 : 0].name;
+
+  const bool self_contained = !args.server_bin.empty();
+  ChildServer child;
+  uint16_t port = static_cast<uint16_t>(args.port);
+  if (self_contained) {
+    ::mkdir(args.durability_root.c_str(), 0755);
+    if (!SpawnServer(args, &child)) return 1;
+    port = child.port;
+    std::fprintf(stderr, "server up: pid=%d port=%u\n", child.pid, port);
+  }
+
+  // ---- Load phase. ----
+  Stopwatch load_sw;
+  std::vector<SessionOutcome> outcomes(args.sessions);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(args.sessions);
+    for (size_t i = 0; i < args.sessions; ++i) {
+      threads.emplace_back([&, i] {
+        outcomes[i] = RunSession(args, port, i, attr0, attr1);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double load_s = load_sw.ElapsedSeconds();
+
+  size_t ok_sessions = 0, err_shed = 0, err_io = 0, err_other = 0,
+         degraded_resumes = 0;
+  std::vector<double> all_edit, all_open, all_run;
+  for (const SessionOutcome& o : outcomes) {
+    if (o.ok) ok_sessions++;
+    err_shed += o.err_shed;
+    err_io += o.err_io;
+    err_other += o.err_other;
+    degraded_resumes += o.degraded_resumes;
+    all_edit.insert(all_edit.end(), o.edit_ms.begin(), o.edit_ms.end());
+    if (o.ok) {
+      all_open.push_back(o.open_ms);
+      all_run.push_back(o.first_run_ms);
+    }
+  }
+  const LatencyStats edit = Summarize(all_edit);
+  const LatencyStats open = Summarize(all_open);
+  const LatencyStats run = Summarize(all_run);
+  std::fprintf(stderr,
+               "load: %zu/%zu sessions ok in %.2fs, %zu edits acked, "
+               "edit p99 %.2fms (shed=%zu io=%zu resumes=%zu other=%zu)\n",
+               ok_sessions, args.sessions, load_s, edit.n, edit.p99,
+               err_shed, err_io, degraded_resumes, err_other);
+
+  // ---- Crash + recovery phase (self-contained mode only). ----
+  double restart_ms = -1, resume_wall_ms = -1;
+  LatencyStats resume_lat;
+  size_t digest_mismatches = 0, resumed = 0;
+  if (self_contained && ok_sessions > 0) {
+    std::fprintf(stderr, "kill -9 %d...\n", child.pid);
+    KillServer(&child, SIGKILL);
+    Stopwatch restart_sw;
+    if (!SpawnServer(args, &child)) return 1;
+    restart_ms = restart_sw.ElapsedMillis();
+    port = child.port;
+    std::fprintf(stderr, "server back: pid=%d port=%u (%.0fms)\n",
+                 child.pid, port, restart_ms);
+
+    Stopwatch resume_sw;
+    std::vector<double> resume_ms(args.sessions, -1);
+    std::vector<int> verdicts(args.sessions, 0);  // 1 ok, -1 mismatch
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < args.sessions; ++i) {
+      if (!outcomes[i].ok) continue;
+      threads.emplace_back([&, i] {
+        Result<ServeClient> c = ConnectRetry(args.host, port, 100);
+        if (!c.ok()) return;
+        Stopwatch sw;
+        Result<std::string> r = c->Call("resume " + outcomes[i].token);
+        if (!r.ok()) return;
+        resume_ms[i] = sw.ElapsedMillis();
+        Result<std::string> d = c->Call("digest");
+        if (!d.ok()) return;
+        const size_t at = d->find("digest=");
+        const std::string digest =
+            at == std::string::npos ? "" : d->substr(at + 7, 8);
+        verdicts[i] = digest == outcomes[i].digest ? 1 : -1;
+        if (verdicts[i] < 0) {
+          std::fprintf(stderr,
+                       "DIGEST MISMATCH session %s: pre-crash %s, "
+                       "post-recovery %s\n",
+                       outcomes[i].token.c_str(),
+                       outcomes[i].digest.c_str(), digest.c_str());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    resume_wall_ms = resume_sw.ElapsedMillis();
+    std::vector<double> ok_resumes;
+    for (size_t i = 0; i < args.sessions; ++i) {
+      if (verdicts[i] == 1) {
+        resumed++;
+        ok_resumes.push_back(resume_ms[i]);
+      } else if (verdicts[i] == -1) {
+        digest_mismatches++;
+      } else if (outcomes[i].ok) {
+        digest_mismatches++;  // could not resume at all: counts as loss
+      }
+    }
+    resume_lat = Summarize(ok_resumes);
+    std::fprintf(stderr,
+                 "recovery: %zu/%zu sessions resumed in %.0fms "
+                 "(mismatches=%zu)\n",
+                 resumed, ok_sessions, resume_wall_ms, digest_mismatches);
+
+    KillServer(&child, SIGTERM);  // graceful this time
+  }
+
+  // ---- BENCH_serve.json. ----
+  const std::string tmp = args.out_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", args.dataset.c_str());
+  std::fprintf(f, "  \"scale\": %g,\n", args.scale);
+  std::fprintf(f, "  \"sessions\": %zu,\n", args.sessions);
+  std::fprintf(f, "  \"edits_per_session\": %zu,\n", args.edits);
+  std::fprintf(f, "  \"durable\": %s,\n", args.durable ? "true" : "false");
+  std::fprintf(f, "  \"server_workers\": %zu,\n", args.workers);
+  std::fprintf(f, "  \"sessions_ok\": %zu,\n", ok_sessions);
+  std::fprintf(f, "  \"load_wall_s\": %.3f,\n", load_s);
+  std::fprintf(f, "  \"sessions_per_sec\": %.3f,\n",
+               load_s > 0 ? static_cast<double>(ok_sessions) / load_s : 0);
+  std::fprintf(f, "  \"edits_per_sec\": %.1f,\n",
+               load_s > 0 ? static_cast<double>(edit.n) / load_s : 0);
+  std::fprintf(f,
+               "  \"edit_latency_ms\": {\"n\": %zu, \"mean\": %.3f, "
+               "\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
+               "\"max\": %.3f},\n",
+               edit.n, edit.mean, edit.p50, edit.p95, edit.p99, edit.max);
+  std::fprintf(f,
+               "  \"open_latency_ms\": {\"mean\": %.3f, \"max\": %.3f},\n",
+               open.mean, open.max);
+  std::fprintf(
+      f, "  \"first_run_latency_ms\": {\"mean\": %.3f, \"max\": %.3f},\n",
+      run.mean, run.max);
+  std::fprintf(f,
+               "  \"errors\": {\"shed\": %zu, \"io\": %zu, "
+               "\"degraded_resumes\": %zu, \"other\": %zu},\n",
+               err_shed, err_io, degraded_resumes, err_other);
+  if (self_contained) {
+    std::fprintf(f, "  \"recovery\": {\n");
+    std::fprintf(f, "    \"server_restart_ms\": %.1f,\n", restart_ms);
+    std::fprintf(f, "    \"sessions_resumed\": %zu,\n", resumed);
+    std::fprintf(f, "    \"resume_wall_ms\": %.1f,\n", resume_wall_ms);
+    std::fprintf(f,
+                 "    \"resume_latency_ms\": {\"mean\": %.3f, \"p99\": "
+                 "%.3f, \"max\": %.3f},\n",
+                 resume_lat.mean, resume_lat.p99, resume_lat.max);
+    std::fprintf(f, "    \"digest_mismatches\": %zu\n", digest_mismatches);
+    std::fprintf(f, "  }\n");
+  } else {
+    std::fprintf(f, "  \"recovery\": null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), args.out_path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename %s\n", tmp.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", args.out_path.c_str());
+
+  if (self_contained && (digest_mismatches > 0 || resumed < ok_sessions)) {
+    std::fprintf(stderr, "FAIL: lost acknowledged edits\n");
+    return 1;
+  }
+  if (ok_sessions < args.sessions) {
+    std::fprintf(stderr, "FAIL: %zu sessions did not complete\n",
+                 args.sessions - ok_sessions);
+    return 1;
+  }
+  return 0;
+}

@@ -9,9 +9,9 @@
 ///               (--pairs=pairs.csv | --block-key=category)
 ///               [--out=matches.csv] [--threads=N] [--deadline-ms=N]
 ///
-/// Ctrl-C (SIGINT) or an exceeded --deadline-ms stops the run cleanly:
-/// the pairs evaluated so far are still written out, with a warning that
-/// the result is partial.
+/// Ctrl-C (SIGINT), SIGTERM, SIGHUP, or an exceeded --deadline-ms stops
+/// the run cleanly: the pairs evaluated so far are still written out,
+/// with a warning that the result is partial.
 
 #include <cstdio>
 #include <string>
@@ -133,10 +133,11 @@ int main(int argc, char** argv) {
   const CostModel model = CostModel::EstimateForFunction(*fn, ctx, sample);
   ApplyOrdering(*fn, OrderingStrategy::kGreedyReduction, model, nullptr);
 
-  // Ctrl-C trips the token; the matcher drains and returns a partial
-  // result instead of the process dying mid-run.
+  // Ctrl-C, SIGTERM, and SIGHUP all trip the token; the matcher drains
+  // and returns a partial result — written out below — instead of the
+  // process dying mid-run with nothing on disk.
   CancellationToken cancel;
-  SigintCancellation sigint(cancel);
+  ShutdownSignals shutdown(cancel);
   RunControl control =
       args.deadline_ms > 0
           ? RunControl(cancel, Deadline::AfterMillis(
@@ -178,5 +179,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", args.out_path.c_str());
+  if (shutdown.exit_requested()) {
+    std::fprintf(stderr, "shutdown requested: partial results are on disk; "
+                         "re-run to complete\n");
+  }
   return 0;
 }
