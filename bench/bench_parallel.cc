@@ -237,6 +237,10 @@ void WriteJson(const BenchOptions& opts, const BenchEnv& env, size_t hw,
                  "multi-thread wall-clock numbers are time-sliced, not "
                  "parallel; trust the makespan model columns\",\n",
                  hw);
+  } else {
+    // A real multi-core run: the stamp clears itself so a rerun on
+    // capable hardware retires the caveat without a manual edit.
+    std::fprintf(f, "  \"wall_clock_unverified\": false,\n");
   }
   std::fprintf(f, "  \"serial_ms\": {");
   for (size_t i = 0; i < serial.size(); ++i) {

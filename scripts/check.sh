@@ -8,11 +8,14 @@
 #                                    #   incremental / session tests (the
 #                                    #   concurrent paths; EMDBG_TSAN_ALL=1
 #                                    #   runs the whole suite)
-#   scripts/check.sh all             # release, then asan, then tsan
+#   scripts/check.sh ubsan           # UBSan build + the arithmetic-heavy
+#                                    #   and budget/governor tests
+#                                    #   (EMDBG_UBSAN_ALL=1 = whole suite)
+#   scripts/check.sh all             # release, asan, tsan, then ubsan
 #
 # Each mode uses its own build directory (build/, build-asan/,
-# build-tsan/) so switching sanitizers never requires a clean; the
-# sanitizer modes configure through the CMake presets in
+# build-tsan/, build-ubsan/) so switching sanitizers never requires a
+# clean; the sanitizer modes configure through the CMake presets in
 # CMakePresets.json.
 
 set -euo pipefail
@@ -30,13 +33,22 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 tsan_filter='ThreadPool|Parallel|WorkerPool|MultiThreaded|Cancel|Sharded'
 tsan_filter+='|Server|Soak|Wire|SessionDigest|Fault'
 
+# UBSan focuses on the arithmetic-heavy kernels (similarity, CRC,
+# bit-parallel Levenshtein, TF-IDF weights) and the resource-governor
+# accounting, whose size_t charge/rollback/saturation paths are exactly
+# where unsigned wraparound bugs would live.
+ubsan_filter='Similarity|Levenshtein|Jaro|Cosine|Tfidf|SoftTfidf|Crc32c'
+ubsan_filter+='|Numeric|MongeElkan|Alignment|Interner|IdKernels'
+ubsan_filter+='|MemoryBudget|BudgetFault|Governor|Memo|Bitmap'
+
 run_mode() {
   local mode="$1" dir
   case "$mode" in
     release) dir=build ;;
     asan)    dir=build-asan ;;
     tsan)    dir=build-tsan ;;
-    *) echo "unknown mode '$mode' (want release, asan, tsan, or all)" >&2
+    ubsan)   dir=build-ubsan ;;
+    *) echo "unknown mode '$mode' (want release, asan, tsan, ubsan, or all)" >&2
        exit 2 ;;
   esac
 
@@ -54,6 +66,10 @@ run_mode() {
   if [ "$mode" = tsan ] && [ "${EMDBG_TSAN_ALL:-0}" != 1 ]; then
     ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
       -R "$tsan_filter"
+  elif [ "$mode" = ubsan ] && [ "${EMDBG_UBSAN_ALL:-0}" != 1 ]; then
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+      ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
+      -R "$ubsan_filter"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$jobs"
   fi
@@ -64,6 +80,7 @@ case "${1:-release}" in
     run_mode release
     run_mode asan
     run_mode tsan
+    run_mode ubsan
     ;;
   *)
     run_mode "${1:-release}"

@@ -185,7 +185,10 @@ DebugSession::DebugSession(std::shared_ptr<const Table> a,
       options_(options),
       catalog_(a_->schema(), b_->schema()),
       rng_(options.seed) {
-  ctx_ = std::make_unique<PairContext>(*a_, *b_, catalog_);
+  ctx_ = std::make_unique<PairContext>(
+      *a_, *b_, catalog_, PairContext::Options{.budget = options_.budget});
+  // batch_state_ is still empty, so attaching cannot bill anything yet.
+  (void)batch_state_.AttachBudget(options_.budget);
   if (options_.num_threads != 1) {
     // One persistent pool for the session's lifetime: threads spawn here
     // once and are reused by every full run, prewarm, and edit.
@@ -196,14 +199,16 @@ DebugSession::DebugSession(std::shared_ptr<const Table> a,
 IncrementalMatcher::Options DebugSession::IncOptions() {
   return IncrementalMatcher::Options{
       .check_cache_first = options_.check_cache_first,
-      .pool = pool_.get()};
+      .pool = pool_.get(),
+      .budget = options_.budget};
 }
 
 MatchResult DebugSession::BatchRun(const RunControl& control) {
   if (pool_ != nullptr && pool_->num_workers() > 1) {
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = options_.check_cache_first,
-        .pool = pool_.get()});
+        .pool = pool_.get(),
+        .budget = options_.budget});
     return matcher.RunWithState(fn_, *pairs_, *ctx_, batch_state_, control);
   }
   MemoMatcher matcher(
@@ -378,6 +383,21 @@ std::string DebugSession::MemoryReport() const {
   const MatchState& state =
       started_ && options_.incremental ? inc_->state() : batch_state_;
   return state.MemoryReport();
+}
+
+DebugSession::MemoryFootprint DebugSession::Footprint() const {
+  MemoryFootprint fp;
+  const MatchState& state =
+      started_ && options_.incremental && inc_ != nullptr ? inc_->state()
+                                                          : batch_state_;
+  fp.memo_bytes = state.MemoryBytes();
+  fp.token_cache_bytes = ctx_->TokenCacheBytes();
+  fp.id_cache_bytes = ctx_->IdCacheBytes();
+  if (const TokenInterner* interner = ctx_->interner()) {
+    fp.interner_bytes =
+        interner->ArenaBytes() + interner->DictionaryBytes();
+  }
+  return fp;
 }
 
 MatchExplanation DebugSession::Explain(PairId pair) {

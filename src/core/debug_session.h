@@ -51,6 +51,27 @@ class DebugSession {
     /// identical to serial for every value (see DESIGN.md, Threading
     /// model).
     size_t num_threads = 1;
+    /// Memory accountant for everything large the session allocates —
+    /// the memo matrix, token/id caches, interner arenas, per-worker
+    /// scratch (null = unbudgeted). Typically a per-session child quota
+    /// of a process-wide budget (see util/memory_budget.h). A denied
+    /// reservation surfaces as ResourceExhausted from Run()/edits or
+    /// degrades a cache layer with bit-identical results; it never
+    /// aborts. Must outlive the session.
+    MemoryBudget* budget = nullptr;
+  };
+
+  /// Large allocations the session currently holds, by consumer (for
+  /// the serve layer's stats and eviction decisions).
+  struct MemoryFootprint {
+    size_t memo_bytes = 0;         ///< memo matrix + decision bitmaps
+    size_t token_cache_bytes = 0;  ///< per-record token lists
+    size_t id_cache_bytes = 0;     ///< interned-id columns + weight rows
+    size_t interner_bytes = 0;     ///< dictionary + arena
+    size_t total() const {
+      return memo_bytes + token_cache_bytes + id_cache_bytes +
+             interner_bytes;
+    }
   };
 
   /// Takes ownership of the data. The candidate pairs index into the
@@ -131,6 +152,10 @@ class DebugSession {
 
   /// Sec. 7.4-style memory accounting of the materialized state.
   std::string MemoryReport() const;
+
+  /// Current per-consumer byte counts (memo, token caches, id caches,
+  /// interner).
+  MemoryFootprint Footprint() const;
 
   /// Per-rule activity from the materialized state: how many pairs each
   /// rule currently matches and how many pairs each of its predicates has

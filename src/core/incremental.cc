@@ -12,7 +12,11 @@ namespace emdbg {
 IncrementalMatcher::IncrementalMatcher(PairContext& ctx,
                                        const CandidateSet& pairs,
                                        Options options)
-    : ctx_(ctx), pairs_(pairs), options_(options) {}
+    : ctx_(ctx), pairs_(pairs), options_(options) {
+  // The state is still empty, so this can only fail on an injected
+  // mem.reserve fault; an unbudgeted state is the correct fallback then.
+  (void)state_.AttachBudget(options_.budget);
+}
 
 MatchStats IncrementalMatcher::FullRun(const MatchingFunction& fn) {
   return FullRun(fn, RunControl()).stats;
@@ -25,7 +29,8 @@ MatchResult IncrementalMatcher::FullRun(const MatchingFunction& fn,
   if (options_.pool != nullptr && options_.pool->num_workers() > 1) {
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = options_.check_cache_first,
-        .pool = options_.pool});
+        .pool = options_.pool,
+        .budget = options_.budget});
     result = matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
   } else {
     MemoMatcher matcher(MemoMatcher::Options{
@@ -43,14 +48,18 @@ Status IncrementalMatcher::Resume(const MatchingFunction& fn,
         StrFormat("state has %zu pairs, candidate set has %zu",
                   state.num_pairs(), pairs_.size()));
   }
+  // Bill the adopted state's memo against the session budget before
+  // committing — a quota too small for the loaded state must fail the
+  // resume, not silently run unbudgeted.
+  EMDBG_RETURN_IF_ERROR(state.AttachBudget(options_.budget));
   fn_ = fn;
   state_ = std::move(state);
   has_run_ = true;
   return Status::Ok();
 }
 
-void IncrementalMatcher::SyncMemoWidth() {
-  state_.memo().GrowFeatures(ctx_.catalog().size());
+Status IncrementalMatcher::SyncMemoWidth() {
+  return state_.EnsureCapacity(state_.num_pairs(), ctx_.catalog().size());
 }
 
 void IncrementalMatcher::EnsureDecisionBitmaps() {
@@ -154,7 +163,7 @@ Result<MatchStats> IncrementalMatcher::AddRule(const Rule& rule) {
     return Status::FailedPrecondition("FullRun required before edits");
   }
   Stopwatch timer;
-  SyncMemoWidth();
+  EMDBG_RETURN_IF_ERROR(SyncMemoWidth());
   MatchStats stats;
   const RuleId rid = fn_.AddRule(rule);
   last_added_rule_ = rid;
@@ -180,7 +189,7 @@ Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
     return Status::FailedPrecondition("FullRun required before edits");
   }
   Stopwatch timer;
-  SyncMemoWidth();
+  EMDBG_RETURN_IF_ERROR(SyncMemoWidth());
   const Rule* rule = fn_.RuleById(rid);
   if (rule == nullptr) {
     return Status::NotFound(StrFormat("rule %u not found", rid));
@@ -266,7 +275,7 @@ Result<MatchStats> IncrementalMatcher::AddPredicate(RuleId rid,
     return Status::FailedPrecondition("FullRun required before edits");
   }
   Stopwatch timer;
-  SyncMemoWidth();
+  EMDBG_RETURN_IF_ERROR(SyncMemoWidth());
   const Rule* rule = fn_.RuleById(rid);
   if (rule == nullptr) {
     return Status::NotFound(StrFormat("rule %u not found", rid));
@@ -305,7 +314,7 @@ Result<MatchStats> IncrementalMatcher::RemovePredicate(RuleId rid,
     return Status::FailedPrecondition("FullRun required before edits");
   }
   Stopwatch timer;
-  SyncMemoWidth();
+  EMDBG_RETURN_IF_ERROR(SyncMemoWidth());
   const Rule* rule = fn_.RuleById(rid);
   if (rule == nullptr) {
     return Status::NotFound(StrFormat("rule %u not found", rid));
@@ -347,7 +356,7 @@ Result<MatchStats> IncrementalMatcher::SetThreshold(RuleId rid,
     return Status::FailedPrecondition("FullRun required before edits");
   }
   Stopwatch timer;
-  SyncMemoWidth();
+  EMDBG_RETURN_IF_ERROR(SyncMemoWidth());
   Rule* rule = fn_.MutableRuleById(rid);
   if (rule == nullptr) {
     return Status::NotFound(StrFormat("rule %u not found", rid));

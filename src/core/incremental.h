@@ -57,6 +57,12 @@ class IncrementalMatcher {
     /// Edits touching fewer pairs than this run serially even with a
     /// pool (fan-out overhead would dominate sub-millisecond edits).
     size_t min_parallel_pairs = 1024;
+    /// Memory accountant for the materialized state's memo matrix and
+    /// the parallel matcher's per-worker scratch (null = unbudgeted).
+    /// A denied reservation surfaces as ResourceExhausted from the full
+    /// run or edit, with the prior state untouched. Must outlive the
+    /// matcher.
+    MemoryBudget* budget = nullptr;
   };
 
   /// `ctx` and `pairs` must outlive the matcher.
@@ -145,7 +151,9 @@ class IncrementalMatcher {
                    PredicateOrderScratch& scratch);
 
   /// Grows the memo if the catalog gained features since initialization.
-  void SyncMemoWidth();
+  /// ResourceExhausted (state untouched, edit not applied) when the
+  /// attached memory budget denies the growth.
+  Status SyncMemoWidth();
 
   /// Runs body(i, stats, scratch) over every pair index in [0, n),
   /// fanned out over the pool when one is configured and the range is

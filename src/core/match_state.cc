@@ -1,17 +1,92 @@
 #include "src/core/match_state.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/string_util.h"
 
 namespace emdbg {
 
-void MatchState::Initialize(size_t num_pairs, size_t num_features) {
+MatchState::~MatchState() { ReleaseBilling(); }
+
+MatchState::MatchState(MatchState&& other) noexcept
+    : num_pairs_(std::exchange(other.num_pairs_, 0)),
+      memo_(std::move(other.memo_)),
+      matches_(std::move(other.matches_)),
+      rule_true_(std::move(other.rule_true_)),
+      pred_false_(std::move(other.pred_false_)),
+      budget_(std::exchange(other.budget_, nullptr)),
+      billed_bytes_(std::exchange(other.billed_bytes_, 0)) {}
+
+MatchState& MatchState::operator=(MatchState&& other) noexcept {
+  if (this != &other) {
+    ReleaseBilling();
+    num_pairs_ = std::exchange(other.num_pairs_, 0);
+    memo_ = std::move(other.memo_);
+    matches_ = std::move(other.matches_);
+    rule_true_ = std::move(other.rule_true_);
+    pred_false_ = std::move(other.pred_false_);
+    budget_ = std::exchange(other.budget_, nullptr);
+    billed_bytes_ = std::exchange(other.billed_bytes_, 0);
+  }
+  return *this;
+}
+
+void MatchState::ReleaseBilling() {
+  if (budget_ != nullptr && billed_bytes_ > 0) {
+    budget_->Release(billed_bytes_);
+  }
+  billed_bytes_ = 0;
+}
+
+void MatchState::AllocateState(size_t num_pairs, size_t num_features) {
   num_pairs_ = num_pairs;
   memo_ = std::make_unique<DenseMemo>(num_pairs, num_features);
   matches_ = Bitmap(num_pairs);
   rule_true_.clear();
   pred_false_.clear();
+}
+
+void MatchState::Initialize(size_t num_pairs, size_t num_features) {
+  ReleaseBilling();
+  AllocateState(num_pairs, num_features);
+}
+
+Status MatchState::EnsureCapacity(size_t num_pairs, size_t num_features) {
+  if (!initialized() || num_pairs_ != num_pairs) {
+    // Reshape: the old matrix is replaced wholesale. Release its billing
+    // first, then reserve the new shape — the brief window where old and
+    // new matrices coexist inside AllocateState is a transient spike the
+    // accountant deliberately ignores.
+    const size_t target = num_pairs * num_features * sizeof(float);
+    ReleaseBilling();
+    if (budget_ != nullptr) {
+      EMDBG_RETURN_IF_ERROR(budget_->Reserve(target));
+      billed_bytes_ = target;
+    }
+    AllocateState(num_pairs, num_features);
+    return Status::Ok();
+  }
+  if (num_features <= memo_->num_features()) return Status::Ok();
+  const size_t target = num_pairs_ * num_features * sizeof(float);
+  if (budget_ != nullptr && target > billed_bytes_) {
+    EMDBG_RETURN_IF_ERROR(budget_->Reserve(target - billed_bytes_));
+    billed_bytes_ = target;
+  }
+  memo_->GrowFeatures(num_features);
+  return Status::Ok();
+}
+
+Status MatchState::AttachBudget(MemoryBudget* budget) {
+  if (budget == budget_) return Status::Ok();
+  ReleaseBilling();
+  budget_ = nullptr;
+  if (budget == nullptr) return Status::Ok();
+  const size_t bytes = memo_ == nullptr ? 0 : memo_->MemoryBytes();
+  EMDBG_RETURN_IF_ERROR(budget->Reserve(bytes));
+  budget_ = budget;
+  billed_bytes_ = bytes;
+  return Status::Ok();
 }
 
 Bitmap& MatchState::RuleTrue(RuleId rid) {

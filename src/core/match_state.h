@@ -8,6 +8,7 @@
 #include "src/core/matching_function.h"
 #include "src/core/memo.h"
 #include "src/util/bitmap.h"
+#include "src/util/memory_budget.h"
 
 namespace emdbg {
 
@@ -24,10 +25,36 @@ namespace emdbg {
 class MatchState {
  public:
   MatchState() = default;
+  ~MatchState();
+
+  /// Moves transfer the memory-budget billing with the memo — a default
+  /// move would leave both states releasing the same reservation.
+  MatchState(MatchState&& other) noexcept;
+  MatchState& operator=(MatchState&& other) noexcept;
+  MatchState(const MatchState&) = delete;
+  MatchState& operator=(const MatchState&) = delete;
 
   /// Allocates the memo and the match bitmap for `num_pairs` pairs and
   /// `num_features` catalog features. Clears all rule/predicate bitmaps.
+  /// This is the unbudgeted path (any prior billing is released);
+  /// budget-aware callers use EnsureCapacity instead.
   void Initialize(size_t num_pairs, size_t num_features);
+
+  /// Budget-aware Initialize/GrowFeatures: reserves the memo matrix bytes
+  /// from the attached budget *before* allocating, so the dominant
+  /// O(pairs × features) allocation fails as a clean ResourceExhausted
+  /// instead of bad_alloc. On denial the existing state is untouched.
+  /// Without an attached budget this is Initialize/GrowFeatures with an
+  /// always-OK status. The decision bitmaps (1 bit per pair per rule) are
+  /// small relative to the 4-byte-per-cell memo and stay unbilled.
+  Status EnsureCapacity(size_t num_pairs, size_t num_features);
+
+  /// Attaches `budget` (nullptr detaches) and bills the current memo
+  /// bytes, for states loaded or adopted before a budget existed (resume,
+  /// recovery). On denial the budget is not attached and the state is
+  /// usable but unbudgeted.
+  Status AttachBudget(MemoryBudget* budget);
+  MemoryBudget* budget() const { return budget_; }
 
   bool initialized() const { return memo_ != nullptr; }
   size_t num_pairs() const { return num_pairs_; }
@@ -66,11 +93,19 @@ class MatchState {
   std::vector<PredicateId> PredicateIdsWithState() const;
 
  private:
+  /// Replaces memo + bitmaps for a new shape (no billing).
+  void AllocateState(size_t num_pairs, size_t num_features);
+  void ReleaseBilling();
+
   size_t num_pairs_ = 0;
   std::unique_ptr<DenseMemo> memo_;
   Bitmap matches_;
   std::unordered_map<RuleId, Bitmap> rule_true_;
   std::unordered_map<PredicateId, Bitmap> pred_false_;
+  /// Billing for the memo matrix (see EnsureCapacity). The budget must
+  /// outlive the state.
+  MemoryBudget* budget_ = nullptr;
+  size_t billed_bytes_ = 0;
 };
 
 }  // namespace emdbg

@@ -47,6 +47,12 @@ Status DenseMemo::LoadRawValues(const std::vector<float>& values) {
 struct ShardedMemo::Shard {
   mutable std::mutex mu;
   std::unordered_map<uint64_t, float> map;
+  /// Bytes reserved from the budget for this shard (guarded by mu).
+  size_t billed = 0;
+  /// Recency stamp for coldest-first eviction (relaxed; approximate
+  /// ordering is fine for an eviction heuristic). Mutable: Lookup is
+  /// const but still counts as access.
+  mutable std::atomic<uint64_t> last_access{0};
 };
 
 namespace {
@@ -57,9 +63,18 @@ size_t RoundUpPow2(size_t v) {
   return p;
 }
 
+/// Billing chunk: reservations amortize over many Stores instead of one
+/// atomic round-trip per entry.
+constexpr size_t kMemoBillChunk = 64 * 1024;
+
 }  // namespace
 
-ShardedMemo::~ShardedMemo() = default;
+ShardedMemo::~ShardedMemo() {
+  if (budget_ == nullptr) return;
+  for (auto& shard : shards_) {
+    if (shard->billed > 0) budget_->Release(shard->billed);
+  }
+}
 
 ShardedMemo::ShardedMemo(size_t num_shards) {
   // Power-of-two shard count makes the stripe function a mask.
@@ -67,9 +82,63 @@ ShardedMemo::ShardedMemo(size_t num_shards) {
   for (auto& shard : shards_) shard = std::make_unique<Shard>();
 }
 
+size_t ShardedMemo::ShardBytes(const Shard& shard) {
+  return shard.map.size() * 48 + shard.map.bucket_count() * sizeof(void*);
+}
+
+void ShardedMemo::SetBudget(MemoryBudget* budget) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (budget_ != nullptr && shard->billed > 0) {
+      budget_->Release(shard->billed);
+    }
+    shard->billed = 0;
+  }
+  budget_ = budget;
+  if (budget_ == nullptr) return;
+  // Bill what is already resident; denial here evicts via the normal
+  // pressure path on the next Store, so best-effort is fine.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const size_t bytes = ShardBytes(*shard);
+    if (bytes > 0 && budget_->Reserve(bytes).ok()) shard->billed = bytes;
+  }
+}
+
+size_t ShardedMemo::EvictColdestShards(size_t want) {
+  // Snapshot (shard, recency) and walk coldest-first with try_lock: a
+  // shard mid-Store (or the very shard whose Store triggered this call)
+  // is skipped instead of deadlocked on.
+  std::vector<std::pair<uint64_t, Shard*>> order;
+  order.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    order.emplace_back(shard->last_access.load(std::memory_order_relaxed),
+                       shard.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t freed = 0;
+  for (const auto& [tick, shard] : order) {
+    if (freed >= want) break;
+    std::unique_lock<std::mutex> lock(shard->mu, std::try_to_lock);
+    if (!lock.owns_lock() || shard->map.empty()) continue;
+    shard->map.clear();
+    std::unordered_map<uint64_t, float>().swap(shard->map);
+    if (budget_ != nullptr && shard->billed > 0) {
+      budget_->Release(shard->billed);
+      freed += shard->billed;
+      shard->billed = 0;
+    }
+  }
+  if (freed > 0) evictions_.fetch_add(1, std::memory_order_relaxed);
+  return freed;
+}
+
 bool ShardedMemo::Lookup(size_t pair_index, FeatureId feature,
                          double* value) const {
   const Shard& shard = ShardFor(pair_index);
+  shard.last_access.store(access_clock_.fetch_add(1, std::memory_order_relaxed),
+                          std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(Key(pair_index, feature));
   if (it == shard.map.end()) return false;
@@ -80,8 +149,35 @@ bool ShardedMemo::Lookup(size_t pair_index, FeatureId feature,
 void ShardedMemo::Store(size_t pair_index, FeatureId feature,
                         double value) {
   Shard& shard = ShardFor(pair_index);
+  shard.last_access.store(
+      access_clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.map[Key(pair_index, feature)] = static_cast<float>(value);
+  if (budget_ == nullptr) return;
+  const size_t bytes = ShardBytes(shard);
+  if (bytes <= shard.billed) return;
+  const size_t want = std::max(bytes - shard.billed, kMemoBillChunk);
+  if (budget_->Reserve(want).ok()) {
+    shard.billed += want;
+    return;
+  }
+  // Pressure: make room by evicting colder shards (this one's mutex is
+  // held, so EvictColdestShards skips it), then retry once.
+  EvictColdestShards(want);
+  if (budget_->Reserve(want).ok()) {
+    shard.billed += want;
+    return;
+  }
+  // Still denied: this shard itself is the overflow. Drop it — the memo
+  // is a cache, the values recompute on demand.
+  shard.map.clear();
+  std::unordered_map<uint64_t, float>().swap(shard.map);
+  if (shard.billed > 0) {
+    budget_->Release(shard.billed);
+    shard.billed = 0;
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ShardedMemo::Contains(size_t pair_index, FeatureId feature) const {
@@ -113,6 +209,10 @@ void ShardedMemo::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->map.clear();
+    if (budget_ != nullptr && shard->billed > 0) {
+      budget_->Release(shard->billed);
+    }
+    shard->billed = 0;
   }
 }
 
@@ -122,6 +222,38 @@ size_t HashMemo::MemoryBytes() const {
   // array. This is the "more memory per entry, fewer entries" side of the
   // Sec. 7.4 trade-off.
   return map_.size() * 48 + map_.bucket_count() * sizeof(void*);
+}
+
+void HashMemo::ReleaseBilling() {
+  if (budget_ != nullptr && billed_bytes_ > 0) {
+    budget_->Release(billed_bytes_);
+  }
+  billed_bytes_ = 0;
+}
+
+void HashMemo::SetBudget(MemoryBudget* budget) {
+  ReleaseBilling();
+  budget_ = budget;
+  if (budget_ == nullptr) return;
+  const size_t bytes = MemoryBytes();
+  if (bytes > 0 && budget_->Reserve(bytes).ok()) billed_bytes_ = bytes;
+}
+
+void HashMemo::Store(size_t pair_index, FeatureId feature, double value) {
+  map_[Key(pair_index, feature)] = static_cast<float>(value);
+  if (budget_ == nullptr) return;
+  const size_t bytes = MemoryBytes();
+  if (bytes <= billed_bytes_) return;
+  const size_t want = std::max(bytes - billed_bytes_, kMemoBillChunk);
+  if (budget_->Reserve(want).ok()) {
+    billed_bytes_ += want;
+    return;
+  }
+  // Denied: drop the cache (recompute-on-miss keeps correctness) rather
+  // than grow past the budget.
+  map_.clear();
+  std::unordered_map<uint64_t, float>().swap(map_);
+  ReleaseBilling();
 }
 
 }  // namespace emdbg

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/feature.h"
+#include "src/util/memory_budget.h"
 #include "src/util/status.h"
 
 namespace emdbg {
@@ -119,6 +120,7 @@ class DenseMemo final : public Memo {
 class HashMemo final : public Memo {
  public:
   HashMemo() = default;
+  ~HashMemo() override { ReleaseBilling(); }
 
   bool Lookup(size_t pair_index, FeatureId feature,
               double* value) const override {
@@ -128,9 +130,7 @@ class HashMemo final : public Memo {
     return true;
   }
 
-  void Store(size_t pair_index, FeatureId feature, double value) override {
-    map_[Key(pair_index, feature)] = static_cast<float>(value);
-  }
+  void Store(size_t pair_index, FeatureId feature, double value) override;
 
   bool Contains(size_t pair_index, FeatureId feature) const override {
     return map_.count(Key(pair_index, feature)) > 0;
@@ -138,15 +138,28 @@ class HashMemo final : public Memo {
 
   size_t FilledCount() const override { return map_.size(); }
   size_t MemoryBytes() const override;
-  void Clear() override { map_.clear(); }
+  void Clear() override {
+    map_.clear();
+    ReleaseBilling();
+  }
+
+  /// Attaches a memory budget (nullptr detaches and releases billing).
+  /// Growth is billed in chunks as entries accumulate; a denied
+  /// reservation drops the whole map — a memo is a cache, losing it
+  /// costs recomputation, never correctness. The budget must outlive
+  /// the memo.
+  void SetBudget(MemoryBudget* budget);
 
  private:
   static uint64_t Key(size_t pair_index, FeatureId feature) {
     return (static_cast<uint64_t>(pair_index) << 32) |
            static_cast<uint64_t>(feature);
   }
+  void ReleaseBilling();
 
   std::unordered_map<uint64_t, float> map_;
+  MemoryBudget* budget_ = nullptr;
+  size_t billed_bytes_ = 0;
 };
 
 /// Sparse memo safe for concurrent workers: the key space is split into
@@ -175,6 +188,28 @@ class ShardedMemo final : public Memo {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Attaches a memory budget (nullptr detaches and releases billing).
+  /// Each shard bills its growth in chunks under its own mutex; when a
+  /// reservation is denied, the memo first evicts its coldest shards
+  /// (least-recently-accessed; recomputable cache, so always safe) and
+  /// retries, and if the budget still refuses it drops the overflowing
+  /// shard itself. Stores never fail — they just stop caching. The
+  /// budget must outlive the memo.
+  void SetBudget(MemoryBudget* budget);
+
+  /// Evicts least-recently-accessed shards until at least `want` billed
+  /// bytes are freed or all evictable shards are empty; returns the bytes
+  /// freed. Shards whose lock is currently held (a concurrent Store) are
+  /// skipped, which also makes this safe to call from within a budget
+  /// reclaimer while some worker is mid-Store.
+  size_t EvictColdestShards(size_t want);
+
+  /// Evictions performed by budget pressure (self-evictions + explicit
+  /// EvictColdestShards calls that freed something).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard;
 
@@ -188,8 +223,13 @@ class ShardedMemo final : public Memo {
   Shard& ShardFor(size_t pair_index) {
     return *shards_[pair_index & (shards_.size() - 1)];
   }
+  /// Current heap estimate of one shard's map (caller holds its mutex).
+  static size_t ShardBytes(const Shard& shard);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  MemoryBudget* budget_ = nullptr;
+  mutable std::atomic<uint64_t> access_clock_{1};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace emdbg

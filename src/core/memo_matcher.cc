@@ -25,13 +25,23 @@ MatchResult MemoMatcher::RunWithState(const MatchingFunction& fn,
                                       const CandidateSet& pairs,
                                       PairContext& ctx, MatchState& state,
                                       const RunControl& control) {
-  if (!state.initialized() || state.num_pairs() != pairs.size()) {
-    state.Initialize(pairs.size(), ctx.catalog().size());
-  } else {
-    // Keep the memo (cross-iteration reuse); rebuild decision bitmaps.
-    state.memo().GrowFeatures(ctx.catalog().size());
-    state.matches().Fill(false);
+  const bool reuse =
+      state.initialized() && state.num_pairs() == pairs.size();
+  // Budget-aware allocation: a session over quota gets a clean
+  // ResourceExhausted result (zero pairs evaluated, state untouched)
+  // instead of bad_alloc.
+  Status cap = state.EnsureCapacity(pairs.size(), ctx.catalog().size());
+  if (!cap.ok()) {
+    MatchResult denied;
+    denied.matches = Bitmap(pairs.size());
+    denied.evaluated = Bitmap(pairs.size());
+    denied.partial = true;
+    denied.pairs_completed = 0;
+    denied.status = cap;
+    return denied;
   }
+  // Keep the memo on reuse (cross-iteration); rebuild decision bitmaps.
+  if (reuse) state.matches().Fill(false);
   // Materialize one bitmap per rule and per predicate (Sec. 6.1) — even
   // for rules that never fire, so memory accounting matches the paper's
   // setting. Re-initializing in place keeps prior allocations.

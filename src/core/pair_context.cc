@@ -22,11 +22,21 @@ void ForEachRow(ThreadPool* pool, uint32_t rows, Fn&& fn) {
   }
 }
 
+/// Cache-billing chunk (see PairContext::BillBytes): one budget
+/// round-trip per ~256 KB of cache growth, not per token list.
+constexpr size_t kCacheBillChunk = 256 * 1024;
+
+size_t OneTokenIdsBytes(const TokenIds& ids) {
+  return sizeof(TokenIds) +
+         (ids.doc.capacity() + ids.sorted.capacity()) * sizeof(TokenId);
+}
+
 }  // namespace
 
 PairContext::PairContext(const Table& a, const Table& b,
                          const FeatureCatalog& catalog, Options options)
-    : a_(a), b_(b), catalog_(catalog), options_(options) {
+    : a_(a), b_(b), catalog_(catalog), options_(options),
+      budget_(options.budget) {
   if (options_.cache_tokens) {
     cache_a_.words.resize(a_.num_attributes() * a_.num_rows());
     cache_a_.qgrams.resize(a_.num_attributes() * a_.num_rows());
@@ -50,9 +60,74 @@ PairContext::PairContext(const Table& a, const Table& b,
   }
 }
 
+PairContext::~PairContext() {
+  if (budget_ != nullptr) {
+    budget_->Release(billed_bytes_.load(std::memory_order_relaxed));
+  }
+}
+
+bool PairContext::BillBytes(size_t added) {
+  if (budget_ == nullptr) return true;
+  const size_t total =
+      approx_bytes_.fetch_add(added, std::memory_order_relaxed) + added;
+  size_t billed = billed_bytes_.load(std::memory_order_relaxed);
+  while (total > billed) {
+    // Claim the chunk optimistically so concurrent billers don't all
+    // reserve for the same growth; roll back on denial.
+    const size_t want = std::max(total - billed, kCacheBillChunk);
+    if (!billed_bytes_.compare_exchange_weak(billed, billed + want,
+                                             std::memory_order_relaxed)) {
+      continue;
+    }
+    if (!budget_->Reserve(want).ok()) {
+      billed_bytes_.fetch_sub(want, std::memory_order_relaxed);
+      budget_denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    billed = billed_bytes_.load(std::memory_order_relaxed);
+  }
+  return true;
+}
+
+size_t PairContext::TakeInternerGrowth() {
+  if (interner_ == nullptr) return 0;
+  const size_t now = interner_->ArenaBytes() + interner_->DictionaryBytes();
+  const size_t grown = now > interner_bytes_seen_
+                           ? now - interner_bytes_seen_
+                           : 0;
+  interner_bytes_seen_ = now;
+  return grown;
+}
+
+void PairContext::ResyncBillingSerial() {
+  if (budget_ == nullptr) return;
+  size_t actual = TokenCacheBytes() + IdCacheBytes();
+  if (interner_ != nullptr) {
+    actual += interner_->ArenaBytes() + interner_->DictionaryBytes();
+  }
+  approx_bytes_.store(actual, std::memory_order_relaxed);
+  const size_t billed = billed_bytes_.load(std::memory_order_relaxed);
+  if (billed > actual) {
+    budget_->Release(billed - actual);
+    billed_bytes_.store(actual, std::memory_order_relaxed);
+  } else if (billed < actual) {
+    // Under-billed (an earlier denial left a deficit). Best-effort: the
+    // budget may have room now; if not, the deficit shrinks at the next
+    // clear. TryReserve, not Reserve — Resync runs from reclaim
+    // callbacks (DropIdCaches), where a reclaiming Reserve would
+    // self-deadlock on the registry mutex.
+    if (budget_->TryReserve(actual - billed).ok()) {
+      billed_bytes_.store(actual, std::memory_order_relaxed);
+    }
+  }
+}
+
 const TokenList* PairContext::CachedTokens(bool table_b, AttrIndex attr,
                                            uint32_t row, bool qgrams) {
-  if (!options_.cache_tokens) return nullptr;
+  if (!options_.cache_tokens ||
+      token_degraded_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
   const Table& table = table_b ? b_ : a_;
   TokenCache& cache = table_b ? cache_b_ : cache_a_;
   auto& slots = qgrams ? cache.qgrams : cache.words;
@@ -61,22 +136,44 @@ const TokenList* PairContext::CachedTokens(bool table_b, AttrIndex attr,
     const std::string& text = table.Value(row, attr);
     slots[slot] = std::make_unique<TokenList>(
         qgrams ? QGramTokenize(text, 3) : AlnumTokenize(text));
+    size_t bytes =
+        sizeof(TokenList) + slots[slot]->capacity() * sizeof(std::string);
+    for (const std::string& t : *slots[slot]) bytes += t.capacity();
+    if (!BillBytes(bytes)) {
+      // Stop caching new slots; this one stays valid for the current
+      // call. Safe mid-parallel-fill: the flag is atomic and every
+      // similarity function accepts null token lists (it re-tokenizes).
+      token_degraded_.store(true, std::memory_order_relaxed);
+    }
   }
   return slots[slot].get();
 }
 
-void PairContext::BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
+bool PairContext::BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
                                 ThreadPool* pool) {
   IdCache& idc = table_b ? idc_b_ : idc_a_;
   auto& built = qgrams ? idc.qgrams_built : idc.words_built;
-  if (built[attr]) return;
+  if (built[attr]) return true;
+  if (id_degraded_.load(std::memory_order_relaxed)) return false;
   const Table& table = table_b ? b_ : a_;
   auto& slots = qgrams ? idc.qgrams : idc.words;
   const uint32_t rows = table.num_rows();
+  // Abandons a half-built column so billing and slots stay consistent.
+  auto abandon = [&]() {
+    for (uint32_t row = 0; row < rows; ++row) {
+      slots[attr * rows + row].reset();
+    }
+    id_degraded_.store(true, std::memory_order_relaxed);
+    ResyncBillingSerial();
+    return false;
+  };
   // Serial phase: interning mutates the shared dictionary. Tokenization is
   // usually already done (Prewarm fills token slots in parallel first).
   for (uint32_t row = 0; row < rows; ++row) {
     const TokenList* tokens = CachedTokens(table_b, attr, row, qgrams);
+    // Token caching degraded mid-column: the id path needs the raw token
+    // lists, so this column cannot finish.
+    if (tokens == nullptr) return abandon();
     auto ids = std::make_unique<TokenIds>();
     ids->doc = InternDocIds(*tokens, *interner_);
     slots[attr * rows + row] = std::move(ids);
@@ -88,14 +185,24 @@ void PairContext::BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
     TokenIds& ids = *slots[attr * rows + row];
     ids.sorted = SortedUniqueIds(ids.doc);
   });
+  // Bill the column (id arrays + whatever the dictionary grew by). On
+  // denial, drop the column and degrade: the string kernels take over
+  // with identical values.
+  size_t bytes = TakeInternerGrowth();
+  if (ranks_ != nullptr) bytes += ranks_->capacity() * sizeof(uint32_t);
+  for (uint32_t row = 0; row < rows; ++row) {
+    bytes += OneTokenIdsBytes(*slots[attr * rows + row]);
+  }
+  if (!BillBytes(bytes)) return abandon();
   built[attr] = true;
+  return true;
 }
 
-void PairContext::BuildTfColumn(bool table_b, AttrIndex attr,
+bool PairContext::BuildTfColumn(bool table_b, AttrIndex attr,
                                 ThreadPool* pool) {
   IdCache& idc = table_b ? idc_b_ : idc_a_;
-  if (idc.tf_built[attr]) return;
-  BuildIdColumn(table_b, attr, /*qgrams=*/false, pool);
+  if (idc.tf_built[attr]) return true;
+  if (!BuildIdColumn(table_b, attr, /*qgrams=*/false, pool)) return false;
   const Table& table = table_b ? b_ : a_;
   const uint32_t rows = table.num_rows();
   const auto ranks = ranks_;
@@ -104,7 +211,22 @@ void PairContext::BuildTfColumn(bool table_b, AttrIndex attr,
     idc.word_tf[slot] = std::make_unique<IdTfVector>(
         MakeIdTfVector(idc.words[slot]->doc, *ranks));
   });
+  size_t bytes = 0;
+  for (uint32_t row = 0; row < rows; ++row) {
+    const auto& tf = *idc.word_tf[attr * rows + row];
+    bytes += sizeof(IdTfVector) +
+             tf.entries.capacity() * sizeof(tf.entries[0]);
+  }
+  if (!BillBytes(bytes)) {
+    for (uint32_t row = 0; row < rows; ++row) {
+      idc.word_tf[attr * rows + row].reset();
+    }
+    id_degraded_.store(true, std::memory_order_relaxed);
+    ResyncBillingSerial();
+    return false;
+  }
   idc.tf_built[attr] = true;
+  return true;
 }
 
 PairContext::ModelIdCache& PairContext::EnsureModelIds(AttrIndex attr_a,
@@ -113,8 +235,10 @@ PairContext::ModelIdCache& PairContext::EnsureModelIds(AttrIndex attr_a,
   ModelIdCache& mc = model_ids_[std::make_pair(attr_a, attr_b)];
   if (mc.built) return mc;
   const TfIdfModel& model = ModelFor(attr_a, attr_b);
-  BuildTfColumn(false, attr_a, pool);
-  BuildTfColumn(true, attr_b, pool);
+  if (!BuildTfColumn(false, attr_a, pool) ||
+      !BuildTfColumn(true, attr_b, pool)) {
+    return mc;  // built stays false; caller falls back to string path
+  }
   // idf-by-id over the whole current vocabulary: Idf(text) is a pure
   // function of the model, so values match the string path exactly.
   const uint32_t vocab = interner_->size();
@@ -133,18 +257,36 @@ PairContext::ModelIdCache& PairContext::EnsureModelIds(AttrIndex attr_a,
     mc.rows_b[row] = std::make_unique<IdWeightVector>(MakeIdWeightVector(
         *idc_b_.word_tf[attr_b * b_.num_rows() + row], mc.idf_by_id));
   });
+  size_t bytes = mc.idf_by_id.capacity() * sizeof(double);
+  for (const auto* rows : {&mc.rows_a, &mc.rows_b}) {
+    for (const auto& row : *rows) {
+      bytes += sizeof(IdWeightVector) +
+               row->entries.capacity() * sizeof(row->entries[0]);
+    }
+  }
+  if (!BillBytes(bytes)) {
+    mc.idf_by_id.clear();
+    mc.idf_by_id.shrink_to_fit();
+    mc.rows_a.clear();
+    mc.rows_b.clear();
+    id_degraded_.store(true, std::memory_order_relaxed);
+    ResyncBillingSerial();
+    return mc;
+  }
   mc.built = true;
   return mc;
 }
 
-const TokenIds& PairContext::CachedIds(bool table_b, AttrIndex attr,
+const TokenIds* PairContext::CachedIds(bool table_b, AttrIndex attr,
                                        uint32_t row, bool qgrams) {
   IdCache& idc = table_b ? idc_b_ : idc_a_;
   const auto& built = qgrams ? idc.qgrams_built : idc.words_built;
-  if (!built[attr]) BuildIdColumn(table_b, attr, qgrams, nullptr);
+  if (!built[attr] && !BuildIdColumn(table_b, attr, qgrams, nullptr)) {
+    return nullptr;
+  }
   const Table& table = table_b ? b_ : a_;
   const auto& slots = qgrams ? idc.qgrams : idc.words;
-  return *slots[attr * table.num_rows() + row];
+  return slots[attr * table.num_rows() + row].get();
 }
 
 void PairContext::Prewarm(const std::vector<FeatureId>& features,
@@ -216,55 +358,70 @@ void PairContext::Prewarm(const std::vector<FeatureId>& features,
   }
 }
 
-double PairContext::ComputeFeatureIds(const Feature& feature,
-                                      const SimFunctionInfo& info,
-                                      PairId pair) {
+bool PairContext::TryComputeFeatureIds(const Feature& feature,
+                                       const SimFunctionInfo& info,
+                                       PairId pair, double* value) {
   switch (feature.fn) {
     case SimFunction::kJaccard:
     case SimFunction::kDice:
     case SimFunction::kOverlap:
     case SimFunction::kTrigram: {
       const bool qgrams = info.tokens == TokenNeed::kQGram3;
-      const TokenIds& ia = CachedIds(false, feature.attr_a, pair.a, qgrams);
-      const TokenIds& ib = CachedIds(true, feature.attr_b, pair.b, qgrams);
+      const TokenIds* ia = CachedIds(false, feature.attr_a, pair.a, qgrams);
+      const TokenIds* ib = CachedIds(true, feature.attr_b, pair.b, qgrams);
+      if (ia == nullptr || ib == nullptr) return false;
       switch (feature.fn) {
         case SimFunction::kDice:
-          return IdDice(ia.sorted, ib.sorted);
+          *value = IdDice(ia->sorted, ib->sorted);
+          return true;
         case SimFunction::kOverlap:
-          return IdOverlap(ia.sorted, ib.sorted);
+          *value = IdOverlap(ia->sorted, ib->sorted);
+          return true;
         default:  // Jaccard and Trigram (= Jaccard over 3-grams)
-          return IdJaccard(ia.sorted, ib.sorted);
+          *value = IdJaccard(ia->sorted, ib->sorted);
+          return true;
       }
     }
     case SimFunction::kCosine: {
-      BuildTfColumn(false, feature.attr_a, nullptr);
-      BuildTfColumn(true, feature.attr_b, nullptr);
+      if (!BuildTfColumn(false, feature.attr_a, nullptr) ||
+          !BuildTfColumn(true, feature.attr_b, nullptr)) {
+        return false;
+      }
       const IdTfVector& ta =
           *idc_a_.word_tf[feature.attr_a * a_.num_rows() + pair.a];
       const IdTfVector& tb =
           *idc_b_.word_tf[feature.attr_b * b_.num_rows() + pair.b];
-      return IdCosineTf(ta, tb, *ranks_);
+      *value = IdCosineTf(ta, tb, *ranks_);
+      return true;
     }
     case SimFunction::kMongeElkan: {
-      const TokenIds& ia = CachedIds(false, feature.attr_a, pair.a, false);
-      const TokenIds& ib = CachedIds(true, feature.attr_b, pair.b, false);
+      const TokenIds* ia = CachedIds(false, feature.attr_a, pair.a, false);
+      const TokenIds* ib = CachedIds(true, feature.attr_b, pair.b, false);
       const TokenList* ta = CachedTokens(false, feature.attr_a, pair.a, false);
       const TokenList* tb = CachedTokens(true, feature.attr_b, pair.b, false);
-      return IdMongeElkan(*ta, *tb, ia, ib);
+      if (ia == nullptr || ib == nullptr || ta == nullptr || tb == nullptr) {
+        return false;
+      }
+      *value = IdMongeElkan(*ta, *tb, *ia, *ib);
+      return true;
     }
     case SimFunction::kTfIdf: {
       const ModelIdCache& mc =
           EnsureModelIds(feature.attr_a, feature.attr_b, nullptr);
-      return IdTfIdfCosine(*mc.rows_a[pair.a], *mc.rows_b[pair.b], *ranks_);
+      if (!mc.built) return false;
+      *value = IdTfIdfCosine(*mc.rows_a[pair.a], *mc.rows_b[pair.b], *ranks_);
+      return true;
     }
     case SimFunction::kSoftTfIdf: {
       const ModelIdCache& mc =
           EnsureModelIds(feature.attr_a, feature.attr_b, nullptr);
-      return IdSoftTfIdf(*mc.rows_a[pair.a], *mc.rows_b[pair.b], *ranks_,
-                         *interner_);
+      if (!mc.built) return false;
+      *value = IdSoftTfIdf(*mc.rows_a[pair.a], *mc.rows_b[pair.b], *ranks_,
+                           *interner_);
+      return true;
     }
     default:
-      return 0.0;  // unreachable: gated on info.id_path
+      return false;  // unreachable: gated on info.id_path
   }
 }
 
@@ -278,7 +435,12 @@ double PairContext::ComputeFeature(FeatureId f, PairId pair) {
   // (otherwise rule/predicate *order* could change results at threshold
   // boundaries).
   if (info.id_path && interner_ != nullptr) {
-    return static_cast<float>(ComputeFeatureIds(feature, info, pair));
+    double value = 0.0;
+    if (TryComputeFeatureIds(feature, info, pair, &value)) {
+      return static_cast<float>(value);
+    }
+    // Budget pressure dropped or blocked an id structure — fall through
+    // to the string kernels, which compute the identical value.
   }
 
   SimArg arg_a;
@@ -404,6 +566,25 @@ void PairContext::ClearTokenCaches() {
     std::fill(idc->tf_built.begin(), idc->tf_built.end(), false);
   }
   model_ids_.clear();
+  token_degraded_.store(false, std::memory_order_relaxed);
+  id_degraded_.store(false, std::memory_order_relaxed);
+  ResyncBillingSerial();
+}
+
+size_t PairContext::DropIdCaches() {
+  const size_t before = IdCacheBytes();
+  for (IdCache* idc : {&idc_a_, &idc_b_}) {
+    for (auto& slot : idc->words) slot.reset();
+    for (auto& slot : idc->qgrams) slot.reset();
+    for (auto& slot : idc->word_tf) slot.reset();
+    std::fill(idc->words_built.begin(), idc->words_built.end(), false);
+    std::fill(idc->qgrams_built.begin(), idc->qgrams_built.end(), false);
+    std::fill(idc->tf_built.begin(), idc->tf_built.end(), false);
+  }
+  model_ids_.clear();
+  const size_t freed = before - IdCacheBytes();  // ranks_ survives
+  ResyncBillingSerial();
+  return freed;
 }
 
 }  // namespace emdbg

@@ -12,6 +12,7 @@
 #include "src/text/id_kernels.h"
 #include "src/text/tfidf.h"
 #include "src/text/token_interner.h"
+#include "src/util/memory_budget.h"
 #include "src/util/thread_pool.h"
 
 namespace emdbg {
@@ -49,6 +50,15 @@ class PairContext {
     /// kernels on integer arrays (requires cache_tokens; bit-identical
     /// results). Disable to force the string kernels.
     bool intern_tokens = true;
+    /// Memory accountant for the token caches, interned-id columns, and
+    /// interner arenas (null = unbudgeted). Cache growth is billed as it
+    /// happens; a denied reservation *degrades* instead of failing:
+    /// id-cache columns are dropped first (the string kernels from the
+    /// vectorization work compute identical values, just slower), then
+    /// token caching stops (similarity functions re-tokenize per call).
+    /// Results are bit-identical on every rung of that ladder. The
+    /// budget must outlive the context.
+    MemoryBudget* budget = nullptr;
   };
 
   /// The tables and catalog must outlive the context.
@@ -56,6 +66,7 @@ class PairContext {
       : PairContext(a, b, catalog, Options{}) {}
   PairContext(const Table& a, const Table& b, const FeatureCatalog& catalog,
               Options options);
+  ~PairContext();
 
   PairContext(const PairContext&) = delete;
   PairContext& operator=(const PairContext&) = delete;
@@ -107,8 +118,32 @@ class PairContext {
   /// for memory accounting: ArenaBytes/DictionaryBytes).
   const TokenInterner* interner() const { return interner_.get(); }
 
-  /// Drops token and id caches (models and the token dictionary are kept).
+  /// Drops token and id caches (models and the token dictionary are
+  /// kept), releases their billed bytes, and resets any budget-pressure
+  /// degradation — later builds re-attempt reservation, so a context can
+  /// recover once pressure passes. Serial-only (like the builds).
   void ClearTokenCaches();
+
+  /// Drops only the interned-id structures (id arrays, tf vectors, model
+  /// weight vectors) and releases their billing; token caches stay and
+  /// the string kernels keep the same results. The cross-session
+  /// reclaimer hook for idle sessions. Serial-only. Returns the bytes
+  /// released.
+  size_t DropIdCaches();
+
+  /// True once budget pressure disabled the respective cache layer (see
+  /// Options::budget). Reset by ClearTokenCaches.
+  bool id_path_degraded() const {
+    return id_degraded_.load(std::memory_order_relaxed);
+  }
+  bool token_cache_degraded() const {
+    return token_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Reservations the budget denied to this context (degradation events).
+  uint64_t budget_denials() const {
+    return budget_denials_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Cached tokens for one table; slot index = attr * num_rows + row.
@@ -141,21 +176,40 @@ class PairContext {
                                 bool qgrams);
 
   /// Id-path evaluation for functions with SimFunctionInfo::id_path.
-  double ComputeFeatureIds(const Feature& feature,
-                           const SimFunctionInfo& info, PairId pair);
+  /// False when a needed id structure is unavailable (budget pressure
+  /// dropped or blocked it) — the caller falls through to the string
+  /// kernels, which compute the identical value.
+  bool TryComputeFeatureIds(const Feature& feature,
+                            const SimFunctionInfo& info, PairId pair,
+                            double* value);
 
-  const TokenIds& CachedIds(bool table_b, AttrIndex attr, uint32_t row,
+  /// Built id arrays for one slot, or nullptr when the column is
+  /// unavailable under budget pressure.
+  const TokenIds* CachedIds(bool table_b, AttrIndex attr, uint32_t row,
                             bool qgrams);
 
   /// Builds doc + sorted-unique id arrays for every row of one column.
   /// Interning is serial; the per-row sorting fans out over `pool`.
-  void BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
+  /// False when the column is unavailable (billing denied → column
+  /// dropped, id path degraded).
+  bool BuildIdColumn(bool table_b, AttrIndex attr, bool qgrams,
                      ThreadPool* pool);
   /// Builds lex-ordered term-frequency vectors for one words column.
-  void BuildTfColumn(bool table_b, AttrIndex attr, ThreadPool* pool);
+  bool BuildTfColumn(bool table_b, AttrIndex attr, ThreadPool* pool);
   /// Builds the idf table and per-row weight vectors for one model.
+  /// Callers must check `.built` (false under budget pressure).
   ModelIdCache& EnsureModelIds(AttrIndex attr_a, AttrIndex attr_b,
                                ThreadPool* pool);
+
+  /// Bills `added` approximate cache bytes against the budget in chunks.
+  /// False on denial (counted in budget_denials_); callers degrade.
+  bool BillBytes(size_t added);
+  /// Recomputes actual cache bytes and trues billing up or down. Serial
+  /// contexts only (walks every cache slot).
+  void ResyncBillingSerial();
+  /// Interner arena+dictionary growth since the last call (serial
+  /// contexts only — the interner only grows in serial build phases).
+  size_t TakeInternerGrowth();
 
   const Table& a_;
   const Table& b_;
@@ -173,6 +227,19 @@ class PairContext {
   /// tokens (serial phases only; concurrent readers see a settled value).
   std::shared_ptr<const std::vector<uint32_t>> ranks_;
   std::atomic<size_t> compute_count_{0};
+
+  // ---- Memory-budget accounting (see Options::budget). approx/billed
+  // are atomics because token-cache fills run in parallel during
+  // Prewarm; the degradation flags are flipped at most once per pressure
+  // episode and read relaxed. ----
+  MemoryBudget* budget_ = nullptr;
+  std::atomic<size_t> approx_bytes_{0};
+  std::atomic<size_t> billed_bytes_{0};
+  std::atomic<bool> token_degraded_{false};
+  std::atomic<bool> id_degraded_{false};
+  std::atomic<uint64_t> budget_denials_{0};
+  /// Interner bytes already folded into approx_bytes_ (serial phases).
+  size_t interner_bytes_seen_ = 0;
 };
 
 }  // namespace emdbg

@@ -52,12 +52,19 @@ MatchResult ParallelMemoMatcher::RunWithState(const MatchingFunction& fn,
                                               PairContext& ctx,
                                               MatchState& state,
                                               const RunControl& control) {
-  if (!state.initialized() || state.num_pairs() != pairs.size()) {
-    state.Initialize(pairs.size(), ctx.catalog().size());
-  } else {
-    state.memo().GrowFeatures(ctx.catalog().size());
-    state.matches().Fill(false);
+  const bool reuse =
+      state.initialized() && state.num_pairs() == pairs.size();
+  Status cap = state.EnsureCapacity(pairs.size(), ctx.catalog().size());
+  if (!cap.ok()) {
+    MatchResult denied;
+    denied.matches = Bitmap(pairs.size());
+    denied.evaluated = Bitmap(pairs.size());
+    denied.partial = true;
+    denied.pairs_completed = 0;
+    denied.status = cap;
+    return denied;
   }
+  if (reuse) state.matches().Fill(false);
   // Serial phase: materialize every decision bitmap before workers start
   // (MatchState's map must not rehash under concurrent first access).
   for (const Rule& r : fn.rules()) {
@@ -92,6 +99,20 @@ MatchResult ParallelMemoMatcher::RunImpl(const MatchingFunction& fn,
     MatchStats stats;
     PredicateOrderScratch scratch;
   };
+  // Per-worker scratch is small but scales with the worker count —
+  // reserve it (sizeof plus a conservative allowance for the
+  // predicate-order buffers each scratch grows) so a fleet of matchers
+  // under one budget degrades cleanly instead of creeping past it.
+  constexpr size_t kScratchAllowance = 4096;
+  Result<MemoryReservation> scratch_bytes = MemoryReservation::Make(
+      options_.budget, workers * (sizeof(WorkerState) + kScratchAllowance));
+  if (!scratch_bytes.ok()) {
+    result.evaluated = Bitmap(pairs.size());
+    result.partial = true;
+    result.pairs_completed = 0;
+    result.status = scratch_bytes.status();
+    return result;
+  }
   std::vector<WorkerState> worker_state(workers);
 
   // Per-pair body. Every access is indexed by the pair `i` being

@@ -51,6 +51,11 @@ class ParallelMemoMatcher final : public Matcher {
     /// filled with each worker's MatchStats (their sum equals the
     /// result's stats, minus elapsed_ms which is wall-clock).
     std::vector<MatchStats>* per_worker_stats = nullptr;
+    /// When set, the per-worker scratch (stats + predicate-order
+    /// buffers) is reserved from this budget before workers start; a
+    /// denied reservation yields a clean ResourceExhausted result with
+    /// zero pairs evaluated. The budget must outlive the run.
+    MemoryBudget* budget = nullptr;
   };
 
   ParallelMemoMatcher() : ParallelMemoMatcher(Options{}) {}

@@ -1,7 +1,9 @@
 #include "src/serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,6 +31,11 @@ ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
 
 Result<ServeClient> ServeClient::Connect(const std::string& host,
                                          uint16_t port) {
+  return Connect(host, port, /*timeout_ms=*/-1);
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& host,
+                                         uint16_t port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
@@ -42,15 +49,78 @@ Result<ServeClient> ServeClient::Connect(const std::string& host,
     return Status::InvalidArgument(
         StrFormat("bad IPv4 address '%s'", host.c_str()));
   }
+  if (timeout_ms < 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      Status s = Status::IoError(
+          StrFormat("connect %s:%u: %s", host.c_str(), port,
+                    std::strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    return ServeClient(fd);
+  }
+
+  // Bounded handshake: non-blocking connect, poll for writability, read
+  // the final verdict from SO_ERROR, then restore blocking mode so the
+  // rest of the client keeps its simple blocking I/O.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    Status s =
+        Status::IoError(StrFormat("fcntl: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                    sizeof(addr));
   } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status s = Status::IoError(StrFormat("connect %s:%u: %s", host.c_str(),
+                                         port, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
   if (rc != 0) {
-    Status s = Status::IoError(
-        StrFormat("connect %s:%u: %s", host.c_str(), port,
-                  std::strerror(errno)));
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr < 0) {
+      Status s = Status::IoError(StrFormat("poll: %s", std::strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    if (pr == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded(
+          StrFormat("connect %s:%u: timed out after %dms", host.c_str(),
+                    port, timeout_ms));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      so_error = errno;
+    }
+    if (so_error != 0) {
+      Status s = Status::IoError(StrFormat("connect %s:%u: %s", host.c_str(),
+                                           port, std::strerror(so_error)));
+      ::close(fd);
+      return s;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    Status s =
+        Status::IoError(StrFormat("fcntl: %s", std::strerror(errno)));
     ::close(fd);
     return s;
   }

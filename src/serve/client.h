@@ -24,7 +24,13 @@ class ServeClient {
   ServeClient& operator=(const ServeClient&) = delete;
 
   /// Connects to `host:port` (host is a dotted-quad, e.g. "127.0.0.1").
+  /// The two-argument form blocks indefinitely; `timeout_ms >= 0` bounds
+  /// the TCP handshake with a non-blocking connect + poll, so a hung or
+  /// non-accepting server yields DeadlineExceeded instead of a stuck
+  /// client (-1 = block).
   static Result<ServeClient> Connect(const std::string& host, uint16_t port);
+  static Result<ServeClient> Connect(const std::string& host, uint16_t port,
+                                     int timeout_ms);
 
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }

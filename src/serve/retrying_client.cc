@@ -1,0 +1,181 @@
+#include "src/serve/retrying_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "src/util/fault_injection.h"
+#include "src/util/string_util.h"
+
+namespace emdbg {
+
+namespace {
+
+std::string_view FirstToken(std::string_view s) {
+  s = TrimAscii(s);
+  const size_t sp = s.find_first_of(" \t");
+  return sp == std::string_view::npos ? s : s.substr(0, sp);
+}
+
+/// Verbs that change session state and therefore need an idempotency key.
+/// Reads (run, rules, digest, stats, ping) are safe to repeat outright.
+bool IsMutatingVerb(std::string_view verb) {
+  return verb == "add_rule" || verb == "remove_rule" || verb == "add_pred" ||
+         verb == "remove_pred" || verb == "set_threshold" || verb == "undo" ||
+         verb == "checkpoint";
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Extracts the server's "retry_after_ms=<N>" hint (0 when absent).
+double RetryAfterHint(const Status& s) {
+  static constexpr std::string_view kKey = "retry_after_ms=";
+  const std::string& m = s.message();
+  const size_t pos = m.find(kKey);
+  if (pos == std::string::npos) return 0;
+  return std::atof(m.c_str() + pos + kKey.size());
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string host, uint16_t port,
+                               RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      rng_(policy.seed) {}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_.connected()) return Status::Ok();
+  Result<ServeClient> c =
+      ServeClient::Connect(host_, port_, policy_.connect_timeout_ms);
+  if (!c.ok()) return c.status();
+  client_ = std::move(*c);
+  reconnects_++;
+  if (token_.empty()) return Status::Ok();
+  // Re-bind the new connection to our session. A server that lost the
+  // live session (crash) answers NotFound; one that degraded it (journal
+  // failure) answers FailedPrecondition. Both are recoverable from the
+  // fsync'd journal when the session is durable.
+  Result<std::string> r = client_.Call("attach " + token_);
+  if (r.ok()) return Status::Ok();
+  const StatusCode code = r.status().code();
+  if (durable_ && (code == StatusCode::kNotFound ||
+                   code == StatusCode::kFailedPrecondition)) {
+    Result<std::string> rr = client_.Call("resume " + token_);
+    if (rr.ok()) return Status::Ok();
+    return rr.status();
+  }
+  return r.status();
+}
+
+double RetryingClient::BackoffMs(int attempt, const Status& last) {
+  double base = policy_.initial_backoff_ms *
+                std::pow(policy_.backoff_multiplier, attempt - 1);
+  base = std::min(base, policy_.max_backoff_ms);
+  base = std::max(base, RetryAfterHint(last));
+  // Multiplicative jitter in [0.5, 1.0): retrying clients decorrelate
+  // instead of stampeding the server in lockstep.
+  return base * (0.5 + 0.5 * rng_.NextDouble());
+}
+
+Result<std::string> RetryingClient::Call(std::string_view command) {
+  std::string framed;
+  if (IsMutatingVerb(FirstToken(command))) {
+    framed = StrFormat("idem=c%llu-%llu ",
+                       static_cast<unsigned long long>(policy_.seed),
+                       static_cast<unsigned long long>(seq_++));
+  }
+  framed.append(command.data(), command.size());
+
+  Status last = Status::Internal("retry loop did not run");
+  const int attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_++;
+      SleepMs(BackoffMs(attempt, last));
+    }
+    Status cs = EnsureConnected();
+    if (!cs.ok()) {
+      last = cs;
+      continue;
+    }
+    Result<std::string> r = client_.Call(framed);
+    if (r.ok()) {
+      if (FaultFire("serve.retry")) {
+        // Lost-acknowledgement drill: the server applied and answered,
+        // but "the network ate it". Retrying the same idempotency key
+        // must replay, not re-apply.
+        last = Status::IoError("injected lost acknowledgement");
+        continue;
+      }
+      return r;
+    }
+    const StatusCode code = r.status().code();
+    last = r.status();
+    if (code == StatusCode::kIoError) {
+      // Transport death mid-call: outcome indeterminate, which is exactly
+      // what the idempotency key is for. Reconnect and retry.
+      client_.Close();
+      continue;
+    }
+    if (code == StatusCode::kResourceExhausted) {
+      continue;  // backoff honours the retry_after_ms hint
+    }
+    if (code == StatusCode::kFailedPrecondition && durable_ &&
+        !token_.empty() &&
+        r.status().message().find("degraded") != std::string::npos) {
+      // The session degraded under us; resume inline, then retry the
+      // command (its edit never committed — degradation happens only on
+      // a failed journal write, before the acknowledgement).
+      Result<std::string> rr = client_.Call("resume " + token_);
+      if (!rr.ok() && rr.status().code() == StatusCode::kIoError) {
+        client_.Close();
+      }
+      continue;
+    }
+    return r;  // a real answer (parse error, not-found, ...) — no retry
+  }
+  return last;
+}
+
+Status RetryingClient::Open(bool durable, std::string token) {
+  durable_ = durable;
+  token_.clear();
+  std::string cmd = durable ? "open durable" : "open";
+  if (!token.empty()) cmd += " token=" + token;
+  Result<std::string> r = Call(cmd);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kAlreadyExists && !token.empty()) {
+      // A lost ack from a previous open attempt: the session exists, so
+      // adopt it.
+      return Attach(std::move(token), durable);
+    }
+    return r.status();
+  }
+  static constexpr std::string_view kKey = "token=";
+  const size_t pos = r->find(kKey);
+  if (pos == std::string::npos) {
+    return Status::Internal("open response lacks a token: " + *r);
+  }
+  std::string_view rest = std::string_view(*r).substr(pos + kKey.size());
+  token_ = std::string(FirstToken(rest));
+  return Status::Ok();
+}
+
+Status RetryingClient::Attach(std::string token, bool durable) {
+  token_ = std::move(token);
+  durable_ = durable;
+  client_.Close();  // force the reconnect path, which attaches/resumes
+  return EnsureConnected();
+}
+
+void RetryingClient::Close() { client_.Close(); }
+
+}  // namespace emdbg

@@ -1,0 +1,97 @@
+#ifndef EMDBG_SERVE_RETRYING_CLIENT_H_
+#define EMDBG_SERVE_RETRYING_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/serve/client.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Retry schedule for RetryingClient: exponential backoff with
+/// multiplicative jitter, capped, and bounded by max_attempts.
+struct RetryPolicy {
+  int max_attempts = 5;
+  double initial_backoff_ms = 10;
+  double max_backoff_ms = 1000;
+  double backoff_multiplier = 2.0;
+  /// Handshake bound for every (re)connect (see ServeClient::Connect's
+  /// three-argument overload). -1 = block.
+  int connect_timeout_ms = 2000;
+  /// Seeds the jitter RNG and namespaces the idempotency keys, so two
+  /// clients retrying against one session can never collide.
+  uint64_t seed = 1;
+};
+
+/// The client half of the service's exactly-once contract (server.h,
+/// Options::idempotency_window). Wraps the deliberately retry-free
+/// ServeClient with:
+///
+///  * automatic idempotency keys ("idem=c<seed>-<seq> <cmd>") on every
+///    mutating verb, so a retry after a lost acknowledgement replays the
+///    server's stored response instead of applying the edit twice;
+///  * exponential backoff with jitter, honouring the server's
+///    "retry_after_ms=" hint on ResourceExhausted sheds;
+///  * transparent reconnect (bounded by connect_timeout_ms) with
+///    `attach <token>`, falling back to `resume <token>` for durable
+///    sessions the server lost (crash) or degraded (journal failure).
+///
+/// The `serve.retry` fault site fires after a successful response and
+/// discards it — the lost-ack drill: the client retries the same key and
+/// the server's dedup window must keep the edit exactly-once.
+///
+/// Thread-compatible (one thread per client), like ServeClient.
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, uint16_t port, RetryPolicy policy = {});
+
+  /// Opens a fresh session (optionally durable) and remembers its token.
+  /// A non-empty `token` requests that specific token ("open ... token=T"),
+  /// so a client restarted after a crash can resume deterministically; an
+  /// AlreadyExists answer then attaches/resumes instead — an earlier
+  /// attempt (whose ack was lost) actually landed.
+  Status Open(bool durable, std::string token = "");
+
+  /// Adopts an existing session token (e.g. to resume after a crash of a
+  /// previous client process); connects and attaches/resumes eagerly.
+  Status Attach(std::string token, bool durable);
+
+  /// One command with the full retry treatment. Same response contract as
+  /// ServeClient::Call. Errors other than IoError / ResourceExhausted /
+  /// degraded-session are returned immediately — they are answers, not
+  /// transport failures.
+  Result<std::string> Call(std::string_view command);
+
+  const std::string& token() const { return token_; }
+  bool connected() const { return client_.connected(); }
+
+  /// Observability for the tests and the load generator.
+  uint64_t retries() const { return retries_; }
+  uint64_t reconnects() const { return reconnects_; }
+
+  void Close();
+
+ private:
+  Status EnsureConnected();
+  /// Backoff for the attempt about to run (attempt >= 1), honouring any
+  /// "retry_after_ms=" hint embedded in the previous failure.
+  double BackoffMs(int attempt, const Status& last);
+
+  std::string host_;
+  uint16_t port_;
+  RetryPolicy policy_;
+  ServeClient client_;
+  std::string token_;
+  bool durable_ = false;
+  Rng rng_;
+  uint64_t seq_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_SERVE_RETRYING_CLIENT_H_

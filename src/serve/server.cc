@@ -93,10 +93,16 @@ struct Server::Request {
   std::shared_ptr<ConnShared> conn;
   Deadline deadline;
   CancellationToken cancel;
+  /// Client idempotency key ("idem=K <cmd>"; empty = none).
+  std::string idem_key;
 };
 
 struct Server::SessionEntry {
   std::string token;
+  /// Per-session quota (child of the server budget; null when resource
+  /// governance is off). Declared before `session` so the quota outlives
+  /// the session that bills against it.
+  std::unique_ptr<MemoryBudget> quota;
   std::unique_ptr<DebugSession> session;
   std::deque<Request> queue;
   bool running = false;
@@ -112,6 +118,15 @@ struct Server::SessionEntry {
   /// In-flight request bookkeeping so a dropped connection can cancel it.
   std::shared_ptr<ConnShared> running_conn;
   CancellationToken running_cancel;
+  /// Watchdog bookkeeping (see Options::watchdog_interval_ms).
+  std::chrono::steady_clock::time_point running_since;
+  bool stuck_flagged = false;
+  /// Acked responses by idempotency key, oldest first (bounded by
+  /// Options::idempotency_window). Owned by whichever worker holds
+  /// `running` — or by mu_ when idle — so it needs no lock of its own.
+  /// Lives on the entry, not the DebugSession, so it survives degrade +
+  /// resume: a retry of an edit acked before the degrade still replays.
+  std::deque<std::pair<std::string, std::string>> idem_window;
 };
 
 Server::Server(std::shared_ptr<const Table> a, std::shared_ptr<const Table> b,
@@ -123,6 +138,10 @@ Server::Server(std::shared_ptr<const Table> a, std::shared_ptr<const Table> b,
   boot_id_ = static_cast<uint64_t>(::getpid()) ^
              static_cast<uint64_t>(
                  std::chrono::system_clock::now().time_since_epoch().count());
+  if (options_.mem_budget_bytes > 0 || options_.session_quota_bytes > 0) {
+    budget_ = std::make_unique<MemoryBudget>(options_.mem_budget_bytes,
+                                             "server");
+  }
 }
 
 Server::~Server() { Abort(); }
@@ -164,13 +183,84 @@ Status Server::Start() {
   if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) return fail("pipe2");
 
   state_ = State::kRunning;
+  if (budget_ != nullptr) {
+    // Cross-tenant graceful degradation: under global pressure, evict
+    // idle sessions' id caches first (cheapest to rebuild), then their
+    // token caches. A session's *own* overflow is handled inside
+    // PairContext/Memo (self-degradation), not here — its caches are in
+    // active use by the worker that triggered the reserve.
+    id_reclaimer_ = budget_->AddReclaimer(
+        MemoryBudget::kReclaimIdCaches, "idle-session-id-caches",
+        [this](size_t want) { return ReclaimSessionCaches(want, false); });
+    token_reclaimer_ = budget_->AddReclaimer(
+        MemoryBudget::kReclaimTokenCaches, "idle-session-token-caches",
+        [this](size_t want) { return ReclaimSessionCaches(want, true); });
+  }
   const size_t nw = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(nw);
   for (size_t i = 0; i < nw; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   poll_thread_ = std::thread([this] { PollLoop(); });
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
   return Status::Ok();
+}
+
+std::string Server::ErrShed(const std::string& msg) const {
+  return StrFormat("err ResourceExhausted %s retry_after_ms=%g",
+                   msg.c_str(), options_.retry_after_ms);
+}
+
+size_t Server::ReclaimSessionCaches(size_t want, bool drop_tokens) {
+  // Called from inside MemoryBudget::Reserve with the registry mutex
+  // held; try_lock only — blocking on mu_ here could deadlock against a
+  // thread that holds mu_ and waits on the registry (none exists today,
+  // but the invariant is cheap to keep).
+  std::unique_lock<std::mutex> l(mu_, std::try_to_lock);
+  if (!l.owns_lock()) return 0;
+  size_t freed = 0;
+  for (auto& kv : sessions_) {
+    if (freed >= want) break;
+    SessionEntry& entry = *kv.second;
+    // A running session's caches are mid-use by its worker (the cache
+    // builds are serial-only); only idle sessions are evictable.
+    if (entry.running || entry.session == nullptr) continue;
+    PairContext& ctx = entry.session->context();
+    freed += ctx.DropIdCaches();
+    if (drop_tokens) {
+      const size_t before = ctx.TokenCacheBytes();
+      ctx.ClearTokenCaches();
+      freed += before - ctx.TokenCacheBytes();
+    }
+  }
+  return freed;
+}
+
+void Server::WatchdogLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.watchdog_interval_ms);
+  while (!watchdog_exit_) {
+    watchdog_cv_.wait_for(l, interval, [&] { return watchdog_exit_; });
+    if (watchdog_exit_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& kv : sessions_) {
+      SessionEntry& entry = *kv.second;
+      if (!entry.running || entry.stuck_flagged) continue;
+      const double ms =
+          std::chrono::duration<double, std::milli>(now - entry.running_since)
+              .count();
+      if (ms >= options_.stuck_task_ms) {
+        // Surface, don't kill: the request may legitimately be slow, and
+        // cancellation is already the client's lever (deadlines). The
+        // counter makes a wedged worker visible in `stats`.
+        entry.stuck_flagged = true;
+        stats_.tasks_stuck++;
+      }
+    }
+  }
 }
 
 void Server::WriteResponse(const std::shared_ptr<ConnShared>& conn,
@@ -357,6 +447,22 @@ void Server::DropConnection(uint64_t conn_id) {
 
 void Server::HandleFrame(Connection& conn, std::string_view payload) {
   std::string_view line = TrimAscii(payload);
+  // Optional idempotency key prefix: "idem=K <command>". The key rides
+  // on the queued request; the command itself is parsed (and stored)
+  // without it, so replay detection never changes execution semantics.
+  std::string idem_key;
+  if (StartsWith(line, "idem=")) {
+    std::string_view after = line;
+    const std::string_view tok = TakeToken(after);
+    idem_key = std::string(tok.substr(5));
+    if (idem_key.empty() || idem_key.size() > 64) {
+      WriteResponse(conn.shared,
+                    Err(StatusCode::kParseError,
+                        "idempotency key must be 1-64 characters"));
+      return;
+    }
+    line = after;
+  }
   std::string_view rest = line;
   const std::string_view verb = TakeToken(rest);
 
@@ -368,10 +474,14 @@ void Server::HandleFrame(Connection& conn, std::string_view payload) {
     std::string resp;
     {
       std::lock_guard<std::mutex> l(mu_);
+      Stats gov = stats_;
+      FillGovernorStatsLocked(gov);
       resp = StrFormat(
           "ok sessions=%zu conns=%zu opened=%llu resumed=%llu degraded=%llu "
           "executed=%llu shed_requests=%llu shed_conns=%llu expired=%llu "
-          "dropped=%llu",
+          "dropped=%llu mem_used=%zu mem_limit=%zu mem_denials=%llu "
+          "reclaims=%llu reclaimed=%llu replays=%llu stuck=%llu "
+          "memo_bytes=%zu token_bytes=%zu id_bytes=%zu interner_bytes=%zu",
           sessions_.size(), conns_.size(),
           static_cast<unsigned long long>(stats_.sessions_opened),
           static_cast<unsigned long long>(stats_.sessions_resumed),
@@ -380,7 +490,14 @@ void Server::HandleFrame(Connection& conn, std::string_view payload) {
           static_cast<unsigned long long>(stats_.requests_shed),
           static_cast<unsigned long long>(stats_.connections_shed),
           static_cast<unsigned long long>(stats_.requests_expired),
-          static_cast<unsigned long long>(stats_.requests_dropped));
+          static_cast<unsigned long long>(stats_.requests_dropped),
+          gov.mem_used_bytes, gov.mem_limit_bytes,
+          static_cast<unsigned long long>(gov.mem_denials),
+          static_cast<unsigned long long>(gov.mem_reclaim_runs),
+          static_cast<unsigned long long>(gov.mem_reclaimed_bytes),
+          static_cast<unsigned long long>(gov.idem_replays),
+          static_cast<unsigned long long>(gov.tasks_stuck), gov.memo_bytes,
+          gov.token_cache_bytes, gov.id_cache_bytes, gov.interner_bytes);
     }
     WriteResponse(conn.shared, resp);
     return;
@@ -434,13 +551,13 @@ void Server::HandleFrame(Connection& conn, std::string_view payload) {
                        conn.session + " to continue");
       } else if (entry.queue.size() >= options_.max_queue_per_session) {
         stats_.requests_shed++;
-        resp = Err(StatusCode::kResourceExhausted,
-                   StrFormat("session queue full (%zu queued)",
-                             entry.queue.size()));
+        resp = ErrShed(StrFormat("session queue full (%zu queued)",
+                                 entry.queue.size()));
       } else {
         Request req;
         req.line = std::string(line);
         req.conn = conn.shared;
+        req.idem_key = std::move(idem_key);
         if (verb == "run") {
           // An explicit run deadline starts counting at admission, like
           // the default one, so queue time counts against it.
@@ -493,13 +610,19 @@ void Server::HandleOpen(Connection& conn, std::string_view rest) {
                  "durability not configured on this server");
     } else if (FaultFire("serve.session")) {
       stats_.requests_shed++;
-      resp = Err(StatusCode::kResourceExhausted,
-                 "session allocation failed (injected)");
+      resp = ErrShed("session allocation failed (injected)");
     } else if (sessions_.size() >= options_.max_sessions) {
       stats_.requests_shed++;
-      resp = Err(StatusCode::kResourceExhausted,
-                 StrFormat("session table full (%zu sessions)",
-                           sessions_.size()));
+      resp = ErrShed(StrFormat("session table full (%zu sessions)",
+                               sessions_.size()));
+    } else if (budget_ != nullptr && !budget_->unlimited() &&
+               budget_->remaining() == 0) {
+      // Admission control: a fully consumed budget means a new session
+      // could not even warm its caches; shed at the door with a hint
+      // instead of letting it starve inside.
+      stats_.requests_shed++;
+      resp = ErrShed(StrFormat("memory budget exhausted (%zu bytes in use)",
+                               budget_->used()));
     } else {
       if (token.empty()) {
         token = StrFormat("s%llu-%llx",
@@ -514,6 +637,12 @@ void Server::HandleOpen(Connection& conn, std::string_view rest) {
         so.num_threads = options_.session_threads;
         auto entry = std::make_unique<SessionEntry>();
         entry->token = token;
+        if (budget_ != nullptr) {
+          entry->quota = std::make_unique<MemoryBudget>(
+              budget_.get(), options_.session_quota_bytes,
+              "session/" + token);
+          so.budget = entry->quota.get();
+        }
         entry->session =
             std::make_unique<DebugSession>(a_, b_, pairs_, so);
         entry->durable = durable;
@@ -584,13 +713,11 @@ void Server::HandleResume(Connection& conn, std::string_view rest) {
         }
       } else if (FaultFire("serve.session")) {
         stats_.requests_shed++;
-        resp = Err(StatusCode::kResourceExhausted,
-                   "session allocation failed (injected)");
+        resp = ErrShed("session allocation failed (injected)");
       } else if (sessions_.size() >= options_.max_sessions) {
         stats_.requests_shed++;
-        resp = Err(StatusCode::kResourceExhausted,
-                   StrFormat("session table full (%zu sessions)",
-                             sessions_.size()));
+        resp = ErrShed(StrFormat("session table full (%zu sessions)",
+                                 sessions_.size()));
       } else {
         auto fresh = std::make_unique<SessionEntry>();
         fresh->token = token;
@@ -600,6 +727,17 @@ void Server::HandleResume(Connection& conn, std::string_view rest) {
       if (entry != nullptr) {
         DebugSession::Options so;
         so.num_threads = options_.session_threads;
+        if (budget_ != nullptr) {
+          // Reuse the degraded entry's quota (its billing drained when
+          // the old session object was dropped); fresh entries get a
+          // fresh child.
+          if (entry->quota == nullptr) {
+            entry->quota = std::make_unique<MemoryBudget>(
+                budget_.get(), options_.session_quota_bytes,
+                "session/" + token);
+          }
+          so.budget = entry->quota.get();
+        }
         entry->session = std::make_unique<DebugSession>(a_, b_, pairs_, so);
         entry->durable = true;
         entry->degraded = false;  // re-flagged by the worker on failure
@@ -643,16 +781,40 @@ void Server::WorkerLoop() {
     running_requests_++;
     entry.running_conn = req.conn;
     entry.running_cancel = req.cancel;
+    entry.running_since = std::chrono::steady_clock::now();
+    entry.stuck_flagged = false;
+    // Idempotency replay: a redelivered key answers with the response the
+    // original delivery already acknowledged, without re-executing — this
+    // is what makes client retries exactly-once for edits. Checked under
+    // mu_ (the window belongs to the session entry).
+    std::string replay_resp;
+    bool replay = false;
+    if (!req.idem_key.empty()) {
+      for (const auto& kv : entry.idem_window) {
+        if (kv.first == req.idem_key) {
+          replay_resp = kv.second;
+          replay = true;
+          break;
+        }
+      }
+    }
     l.unlock();
 
     std::string deferred_resp;
-    const bool close_session =
-        ExecuteRequest(token, entry, req, &deferred_resp);
+    std::string executed_resp;
+    bool close_session = false;
+    if (replay) {
+      WriteResponse(req.conn, replay_resp);
+    } else {
+      close_session =
+          ExecuteRequest(token, entry, req, &deferred_resp, &executed_resp);
+    }
 
     std::deque<Request> doomed;
     l.lock();
     running_requests_--;
     stats_.requests_executed++;
+    if (replay) stats_.idem_replays++;
     auto it2 = sessions_.find(token);
     if (it2 != sessions_.end()) {
       SessionEntry& e2 = *it2->second;
@@ -664,6 +826,17 @@ void Server::WorkerLoop() {
         queued_requests_ -= doomed.size();
         sessions_.erase(it2);
       } else {
+        // Only acknowledged ("ok ...") responses enter the dedup window:
+        // a stored error would wedge every retry of that key, while
+        // re-executing a failed edit is safe — nothing was committed.
+        if (!replay && !req.idem_key.empty() &&
+            options_.idempotency_window > 0 &&
+            executed_resp.compare(0, 2, "ok") == 0) {
+          e2.idem_window.emplace_back(req.idem_key, executed_resp);
+          while (e2.idem_window.size() > options_.idempotency_window) {
+            e2.idem_window.pop_front();
+          }
+        }
         // Re-enqueue at the tail: one request per turn keeps heavy
         // sessions from starving the rest (round-robin fairness).
         ScheduleLocked(token, e2);
@@ -686,7 +859,8 @@ void Server::WorkerLoop() {
 }
 
 bool Server::ExecuteRequest(const std::string& token, SessionEntry& entry,
-                            Request& req, std::string* deferred_resp) {
+                            Request& req, std::string* deferred_resp,
+                            std::string* executed_resp) {
   if (FaultFire("serve.slow_task")) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -709,6 +883,7 @@ bool Server::ExecuteRequest(const std::string& token, SessionEntry& entry,
   if (close_session) {
     *deferred_resp = resp;  // written by the caller after the erase
   } else {
+    *executed_resp = resp;  // recorded in the idem window if "ok ..."
     WriteResponse(req.conn, resp);
   }
   return close_session;
@@ -763,13 +938,22 @@ std::string Server::ExecuteSessionCommand(SessionEntry& entry, Request& req,
       DegradeSession(entry, st);  // invalidates `s`
       return resp;
     }
+    if (st.code() == StatusCode::kResourceExhausted) {
+      // Budget denial: the edit did not commit, so a retry after pressure
+      // passes is safe — tell the client when.
+      return ErrShed(st.message());
+    }
     return Err(st);
   };
 
   if (verb == "resume") {
     Status rs = s.Recover(entry.dir, options_.checkpoint_every);
     if (!rs.ok()) {
-      const std::string resp = Err(rs);
+      // ResourceExhausted recovery failures get the retry hint: the disk
+      // state is intact, so resuming again once pressure passes succeeds.
+      const std::string resp = rs.code() == StatusCode::kResourceExhausted
+                                   ? ErrShed(rs.message())
+                                   : Err(rs);
       DegradeSession(entry, rs);
       return resp;
     }
@@ -785,6 +969,12 @@ std::string Server::ExecuteSessionCommand(SessionEntry& entry, Request& req,
     RunControl control(req.cancel, req.deadline);
     MatchResult r = s.Run(control);
     if (r.partial) {
+      if (r.status.code() == StatusCode::kResourceExhausted &&
+          r.pairs_completed == 0) {
+        // Nothing ran at all — a pure budget denial, worth a retry hint
+        // instead of a partial-progress report.
+        return ErrShed(r.status.message());
+      }
       return StrFormat("ok partial=1 reason=%s completed=%zu matches=%zu",
                        StatusCodeName(r.status.code()), r.pairs_completed,
                        r.MatchCount());
@@ -930,6 +1120,13 @@ void Server::JoinThreads() {
   }
   workers_.clear();
   if (poll_thread_.joinable()) poll_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  // Threads are gone, so no Reserve can be in flight: now it is safe to
+  // unhook the reclaimers that capture `this`.
+  if (budget_ != nullptr) {
+    budget_->RemoveReclaimer(id_reclaimer_);
+    budget_->RemoveReclaimer(token_reclaimer_);
+  }
 }
 
 void Server::Shutdown() {
@@ -943,7 +1140,9 @@ void Server::Shutdown() {
     drain_cv_.wait(
         l, [&] { return queued_requests_ == 0 && running_requests_ == 0; });
     workers_exit_ = true;
+    watchdog_exit_ = true;
     work_cv_.notify_all();
+    watchdog_cv_.notify_all();
   }
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -955,6 +1154,11 @@ void Server::Shutdown() {
     if (wake_fds_[1] >= 0) (void)!::write(wake_fds_[1], "w", 1);
   }
   if (poll_thread_.joinable()) poll_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  if (budget_ != nullptr) {
+    budget_->RemoveReclaimer(id_reclaimer_);
+    budget_->RemoveReclaimer(token_reclaimer_);
+  }
 
   // All threads are gone: checkpoint every durable session so restart
   // recovery replays an empty (or tiny) journal.
@@ -986,11 +1190,13 @@ void Server::Abort() {
     state_ = State::kStopped;
     abort_ = true;
     workers_exit_ = true;
+    watchdog_exit_ = true;
     for (auto& kv : sessions_) {
       if (kv.second->running) kv.second->running_cancel.RequestCancel();
     }
     for (auto& kv : conns_) kv.second->shared->Kill();
     work_cv_.notify_all();
+    watchdog_cv_.notify_all();
     if (wake_fds_[1] >= 0) (void)!::write(wake_fds_[1], "w", 1);
   }
   JoinThreads();
@@ -1010,11 +1216,34 @@ void Server::Abort() {
   }
 }
 
+void Server::FillGovernorStatsLocked(Stats& s) const {
+  if (budget_ != nullptr) {
+    s.mem_used_bytes = budget_->used();
+    s.mem_limit_bytes = budget_->limit();
+    const MemoryBudget::Stats bs = budget_->stats();
+    s.mem_denials = bs.denials;
+    s.mem_reclaim_runs = bs.reclaim_runs;
+    s.mem_reclaimed_bytes = bs.reclaimed_bytes;
+  }
+  for (const auto& kv : sessions_) {
+    const SessionEntry& entry = *kv.second;
+    // Skip running sessions: their caches are being mutated by a worker
+    // and walking them here would race.
+    if (entry.running || entry.session == nullptr) continue;
+    const DebugSession::MemoryFootprint fp = entry.session->Footprint();
+    s.memo_bytes += fp.memo_bytes;
+    s.token_cache_bytes += fp.token_cache_bytes;
+    s.id_cache_bytes += fp.id_cache_bytes;
+    s.interner_bytes += fp.interner_bytes;
+  }
+}
+
 Server::Stats Server::stats() const {
   std::lock_guard<std::mutex> l(mu_);
   Stats s = stats_;
   s.live_sessions = sessions_.size();
   s.live_connections = conns_.size();
+  FillGovernorStatsLocked(s);
   return s;
 }
 

@@ -15,6 +15,7 @@
 #include "src/core/debug_session.h"
 #include "src/serve/wire.h"
 #include "src/util/cancellation.h"
+#include "src/util/memory_budget.h"
 
 namespace emdbg {
 
@@ -87,6 +88,27 @@ class Server {
     /// Root directory for per-session durability ("<root>/<token>").
     /// Empty = `open durable` / `resume` are refused.
     std::string durability_root;
+    /// Process-wide memory budget across every session's memo, token/id
+    /// caches and interner arenas (0 = unlimited, pure accounting). Under
+    /// pressure the server reclaims idle sessions' caches first; a
+    /// reservation that still cannot fit surfaces as ResourceExhausted
+    /// with a retry_after_ms hint instead of an OOM abort.
+    size_t mem_budget_bytes = 0;
+    /// Per-session quota, a child of the server budget (0 = none). A
+    /// session over its quota degrades its own caches / denies its own
+    /// runs without touching its neighbours.
+    size_t session_quota_bytes = 0;
+    /// Hint appended to ResourceExhausted responses
+    /// ("... retry_after_ms=N"); RetryingClient honours it.
+    double retry_after_ms = 50;
+    /// Acknowledged responses remembered per session for idempotency-key
+    /// dedup ("idem=K <cmd>"): a redelivered key replays the stored
+    /// response instead of re-applying the edit. 0 disables dedup.
+    size_t idempotency_window = 64;
+    /// Watchdog sweep period (0 = disabled): flags requests running
+    /// longer than stuck_task_ms in stats (tasks_stuck).
+    double watchdog_interval_ms = 0;
+    double stuck_task_ms = 5000;
   };
 
   struct Stats {
@@ -101,6 +123,20 @@ class Server {
     uint64_t requests_dropped = 0;
     size_t live_sessions = 0;
     size_t live_connections = 0;
+    // ---- Resource governor (see Options::mem_budget_bytes). ----
+    uint64_t mem_denials = 0;
+    uint64_t mem_reclaim_runs = 0;
+    uint64_t mem_reclaimed_bytes = 0;
+    uint64_t idem_replays = 0;
+    uint64_t tasks_stuck = 0;
+    size_t mem_used_bytes = 0;
+    size_t mem_limit_bytes = 0;
+    /// Per-consumer byte counts summed over idle sessions (a running
+    /// session's caches are in flux and are skipped).
+    size_t memo_bytes = 0;
+    size_t token_cache_bytes = 0;
+    size_t id_cache_bytes = 0;
+    size_t interner_bytes = 0;
   };
 
   /// The corpus is shared read-only by every session (see DebugSession's
@@ -147,8 +183,12 @@ class Server {
   /// `deferred_resp` instead of being written, so the caller can erase
   /// the entry under mu_ *before* acknowledging — a client that sees
   /// "ok closed" must be able to open into the freed slot immediately.
+  /// `executed_resp` receives the response that was written (empty when
+  /// the request was dropped/expired), so the caller can record it in the
+  /// session's idempotency window.
   bool ExecuteRequest(const std::string& token, SessionEntry& entry,
-                      Request& req, std::string* deferred_resp);
+                      Request& req, std::string* deferred_resp,
+                      std::string* executed_resp);
   std::string ExecuteSessionCommand(SessionEntry& entry, Request& req,
                                     bool* close_session);
   /// Journal-failure path: drop the live session, keep the token + disk.
@@ -160,10 +200,30 @@ class Server {
   void DropConnection(uint64_t conn_id);
   void JoinThreads();
 
+  /// ResourceExhausted response with the retry_after_ms hint appended.
+  std::string ErrShed(const std::string& msg) const;
+  /// Root-budget reclaim hook: drops idle sessions' id caches (and, when
+  /// `drop_tokens`, their token caches too). Uses try_lock on mu_ — a
+  /// reclaimer must never block on the server lock — and skips running
+  /// sessions, whose caches are in active use.
+  size_t ReclaimSessionCaches(size_t want, bool drop_tokens);
+  /// Periodic sweep flagging requests stuck past stuck_task_ms.
+  void WatchdogLoop();
+  /// Formats the `stats` response / fills the governor fields of Stats.
+  void FillGovernorStatsLocked(Stats& s) const;
+
   std::shared_ptr<const Table> a_;
   std::shared_ptr<const Table> b_;
   std::shared_ptr<const CandidateSet> pairs_;
   Options options_;
+
+  /// Root memory budget (null when unconfigured). Declared before
+  /// sessions_ so it outlives every per-session child quota. Reclaimer
+  /// handles are removed only after all threads joined (no Reserve can
+  /// be in flight then).
+  std::unique_ptr<MemoryBudget> budget_;
+  uint64_t id_reclaimer_ = 0;
+  uint64_t token_reclaimer_ = 0;
 
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: wakes the poll loop
@@ -191,6 +251,9 @@ class Server {
 
   std::thread poll_thread_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_thread_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_exit_ = false;
 };
 
 }  // namespace emdbg

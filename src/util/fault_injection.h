@@ -29,6 +29,12 @@
 //   serve.slow_task    Server worker: sleep before executing a request
 //   serve.session      Server: fail session creation (allocation-failure
 //                      stand-in at the admission point)
+//   mem.reserve        MemoryBudget::Reserve: deny a reservation outright
+//                      (allocation failure at any governed consumer —
+//                      memo fills, token/id caches, matcher scratch)
+//   serve.retry        RetryingClient: drop a successfully-received
+//                      response before returning it, forcing a retry of
+//                      the same idempotency key (duplicate-delivery drill)
 //
 // Compiled in by default; -DEMDBG_FAULT_INJECTION=0 turns every Fire()
 // into a constant false for zero-cost builds.

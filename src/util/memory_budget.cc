@@ -1,0 +1,201 @@
+#include "src/util/memory_budget.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/fault_injection.h"
+
+namespace emdbg {
+
+MemoryBudget::MemoryBudget(size_t limit_bytes, std::string name)
+    : parent_(nullptr), limit_(limit_bytes), name_(std::move(name)) {}
+
+MemoryBudget::MemoryBudget(MemoryBudget* parent, size_t limit_bytes,
+                           std::string name)
+    : parent_(parent), limit_(limit_bytes), name_(std::move(name)) {}
+
+MemoryBudget::~MemoryBudget() {
+  // Safety net for leaked billing: a drained child holds 0 bytes, but if
+  // a consumer died without releasing, give the bytes back to the parent
+  // so one session's leak cannot permanently shrink the shared budget.
+  const size_t leaked = used_.load(std::memory_order_relaxed);
+  if (parent_ != nullptr && leaked > 0) parent_->Release(leaked);
+}
+
+bool MemoryBudget::ChargeLocal(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (limit_ != 0 && bytes > limit_ - std::min(cur, limit_)) return false;
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_relaxed)) {
+      size_t now = cur + bytes;
+      size_t peak = peak_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !peak_.compare_exchange_weak(peak, now,
+                                          std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::UnchargeLocal(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    size_t next = cur >= bytes ? cur - bytes : 0;
+    if (used_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+size_t MemoryBudget::RunReclaimers(size_t want) {
+  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  reclaim_runs_.fetch_add(1, std::memory_order_relaxed);
+  // Eviction order: cheapest-to-rebuild class first, coldest first within
+  // a class. Sort a view of indices so registration order is preserved in
+  // the registry itself.
+  std::vector<size_t> order(reclaimers_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    const Reclaimer& ra = reclaimers_[a];
+    const Reclaimer& rb = reclaimers_[b];
+    if (ra.priority != rb.priority) return ra.priority < rb.priority;
+    return ra.last_touch < rb.last_touch;
+  });
+  size_t freed_total = 0;
+  for (size_t idx : order) {
+    // Re-check fit before each (potentially expensive) eviction: a
+    // concurrent Release may already have made room.
+    if (limit_ != 0 &&
+        want <= limit_ - std::min(used_.load(std::memory_order_relaxed),
+                                  limit_)) {
+      break;
+    }
+    Reclaimer& r = reclaimers_[idx];
+    if (!r.fn) continue;
+    size_t freed = r.fn(want);
+    freed_total += freed;
+    if (freed > 0) {
+      reclaimed_bytes_.fetch_add(freed, std::memory_order_relaxed);
+    }
+  }
+  return freed_total;
+}
+
+Status MemoryBudget::Reserve(size_t bytes) {
+  if (bytes == 0) return Status::Ok();
+  reserves_.fetch_add(1, std::memory_order_relaxed);
+  if (FaultFire("mem.reserve")) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "memory budget '" + name_ + "': injected reservation failure (" +
+        std::to_string(bytes) + " bytes)");
+  }
+  if (!ChargeLocal(bytes)) {
+    // Over the local limit: try evicting reclaimable caches, then retry
+    // once. Reclaim callbacks call Release (lock-free), not Reserve, so
+    // this cannot recurse.
+    RunReclaimers(bytes);
+    if (!ChargeLocal(bytes)) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "memory budget '" + name_ + "': need " + std::to_string(bytes) +
+          " bytes, used " + std::to_string(used()) + " of " +
+          std::to_string(limit_) + " (nothing left to reclaim)");
+    }
+  }
+  if (parent_ != nullptr) {
+    Status s = parent_->Reserve(bytes);
+    if (!s.ok()) {
+      UnchargeLocal(bytes);
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MemoryBudget::TryReserve(size_t bytes) {
+  if (bytes == 0) return Status::Ok();
+  reserves_.fetch_add(1, std::memory_order_relaxed);
+  if (!ChargeLocal(bytes)) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "memory budget '" + name_ + "': need " + std::to_string(bytes) +
+        " bytes, used " + std::to_string(used()) + " of " +
+        std::to_string(limit_));
+  }
+  if (parent_ != nullptr) {
+    Status s = parent_->TryReserve(bytes);
+    if (!s.ok()) {
+      UnchargeLocal(bytes);
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  if (bytes == 0) return;
+  UnchargeLocal(bytes);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+size_t MemoryBudget::remaining() const {
+  if (limit_ == 0) return SIZE_MAX;
+  size_t u = used();
+  return u >= limit_ ? 0 : limit_ - u;
+}
+
+MemoryBudget::Stats MemoryBudget::stats() const {
+  Stats s;
+  s.reserves = reserves_.load(std::memory_order_relaxed);
+  s.denials = denials_.load(std::memory_order_relaxed);
+  s.reclaim_runs = reclaim_runs_.load(std::memory_order_relaxed);
+  s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t MemoryBudget::AddReclaimer(int priority, std::string name,
+                                    std::function<size_t(size_t)> fn) {
+  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  uint64_t id = next_reclaimer_id_++;
+  Reclaimer r;
+  r.id = id;
+  r.priority = priority;
+  r.last_touch = touch_clock_.fetch_add(1, std::memory_order_relaxed);
+  r.name = std::move(name);
+  r.fn = std::move(fn);
+  reclaimers_.push_back(std::move(r));
+  return id;
+}
+
+void MemoryBudget::RemoveReclaimer(uint64_t id) {
+  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  reclaimers_.erase(
+      std::remove_if(reclaimers_.begin(), reclaimers_.end(),
+                     [id](const Reclaimer& r) { return r.id == id; }),
+      reclaimers_.end());
+}
+
+void MemoryBudget::Touch(uint64_t id) {
+  uint64_t now = touch_clock_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  for (Reclaimer& r : reclaimers_) {
+    if (r.id == id) {
+      r.last_touch = now;
+      return;
+    }
+  }
+}
+
+Result<MemoryReservation> MemoryReservation::Make(MemoryBudget* budget,
+                                                  size_t bytes) {
+  if (budget == nullptr) return MemoryReservation(nullptr, 0);
+  EMDBG_RETURN_IF_ERROR(budget->Reserve(bytes));
+  return MemoryReservation(budget, bytes);
+}
+
+}  // namespace emdbg

@@ -22,6 +22,17 @@
 /// resumes every session, and requires the post-crash digests to be
 /// bit-identical — zero lost acknowledged edits. Exit status is nonzero
 /// on any digest mismatch.
+///
+/// Overload mode (--overload, self-contained only) is the resource
+/// governor's soak drill: the server runs under a deliberately small
+/// --mem-budget/--session-quota with fault injection (pass
+/// --server-arg=--fault-prob=mem.reserve:0.02 etc.), clients are
+/// RetryingClients with client-side lost-ack injection (serve.retry) and
+/// idempotency keys, and the tool writes BENCH_governor.json asserting
+/// the three governor invariants: every acknowledged edit is present
+/// exactly once after a kill -9 + resume (0 lost acks, 0 duplicate
+/// applies — unacked edits are retried only after a `rules` resync shows
+/// they did not land), and the server never OOM-aborts under pressure.
 
 #include <signal.h>
 #include <sys/stat.h>
@@ -38,8 +49,12 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "src/data/datasets.h"
 #include "src/serve/client.h"
+#include "src/serve/retrying_client.h"
+#include "src/util/fault_injection.h"
 #include "src/util/status.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
@@ -60,8 +75,13 @@ struct Args {
   size_t edits = 40;
   bool durable = false;
   std::string durability_root = "/tmp/emdbg_loadgen";
-  std::string out_path = "BENCH_serve.json";
+  std::string out_path;  // default depends on mode
   size_t workers = 2;
+  // ---- Overload mode (resource-governor drill). ----
+  bool overload = false;
+  std::string mem_budget = "24M";     // forwarded to the server verbatim
+  std::string session_quota = "8M";
+  double lost_ack_prob = 0.05;  // client-side serve.retry probability
 
   static bool Parse(int argc, char** argv, Args* out) {
     for (int i = 1; i < argc; ++i) {
@@ -97,12 +117,26 @@ struct Args {
       } else if (StartsWith(arg, "--workers=") &&
                  ParseInt64(arg.substr(10), &n) && n > 0) {
         out->workers = static_cast<size_t>(n);
+      } else if (arg == "--overload") {
+        out->overload = true;
+      } else if (StartsWith(arg, "--mem-budget=")) {
+        out->mem_budget = arg.substr(13);
+      } else if (StartsWith(arg, "--session-quota=")) {
+        out->session_quota = arg.substr(16);
+      } else if (StartsWith(arg, "--lost-ack-prob=") &&
+                 ParseDouble(arg.substr(16), &out->lost_ack_prob) &&
+                 out->lost_ack_prob >= 0 && out->lost_ack_prob <= 1) {
       } else {
         return false;
       }
     }
+    if (out->out_path.empty()) {
+      out->out_path =
+          out->overload ? "BENCH_governor.json" : "BENCH_serve.json";
+    }
     // Self-contained mode implies durable sessions (that is the point).
     if (!out->server_bin.empty()) out->durable = true;
+    if (out->overload && out->server_bin.empty()) return false;
     return !out->server_bin.empty() || out->port > 0;
   }
 };
@@ -426,6 +460,358 @@ LatencyStats Summarize(std::vector<double> v) {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Overload mode: the resource-governor drill (see the file comment).
+// ---------------------------------------------------------------------------
+
+struct OverloadOutcome {
+  bool ok = false;
+  std::string token;
+  /// Rule names the server acknowledged ("ok" response seen by the
+  /// RetryingClient, possibly via an idempotent replay).
+  std::vector<std::string> acked;
+  /// (name, step) pairs whose edits never got an acknowledgement.
+  std::vector<std::pair<std::string, size_t>> unacked;
+  size_t shed = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+};
+
+/// Parses a `rules` response body ("rules=N ; name: dsl ; ...") into
+/// name -> occurrence count. A name appearing twice is a duplicate apply.
+std::map<std::string, size_t> RuleCounts(const std::string& body) {
+  std::map<std::string, size_t> counts;
+  size_t start = 0;
+  bool first = true;  // the leading "rules=N" chunk is not a rule
+  while (start <= body.size()) {
+    const size_t sep = body.find(" ; ", start);
+    const std::string seg =
+        sep == std::string::npos ? body.substr(start)
+                                 : body.substr(start, sep - start);
+    if (!first) {
+      std::string_view name = TrimAscii(seg);
+      const size_t cut = name.find_first_of(": ");
+      if (cut != std::string_view::npos) name = name.substr(0, cut);
+      if (!name.empty()) counts[std::string(name)]++;
+    }
+    first = false;
+    if (sep == std::string::npos) break;
+    start = sep + 3;
+  }
+  return counts;
+}
+
+std::string OverloadRuleCmd(const std::string& name, const std::string& attr,
+                            size_t session, size_t step) {
+  return StrFormat("add_rule %s: jaccard(%s, %s) >= %.3f", name.c_str(),
+                   attr.c_str(), attr.c_str(), StepThreshold(session, step));
+}
+
+OverloadOutcome RunOverloadSession(const Args& args, uint16_t port, size_t i,
+                                   const std::string& attr0,
+                                   const std::string& attr1) {
+  OverloadOutcome out;
+  out.token = StrFormat("ov%zu", i);
+  RetryPolicy pol;
+  pol.max_attempts = 6;
+  pol.initial_backoff_ms = 5;
+  pol.max_backoff_ms = 250;
+  pol.seed = 1000 + i;
+  RetryingClient rc(args.host, port, pol);
+  Status os = Status::Ok();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    os = rc.Open(/*durable=*/true, out.token);
+    if (os.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!os.ok()) return out;
+
+  // A base rule plus a run gives the session real memo/cache footprint,
+  // so the budget has something to squeeze.
+  const std::string base_name = StrFormat("ov%zubase", i);
+  Result<std::string> base =
+      rc.Call(StrFormat("add_rule %s: jaccard(%s, %s) >= 0.55",
+                        base_name.c_str(), attr0.c_str(), attr0.c_str()));
+  if (base.ok()) {
+    out.acked.push_back(base_name);
+  } else {
+    if (base.status().code() == StatusCode::kResourceExhausted) out.shed++;
+    out.unacked.emplace_back(base_name, size_t{0});
+  }
+  (void)rc.Call("run");
+
+  for (size_t e = 0; e < args.edits; ++e) {
+    const std::string name = StrFormat("ov%zur%zu", i, e);
+    Result<std::string> r = rc.Call(OverloadRuleCmd(name, attr1, i, e));
+    if (r.ok()) {
+      out.acked.push_back(name);
+    } else {
+      if (r.status().code() == StatusCode::kResourceExhausted) out.shed++;
+      out.unacked.emplace_back(name, e);
+    }
+    if (e % 8 == 7) (void)rc.Call("run");  // keep memo pressure on
+  }
+  out.retries = rc.retries();
+  out.reconnects = rc.reconnects();
+  out.ok = true;
+  return out;
+}
+
+struct VerifyResult {
+  bool resumed = false;
+  size_t lost = 0;          // acked rules missing after recovery
+  size_t dup = 0;           // any rule applied more than once
+  size_t resent = 0;        // unacked edits safely retried post-resync
+  size_t still_unacked = 0;
+};
+
+/// Post-crash resync for one session: resume, read `rules`, and only then
+/// retry unacked edits — re-sending an edit whose ack was merely lost
+/// would double-apply it, so the resync read is what makes the retry
+/// exactly-once across the crash (the in-process idem window died with
+/// the server).
+VerifyResult VerifyOverloadSession(const Args& args, uint16_t port, size_t i,
+                                   OverloadOutcome& o,
+                                   const std::string& attr1) {
+  VerifyResult v;
+  RetryPolicy pol;
+  pol.max_attempts = 8;
+  pol.seed = 5000 + i;
+  RetryingClient rc(args.host, port, pol);
+  Status s = Status::Ok();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    s = rc.Attach(o.token, /*durable=*/true);
+    if (s.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!s.ok()) {
+    v.lost = o.acked.size();
+    return v;
+  }
+  v.resumed = true;
+
+  Result<std::string> rules = rc.Call("rules");
+  if (!rules.ok()) {
+    v.lost = o.acked.size();
+    return v;
+  }
+  const std::map<std::string, size_t> counts = RuleCounts(*rules);
+  for (const auto& kv : o.unacked) {
+    if (counts.count(kv.first) != 0) continue;  // landed; ack was lost
+    Result<std::string> r =
+        rc.Call(OverloadRuleCmd(kv.first, attr1, i, kv.second));
+    if (r.ok()) v.resent++;
+  }
+
+  // Final verification against the recovered session.
+  Result<std::string> final_rules = rc.Call("rules");
+  if (!final_rules.ok()) {
+    v.lost = o.acked.size();
+    return v;
+  }
+  const std::map<std::string, size_t> fin = RuleCounts(*final_rules);
+  auto count_of = [&fin](const std::string& name) -> size_t {
+    auto it = fin.find(name);
+    return it == fin.end() ? 0 : it->second;
+  };
+  for (const std::string& name : o.acked) {
+    const size_t c = count_of(name);
+    if (c == 0) v.lost++;
+    if (c > 1) v.dup++;
+  }
+  for (const auto& kv : o.unacked) {
+    const size_t c = count_of(kv.first);
+    if (c > 1) v.dup++;
+    if (c == 0) v.still_unacked++;
+  }
+  return v;
+}
+
+/// "mem_denials=42" -> 42; -1 when the key is absent.
+long long StatField(const std::string& body, const char* key) {
+  const size_t at = body.find(key);
+  if (at == std::string::npos) return -1;
+  return std::atoll(body.c_str() + at + std::strlen(key));
+}
+
+int RunOverloadMode(Args args, const std::string& attr0,
+                    const std::string& attr1) {
+  // Client-side lost-ack injection: drop ~P of acknowledged responses so
+  // the RetryingClients actually exercise the idempotent-replay path.
+  if (args.lost_ack_prob > 0) {
+    FaultInjection::Plan plan;
+    plan.probability = args.lost_ack_prob;
+    plan.seed = 42;
+    FaultInjection::Arm("serve.retry", plan);
+  }
+  args.server_args.push_back("--mem-budget=" + args.mem_budget);
+  args.server_args.push_back("--session-quota=" + args.session_quota);
+  args.server_args.push_back("--idem-window=128");
+  args.server_args.push_back("--watchdog-ms=250");
+  ::mkdir(args.durability_root.c_str(), 0755);
+
+  ChildServer child;
+  if (!SpawnServer(args, &child)) return 1;
+  uint16_t port = child.port;
+  std::fprintf(stderr,
+               "overload: server pid=%d port=%u budget=%s quota=%s\n",
+               child.pid, port, args.mem_budget.c_str(),
+               args.session_quota.c_str());
+
+  Stopwatch load_sw;
+  std::vector<OverloadOutcome> outcomes(args.sessions);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(args.sessions);
+    for (size_t i = 0; i < args.sessions; ++i) {
+      threads.emplace_back([&, i] {
+        outcomes[i] = RunOverloadSession(args, port, i, attr0, attr1);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double load_s = load_sw.ElapsedSeconds();
+
+  // Governor invariant #3: the server must survive the pressure — a
+  // budget denial is an error response, never an OOM abort.
+  int wst = 0;
+  const bool server_died = ::waitpid(child.pid, &wst, WNOHANG) != 0;
+
+  // Server-side governor counters, best effort, before the crash.
+  long long mem_denials = -1, reclaims = -1, reclaimed = -1, replays = -1,
+            stuck = -1;
+  if (!server_died) {
+    Result<ServeClient> sc = ConnectRetry(args.host, port, 20);
+    if (sc.ok()) {
+      Result<std::string> st = sc->Call("stats");
+      if (st.ok()) {
+        mem_denials = StatField(*st, "mem_denials=");
+        reclaims = StatField(*st, "reclaims=");
+        reclaimed = StatField(*st, "reclaimed=");
+        replays = StatField(*st, "replays=");
+        stuck = StatField(*st, "stuck=");
+      }
+    }
+  }
+
+  size_t ok_sessions = 0, acked = 0, unacked = 0, shed = 0;
+  uint64_t retries = 0, reconnects = 0;
+  for (const OverloadOutcome& o : outcomes) {
+    if (o.ok) ok_sessions++;
+    acked += o.acked.size();
+    unacked += o.unacked.size();
+    shed += o.shed;
+    retries += o.retries;
+    reconnects += o.reconnects;
+  }
+  std::fprintf(stderr,
+               "overload load: %zu/%zu sessions, %zu acked, %zu unacked, "
+               "shed=%zu retries=%llu reconnects=%llu in %.2fs%s\n",
+               ok_sessions, args.sessions, acked, unacked, shed,
+               static_cast<unsigned long long>(retries),
+               static_cast<unsigned long long>(reconnects), load_s,
+               server_died ? " [SERVER DIED]" : "");
+
+  // Crash + resync-then-retry recovery.
+  size_t lost = 0, dup = 0, resent = 0, still_unacked = 0, resumed = 0;
+  double restart_ms = -1;
+  if (!server_died) {
+    std::fprintf(stderr, "kill -9 %d...\n", child.pid);
+    KillServer(&child, SIGKILL);
+    Stopwatch restart_sw;
+    if (!SpawnServer(args, &child)) return 1;
+    restart_ms = restart_sw.ElapsedMillis();
+    port = child.port;
+
+    std::vector<VerifyResult> verdicts(args.sessions);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < args.sessions; ++i) {
+      if (!outcomes[i].ok) continue;
+      threads.emplace_back([&, i] {
+        verdicts[i] =
+            VerifyOverloadSession(args, port, i, outcomes[i], attr1);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t i = 0; i < args.sessions; ++i) {
+      if (!outcomes[i].ok) continue;
+      if (verdicts[i].resumed) resumed++;
+      lost += verdicts[i].lost;
+      dup += verdicts[i].dup;
+      resent += verdicts[i].resent;
+      still_unacked += verdicts[i].still_unacked;
+    }
+    std::fprintf(stderr,
+                 "overload recovery: %zu/%zu resumed, lost=%zu dup=%zu "
+                 "resent=%zu still_unacked=%zu\n",
+                 resumed, ok_sessions, lost, dup, resent, still_unacked);
+    KillServer(&child, SIGTERM);
+  } else {
+    KillServer(&child, SIGKILL);
+  }
+
+  const std::string tmp = args.out_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"governor\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", args.dataset.c_str());
+  std::fprintf(f, "  \"scale\": %g,\n", args.scale);
+  std::fprintf(f, "  \"sessions\": %zu,\n", args.sessions);
+  std::fprintf(f, "  \"edits_per_session\": %zu,\n", args.edits);
+  std::fprintf(f, "  \"mem_budget\": \"%s\",\n", args.mem_budget.c_str());
+  std::fprintf(f, "  \"session_quota\": \"%s\",\n",
+               args.session_quota.c_str());
+  std::fprintf(f, "  \"lost_ack_prob\": %g,\n", args.lost_ack_prob);
+  std::fprintf(f, "  \"sessions_ok\": %zu,\n", ok_sessions);
+  std::fprintf(f, "  \"load_wall_s\": %.3f,\n", load_s);
+  std::fprintf(f, "  \"acked_edits\": %zu,\n", acked);
+  std::fprintf(f, "  \"unacked_edits\": %zu,\n", unacked);
+  std::fprintf(f, "  \"shed_responses\": %zu,\n", shed);
+  std::fprintf(f, "  \"client_retries\": %llu,\n",
+               static_cast<unsigned long long>(retries));
+  std::fprintf(f, "  \"client_reconnects\": %llu,\n",
+               static_cast<unsigned long long>(reconnects));
+  std::fprintf(f,
+               "  \"server_stats\": {\"mem_denials\": %lld, \"reclaims\": "
+               "%lld, \"reclaimed_bytes\": %lld, \"idem_replays\": %lld, "
+               "\"tasks_stuck\": %lld},\n",
+               mem_denials, reclaims, reclaimed, replays, stuck);
+  std::fprintf(f, "  \"server_restart_ms\": %.1f,\n", restart_ms);
+  std::fprintf(f, "  \"sessions_resumed\": %zu,\n", resumed);
+  std::fprintf(f, "  \"unacked_resent\": %zu,\n", resent);
+  std::fprintf(f, "  \"still_unacked\": %zu,\n", still_unacked);
+  std::fprintf(f, "  \"lost_acked_edits\": %zu,\n", lost);
+  std::fprintf(f, "  \"duplicate_applies\": %zu,\n", dup);
+  std::fprintf(f, "  \"oom_aborts\": %d\n", server_died ? 1 : 0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), args.out_path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename %s\n", tmp.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", args.out_path.c_str());
+
+  if (server_died) {
+    std::fprintf(stderr, "FAIL: server died under memory pressure\n");
+    return 1;
+  }
+  if (lost > 0 || dup > 0) {
+    std::fprintf(stderr,
+                 "FAIL: lost_acked=%zu duplicate_applies=%zu\n", lost, dup);
+    return 1;
+  }
+  if (resumed < ok_sessions) {
+    std::fprintf(stderr, "FAIL: only %zu/%zu sessions resumed\n", resumed,
+                 ok_sessions);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -436,7 +822,9 @@ int main(int argc, char** argv) {
         "usage: emdbg_loadgen (--port=P | --server-bin=PATH) "
         "[--host=H] [--dataset=NAME] [--scale=F] [--seed=N] "
         "[--sessions=N] [--edits=N] [--durable] [--durability-root=DIR] "
-        "[--workers=N] [--server-arg=ARG]... [--out=FILE]\n");
+        "[--workers=N] [--server-arg=ARG]... [--out=FILE] "
+        "[--overload --mem-budget=B --session-quota=B "
+        "--lost-ack-prob=P]\n");
     return 2;
   }
 
@@ -451,6 +839,8 @@ int main(int argc, char** argv) {
   const std::string attr0 = profile.attributes[0].name;
   const std::string attr1 =
       profile.attributes[profile.attributes.size() > 1 ? 1 : 0].name;
+
+  if (args.overload) return RunOverloadMode(args, attr0, attr1);
 
   const bool self_contained = !args.server_bin.empty();
   ChildServer child;

@@ -9,8 +9,21 @@
 ///               [--max-sessions=64] [--max-queue=16] [--max-conns=128]
 ///               [--deadline-ms=0] [--checkpoint-every=16]
 ///               [--durability-root=DIR]
+///               [--mem-budget=BYTES] [--session-quota=BYTES]
+///               [--retry-after-ms=N] [--idem-window=N]
+///               [--watchdog-ms=N] [--stuck-ms=N] [--stats-every=SECS]
 ///               [--fault=SITE:EVERY[:SKIP[:MAX]]]...
 ///               [--fault-prob=SITE:P[:SEED]]...
+///
+/// Resource governor: --mem-budget caps the total bytes all sessions'
+/// memos, token/id caches and interner arenas may hold (K/M/G suffixes
+/// accepted); --session-quota is the per-session child cap. Under
+/// pressure the server degrades (evicts idle sessions' caches, then
+/// answers ResourceExhausted with a retry_after_ms hint) instead of
+/// OOM-aborting. --idem-window sizes the per-session idempotency-key
+/// dedup window ("idem=K <cmd>" → exactly-once retries); --watchdog-ms
+/// arms the stuck-task watchdog; --stats-every logs a governor stats
+/// line to stderr periodically.
 ///
 /// The corpus is generated deterministically from the named paper profile
 /// (gen_dataset's generator), so a load generator pointed at the same
@@ -50,8 +63,25 @@ struct Args {
   std::string dataset = "products";
   double scale = 0.02;
   int64_t seed = -1;  // -1 = the profile's own seed
+  double stats_every_s = 0;  // 0 = no periodic stats log
   Server::Options server;
   std::vector<std::pair<std::string, FaultInjection::Plan>> faults;
+
+  /// "1048576", "64K", "16M", "1G" (case-insensitive suffix).
+  static bool ParseBytes(std::string_view s, size_t* out) {
+    size_t mult = 1;
+    if (!s.empty()) {
+      const char c = s.back();
+      if (c == 'k' || c == 'K') mult = size_t{1} << 10;
+      if (c == 'm' || c == 'M') mult = size_t{1} << 20;
+      if (c == 'g' || c == 'G') mult = size_t{1} << 30;
+      if (mult != 1) s.remove_suffix(1);
+    }
+    int64_t n = 0;
+    if (!ParseInt64(s, &n) || n < 0) return false;
+    *out = static_cast<size_t>(n) * mult;
+    return true;
+  }
 
   static bool ParseFault(std::string_view spec, std::string* site,
                          FaultInjection::Plan* plan, bool probabilistic) {
@@ -131,6 +161,31 @@ struct Args {
         out->server.checkpoint_every = static_cast<size_t>(n);
       } else if (StartsWith(arg, "--durability-root=")) {
         out->server.durability_root = arg.substr(18);
+      } else if (StartsWith(arg, "--mem-budget=")) {
+        if (!ParseBytes(std::string_view(arg).substr(13),
+                        &out->server.mem_budget_bytes)) {
+          return false;
+        }
+      } else if (StartsWith(arg, "--session-quota=")) {
+        if (!ParseBytes(std::string_view(arg).substr(16),
+                        &out->server.session_quota_bytes)) {
+          return false;
+        }
+      } else if (StartsWith(arg, "--retry-after-ms=") &&
+                 ParseDouble(arg.substr(17), &out->server.retry_after_ms) &&
+                 out->server.retry_after_ms >= 0) {
+      } else if (StartsWith(arg, "--idem-window=") &&
+                 ParseInt64(arg.substr(14), &n) && n >= 0) {
+        out->server.idempotency_window = static_cast<size_t>(n);
+      } else if (StartsWith(arg, "--watchdog-ms=") &&
+                 ParseInt64(arg.substr(14), &n) && n >= 0) {
+        out->server.watchdog_interval_ms = static_cast<double>(n);
+      } else if (StartsWith(arg, "--stuck-ms=") &&
+                 ParseInt64(arg.substr(11), &n) && n > 0) {
+        out->server.stuck_task_ms = static_cast<double>(n);
+      } else if (StartsWith(arg, "--stats-every=") &&
+                 ParseDouble(arg.substr(14), &out->stats_every_s) &&
+                 out->stats_every_s >= 0) {
       } else if (StartsWith(arg, "--fault=")) {
         std::string site;
         FaultInjection::Plan plan;
@@ -160,6 +215,9 @@ int main(int argc, char** argv) {
         "[--port=N] [--workers=N] [--session-threads=N] [--max-sessions=N] "
         "[--max-queue=N] [--max-conns=N] [--deadline-ms=N] "
         "[--checkpoint-every=N] [--durability-root=DIR] "
+        "[--mem-budget=BYTES] [--session-quota=BYTES] [--retry-after-ms=N] "
+        "[--idem-window=N] [--watchdog-ms=N] [--stuck-ms=N] "
+        "[--stats-every=SECS] "
         "[--fault=SITE:EVERY[:SKIP[:MAX]]] [--fault-prob=SITE:P[:SEED]]\n");
     return 2;
   }
@@ -196,11 +254,33 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   // SIGINT / SIGTERM / SIGHUP all request a graceful exit; the poll below
-  // is the only place the main thread spends time.
+  // is the only place the main thread spends time (plus the periodic
+  // governor stats line when --stats-every is set).
   CancellationToken stop;
   ShutdownSignals signals(stop);
+  double since_stats_s = 0;
   while (!stop.cancelled() && !signals.exit_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (args.stats_every_s <= 0) continue;
+    since_stats_s += 0.1;
+    if (since_stats_s + 1e-9 < args.stats_every_s) continue;
+    since_stats_s = 0;
+    const Server::Stats s = server.stats();
+    std::fprintf(
+        stderr,
+        "stats: sessions=%zu conns=%zu executed=%llu shed=%llu "
+        "mem_used=%zu mem_limit=%zu mem_denials=%llu reclaims=%llu "
+        "reclaimed=%llu replays=%llu stuck=%llu memo=%zu tokens=%zu "
+        "ids=%zu interner=%zu\n",
+        s.live_sessions, s.live_connections,
+        static_cast<unsigned long long>(s.requests_executed),
+        static_cast<unsigned long long>(s.requests_shed), s.mem_used_bytes,
+        s.mem_limit_bytes, static_cast<unsigned long long>(s.mem_denials),
+        static_cast<unsigned long long>(s.mem_reclaim_runs),
+        static_cast<unsigned long long>(s.mem_reclaimed_bytes),
+        static_cast<unsigned long long>(s.idem_replays),
+        static_cast<unsigned long long>(s.tasks_stuck), s.memo_bytes,
+        s.token_cache_bytes, s.id_cache_bytes, s.interner_bytes);
   }
 
   std::fprintf(stderr, "shutting down: draining + checkpointing...\n");
@@ -218,5 +298,16 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.connections_shed),
                static_cast<unsigned long long>(stats.requests_expired),
                static_cast<unsigned long long>(stats.requests_dropped));
+  if (args.server.mem_budget_bytes > 0 ||
+      args.server.session_quota_bytes > 0) {
+    std::fprintf(stderr,
+                 "governor: denials=%llu reclaims=%llu reclaimed=%llu "
+                 "replays=%llu stuck=%llu\n",
+                 static_cast<unsigned long long>(stats.mem_denials),
+                 static_cast<unsigned long long>(stats.mem_reclaim_runs),
+                 static_cast<unsigned long long>(stats.mem_reclaimed_bytes),
+                 static_cast<unsigned long long>(stats.idem_replays),
+                 static_cast<unsigned long long>(stats.tasks_stuck));
+  }
   return 0;
 }
