@@ -9,7 +9,10 @@
 ///   * scalar vs bit-parallel (Myers) Levenshtein at 32..256 chars;
 ///   * end-to-end MemoMatcher wall clock with interning off vs on, for two
 ///     Table 2 dataset profiles (context construction + matching, so the
-///     id path pays its own build cost).
+///     id path pays its own build cost), each with an estimated per-stage
+///     breakdown: context build / feature kernels / memo-probe + rule
+///     evaluation (warm re-run) — the decomposition that motivated the
+///     columnar block engine (see bench_block.cc).
 
 #include <algorithm>
 #include <cstdio>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/memo.h"
 #include "src/core/memo_matcher.h"
 #include "src/text/cosine.h"
 #include "src/text/id_kernels.h"
@@ -47,12 +51,26 @@ struct LevPoint {
   double speedup = 0.0;
 };
 
+/// Estimated per-stage wall-time decomposition of one end-to-end run:
+/// context construction (tokenize + intern + cache build), cold matching
+/// (kernels + memo probes + predicate eval), warm matching (same run on
+/// the now-full memo: probes + predicates + orchestration only), and the
+/// kernel share inferred as cold − warm.
+struct E2eStages {
+  double context_ms = 0.0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double kernel_ms = 0.0;  // cold - warm
+};
+
 struct E2ePoint {
   std::string dataset;
   size_t candidates = 0;
-  double string_ms = 0.0;
-  double id_ms = 0.0;
+  double string_ms = 0.0;  // context + cold, string kernels
+  double id_ms = 0.0;      // context + cold, interned-id kernels
   double speedup = 0.0;
+  E2eStages string_stages;
+  E2eStages id_stages;
 };
 
 // Prebuilt per-record structures for one attribute column of both tables:
@@ -272,33 +290,54 @@ E2ePoint BenchEndToEnd(DatasetId dataset, const BenchOptions& opts) {
   const BenchEnv env = BenchEnv::Make(local);
   const MatchingFunction fn =
       env.RuleSubset(std::min<size_t>(opts.rules, 80), 4242);
-  auto run_ms = [&](bool intern) {
-    double best = 1e300;
+  // Per-stage timings, best-of-reps per stage. Fresh context per rep: the
+  // id path pays interning + array construction inside its context stage,
+  // same as the string path pays tokenization.
+  auto run_stages = [&](bool intern) {
+    E2eStages stages;
     for (size_t rep = 0; rep < opts.reps; ++rep) {
-      // Fresh context per run: the id path pays interning + array
-      // construction inside the measured window, same as the string path
-      // pays tokenization.
+      Stopwatch build;
       PairContext ctx(env.ds.a, env.ds.b, env.catalog,
                       PairContext::Options{.cache_tokens = true,
                                            .intern_tokens = intern});
+      const double context_ms = build.ElapsedMillis();
+      DenseMemo memo(env.ds.candidates.size(), env.catalog.size());
       MemoMatcher matcher;
-      Stopwatch timer;
-      (void)matcher.Run(fn, env.ds.candidates, ctx);
-      best = std::min(best, timer.ElapsedMillis());
+      Stopwatch cold;
+      (void)matcher.RunWithMemo(fn, env.ds.candidates, ctx, memo);
+      const double cold_ms = cold.ElapsedMillis();
+      Stopwatch warm;
+      (void)matcher.RunWithMemo(fn, env.ds.candidates, ctx, memo);
+      const double warm_ms = warm.ElapsedMillis();
+      if (rep == 0) {
+        stages = {context_ms, cold_ms, warm_ms, 0.0};
+      } else {
+        stages.context_ms = std::min(stages.context_ms, context_ms);
+        stages.cold_ms = std::min(stages.cold_ms, cold_ms);
+        stages.warm_ms = std::min(stages.warm_ms, warm_ms);
+      }
     }
-    return best;
+    stages.kernel_ms = std::max(0.0, stages.cold_ms - stages.warm_ms);
+    return stages;
   };
   E2ePoint point;
   point.dataset = env.profile.name;
   point.candidates = env.ds.candidates.size();
-  point.string_ms = run_ms(false);
-  point.id_ms = run_ms(true);
+  point.string_stages = run_stages(false);
+  point.id_stages = run_stages(true);
+  point.string_ms =
+      point.string_stages.context_ms + point.string_stages.cold_ms;
+  point.id_ms = point.id_stages.context_ms + point.id_stages.cold_ms;
   point.speedup = point.id_ms > 0.0 ? point.string_ms / point.id_ms : 0.0;
   std::printf(
       "end-to-end %-12s %7zu pairs: strings %9.1f ms   ids %8.1f ms   "
       "%5.2fx\n",
       point.dataset.c_str(), point.candidates, point.string_ms,
       point.id_ms, point.speedup);
+  std::printf(
+      "  id stages: context %.1f ms  kernel %.1f ms  probe+rules %.1f ms\n",
+      point.id_stages.context_ms, point.id_stages.kernel_ms,
+      point.id_stages.warm_ms);
   return point;
 }
 
@@ -337,14 +376,25 @@ void WriteJson(const BenchOptions& opts,
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"end_to_end\": [\n");
+  auto stage_json = [&](const char* key, const E2eStages& s,
+                        const char* suffix) {
+    std::fprintf(f,
+                 "     \"%s\": {\"context_ms\": %.1f, \"cold_ms\": %.1f, "
+                 "\"warm_ms\": %.1f, \"kernel_ms\": %.1f}%s\n",
+                 key, s.context_ms, s.cold_ms, s.warm_ms, s.kernel_ms,
+                 suffix);
+  };
   for (size_t i = 0; i < e2e.size(); ++i) {
     const E2ePoint& p = e2e[i];
     std::fprintf(f,
                  "    {\"dataset\": \"%s\", \"candidates\": %zu, "
                  "\"string_ms\": %.1f, \"id_ms\": %.1f, "
-                 "\"speedup\": %.2f}%s\n",
+                 "\"speedup\": %.2f,\n",
                  p.dataset.c_str(), p.candidates, p.string_ms, p.id_ms,
-                 p.speedup, i + 1 == e2e.size() ? "" : ",");
+                 p.speedup);
+    stage_json("string_stages", p.string_stages, ",");
+    stage_json("id_stages", p.id_stages, "");
+    std::fprintf(f, "    }%s\n", i + 1 == e2e.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,0 +1,456 @@
+#include "src/core/block_matcher.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/util/bitmap.h"
+#include "src/util/stopwatch.h"
+
+namespace emdbg {
+
+namespace {
+
+/// Lanes per word above which the threshold compare switches from a
+/// sparse bit-walk to a branchless dense sweep of all 64 lanes. The
+/// dense sweep costs ~64 compares regardless of occupancy; the walk
+/// costs a few ns per set bit — they cross around a quarter-full word.
+constexpr int kDenseLanes = 16;
+
+template <typename Cmp>
+void PassMaskImpl(const float* col, const uint64_t* active, size_t nb,
+                  Cmp cmp, uint64_t* pass) {
+  const size_t words = bitspan::Words(nb);
+  for (size_t wi = 0; wi < words; ++wi) {
+    uint64_t a = active[wi];
+    if (a == 0) {
+      pass[wi] = 0;
+      continue;
+    }
+    uint64_t bits = 0;
+    if (std::popcount(a) >= kDenseLanes) {
+      const size_t lanes = std::min<size_t>(64, nb - wi * 64);
+      const float* c = col + wi * 64;
+      if (lanes == 64) {
+        // Two-phase sweep: the byte-compare loop has no loop-carried
+        // dependence (unlike bits |= cmp << j, whose serial OR + variable
+        // shift defeats vectorization), so the compiler can batch the
+        // widening compares; the bytes (each 0 or 1) are then packed
+        // eight at a time — the multiply gathers byte j's low bit into
+        // product bit 56 + j, carry-free for 0/1 bytes.
+        uint8_t lane_pass[64];
+        for (size_t j = 0; j < 64; ++j) lane_pass[j] = cmp(c[j]) ? 1 : 0;
+        for (size_t k = 0; k < 8; ++k) {
+          uint64_t w;
+          std::memcpy(&w, lane_pass + k * 8, sizeof(w));
+          bits |= ((w * 0x0102040810204080ULL) >> 56) << (k * 8);
+        }
+      } else {
+        for (size_t j = 0; j < lanes; ++j) {
+          bits |= static_cast<uint64_t>(cmp(c[j])) << j;
+        }
+      }
+      bits &= a;
+    } else {
+      while (a != 0) {
+        const size_t j = static_cast<size_t>(std::countr_zero(a));
+        a &= a - 1;
+        if (cmp(col[wi * 64 + j])) bits |= uint64_t{1} << j;
+      }
+    }
+    pass[wi] = bits;
+  }
+}
+
+/// pass = active ∩ { lanes whose score passes (op, threshold) }. The
+/// comparison widens each float lane to double, exactly like
+/// Predicate::Test on a memo Lookup, so threshold-boundary decisions
+/// cannot depend on the evaluation strategy. Inactive lanes may hold
+/// NaN (absent); every comparison is false on NaN and the result is
+/// masked by `active` anyway.
+void PassMask(const float* col, const uint64_t* active, size_t nb,
+              CompareOp op, double threshold, uint64_t* pass) {
+  switch (op) {
+    case CompareOp::kGe:
+      PassMaskImpl(col, active, nb,
+                   [threshold](float v) {
+                     return static_cast<double>(v) >= threshold;
+                   },
+                   pass);
+      return;
+    case CompareOp::kGt:
+      PassMaskImpl(col, active, nb,
+                   [threshold](float v) {
+                     return static_cast<double>(v) > threshold;
+                   },
+                   pass);
+      return;
+    case CompareOp::kLt:
+      PassMaskImpl(col, active, nb,
+                   [threshold](float v) {
+                     return static_cast<double>(v) < threshold;
+                   },
+                   pass);
+      return;
+    case CompareOp::kLe:
+      PassMaskImpl(col, active, nb,
+                   [threshold](float v) {
+                     return static_cast<double>(v) <= threshold;
+                   },
+                   pass);
+      return;
+  }
+}
+
+}  // namespace
+
+BlockEvaluator::BlockEvaluator(const MatchingFunction& fn,
+                               const CandidateSet& pairs, PairContext& ctx,
+                               Memo* memo, MatchState* state,
+                               size_t block_size)
+    : pairs_(pairs),
+      ctx_(ctx),
+      memo_(memo),
+      dense_(dynamic_cast<DenseMemo*>(memo)),
+      num_pairs_(pairs.size()),
+      block_size_(std::max<size_t>(64, (block_size + 63) / 64 * 64)),
+      words_(block_size_ / 64) {
+  std::vector<int> slot_of(ctx.catalog().size(), -1);
+  for (const Rule& rule : fn.rules()) {
+    if (rule.empty()) continue;  // an empty conjunction matches nothing
+    RuleSlot rs;
+    rs.rule_true = state != nullptr ? &state->RuleTrue(rule.id()) : nullptr;
+    for (const Predicate& p : rule.predicates()) {
+      int& slot = slot_of[p.feature];
+      if (slot < 0) {
+        slot = static_cast<int>(slot_features_.size());
+        slot_features_.push_back(p.feature);
+      }
+      rs.preds.push_back(
+          PredSlot{static_cast<uint32_t>(slot), p.feature, p.op, p.threshold,
+                   state != nullptr ? &state->PredFalse(p.id) : nullptr});
+    }
+    rules_.push_back(std::move(rs));
+  }
+}
+
+size_t BlockEvaluator::ScratchBytes() const {
+  const size_t slots = slot_features_.size();
+  return slots * block_size_ * sizeof(float) +
+         (2 * slots * words_ + 4 * words_ + slots) * sizeof(uint64_t) +
+         2 * slots;
+}
+
+void BlockEvaluator::InitScratch(Scratch& s) const {
+  const size_t slots = slot_features_.size();
+  s.cols.assign(slots * block_size_, 0.0f);
+  s.bits.assign(2 * slots * words_ + 4 * words_, 0);
+  s.touched.assign(slots, 0);
+  s.used.assign(slots, 0);
+  s.masks.assign(slots, 0);
+  s.last_used = static_cast<size_t>(-1);
+}
+
+void BlockEvaluator::TransposeBlock(size_t base, size_t nb,
+                                    Scratch& s) const {
+  const size_t slots = slot_features_.size();
+  const size_t nw = bitspan::Words(nb);
+  float* cols = s.cols.data();
+  uint64_t* filled_base = s.bits.data();
+  uint64_t* dirty_base = filled_base + slots * words_;
+  uint64_t* masks = s.masks.data();
+  for (size_t wi = 0; wi < nw; ++wi) {
+    const size_t lanes = std::min<size_t>(64, nb - wi * 64);
+    std::fill(masks, masks + slots, 0);
+    for (size_t j = 0; j < lanes; ++j) {
+      const size_t i = wi * 64 + j;
+      // One contiguous row read per pair; the column writes for 64
+      // consecutive lanes share one cache line per slot, so the working
+      // set of this tile is `slots` lines plus the row.
+      const float* row = dense_->RowView(base + i);
+      for (size_t sl = 0; sl < slots; ++sl) {
+        const float v = row[slot_features_[sl]];
+        cols[sl * block_size_ + i] = v;
+        masks[sl] |= static_cast<uint64_t>(!std::isnan(v)) << j;
+      }
+    }
+    for (size_t sl = 0; sl < slots; ++sl) {
+      filled_base[sl * words_ + wi] = masks[sl];
+    }
+  }
+  for (size_t sl = 0; sl < slots; ++sl) {
+    bitspan::Fill(dirty_base + sl * words_, nb, false);
+    s.touched[sl] = 1;
+  }
+}
+
+void BlockEvaluator::GatherSlot(uint32_t slot, FeatureId feature,
+                                size_t base, size_t nb, Scratch& s) const {
+  float* col = s.cols.data() + slot * block_size_;
+  uint64_t* filled = s.bits.data() + slot * words_;
+  if (dense_ != nullptr) {
+    dense_->GatherColumn(base, nb, feature, col, filled);
+  } else if (memo_ != nullptr) {
+    bitspan::Fill(filled, nb, false);
+    for (size_t i = 0; i < nb; ++i) {
+      double v = 0.0;
+      if (memo_->Lookup(base + i, feature, &v)) {
+        col[i] = static_cast<float>(v);
+        filled[i >> 6] |= uint64_t{1} << (i & 63);
+      } else {
+        col[i] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+  } else {
+    // Memo-less mode: every lane starts absent.
+    std::fill(col, col + nb, std::numeric_limits<float>::quiet_NaN());
+    bitspan::Fill(filled, nb, false);
+  }
+  if (memo_ != nullptr) {
+    bitspan::Fill(
+        s.bits.data() + (slot_features_.size() + slot) * words_, nb, false);
+  }
+  s.touched[slot] = 1;
+}
+
+void BlockEvaluator::EvalBlock(size_t b, Bitmap& matches, MatchStats& stats,
+                               Scratch& s) const {
+  const size_t base = b * block_size_;
+  const size_t nb = std::min(block_size_, num_pairs_ - base);
+  const size_t nw = bitspan::Words(nb);
+  const size_t slots = slot_features_.size();
+  uint64_t* filled_base = s.bits.data();
+  uint64_t* dirty_base = filled_base + slots * words_;
+  uint64_t* undecided = dirty_base + slots * words_;
+  uint64_t* active = undecided + words_;
+  uint64_t* pass = active + words_;
+  uint64_t* tmp = pass + words_;
+
+  std::fill(s.touched.begin(), s.touched.end(), 0);
+  std::fill(s.used.begin(), s.used.end(), 0);
+  size_t used = 0;
+  bitspan::Fill(undecided, nb, true);
+
+  // Dense memo: a single streaming transpose of the block's rows reads
+  // each memo cache line once, where lazy GatherSlot pays one strided
+  // walk (one line per lane) per touched feature. Transposing every slot
+  // is wasted work when early exit leaves most slots unread, so the
+  // previous block's distinct-slots-read count decides. The first strided
+  // walk makes the block's memo submatrix L2-resident, so later gathers
+  // cost far less than a cold miss per lane (~16 bytes effective, not
+  // 64): transpose only when most slots will be read — gather traffic
+  // (~16 bytes per lane per slot) above the transpose stream (the row
+  // once plus 4 bytes per lane per slot).
+  if (dense_ != nullptr && s.last_used != static_cast<size_t>(-1) &&
+      s.last_used * 4 >= slots + dense_->num_features()) {
+    TransposeBlock(base, nb, s);
+  }
+
+  for (const RuleSlot& rule : rules_) {
+    const size_t live = bitspan::Count(undecided, nb);
+    if (live == 0) break;  // block-granularity early exit: all decided
+    stats.rule_evaluations += live;
+    std::copy(undecided, undecided + nw, active);
+
+    for (const PredSlot& p : rule.preds) {
+      const size_t entering = bitspan::Count(active, nb);
+      if (entering == 0) break;  // the whole block failed earlier preds
+      stats.predicate_evaluations += entering;
+
+      if (s.used[p.slot] == 0) {
+        s.used[p.slot] = 1;
+        ++used;
+      }
+      if (s.touched[p.slot] == 0) GatherSlot(p.slot, p.feature, base, nb, s);
+      uint64_t* filled = filled_base + p.slot * words_;
+      float* col = s.cols.data() + p.slot * block_size_;
+
+      stats.memo_hits += bitspan::CountAnd(active, filled, nb);
+      // need = active & ~filled: exactly the lanes the serial matcher
+      // would compute (then batch-computed with hoisted resolution).
+      bool any_need = false;
+      for (size_t wi = 0; wi < nw; ++wi) {
+        tmp[wi] = active[wi] & ~filled[wi];
+        any_need = any_need || tmp[wi] != 0;
+      }
+      if (any_need) {
+        ctx_.ComputeFeatureBlock(p.feature, pairs_.pairs().data() + base,
+                                 nb, tmp, col);
+        stats.feature_computations += bitspan::Count(tmp, nb);
+        bitspan::Or(filled, tmp, nb);
+        if (memo_ != nullptr) {
+          bitspan::Or(dirty_base + p.slot * words_, tmp, nb);
+        }
+      }
+
+      PassMask(col, active, nb, p.op, p.threshold, pass);
+      if (p.pred_false != nullptr) {
+        // Lanes failing here are exactly the pairs whose serial run sets
+        // this predicate's false bit (their first failing predicate —
+        // they leave `active` now and never reach a later one).
+        for (size_t wi = 0; wi < nw; ++wi) {
+          tmp[wi] = active[wi] & ~pass[wi];
+        }
+        p.pred_false->OrSpan(base, tmp, nb);
+      }
+      bitspan::And(active, pass, nb);
+    }
+
+    if (bitspan::Any(active, nb)) {
+      matches.OrSpan(base, active, nb);
+      if (rule.rule_true != nullptr) rule.rule_true->OrSpan(base, active, nb);
+      bitspan::AndNot(undecided, active, nb);
+    }
+  }
+  s.last_used = used;
+
+  // Bulk-scatter every column this block computed back into the memo —
+  // one cache-blocked FillSpan per touched feature instead of a virtual
+  // Store per (pair, feature).
+  if (memo_ != nullptr) {
+    for (uint32_t slot = 0; slot < slots; ++slot) {
+      if (s.touched[slot] == 0) continue;
+      const uint64_t* dirty = dirty_base + slot * words_;
+      if (!bitspan::Any(dirty, nb)) continue;
+      const float* col = s.cols.data() + slot * block_size_;
+      if (dense_ != nullptr) {
+        dense_->FillSpan(base, nb, slot_features_[slot], col, dirty);
+      } else {
+        for (size_t wi = 0; wi < nw; ++wi) {
+          uint64_t m = wi + 1 == nw ? dirty[wi] & bitspan::TailMask(nb)
+                                    : dirty[wi];
+          while (m != 0) {
+            const size_t i =
+                wi * 64 + static_cast<size_t>(std::countr_zero(m));
+            m &= m - 1;
+            memo_->Store(base + i, slot_features_[slot],
+                         static_cast<double>(col[i]));
+          }
+        }
+      }
+    }
+  }
+}
+
+MatchResult BlockMatcher::Run(const MatchingFunction& fn,
+                              const CandidateSet& pairs, PairContext& ctx,
+                              const RunControl& control) {
+  return RunImpl(fn, pairs, ctx, nullptr, nullptr, control);
+}
+
+MatchResult BlockMatcher::RunWithMemo(const MatchingFunction& fn,
+                                      const CandidateSet& pairs,
+                                      PairContext& ctx, Memo& memo,
+                                      const RunControl& control) {
+  return RunImpl(fn, pairs, ctx, nullptr, &memo, control);
+}
+
+MatchResult BlockMatcher::RunWithState(const MatchingFunction& fn,
+                                       const CandidateSet& pairs,
+                                       PairContext& ctx, MatchState& state,
+                                       const RunControl& control) {
+  const bool reuse =
+      state.initialized() && state.num_pairs() == pairs.size();
+  Status cap = state.EnsureCapacity(pairs.size(), ctx.catalog().size());
+  if (!cap.ok()) {
+    MatchResult denied;
+    denied.matches = Bitmap(pairs.size());
+    denied.evaluated = Bitmap(pairs.size());
+    denied.partial = true;
+    denied.pairs_completed = 0;
+    denied.status = cap;
+    return denied;
+  }
+  if (reuse) state.matches().Fill(false);
+  // Materialize one bitmap per rule and per predicate before evaluation
+  // (same serial phase as the other matchers; the evaluator then only
+  // ORs word spans into them).
+  for (const Rule& r : fn.rules()) {
+    state.RuleTrue(r.id()).Fill(false);
+    for (const Predicate& p : r.predicates()) {
+      state.PredFalse(p.id).Fill(false);
+    }
+  }
+  MatchResult result =
+      RunImpl(fn, pairs, ctx, &state, &state.memo(), control);
+  state.matches() = result.matches;
+  return result;
+}
+
+size_t BlockMatcher::AutoBlockSize(const MatchingFunction& fn,
+                                   const CostModel* model) {
+  // Fit the block's score columns (one float span per used feature) in
+  // half of a ~256 KB L2, leaving the other half for the memo submatrix
+  // the block streams (rows of all catalog features, read by the
+  // transpose or by the first lazy gather) — columns and memo rows
+  // compete for the same cache during warm runs.
+  constexpr size_t kColumnBudgetBytes = 128 * 1024;
+  const size_t nf = std::max<size_t>(1, fn.UsedFeatures().size());
+  size_t b = kColumnBudgetBytes / (nf * sizeof(float));
+  if (model != nullptr) {
+    double total_us = 0.0;
+    size_t measured = 0;
+    for (const FeatureId f : fn.UsedFeatures()) {
+      total_us += model->FeatureCost(f);
+      ++measured;
+    }
+    const double avg_us = measured > 0 ? total_us / measured : 0.0;
+    if (avg_us > 10.0) {
+      b = std::min<size_t>(b, 512);  // compute-bound: favor cancellation
+    } else if (avg_us < 0.5) {
+      b = std::max<size_t>(b, 1024);  // orchestration-bound: amortize
+    }
+  }
+  b = std::clamp<size_t>(b, 256, 4096);
+  return b / 64 * 64;
+}
+
+size_t BlockMatcher::ResolveBlockSize(const Options& options,
+                                      const MatchingFunction& fn) {
+  if (options.block_size == 0) {
+    return AutoBlockSize(fn, options.cost_model);
+  }
+  return std::max<size_t>(64, (options.block_size + 63) / 64 * 64);
+}
+
+MatchResult BlockMatcher::RunImpl(const MatchingFunction& fn,
+                                  const CandidateSet& pairs,
+                                  PairContext& ctx, MatchState* state,
+                                  Memo* memo, const RunControl& control) {
+  Stopwatch timer;
+  StopCheck stop(control);
+  MatchResult result;
+  result.matches = Bitmap(pairs.size());
+  result.MarkComplete(pairs.size());
+
+  BlockEvaluator eval(fn, pairs, ctx, memo, state,
+                      ResolveBlockSize(options_, fn));
+  Result<MemoryReservation> scratch_bytes =
+      MemoryReservation::Make(options_.budget, eval.ScratchBytes());
+  if (!scratch_bytes.ok()) {
+    result.evaluated = Bitmap(pairs.size());
+    result.partial = true;
+    result.pairs_completed = 0;
+    result.status = scratch_bytes.status();
+    return result;
+  }
+  BlockEvaluator::Scratch scratch;
+  eval.InitScratch(scratch);
+
+  for (size_t b = 0; b < eval.num_blocks(); ++b) {
+    // Cancellation at block granularity: a stopped run's evaluated
+    // prefix ends on a block boundary.
+    if (stop.ShouldStop()) {
+      result.MarkPartialPrefix(b * eval.block_size(), pairs.size(),
+                               stop.Reason());
+      break;
+    }
+    eval.EvalBlock(b, result.matches, result.stats, scratch);
+  }
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace emdbg

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <unordered_map>
 
+#include "src/core/block_matcher.h"
 #include "src/core/memo_matcher.h"
 #include "src/core/parallel_matcher.h"
 #include "src/core/sampler.h"
@@ -200,7 +201,8 @@ IncrementalMatcher::Options DebugSession::IncOptions() {
   return IncrementalMatcher::Options{
       .check_cache_first = options_.check_cache_first,
       .pool = pool_.get(),
-      .budget = options_.budget};
+      .budget = options_.budget,
+      .block_size = options_.block_size};
 }
 
 MatchResult DebugSession::BatchRun(const RunControl& control) {
@@ -208,6 +210,15 @@ MatchResult DebugSession::BatchRun(const RunControl& control) {
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = options_.check_cache_first,
         .pool = pool_.get(),
+        .budget = options_.budget,
+        .block_size = options_.block_size,
+        .cost_model = model_.get()});
+    return matcher.RunWithState(fn_, *pairs_, *ctx_, batch_state_, control);
+  }
+  if (options_.block_size != 1) {
+    BlockMatcher matcher(BlockMatcher::Options{
+        .block_size = options_.block_size,
+        .cost_model = model_.get(),
         .budget = options_.budget});
     return matcher.RunWithState(fn_, *pairs_, *ctx_, batch_state_, control);
   }

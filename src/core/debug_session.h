@@ -59,6 +59,14 @@ class DebugSession {
     /// degrades a cache layer with bit-identical results; it never
     /// aborts. Must outlive the session.
     MemoryBudget* budget = nullptr;
+    /// Pairs per columnar block for full runs and incremental edits. 1
+    /// (the default) = classic per-pair evaluation; 0 = cost-model-auto
+    /// block size; >= 2 = explicit, rounded up to a multiple of 64 (see
+    /// src/core/block_matcher.h). Match and decision bitmaps are
+    /// identical in every mode; in block mode check_cache_first is
+    /// ignored (block semantics are the ccf-off ordering) and
+    /// cancellation lands on block boundaries.
+    size_t block_size = 1;
   };
 
   /// Large allocations the session currently holds, by consumer (for

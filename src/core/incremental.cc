@@ -1,13 +1,38 @@
 #include "src/core/incremental.h"
 
+#include <bit>
 #include <vector>
 
+#include "src/core/block_matcher.h"
 #include "src/core/memo_matcher.h"
 #include "src/core/parallel_matcher.h"
+#include "src/util/bitmap.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
 namespace emdbg {
+
+namespace {
+
+/// Gathered edits below one bitmap word of lanes run per-pair: the
+/// columnar setup (lane gather, mask buffers) does not pay there.
+constexpr size_t kMinGatheredLanes = 64;
+
+/// Calls fn(i) for every set lane of a gathered mask over [0, n).
+template <typename Fn>
+void ForEachLane(const uint64_t* mask, size_t n, Fn&& fn) {
+  const size_t words = bitspan::Words(n);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m =
+        w + 1 == words ? mask[w] & bitspan::TailMask(n) : mask[w];
+    while (m != 0) {
+      fn(w * 64 + static_cast<size_t>(std::countr_zero(m)));
+      m &= m - 1;
+    }
+  }
+}
+
+}  // namespace
 
 IncrementalMatcher::IncrementalMatcher(PairContext& ctx,
                                        const CandidateSet& pairs,
@@ -30,7 +55,12 @@ MatchResult IncrementalMatcher::FullRun(const MatchingFunction& fn,
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = options_.check_cache_first,
         .pool = options_.pool,
-        .budget = options_.budget});
+        .budget = options_.budget,
+        .block_size = options_.block_size});
+    result = matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
+  } else if (options_.block_size != 1) {
+    BlockMatcher matcher(BlockMatcher::Options{
+        .block_size = options_.block_size, .budget = options_.budget});
     result = matcher.RunWithState(fn_, pairs_, ctx_, state_, control);
   } else {
     MemoMatcher matcher(MemoMatcher::Options{
@@ -158,6 +188,139 @@ void IncrementalMatcher::RematchPair(size_t i, size_t from,
   }
 }
 
+void IncrementalMatcher::AcquireFeatureGathered(
+    FeatureId f, const std::vector<uint32_t>& idx,
+    const std::vector<PairId>& gathered, const uint64_t* lanes, float* col,
+    MatchStats& stats) {
+  const size_t n = idx.size();
+  const size_t words = bitspan::Words(n);
+  std::vector<uint64_t> need(words, 0);
+  ForEachLane(lanes, n, [&](size_t i) {
+    double v = 0.0;
+    if (state_.memo().Lookup(idx[i], f, &v)) {
+      col[i] = static_cast<float>(v);
+      ++stats.memo_hits;
+    } else {
+      need[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  });
+  if (!bitspan::Any(need.data(), n)) return;
+  ctx_.ComputeFeatureBlock(f, gathered.data(), n, need.data(), col);
+  ForEachLane(need.data(), n, [&](size_t i) {
+    state_.memo().Store(idx[i], f, static_cast<double>(col[i]));
+    ++stats.feature_computations;
+  });
+}
+
+void IncrementalMatcher::EvalRuleGathered(const Rule& r,
+                                          std::vector<uint32_t>& idx,
+                                          MatchStats& stats) {
+  const size_t n = idx.size();
+  if (n == 0) return;
+  const size_t words = bitspan::Words(n);
+  std::vector<PairId> gathered(n);
+  for (size_t i = 0; i < n; ++i) gathered[i] = pairs_.pair(idx[i]);
+  std::vector<float> col(n);
+  std::vector<uint64_t> active(words);
+  bitspan::Fill(active.data(), n, true);
+
+  for (const Predicate& p : r.predicates()) {
+    const size_t entering = bitspan::Count(active.data(), n);
+    if (entering == 0) break;
+    stats.predicate_evaluations += entering;
+    AcquireFeatureGathered(p.feature, idx, gathered, active.data(),
+                           col.data(), stats);
+    Bitmap& pf = state_.PredFalse(p.id);
+    // ForEachLane snapshots each word before walking it, so clearing a
+    // failing lane from `active` mid-walk is safe.
+    ForEachLane(active.data(), n, [&](size_t i) {
+      if (p.Test(static_cast<double>(col[i]))) {
+        pf.Clear(idx[i]);  // keep I3 tight, as EvalRule does
+      } else {
+        pf.Set(idx[i]);
+        active[i >> 6] &= ~(uint64_t{1} << (i & 63));
+      }
+    });
+  }
+
+  // Surviving lanes passed every predicate: record them, keep the rest.
+  std::vector<uint32_t> still_false;
+  still_false.reserve(n);
+  Bitmap& rule_true = state_.RuleTrue(r.id());
+  for (size_t i = 0; i < n; ++i) {
+    if ((active[i >> 6] >> (i & 63)) & 1) {
+      state_.matches().Set(idx[i]);
+      rule_true.Set(idx[i]);
+    } else {
+      still_false.push_back(idx[i]);
+    }
+  }
+  idx = std::move(still_false);
+}
+
+void IncrementalMatcher::RematchGathered(std::vector<uint32_t>& idx,
+                                         size_t skip_pos,
+                                         MatchStats& stats) {
+  std::vector<uint32_t> deferred;
+  for (size_t pos = 0; pos < fn_.num_rules() && !idx.empty(); ++pos) {
+    if (pos == skip_pos) continue;
+    const Rule& rule = fn_.rule(pos);
+    if (rule.empty()) continue;
+    // Known-false shortcut (I3), partitioned per lane: short-circuited
+    // lanes skip this rule but continue to the next one.
+    std::vector<uint32_t> eligible;
+    eligible.reserve(idx.size());
+    deferred.clear();
+    for (const uint32_t i : idx) {
+      if (RuleKnownFalse(rule, i)) {
+        deferred.push_back(i);
+      } else {
+        eligible.push_back(i);
+      }
+    }
+    stats.rule_evaluations += eligible.size();
+    EvalRuleGathered(rule, eligible, stats);
+    idx = std::move(eligible);  // lanes where the rule came out false
+    idx.insert(idx.end(), deferred.begin(), deferred.end());
+  }
+}
+
+MatchStats IncrementalMatcher::RecheckMatchedGathered(RuleId rid,
+                                                      const Predicate& p) {
+  MatchStats stats;
+  const Bitmap& affected = state_.RuleTrue(rid);
+  const size_t rule_pos = fn_.FindRule(rid);
+  std::vector<uint32_t> idx;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (affected.Get(i)) idx.push_back(static_cast<uint32_t>(i));
+  }
+  const size_t n = idx.size();
+  if (n == 0) return stats;
+  stats.predicate_evaluations += n;
+  std::vector<PairId> gathered(n);
+  for (size_t i = 0; i < n; ++i) gathered[i] = pairs_.pair(idx[i]);
+  std::vector<float> col(n);
+  std::vector<uint64_t> all(bitspan::Words(n));
+  bitspan::Fill(all.data(), n, true);
+  AcquireFeatureGathered(p.feature, idx, gathered, all.data(), col.data(),
+                         stats);
+
+  std::vector<uint32_t> failing;
+  Bitmap& pf = state_.PredFalse(p.id);
+  for (size_t i = 0; i < n; ++i) {
+    if (p.Test(static_cast<double>(col[i]))) {
+      pf.Clear(idx[i]);  // still matched by this rule
+    } else {
+      pf.Set(idx[i]);
+      state_.RuleTrue(rid).Clear(idx[i]);
+      state_.matches().Clear(idx[i]);
+      failing.push_back(idx[i]);
+    }
+  }
+  RematchGathered(failing, rule_pos, stats);
+  return stats;
+}
+
 Result<MatchStats> IncrementalMatcher::AddRule(const Rule& rule) {
   if (!has_run_) {
     return Status::FailedPrecondition("FullRun required before edits");
@@ -170,15 +333,29 @@ Result<MatchStats> IncrementalMatcher::AddRule(const Rule& rule) {
   const Rule& r = *fn_.RuleById(rid);
   if (!r.empty()) {
     // Algorithm 10: only unmatched pairs can be affected.
-    stats = ForEachPair([&](size_t i, MatchStats& s,
-                            PredicateOrderScratch& scratch) {
-      if (state_.matches().Get(i)) return;
-      ++s.rule_evaluations;
-      if (EvalRule(r, i, s, scratch)) {
-        state_.matches().Set(i);
-        state_.RuleTrue(rid).Set(i);
+    bool gathered_done = false;
+    if (options_.block_size != 1) {
+      std::vector<uint32_t> idx;
+      for (size_t i = 0; i < pairs_.size(); ++i) {
+        if (!state_.matches().Get(i)) idx.push_back(static_cast<uint32_t>(i));
       }
-    });
+      if (idx.size() >= kMinGatheredLanes) {
+        stats.rule_evaluations += idx.size();
+        EvalRuleGathered(r, idx, stats);
+        gathered_done = true;
+      }
+    }
+    if (!gathered_done) {
+      stats = ForEachPair([&](size_t i, MatchStats& s,
+                              PredicateOrderScratch& scratch) {
+        if (state_.matches().Get(i)) return;
+        ++s.rule_evaluations;
+        if (EvalRule(r, i, s, scratch)) {
+          state_.matches().Set(i);
+          state_.RuleTrue(rid).Set(i);
+        }
+      });
+    }
   }
   stats.elapsed_ms = timer.ElapsedMillis();
   return stats;
@@ -207,12 +384,26 @@ Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
   // Algorithm 9: re-check the affected pairs against the remaining rules.
   MatchStats stats;
   if (!affected.empty()) {
-    stats = ForEachPair([&](size_t i, MatchStats& s,
-                            PredicateOrderScratch& scratch) {
-      if (!affected.Get(i)) return;
-      state_.matches().Clear(i);
-      RematchPair(i, 0, s, scratch);
-    });
+    bool gathered_done = false;
+    if (options_.block_size != 1) {
+      std::vector<uint32_t> idx;
+      for (size_t i = 0; i < pairs_.size(); ++i) {
+        if (affected.Get(i)) idx.push_back(static_cast<uint32_t>(i));
+      }
+      if (idx.size() >= kMinGatheredLanes) {
+        for (const uint32_t i : idx) state_.matches().Clear(i);
+        RematchGathered(idx, fn_.num_rules(), stats);
+        gathered_done = true;
+      }
+    }
+    if (!gathered_done) {
+      stats = ForEachPair([&](size_t i, MatchStats& s,
+                              PredicateOrderScratch& scratch) {
+        if (!affected.Get(i)) return;
+        state_.matches().Clear(i);
+        RematchPair(i, 0, s, scratch);
+      });
+    }
   }
   stats.elapsed_ms = timer.ElapsedMillis();
   return stats;
@@ -220,6 +411,10 @@ Result<MatchStats> IncrementalMatcher::RemoveRule(RuleId rid) {
 
 MatchStats IncrementalMatcher::RecheckMatchedPairs(RuleId rid,
                                                    const Predicate& p) {
+  if (options_.block_size != 1 &&
+      state_.RuleTrue(rid).Count() >= kMinGatheredLanes) {
+    return RecheckMatchedGathered(rid, p);
+  }
   // Snapshot: the loop clears RuleTrue(rid) bits as it goes.
   const Bitmap affected = state_.RuleTrue(rid);
   const size_t rule_pos = fn_.FindRule(rid);
@@ -257,6 +452,20 @@ MatchStats IncrementalMatcher::RecheckMatchedPairs(RuleId rid,
 MatchStats IncrementalMatcher::RecheckUnmatchedPairs(
     RuleId rid, const Bitmap& candidates) {
   const Rule& rule = *fn_.RuleById(rid);
+  if (options_.block_size != 1) {
+    std::vector<uint32_t> idx;
+    for (size_t i = 0; i < pairs_.size(); ++i) {
+      if (candidates.Get(i) && !state_.matches().Get(i)) {
+        idx.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (idx.size() >= kMinGatheredLanes) {
+      MatchStats stats;
+      stats.rule_evaluations += idx.size();
+      EvalRuleGathered(rule, idx, stats);
+      return stats;
+    }
+  }
   return ForEachPair([&, this](size_t i, MatchStats& s,
                                PredicateOrderScratch& scratch) {
     if (!candidates.Get(i)) return;
@@ -289,15 +498,29 @@ Result<MatchStats> IncrementalMatcher::AddPredicate(RuleId rid,
     // Empty rules are false everywhere, so this transition can only add
     // matches: evaluate like a newly added rule (Algorithm 10).
     const Rule& r = *fn_.RuleById(rid);
-    stats = ForEachPair([&](size_t i, MatchStats& s,
-                            PredicateOrderScratch& scratch) {
-      if (state_.matches().Get(i)) return;
-      ++s.rule_evaluations;
-      if (EvalRule(r, i, s, scratch)) {
-        state_.matches().Set(i);
-        state_.RuleTrue(rid).Set(i);
+    bool gathered_done = false;
+    if (options_.block_size != 1) {
+      std::vector<uint32_t> idx;
+      for (size_t i = 0; i < pairs_.size(); ++i) {
+        if (!state_.matches().Get(i)) idx.push_back(static_cast<uint32_t>(i));
       }
-    });
+      if (idx.size() >= kMinGatheredLanes) {
+        stats.rule_evaluations += idx.size();
+        EvalRuleGathered(r, idx, stats);
+        gathered_done = true;
+      }
+    }
+    if (!gathered_done) {
+      stats = ForEachPair([&](size_t i, MatchStats& s,
+                              PredicateOrderScratch& scratch) {
+        if (state_.matches().Get(i)) return;
+        ++s.rule_evaluations;
+        if (EvalRule(r, i, s, scratch)) {
+          state_.matches().Set(i);
+          state_.RuleTrue(rid).Set(i);
+        }
+      });
+    }
   } else {
     // Algorithm 7: adding a predicate can only shrink the rule's matches.
     Predicate added = p;
@@ -334,12 +557,26 @@ Result<MatchStats> IncrementalMatcher::RemovePredicate(RuleId rid,
     // pairs it was responsible for and re-match them elsewhere.
     const Bitmap affected = state_.RuleTrue(rid);
     state_.RuleTrue(rid).Fill(false);
-    stats = ForEachPair([&](size_t i, MatchStats& s,
-                            PredicateOrderScratch& scratch) {
-      if (!affected.Get(i)) return;
-      state_.matches().Clear(i);
-      RematchPair(i, 0, s, scratch);
-    });
+    bool gathered_done = false;
+    if (options_.block_size != 1) {
+      std::vector<uint32_t> idx;
+      for (size_t i = 0; i < pairs_.size(); ++i) {
+        if (affected.Get(i)) idx.push_back(static_cast<uint32_t>(i));
+      }
+      if (idx.size() >= kMinGatheredLanes) {
+        for (const uint32_t i : idx) state_.matches().Clear(i);
+        RematchGathered(idx, fn_.num_rules(), stats);
+        gathered_done = true;
+      }
+    }
+    if (!gathered_done) {
+      stats = ForEachPair([&](size_t i, MatchStats& s,
+                              PredicateOrderScratch& scratch) {
+        if (!affected.Get(i)) return;
+        state_.matches().Clear(i);
+        RematchPair(i, 0, s, scratch);
+      });
+    }
   } else {
     // Algorithm 8: only unmatched pairs that the predicate rejected can
     // become matches.

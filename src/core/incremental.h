@@ -63,6 +63,18 @@ class IncrementalMatcher {
     /// run or edit, with the prior state untouched. Must outlive the
     /// matcher.
     MemoryBudget* budget = nullptr;
+    /// Pairs per columnar block. 1 (the default) = classic per-pair
+    /// evaluation everywhere. Any other value (0 = auto-size) switches
+    /// full runs to the BlockEvaluator (see src/core/block_matcher.h)
+    /// and edits to *gathered-block* re-evaluation: the affected pair
+    /// indices are gathered into a dense lane list and each feature is
+    /// evaluated across all lanes at once (ComputeFeatureBlock), with
+    /// rule/predicate combination by mask algebra. Edits touching fewer
+    /// than one bitmap word of lanes stay per-pair (columnar setup does
+    /// not pay below 64 lanes). Block mode uses the as-written predicate
+    /// order — check_cache_first is ignored — so its bitmaps and stats
+    /// equal the per-pair path with check_cache_first=false.
+    size_t block_size = 1;
   };
 
   /// `ctx` and `pairs` must outlive the matcher.
@@ -173,6 +185,39 @@ class IncrementalMatcher {
   /// Shared tail of AddPredicate / tighten: re-check pairs in RuleTrue(r)
   /// against predicate `p` (already updated in fn_).
   MatchStats RecheckMatchedPairs(RuleId rid, const Predicate& p);
+
+  // ---- Gathered-block edit evaluation (Options::block_size != 1).
+  // Bit-identical to the per-pair routines above with
+  // check_cache_first=false: same (pair, rule, predicate) evaluation
+  // set, same memo outcomes, merely reordered across lanes. ----
+
+  /// Memoized columnar acquisition of feature `f` for every lane of
+  /// `idx` whose bit is set in `lanes`: probes the memo per lane, then
+  /// batch-computes and stores the misses. col[i] receives each such
+  /// lane's value.
+  void AcquireFeatureGathered(FeatureId f, const std::vector<uint32_t>& idx,
+                              const std::vector<PairId>& gathered,
+                              const uint64_t* lanes, float* col,
+                              MatchStats& stats);
+
+  /// Columnar EvalRule over gathered lanes, including the first-false
+  /// PredFalse recording and the clear-on-pass I3 maintenance. Lanes
+  /// where the rule is true are marked matched (+ RuleTrue) and removed
+  /// from `idx`; false lanes remain. Does not count rule_evaluations —
+  /// callers do, exactly where the per-pair routines would.
+  void EvalRuleGathered(const Rule& r, std::vector<uint32_t>& idx,
+                        MatchStats& stats);
+
+  /// Columnar RematchPair over gathered lanes: runs the rules in order
+  /// (skipping position `skip_pos`), with the known-false shortcut
+  /// applied per lane before each rule.
+  void RematchGathered(std::vector<uint32_t>& idx, size_t skip_pos,
+                       MatchStats& stats);
+
+  /// Gathered-block body of RecheckMatchedPairs (block mode, >= 64
+  /// affected lanes): one columnar pass over the edited predicate, then
+  /// RematchGathered for the lanes it now rejects.
+  MatchStats RecheckMatchedGathered(RuleId rid, const Predicate& p);
 
   /// Shared tail of RemovePredicate / relax: re-evaluate unmatched pairs
   /// in `candidates` (bit indices) against rule `rid`.

@@ -1,8 +1,11 @@
 #include "src/core/memo.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <mutex>
+
+#include "src/util/bitmap.h"
 
 namespace emdbg {
 
@@ -29,6 +32,38 @@ void DenseMemo::GrowFeatures(size_t num_features) {
   }
   data_ = std::move(grown);
   num_features_ = num_features;
+}
+
+void DenseMemo::GatherColumn(size_t row, size_t n, FeatureId feature,
+                             float* out, uint64_t* present) const {
+  bitspan::Fill(present, n, false);
+  const float* cell = &data_[row * num_features_ + feature];
+  for (size_t i = 0; i < n; ++i, cell += num_features_) {
+    const float v = *cell;
+    out[i] = v;
+    if (!std::isnan(v)) present[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+void DenseMemo::FillSpan(size_t row, size_t n, FeatureId feature,
+                         const float* vals, const uint64_t* mask) {
+  float* cell = &data_[row * num_features_ + feature];
+  size_t newly_filled = 0;
+  for (size_t wi = 0; wi < bitspan::Words(n); ++wi) {
+    uint64_t m = wi + 1 == bitspan::Words(n)
+                     ? mask[wi] & bitspan::TailMask(n)
+                     : mask[wi];
+    while (m != 0) {
+      const size_t i = wi * 64 + static_cast<size_t>(std::countr_zero(m));
+      m &= m - 1;
+      float& slot = cell[i * num_features_];
+      if (std::isnan(slot)) ++newly_filled;
+      slot = vals[i];
+    }
+  }
+  if (newly_filled > 0) {
+    filled_.fetch_add(newly_filled, std::memory_order_relaxed);
+  }
 }
 
 Status DenseMemo::LoadRawValues(const std::vector<float>& values) {

@@ -100,6 +100,33 @@ class DenseMemo final : public Memo {
   /// preserved. No-op if `num_features` is not larger.
   void GrowFeatures(size_t num_features);
 
+  // ---- Columnar bulk access (the block matcher's gather/scatter,
+  // src/core/block_matcher.h). Storage is pair-major, so a column walk is
+  // strided by num_features(); one cache-sized block of rows (~1–4K)
+  // keeps the strides inside L2. ----
+
+  /// Pointer to row `pair_index`'s values (num_features() floats, NaN =
+  /// absent). Valid until the next GrowFeatures/LoadRawValues.
+  const float* RowView(size_t pair_index) const {
+    return &data_[pair_index * num_features_];
+  }
+
+  /// Gathers column `feature` for rows [row, row + n): out[i] receives
+  /// the stored float (NaN when absent) and bit i of `present`
+  /// (ceil(n/64) words, fully overwritten) is set iff the cell holds a
+  /// value. Thread-safety matches Lookup: safe concurrently with
+  /// Store/FillSpan on *other* rows.
+  void GatherColumn(size_t row, size_t n, FeatureId feature, float* out,
+                    uint64_t* present) const;
+
+  /// Bulk store: for every set bit i of `mask` (ceil(n/64) words),
+  /// stores vals[i] into cell (row + i, feature). The fill counter is
+  /// bumped once with the batch's newly-filled count instead of once per
+  /// cell. Thread-safety matches Store: rows [row, row + n) must not be
+  /// concurrently written by another thread.
+  void FillSpan(size_t row, size_t n, FeatureId feature, const float* vals,
+                const uint64_t* mask);
+
   /// Raw value matrix in pair-major order (for binary persistence);
   /// absent cells are NaN.
   const std::vector<float>& raw_values() const { return data_; }

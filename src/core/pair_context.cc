@@ -1,9 +1,11 @@
 #include "src/core/pair_context.h"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "src/text/similarity_registry.h"
+#include "src/util/bitmap.h"
 
 namespace emdbg {
 
@@ -425,11 +427,9 @@ bool PairContext::TryComputeFeatureIds(const Feature& feature,
   }
 }
 
-double PairContext::ComputeFeature(FeatureId f, PairId pair) {
-  compute_count_.fetch_add(1, std::memory_order_relaxed);
-  const Feature& feature = catalog_.feature(f);
-  const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
-
+double PairContext::ComputeFeatureValue(const Feature& feature,
+                                        const SimFunctionInfo& info,
+                                        PairId pair) {
   // Quantize to float: the memo stores float, and matching decisions must
   // not depend on whether a value came from computation or from the memo
   // (otherwise rule/predicate *order* could change results at threshold
@@ -462,6 +462,123 @@ double PairContext::ComputeFeature(FeatureId f, PairId pair) {
   }
   return static_cast<float>(
       ComputeSimilarity(feature.fn, arg_a, arg_b, model));
+}
+
+double PairContext::ComputeFeature(FeatureId f, PairId pair) {
+  compute_count_.fetch_add(1, std::memory_order_relaxed);
+  const Feature& feature = catalog_.feature(f);
+  return ComputeFeatureValue(feature, GetSimFunctionInfo(feature.fn), pair);
+}
+
+void PairContext::ComputeFeatureBlock(FeatureId f, const PairId* pairs,
+                                      size_t n, const uint64_t* mask,
+                                      float* out) {
+  const size_t lanes = bitspan::Count(mask, n);
+  if (lanes == 0) return;
+  compute_count_.fetch_add(lanes, std::memory_order_relaxed);
+  const Feature& feature = catalog_.feature(f);
+  const SimFunctionInfo& info = GetSimFunctionInfo(feature.fn);
+
+  // Runs `cell(i)` for every set bit of the mask, tail-masked.
+  const auto for_each_lane = [&](auto&& cell) {
+    const size_t words = bitspan::Words(n);
+    for (size_t wi = 0; wi < words; ++wi) {
+      uint64_t m = wi + 1 == words ? mask[wi] & bitspan::TailMask(n)
+                                   : mask[wi];
+      while (m != 0) {
+        const size_t i = wi * 64 + static_cast<size_t>(std::countr_zero(m));
+        m &= m - 1;
+        cell(i);
+      }
+    }
+  };
+
+  // Hoisted id-kernel loops: the feature's structures are resolved once,
+  // then the kernel runs tight over the lanes. Each branch secures
+  // exactly the structures TryComputeFeatureIds needs per pair; when a
+  // build fails under budget pressure, the generic per-pair path below
+  // computes the identical value through the string kernels.
+  if (info.id_path && interner_ != nullptr) {
+    const bool qgrams = info.tokens == TokenNeed::kQGram3;
+    switch (feature.fn) {
+      case SimFunction::kJaccard:
+      case SimFunction::kDice:
+      case SimFunction::kOverlap:
+      case SimFunction::kTrigram: {
+        if (!BuildIdColumn(false, feature.attr_a, qgrams, nullptr) ||
+            !BuildIdColumn(true, feature.attr_b, qgrams, nullptr)) {
+          break;
+        }
+        const auto& slots_a = qgrams ? idc_a_.qgrams : idc_a_.words;
+        const auto& slots_b = qgrams ? idc_b_.qgrams : idc_b_.words;
+        const size_t base_a = feature.attr_a * a_.num_rows();
+        const size_t base_b = feature.attr_b * b_.num_rows();
+        if (feature.fn == SimFunction::kDice) {
+          for_each_lane([&](size_t i) {
+            out[i] = static_cast<float>(
+                IdDice(slots_a[base_a + pairs[i].a]->sorted,
+                       slots_b[base_b + pairs[i].b]->sorted));
+          });
+        } else if (feature.fn == SimFunction::kOverlap) {
+          for_each_lane([&](size_t i) {
+            out[i] = static_cast<float>(
+                IdOverlap(slots_a[base_a + pairs[i].a]->sorted,
+                          slots_b[base_b + pairs[i].b]->sorted));
+          });
+        } else {  // Jaccard and Trigram (= Jaccard over 3-grams)
+          for_each_lane([&](size_t i) {
+            out[i] = static_cast<float>(
+                IdJaccard(slots_a[base_a + pairs[i].a]->sorted,
+                          slots_b[base_b + pairs[i].b]->sorted));
+          });
+        }
+        return;
+      }
+      case SimFunction::kCosine: {
+        if (!BuildTfColumn(false, feature.attr_a, nullptr) ||
+            !BuildTfColumn(true, feature.attr_b, nullptr)) {
+          break;
+        }
+        const size_t base_a = feature.attr_a * a_.num_rows();
+        const size_t base_b = feature.attr_b * b_.num_rows();
+        const auto ranks = ranks_;
+        for_each_lane([&](size_t i) {
+          out[i] = static_cast<float>(
+              IdCosineTf(*idc_a_.word_tf[base_a + pairs[i].a],
+                         *idc_b_.word_tf[base_b + pairs[i].b], *ranks));
+        });
+        return;
+      }
+      case SimFunction::kTfIdf:
+      case SimFunction::kSoftTfIdf: {
+        const ModelIdCache& mc =
+            EnsureModelIds(feature.attr_a, feature.attr_b, nullptr);
+        if (!mc.built) break;
+        const auto ranks = ranks_;
+        if (feature.fn == SimFunction::kTfIdf) {
+          for_each_lane([&](size_t i) {
+            out[i] = static_cast<float>(IdTfIdfCosine(
+                *mc.rows_a[pairs[i].a], *mc.rows_b[pairs[i].b], *ranks));
+          });
+        } else {
+          for_each_lane([&](size_t i) {
+            out[i] = static_cast<float>(
+                IdSoftTfIdf(*mc.rows_a[pairs[i].a], *mc.rows_b[pairs[i].b],
+                            *ranks, *interner_));
+          });
+        }
+        return;
+      }
+      default:
+        break;  // kMongeElkan and friends: per-pair resolution below
+    }
+  }
+
+  // Generic path: per-pair resolution (string kernels, or id structures
+  // the fast loops could not secure). Same values, just slower.
+  for_each_lane([&](size_t i) {
+    out[i] = static_cast<float>(ComputeFeatureValue(feature, info, pairs[i]));
+  });
 }
 
 const TfIdfModel& PairContext::ModelFor(AttrIndex attr_a, AttrIndex attr_b) {

@@ -80,6 +80,21 @@ class PairContext {
   /// minimizing; callers memoize the result.
   double ComputeFeature(FeatureId f, PairId pair);
 
+  /// Columnar batch evaluation (the block matcher's compute stage, see
+  /// src/core/block_matcher.h): computes feature `f` for every pair whose
+  /// bit is set in `mask` (ceil(n/64) words over pairs[0..n)), writing the
+  /// float-quantized value to out[i]. Unmasked lanes of `out` are left
+  /// untouched. Values are bit-identical to per-pair ComputeFeature — the
+  /// same kernels run over the same cached structures — but the
+  /// per-feature resolution (catalog lookup, kernel selection, id-column
+  /// availability checks, TF-IDF model fetch) is hoisted out of the pair
+  /// loop, which is where the per-pair orchestration time went.
+  /// compute_count() advances by popcount(mask). Thread-safety matches
+  /// ComputeFeature: read-only on shared state once the features involved
+  /// are prewarmed.
+  void ComputeFeatureBlock(FeatureId f, const PairId* pairs, size_t n,
+                           const uint64_t* mask, float* out);
+
   /// TF-IDF model over the union corpus of column `attr_a` of A and
   /// column `attr_b` of B (built lazily, then cached).
   const TfIdfModel& ModelFor(AttrIndex attr_a, AttrIndex attr_b);
@@ -174,6 +189,13 @@ class PairContext {
 
   const TokenList* CachedTokens(bool table_b, AttrIndex attr, uint32_t row,
                                 bool qgrams);
+
+  /// One pair's value with the feature already resolved (no
+  /// compute_count bump): the id fast path when available, else the
+  /// string kernels. The shared tail of ComputeFeature and
+  /// ComputeFeatureBlock's generic lane loop.
+  double ComputeFeatureValue(const Feature& feature,
+                             const SimFunctionInfo& info, PairId pair);
 
   /// Id-path evaluation for functions with SimFunctionInfo::id_path.
   /// False when a needed id structure is unavailable (budget pressure

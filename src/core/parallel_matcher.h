@@ -1,8 +1,10 @@
 #ifndef EMDBG_CORE_PARALLEL_MATCHER_H_
 #define EMDBG_CORE_PARALLEL_MATCHER_H_
 
+#include "src/core/cost_model.h"
 #include "src/core/match_state.h"
 #include "src/core/matcher.h"
+#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace emdbg {
@@ -56,6 +58,19 @@ class ParallelMemoMatcher final : public Matcher {
     /// denied reservation yields a clean ResourceExhausted result with
     /// zero pairs evaluated. The budget must outlive the run.
     MemoryBudget* budget = nullptr;
+    /// Pairs per columnar block. 1 (the default) = the classic per-pair
+    /// loop above. Any other value switches to the BlockEvaluator: each
+    /// 64-aligned block of pairs becomes the work-stealing unit, one
+    /// feature is evaluated across the whole block at a time, and rules
+    /// combine via bitmap algebra (see src/core/block_matcher.h). 0 =
+    /// auto-size (BlockMatcher::AutoBlockSize); explicit values round up
+    /// to a multiple of 64. Results stay bit-identical either way;
+    /// check_cache_first is ignored in block mode (block semantics are
+    /// the ccf-off ordering), and cancellation is checked once per block
+    /// instead of once per pair.
+    size_t block_size = 1;
+    /// Optional cost model for the auto block size (block mode only).
+    const CostModel* cost_model = nullptr;
   };
 
   ParallelMemoMatcher() : ParallelMemoMatcher(Options{}) {}
@@ -98,6 +113,14 @@ class ParallelMemoMatcher final : public Matcher {
   MatchResult RunImpl(const MatchingFunction& fn, const CandidateSet& pairs,
                       PairContext& ctx, MatchState* state, Memo& memo,
                       const RunControl& control);
+
+  /// Block-mode body of RunImpl (Options::block_size != 1): blocks are
+  /// the scheduling unit; each worker owns a BlockEvaluator::Scratch.
+  MatchResult RunBlocks(const MatchingFunction& fn,
+                        const CandidateSet& pairs, PairContext& ctx,
+                        MatchState* state, Memo& memo,
+                        const RunControl& control, ThreadPool& pool,
+                        const Stopwatch& timer);
 
   /// The configured pool, creating a private one on first use if none
   /// was supplied.

@@ -68,15 +68,23 @@ Rule RuleGenerator::GenerateRule(Rng& rng) const {
     Predicate p;
     p.feature = f;
     const bool upper = rng.Bernoulli(config_.upper_bound_fraction);
+    const bool override_q =
+        config_.quantile_lo >= 0.0 && config_.quantile_hi >= 0.0;
     if (upper) {
       // Upper bound: threshold in the upper-middle of the distribution so
       // the predicate passes most pairs but prunes some.
       p.op = CompareOp::kLt;
-      p.threshold = FeatureQuantile(f, rng.UniformDouble(0.55, 0.98));
+      p.threshold = FeatureQuantile(
+          f, override_q
+                 ? rng.UniformDouble(config_.quantile_lo, config_.quantile_hi)
+                 : rng.UniformDouble(0.55, 0.98));
     } else {
       // Lower bound: selective — passes the high-similarity tail.
       p.op = CompareOp::kGe;
-      p.threshold = FeatureQuantile(f, rng.UniformDouble(0.55, 0.95));
+      p.threshold = FeatureQuantile(
+          f, override_q
+                 ? rng.UniformDouble(config_.quantile_lo, config_.quantile_hi)
+                 : rng.UniformDouble(0.55, 0.95));
     }
     rule.AddPredicate(p);
   }

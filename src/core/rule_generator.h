@@ -26,6 +26,13 @@ struct RuleGeneratorConfig {
   /// Zipf skew of feature popularity across rules; > 0 makes some features
   /// appear in many rules (which is what makes memoing pay off).
   double feature_skew = 0.8;
+  /// Optional override of the threshold-quantile draw (both bound kinds).
+  /// Negative = keep the built-in ranges (0.55–0.98 upper, 0.55–0.95
+  /// lower). Setting e.g. lo=0.97, hi=0.999 yields highly selective
+  /// rules that rarely match — the realistic low-match-rate regime of
+  /// production EM, where the DNF loop must try every rule per pair.
+  double quantile_lo = -1.0;
+  double quantile_hi = -1.0;
   uint64_t seed = 7;
 };
 

@@ -635,6 +635,7 @@ void Server::HandleOpen(Connection& conn, std::string_view rest) {
       } else {
         DebugSession::Options so;
         so.num_threads = options_.session_threads;
+        so.block_size = options_.session_block_size;
         auto entry = std::make_unique<SessionEntry>();
         entry->token = token;
         if (budget_ != nullptr) {
@@ -727,6 +728,7 @@ void Server::HandleResume(Connection& conn, std::string_view rest) {
       if (entry != nullptr) {
         DebugSession::Options so;
         so.num_threads = options_.session_threads;
+        so.block_size = options_.session_block_size;
         if (budget_ != nullptr) {
           // Reuse the degraded entry's quota (its billing drained when
           // the old session object was dropped); fresh entries get a

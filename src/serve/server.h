@@ -83,6 +83,10 @@ class Server {
     /// Threads per session's own matching pool (1 = serial; the server's
     /// concurrency normally comes from num_workers across sessions).
     size_t session_threads = 1;
+    /// Pairs per block for columnar batch evaluation inside each session
+    /// (1 = classic per-pair; 0 = cost-model auto; >=2 explicit, rounded
+    /// up to a multiple of 64). Results are bit-identical either way.
+    size_t session_block_size = 1;
     /// Durable sessions checkpoint every N journaled edits.
     size_t checkpoint_every = 16;
     /// Root directory for per-session durability ("<root>/<token>").

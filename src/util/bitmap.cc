@@ -8,6 +8,66 @@ namespace {
 constexpr size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
 }  // namespace
 
+namespace bitspan {
+
+void Fill(uint64_t* dst, size_t nbits, bool value) {
+  const size_t w = Words(nbits);
+  if (w == 0) return;
+  for (size_t i = 0; i < w; ++i) dst[i] = value ? ~uint64_t{0} : 0;
+  dst[w - 1] &= TailMask(nbits);
+}
+
+void And(uint64_t* dst, const uint64_t* src, size_t nbits) {
+  const size_t w = Words(nbits);
+  for (size_t i = 0; i < w; ++i) dst[i] &= src[i];
+}
+
+void Or(uint64_t* dst, const uint64_t* src, size_t nbits) {
+  const size_t w = Words(nbits);
+  if (w == 0) return;
+  for (size_t i = 0; i < w; ++i) dst[i] |= src[i];
+  dst[w - 1] &= TailMask(nbits);
+}
+
+void AndNot(uint64_t* dst, const uint64_t* src, size_t nbits) {
+  const size_t w = Words(nbits);
+  for (size_t i = 0; i < w; ++i) dst[i] &= ~src[i];
+}
+
+size_t Count(const uint64_t* words, size_t nbits) {
+  const size_t w = Words(nbits);
+  if (w == 0) return 0;
+  size_t count = 0;
+  for (size_t i = 0; i + 1 < w; ++i) {
+    count += static_cast<size_t>(std::popcount(words[i]));
+  }
+  count += static_cast<size_t>(std::popcount(words[w - 1] & TailMask(nbits)));
+  return count;
+}
+
+size_t CountAnd(const uint64_t* a, const uint64_t* b, size_t nbits) {
+  const size_t w = Words(nbits);
+  if (w == 0) return 0;
+  size_t count = 0;
+  for (size_t i = 0; i + 1 < w; ++i) {
+    count += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  }
+  count += static_cast<size_t>(
+      std::popcount(a[w - 1] & b[w - 1] & TailMask(nbits)));
+  return count;
+}
+
+bool Any(const uint64_t* words, size_t nbits) {
+  const size_t w = Words(nbits);
+  if (w == 0) return false;
+  for (size_t i = 0; i + 1 < w; ++i) {
+    if (words[i] != 0) return true;
+  }
+  return (words[w - 1] & TailMask(nbits)) != 0;
+}
+
+}  // namespace bitspan
+
 Bitmap::Bitmap(size_t size, bool initial)
     : size_(size),
       words_(WordsFor(size), initial ? ~uint64_t{0} : uint64_t{0}) {
@@ -96,6 +156,33 @@ Bitmap Bitmap::FromWords(size_t size, std::vector<uint64_t> words) {
 Bitmap& Bitmap::Subtract(const Bitmap& other) {
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
+}
+
+void Bitmap::OrSpan(size_t bit_offset, const uint64_t* words, size_t nbits) {
+  const size_t w0 = bit_offset >> 6;
+  const size_t w = bitspan::Words(nbits);
+  if (w == 0) return;
+  for (size_t i = 0; i + 1 < w; ++i) words_[w0 + i] |= words[i];
+  words_[w0 + w - 1] |= words[w - 1] & bitspan::TailMask(nbits);
+  TrimTail();
+}
+
+void Bitmap::AndNotSpan(size_t bit_offset, const uint64_t* words,
+                        size_t nbits) {
+  const size_t w0 = bit_offset >> 6;
+  const size_t w = bitspan::Words(nbits);
+  if (w == 0) return;
+  for (size_t i = 0; i + 1 < w; ++i) words_[w0 + i] &= ~words[i];
+  words_[w0 + w - 1] &= ~(words[w - 1] & bitspan::TailMask(nbits));
+}
+
+void Bitmap::ExtractSpan(size_t bit_offset, uint64_t* out,
+                         size_t nbits) const {
+  const size_t w0 = bit_offset >> 6;
+  const size_t w = bitspan::Words(nbits);
+  if (w == 0) return;
+  for (size_t i = 0; i + 1 < w; ++i) out[i] = words_[w0 + i];
+  out[w - 1] = words_[w0 + w - 1] & bitspan::TailMask(nbits);
 }
 
 }  // namespace emdbg

@@ -7,6 +7,50 @@
 
 namespace emdbg {
 
+/// Word-level span algebra over raw uint64_t arrays — the block matcher's
+/// per-block masks (undecided / active / pass) live in worker scratch, not
+/// in Bitmap objects, and are combined a word at a time (CNF/DNF as
+/// AND/OR/ANDNOT instead of per-pair branches).
+///
+/// Every helper operates on ceil(nbits / 64) words and maintains the
+/// invariant that bits at positions >= nbits are zero. Inputs are masked
+/// defensively (a garbage tail in `src` never leaks into `dst`), so
+/// Count() and Bitmap::OrSpan stay exact at every block length.
+namespace bitspan {
+
+/// Words needed for `nbits` bits.
+constexpr size_t Words(size_t nbits) { return (nbits + 63) / 64; }
+
+/// Valid-bit mask of the last word: all ones when nbits is a multiple of
+/// 64 (or zero), else ones in the low nbits % 64 positions.
+constexpr uint64_t TailMask(size_t nbits) {
+  const size_t tail = nbits & 63;
+  return tail == 0 ? ~uint64_t{0} : (uint64_t{1} << tail) - 1;
+}
+
+/// Sets all nbits to `value` (tail bits stay zero).
+void Fill(uint64_t* dst, size_t nbits, bool value);
+
+/// dst &= src.
+void And(uint64_t* dst, const uint64_t* src, size_t nbits);
+
+/// dst |= src.
+void Or(uint64_t* dst, const uint64_t* src, size_t nbits);
+
+/// dst &= ~src.
+void AndNot(uint64_t* dst, const uint64_t* src, size_t nbits);
+
+/// Number of set bits in [0, nbits).
+size_t Count(const uint64_t* words, size_t nbits);
+
+/// popcount(a & b) without materializing the intersection.
+size_t CountAnd(const uint64_t* a, const uint64_t* b, size_t nbits);
+
+/// True if any bit in [0, nbits) is set.
+bool Any(const uint64_t* words, size_t nbits);
+
+}  // namespace bitspan
+
 /// A fixed-size dynamic bitset. The incremental-matching engine stores one
 /// bitmap per rule ("pairs this rule matched") and one per predicate ("pairs
 /// this predicate rejected"), so compactness and fast scans matter
@@ -74,6 +118,24 @@ class Bitmap {
   /// Reconstructs a bitmap from persisted words. `words` must have
   /// exactly ceil(size / 64) entries; tail bits are cleared defensively.
   static Bitmap FromWords(size_t size, std::vector<uint64_t> words);
+
+  // ---- Word-aligned span access (the block matcher's bulk writes).
+  // `bit_offset` must be a multiple of 64 and bit_offset + nbits <=
+  // size(); spans therefore never straddle a partial leading word, and
+  // two writers touching disjoint 64-aligned spans never share a word
+  // (the ThreadPool alignment contract extended to spans). The incoming
+  // span's tail is masked defensively. ----
+
+  /// ORs `nbits` bits of `words` into this bitmap at `bit_offset`.
+  void OrSpan(size_t bit_offset, const uint64_t* words, size_t nbits);
+
+  /// Clears every bit of the span that is set in `words`
+  /// (this &= ~span over [bit_offset, bit_offset + nbits)).
+  void AndNotSpan(size_t bit_offset, const uint64_t* words, size_t nbits);
+
+  /// Copies [bit_offset, bit_offset + nbits) into `out`
+  /// (ceil(nbits / 64) words, tail cleared).
+  void ExtractSpan(size_t bit_offset, uint64_t* out, size_t nbits) const;
 
  private:
   // Zeroes the unused high bits of the last word so Count()/equality stay

@@ -6,10 +6,7 @@ namespace emdbg {
 
 namespace {
 
-size_t RoundUpAlign(size_t v) {
-  constexpr size_t a = ThreadPool::kIndexAlign;
-  return (v + a - 1) / a * a;
-}
+size_t RoundUp(size_t v, size_t a) { return (v + a - 1) / a * a; }
 
 /// Appends [begin, end) to a per-worker completed list, merging with the
 /// previous range when adjacent (a worker draining its own span claims
@@ -137,10 +134,11 @@ ThreadPool::ForResult ThreadPool::ParallelFor(size_t n,
   std::lock_guard<std::mutex> serialize(run_mu_);
 
   const size_t k = num_workers_;
+  const size_t align = std::max<size_t>(1, options.align);
   Job job;
   job.grain = options.grain != 0
-                  ? RoundUpAlign(options.grain)
-                  : std::max(kIndexAlign, RoundUpAlign(n / (k * 16 + 1)));
+                  ? RoundUp(options.grain, align)
+                  : std::max(align, RoundUp(n / (k * 16 + 1), align));
   job.steal = options.steal;
   job.body = &body;
   job.control = &control;
@@ -148,7 +146,7 @@ ThreadPool::ForResult ThreadPool::ParallelFor(size_t n,
   job.completed.resize(k);
 
   // Equal aligned spans; dynamics come from chunked claiming + stealing.
-  const size_t span = std::max(RoundUpAlign((n + k - 1) / k), kIndexAlign);
+  const size_t span = std::max(RoundUp((n + k - 1) / k, align), align);
   for (size_t w = 0; w < k; ++w) {
     job.cursors[w].next.store(std::min(w * span, n),
                               std::memory_order_relaxed);

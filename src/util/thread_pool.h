@@ -52,12 +52,18 @@ class ThreadPool {
 
   struct ForOptions {
     /// Items per claimed chunk; 0 = auto (range / (workers * 16), at
-    /// least one bitmap word). Rounded up to a multiple of kIndexAlign.
+    /// least one alignment unit). Rounded up to a multiple of `align`.
     size_t grain = 0;
     /// When false, workers only drain their own static span (the
     /// equal-partition baseline that work stealing replaces; kept for
     /// benchmarking the difference).
     bool steal = true;
+    /// Chunk-boundary alignment. The kIndexAlign default gives the
+    /// no-shared-bitmap-words contract for per-pair bodies. Iterations
+    /// whose *items* already own disjoint word ranges — the block
+    /// matcher's 64-aligned pair blocks — pass 1 so tiny block counts
+    /// still spread across workers. 0 is treated as 1.
+    size_t align = kIndexAlign;
   };
 
   /// Outcome of one ParallelFor. On a complete run, `stopped` is false

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "src/util/bitmap.h"
+
 namespace emdbg {
 namespace {
 
@@ -114,6 +118,76 @@ TEST(HashMemoTest, SparseUsesLessMemoryThanDenseAtLowFill) {
   HashMemo sparse;
   for (size_t i = 0; i < 1000; ++i) sparse.Store(i * 97 % 100000, i % 33, 0.5);
   EXPECT_LT(sparse.MemoryBytes(), dense.MemoryBytes());
+}
+
+TEST(DenseMemoTest, GatherColumnReportsPresenceAndValues) {
+  DenseMemo memo(200, 3);
+  for (size_t i = 0; i < 200; i += 3) {
+    memo.Store(i, 1, static_cast<double>(i) / 256.0);
+  }
+  // Gather a 70-row window starting mid-matrix (off-word-boundary length).
+  const size_t row = 64, n = 70;
+  std::vector<float> col(n);
+  std::vector<uint64_t> present(bitspan::Words(n), ~uint64_t{0});
+  memo.GatherColumn(row, n, 1, col.data(), present.data());
+  for (size_t i = 0; i < n; ++i) {
+    const bool expect = (row + i) % 3 == 0;
+    EXPECT_EQ((present[i >> 6] >> (i & 63)) & 1u, expect ? 1u : 0u) << i;
+    if (expect) {
+      EXPECT_EQ(col[i], static_cast<float>((row + i) / 256.0)) << i;
+    } else {
+      EXPECT_TRUE(std::isnan(col[i])) << i;
+    }
+  }
+  EXPECT_EQ(present.back() & ~bitspan::TailMask(n), 0u);
+}
+
+TEST(DenseMemoTest, FillSpanStoresMaskedCellsAndCountsNewFills) {
+  DenseMemo memo(128, 2);
+  memo.Store(65, 0, 0.25);  // pre-filled cell inside the span
+  std::vector<float> vals(100);
+  std::vector<uint64_t> mask(bitspan::Words(100), 0);
+  size_t masked = 0;
+  for (size_t i = 0; i < 100; i += 2) {
+    vals[i] = static_cast<float>(i) / 128.0f;
+    mask[i >> 6] |= uint64_t{1} << (i & 63);
+    ++masked;
+  }
+  memo.FillSpan(28, 100, 0, vals.data(), mask.data());
+  // 65 - 28 = 37 is odd -> not in the mask; its old value survives.
+  double v = 0.0;
+  EXPECT_TRUE(memo.Lookup(65, 0, &v));
+  EXPECT_NEAR(v, 0.25, 1e-9);
+  EXPECT_EQ(memo.FilledCount(), masked + 1);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(memo.Contains(28 + i, 0), i % 2 == 0 || 28 + i == 65) << i;
+    if (i % 2 == 0) {
+      EXPECT_TRUE(memo.Lookup(28 + i, 0, &v));
+      EXPECT_EQ(v, static_cast<double>(vals[i])) << i;
+    }
+  }
+  // Overwriting already-present cells must not double-count fills.
+  memo.FillSpan(28, 100, 0, vals.data(), mask.data());
+  EXPECT_EQ(memo.FilledCount(), masked + 1);
+}
+
+TEST(DenseMemoTest, FillSpanMasksTailWord) {
+  DenseMemo memo(80, 1);
+  std::vector<float> vals(65, 0.5f);
+  // Poisoned mask tail: bits past n must be ignored.
+  std::vector<uint64_t> mask(2, ~uint64_t{0});
+  memo.FillSpan(0, 65, 0, vals.data(), mask.data());
+  EXPECT_EQ(memo.FilledCount(), 65u);
+  EXPECT_FALSE(memo.Contains(65, 0));
+}
+
+TEST(DenseMemoTest, RowViewSeesStores) {
+  DenseMemo memo(4, 3);
+  memo.Store(2, 1, 0.75);
+  const float* row = memo.RowView(2);
+  EXPECT_TRUE(std::isnan(row[0]));
+  EXPECT_EQ(row[1], 0.75f);
+  EXPECT_TRUE(std::isnan(row[2]));
 }
 
 }  // namespace
