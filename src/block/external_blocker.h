@@ -1,0 +1,84 @@
+#ifndef EMDBG_BLOCK_EXTERNAL_BLOCKER_H_
+#define EMDBG_BLOCK_EXTERNAL_BLOCKER_H_
+
+#include <string>
+
+#include "src/block/candidate_pairs.h"
+#include "src/block/external_sort.h"
+#include "src/data/table.h"
+#include "src/util/status.h"
+
+namespace emdbg {
+
+/// Out-of-core attribute-equality blocking: the external twin of
+/// KeyBlocker. Entries (blocking key, row, side) stream through an
+/// ExternalEntrySorter; the (key, seq)-sorted stream is scanned group by
+/// group, emitting each group's A×B cross product into an
+/// ExternalPairSorter. Peak memory is the sorter run buffers plus one
+/// group's A-side row list — never the full index or pair list.
+///
+/// Bit-identity with KeyBlocker::Block: both produce the same *set* of
+/// pairs (exact key equality after TrimAscii + ToLowerAscii, empty keys
+/// skipped), and both ultimately order it by sorted-(a, b) dedup — the
+/// in-memory blocker via CandidateSet::SortAndDedup, this one via
+/// ExternalPairSorter's merge. Same set, same order ⇒ same sequence.
+class ExternalKeyBlocker {
+ public:
+  struct Options {
+    std::string attribute;  ///< must exist in both schemas
+    ExternalSortOptions sort;  ///< spill location / buffers / budget
+  };
+
+  explicit ExternalKeyBlocker(Options options)
+      : options_(std::move(options)) {}
+
+  /// Streams the candidate pairs of (a, b) into `out` and seals it
+  /// (Finish() is called; the caller drains). `out` must be fresh.
+  Status BlockToSorter(const Table& a, const Table& b,
+                       ExternalPairSorter* out) const;
+
+  /// Convenience: BlockToSorter + Drain. Materializes the result, so use
+  /// only when the candidate set itself fits in RAM.
+  Result<CandidateSet> Block(const Table& a, const Table& b) const;
+
+  const std::string& attribute() const { return options_.attribute; }
+
+ private:
+  Options options_;
+};
+
+/// Out-of-core sorted-neighborhood blocking: the external twin of
+/// SortedNeighborhoodBlocker. Entries sort externally by (key, seq) —
+/// which reproduces the in-memory stable_sort by key exactly — then a
+/// sliding window of `window` entries (a ring buffer; the only in-RAM
+/// state) emits every A-B pair co-occurring in a window into an
+/// ExternalPairSorter.
+class ExternalSortedNeighborhoodBlocker {
+ public:
+  struct Options {
+    std::string attribute;
+    size_t window = 5;      ///< clamped to ≥ 2
+    size_t key_prefix = 8;  ///< 0 → 8
+    ExternalSortOptions sort;
+  };
+
+  explicit ExternalSortedNeighborhoodBlocker(Options options)
+      : options_(std::move(options)) {
+    if (options_.window < 2) options_.window = 2;
+    if (options_.key_prefix == 0) options_.key_prefix = 8;
+  }
+
+  Status BlockToSorter(const Table& a, const Table& b,
+                       ExternalPairSorter* out) const;
+  Result<CandidateSet> Block(const Table& a, const Table& b) const;
+
+  const std::string& attribute() const { return options_.attribute; }
+  size_t window() const { return options_.window; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace emdbg
+
+#endif  // EMDBG_BLOCK_EXTERNAL_BLOCKER_H_

@@ -427,8 +427,8 @@ MatchResult BlockMatcher::RunImpl(const MatchingFunction& fn,
 
   BlockEvaluator eval(fn, pairs, ctx, memo, state,
                       ResolveBlockSize(options_, fn));
-  Result<MemoryReservation> scratch_bytes =
-      MemoryReservation::Make(options_.budget, eval.ScratchBytes());
+  Result<MemoryReservation> scratch_bytes = MemoryReservation::Make(
+      options_.budget, eval.ScratchBytes(), "block.scratch");
   if (!scratch_bytes.ok()) {
     result.evaluated = Bitmap(pairs.size());
     result.partial = true;

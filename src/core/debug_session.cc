@@ -7,6 +7,7 @@
 #include "src/core/memo_matcher.h"
 #include "src/core/parallel_matcher.h"
 #include "src/core/sampler.h"
+#include "src/core/shard_driver.h"
 #include "src/util/csv.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
@@ -206,6 +207,22 @@ IncrementalMatcher::Options DebugSession::IncOptions() {
 }
 
 MatchResult DebugSession::BatchRun(const RunControl& control) {
+  if (options_.sharded) {
+    // Out-of-core: shard-sized memo slices instead of one resident
+    // matrix. keep_state=false — the session only needs the match bits,
+    // so shard state is dropped as each shard completes and no spill
+    // directory is required.
+    ShardedMatchDriver driver(ShardedMatchDriver::Options{
+        .shard_pairs = options_.shard_pairs,
+        .budget = options_.budget,
+        .pool = pool_.get(),
+        .block_size = options_.block_size,
+        .cost_model = model_.get(),
+        .keep_state = false});
+    MatchResult result = driver.Run(fn_, *pairs_, *ctx_, control);
+    if (!result.partial) batch_state_.matches() = result.matches;
+    return result;
+  }
   if (pool_ != nullptr && pool_->num_workers() > 1) {
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = options_.check_cache_first,

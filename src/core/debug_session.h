@@ -67,6 +67,16 @@ class DebugSession {
     /// ignored (block semantics are the ccf-off ordering) and
     /// cancellation lands on block boundaries.
     size_t block_size = 1;
+    /// Out-of-core full runs (non-incremental mode only): stream the
+    /// candidates through the ShardedMatchDriver — shard-sized memo
+    /// slices bounded by `budget` instead of one O(pairs × features)
+    /// matrix (see src/core/shard_driver.h). Match bitmaps are
+    /// bit-identical; the memo is not retained between reruns (bounded
+    /// RAM trades away the Sec. 7.6 precomputation reuse). Ignored in
+    /// incremental mode, which needs the whole memo resident.
+    bool sharded = false;
+    /// Pairs per shard when `sharded`; 0 = derive from `budget`.
+    size_t shard_pairs = 0;
   };
 
   /// Large allocations the session currently holds, by consumer (for

@@ -61,7 +61,7 @@ Status MatchState::EnsureCapacity(size_t num_pairs, size_t num_features) {
     const size_t target = num_pairs * num_features * sizeof(float);
     ReleaseBilling();
     if (budget_ != nullptr) {
-      EMDBG_RETURN_IF_ERROR(budget_->Reserve(target));
+      EMDBG_RETURN_IF_ERROR(budget_->Reserve(target, "state.memo"));
       billed_bytes_ = target;
     }
     AllocateState(num_pairs, num_features);
@@ -70,7 +70,8 @@ Status MatchState::EnsureCapacity(size_t num_pairs, size_t num_features) {
   if (num_features <= memo_->num_features()) return Status::Ok();
   const size_t target = num_pairs_ * num_features * sizeof(float);
   if (budget_ != nullptr && target > billed_bytes_) {
-    EMDBG_RETURN_IF_ERROR(budget_->Reserve(target - billed_bytes_));
+    EMDBG_RETURN_IF_ERROR(
+        budget_->Reserve(target - billed_bytes_, "state.memo"));
     billed_bytes_ = target;
   }
   memo_->GrowFeatures(num_features);
@@ -83,7 +84,7 @@ Status MatchState::AttachBudget(MemoryBudget* budget) {
   budget_ = nullptr;
   if (budget == nullptr) return Status::Ok();
   const size_t bytes = memo_ == nullptr ? 0 : memo_->MemoryBytes();
-  EMDBG_RETURN_IF_ERROR(budget->Reserve(bytes));
+  EMDBG_RETURN_IF_ERROR(budget->Reserve(bytes, "state.attach"));
   budget_ = budget;
   billed_bytes_ = bytes;
   return Status::Ok();

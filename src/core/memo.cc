@@ -136,7 +136,9 @@ void ShardedMemo::SetBudget(MemoryBudget* budget) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     const size_t bytes = ShardBytes(*shard);
-    if (bytes > 0 && budget_->Reserve(bytes).ok()) shard->billed = bytes;
+    if (bytes > 0 && budget_->Reserve(bytes, "memo.shard").ok()) {
+      shard->billed = bytes;
+    }
   }
 }
 
@@ -193,14 +195,14 @@ void ShardedMemo::Store(size_t pair_index, FeatureId feature,
   const size_t bytes = ShardBytes(shard);
   if (bytes <= shard.billed) return;
   const size_t want = std::max(bytes - shard.billed, kMemoBillChunk);
-  if (budget_->Reserve(want).ok()) {
+  if (budget_->Reserve(want, "memo.shard").ok()) {
     shard.billed += want;
     return;
   }
   // Pressure: make room by evicting colder shards (this one's mutex is
   // held, so EvictColdestShards skips it), then retry once.
   EvictColdestShards(want);
-  if (budget_->Reserve(want).ok()) {
+  if (budget_->Reserve(want, "memo.shard").ok()) {
     shard.billed += want;
     return;
   }
@@ -271,7 +273,9 @@ void HashMemo::SetBudget(MemoryBudget* budget) {
   budget_ = budget;
   if (budget_ == nullptr) return;
   const size_t bytes = MemoryBytes();
-  if (bytes > 0 && budget_->Reserve(bytes).ok()) billed_bytes_ = bytes;
+  if (bytes > 0 && budget_->Reserve(bytes, "memo.hash").ok()) {
+    billed_bytes_ = bytes;
+  }
 }
 
 void HashMemo::Store(size_t pair_index, FeatureId feature, double value) {
@@ -280,7 +284,7 @@ void HashMemo::Store(size_t pair_index, FeatureId feature, double value) {
   const size_t bytes = MemoryBytes();
   if (bytes <= billed_bytes_) return;
   const size_t want = std::max(bytes - billed_bytes_, kMemoBillChunk);
-  if (budget_->Reserve(want).ok()) {
+  if (budget_->Reserve(want, "memo.hash").ok()) {
     billed_bytes_ += want;
     return;
   }

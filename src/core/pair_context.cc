@@ -81,7 +81,7 @@ bool PairContext::BillBytes(size_t added) {
                                              std::memory_order_relaxed)) {
       continue;
     }
-    if (!budget_->Reserve(want).ok()) {
+    if (!budget_->Reserve(want, "ctx.cache").ok()) {
       billed_bytes_.fetch_sub(want, std::memory_order_relaxed);
       budget_denials_.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -118,7 +118,7 @@ void PairContext::ResyncBillingSerial() {
     // clear. TryReserve, not Reserve — Resync runs from reclaim
     // callbacks (DropIdCaches), where a reclaiming Reserve would
     // self-deadlock on the registry mutex.
-    if (budget_->TryReserve(actual - billed).ok()) {
+    if (budget_->TryReserve(actual - billed, "ctx.cache").ok()) {
       billed_bytes_.store(actual, std::memory_order_relaxed);
     }
   }

@@ -110,7 +110,8 @@ MatchResult ParallelMemoMatcher::RunImpl(const MatchingFunction& fn,
   // under one budget degrades cleanly instead of creeping past it.
   constexpr size_t kScratchAllowance = 4096;
   Result<MemoryReservation> scratch_bytes = MemoryReservation::Make(
-      options_.budget, workers * (sizeof(WorkerState) + kScratchAllowance));
+      options_.budget, workers * (sizeof(WorkerState) + kScratchAllowance),
+      "match.scratch");
   if (!scratch_bytes.ok()) {
     result.evaluated = Bitmap(pairs.size());
     result.partial = true;
@@ -212,7 +213,8 @@ MatchResult ParallelMemoMatcher::RunBlocks(const MatchingFunction& fn,
   // masks per worker), so reserve the real figure, not an allowance.
   Result<MemoryReservation> scratch_bytes = MemoryReservation::Make(
       options_.budget,
-      workers * (sizeof(BlockWorker) + eval.ScratchBytes()));
+      workers * (sizeof(BlockWorker) + eval.ScratchBytes()),
+      "match.scratch");
   if (!scratch_bytes.ok()) {
     result.evaluated = Bitmap(pairs.size());
     result.partial = true;

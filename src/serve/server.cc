@@ -636,6 +636,13 @@ void Server::HandleOpen(Connection& conn, std::string_view rest) {
         DebugSession::Options so;
         so.num_threads = options_.session_threads;
         so.block_size = options_.session_block_size;
+        if (options_.session_sharded) {
+          // Out-of-core sessions run in batch mode: sharding needs the
+          // memo non-resident, which rules out incremental maintenance.
+          so.sharded = true;
+          so.shard_pairs = options_.session_shard_pairs;
+          so.incremental = false;
+        }
         auto entry = std::make_unique<SessionEntry>();
         entry->token = token;
         if (budget_ != nullptr) {
@@ -729,6 +736,8 @@ void Server::HandleResume(Connection& conn, std::string_view rest) {
         DebugSession::Options so;
         so.num_threads = options_.session_threads;
         so.block_size = options_.session_block_size;
+        // Note: no sharding here — resume is durable-only, and durability
+        // requires incremental sessions, which sharding rules out.
         if (budget_ != nullptr) {
           // Reuse the degraded entry's quota (its billing drained when
           // the old session object was dropped); fresh entries get a

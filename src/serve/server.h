@@ -87,6 +87,13 @@ class Server {
     /// (1 = classic per-pair; 0 = cost-model auto; >=2 explicit, rounded
     /// up to a multiple of 64). Results are bit-identical either way.
     size_t session_block_size = 1;
+    /// Out-of-core sessions: full runs stream through the sharded driver
+    /// with shard-sized memo slices bounded by the session quota instead
+    /// of a resident memo (see DebugSession::Options::sharded). Only
+    /// meaningful with non-incremental sessions; bit-identical results.
+    bool session_sharded = false;
+    /// Pairs per shard for sharded sessions (0 = derive from the quota).
+    size_t session_shard_pairs = 0;
     /// Durable sessions checkpoint every N journaled edits.
     size_t checkpoint_every = 16;
     /// Root directory for per-session durability ("<root>/<token>").

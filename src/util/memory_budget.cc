@@ -1,6 +1,8 @@
 #include "src/util/memory_budget.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/util/fault_injection.h"
@@ -83,11 +85,48 @@ size_t MemoryBudget::RunReclaimers(size_t want) {
   return freed_total;
 }
 
-Status MemoryBudget::Reserve(size_t bytes) {
+namespace {
+
+/// EMDBG_BUDGET_TRACE=1 prints every reservation (site, bytes, outcome)
+/// to stderr — the tool that pins a divergence-under-denial to the exact
+/// reservation index an injected fault landed on.
+bool BudgetTraceEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("EMDBG_BUDGET_TRACE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+void MemoryBudget::RecordDenial(std::string_view consumer, size_t bytes) {
+  denials_.fetch_add(1, std::memory_order_relaxed);
+  std::string entry(consumer.empty() ? std::string_view("?") : consumer);
+  entry += '(' + std::to_string(bytes) + ')';
+  std::lock_guard<std::mutex> lock(denial_mu_);
+  if (denied_consumers_.size() >= 32) {
+    denied_consumers_.erase(denied_consumers_.begin());
+  }
+  denied_consumers_.push_back(std::move(entry));
+}
+
+std::vector<std::string> MemoryBudget::DeniedConsumers() const {
+  std::lock_guard<std::mutex> lock(denial_mu_);
+  return denied_consumers_;
+}
+
+Status MemoryBudget::Reserve(size_t bytes, std::string_view consumer) {
   if (bytes == 0) return Status::Ok();
-  reserves_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t seq = reserves_.fetch_add(1, std::memory_order_relaxed);
   if (FaultFire("mem.reserve")) {
-    denials_.fetch_add(1, std::memory_order_relaxed);
+    RecordDenial(consumer, bytes);
+    if (BudgetTraceEnabled()) {
+      std::fprintf(stderr, "[budget %s] #%llu %.*s %zu B -> DENIED(fault)\n",
+                   name_.c_str(), static_cast<unsigned long long>(seq),
+                   static_cast<int>(consumer.size()), consumer.data(),
+                   bytes);
+    }
     return Status::ResourceExhausted(
         "memory budget '" + name_ + "': injected reservation failure (" +
         std::to_string(bytes) + " bytes)");
@@ -98,7 +137,13 @@ Status MemoryBudget::Reserve(size_t bytes) {
     // this cannot recurse.
     RunReclaimers(bytes);
     if (!ChargeLocal(bytes)) {
-      denials_.fetch_add(1, std::memory_order_relaxed);
+      RecordDenial(consumer, bytes);
+      if (BudgetTraceEnabled()) {
+        std::fprintf(stderr, "[budget %s] #%llu %.*s %zu B -> DENIED\n",
+                     name_.c_str(), static_cast<unsigned long long>(seq),
+                     static_cast<int>(consumer.size()), consumer.data(),
+                     bytes);
+      }
       return Status::ResourceExhausted(
           "memory budget '" + name_ + "': need " + std::to_string(bytes) +
           " bytes, used " + std::to_string(used()) + " of " +
@@ -106,31 +151,36 @@ Status MemoryBudget::Reserve(size_t bytes) {
     }
   }
   if (parent_ != nullptr) {
-    Status s = parent_->Reserve(bytes);
+    Status s = parent_->Reserve(bytes, consumer);
     if (!s.ok()) {
       UnchargeLocal(bytes);
-      denials_.fetch_add(1, std::memory_order_relaxed);
+      RecordDenial(consumer, bytes);
       return s;
     }
+  }
+  if (BudgetTraceEnabled()) {
+    std::fprintf(stderr, "[budget %s] #%llu %.*s %zu B -> ok\n",
+                 name_.c_str(), static_cast<unsigned long long>(seq),
+                 static_cast<int>(consumer.size()), consumer.data(), bytes);
   }
   return Status::Ok();
 }
 
-Status MemoryBudget::TryReserve(size_t bytes) {
+Status MemoryBudget::TryReserve(size_t bytes, std::string_view consumer) {
   if (bytes == 0) return Status::Ok();
   reserves_.fetch_add(1, std::memory_order_relaxed);
   if (!ChargeLocal(bytes)) {
-    denials_.fetch_add(1, std::memory_order_relaxed);
+    RecordDenial(consumer, bytes);
     return Status::ResourceExhausted(
         "memory budget '" + name_ + "': need " + std::to_string(bytes) +
         " bytes, used " + std::to_string(used()) + " of " +
         std::to_string(limit_));
   }
   if (parent_ != nullptr) {
-    Status s = parent_->TryReserve(bytes);
+    Status s = parent_->TryReserve(bytes, consumer);
     if (!s.ok()) {
       UnchargeLocal(bytes);
-      denials_.fetch_add(1, std::memory_order_relaxed);
+      RecordDenial(consumer, bytes);
       return s;
     }
   }
@@ -192,9 +242,10 @@ void MemoryBudget::Touch(uint64_t id) {
 }
 
 Result<MemoryReservation> MemoryReservation::Make(MemoryBudget* budget,
-                                                  size_t bytes) {
+                                                  size_t bytes,
+                                                  std::string_view consumer) {
   if (budget == nullptr) return MemoryReservation(nullptr, 0);
-  EMDBG_RETURN_IF_ERROR(budget->Reserve(bytes));
+  EMDBG_RETURN_IF_ERROR(budget->Reserve(bytes, consumer));
   return MemoryReservation(budget, bytes);
 }
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/status.h"
@@ -64,15 +65,19 @@ class MemoryBudget {
 
   /// Reserves `bytes`, reclaiming registered caches if needed.
   /// ResourceExhausted when the bytes cannot be found at this level or any
-  /// ancestor. Reserving 0 bytes always succeeds.
-  Status Reserve(size_t bytes);
+  /// ancestor. Reserving 0 bytes always succeeds. `consumer` names the
+  /// reservation site ("state.memo", "ctx.cache", ...) for the denial log
+  /// — when a reservation is denied (budget pressure or an injected
+  /// mem.reserve fault), the site lands in DeniedConsumers(), so tests
+  /// and operators can see *which* degradation path a failure exercised.
+  Status Reserve(size_t bytes, std::string_view consumer = {});
 
   /// Reserve without ever running reclaimers (at this level or any
   /// ancestor). The only variant safe to call from *inside* a reclaim
   /// callback — the registry mutex is held there, so a reclaiming
   /// Reserve would self-deadlock. Also skips the mem.reserve fault site
   /// (it is billing true-up, not new allocation).
-  Status TryReserve(size_t bytes);
+  Status TryReserve(size_t bytes, std::string_view consumer = {});
 
   /// Returns the reserved bytes. Must match a prior successful Reserve
   /// (releasing more than reserved is clamped, never underflows).
@@ -95,6 +100,12 @@ class MemoryBudget {
     uint64_t reclaimed_bytes = 0;
   };
   Stats stats() const;
+
+  /// The most recent denied reservations, oldest first, formatted as
+  /// "consumer(bytes)" — capped at the last 32. Diagnosing aid: a
+  /// digest-divergence under injected mem.reserve faults names the
+  /// reservation site whose degradation path misbehaved.
+  std::vector<std::string> DeniedConsumers() const;
 
   /// Registers a reclaimable consumer. `fn(want_bytes)` should drop up to
   /// `want_bytes` of cache (calling Release for what it frees) and return
@@ -138,10 +149,17 @@ class MemoryBudget {
   std::atomic<uint64_t> reclaim_runs_{0};
   std::atomic<uint64_t> reclaimed_bytes_{0};
 
+  /// Appends `consumer` to the capped denial log (both Reserve variants,
+  /// every denial path — local, ancestor, injected).
+  void RecordDenial(std::string_view consumer, size_t bytes);
+
   std::mutex reclaim_mu_;
   std::vector<Reclaimer> reclaimers_;
   uint64_t next_reclaimer_id_ = 1;
   std::atomic<uint64_t> touch_clock_{1};
+
+  mutable std::mutex denial_mu_;
+  std::vector<std::string> denied_consumers_;
 };
 
 /// RAII reservation: releases on destruction. Movable, not copyable.
@@ -173,8 +191,9 @@ class MemoryReservation {
   MemoryReservation& operator=(const MemoryReservation&) = delete;
 
   /// Reserves `bytes` from `budget` (null budget = always succeeds,
-  /// tracks nothing).
-  static Result<MemoryReservation> Make(MemoryBudget* budget, size_t bytes);
+  /// tracks nothing). `consumer` feeds the budget's denial log.
+  static Result<MemoryReservation> Make(MemoryBudget* budget, size_t bytes,
+                                        std::string_view consumer = {});
 
   size_t bytes() const { return bytes_; }
   void reset() {

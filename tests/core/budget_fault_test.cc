@@ -1,6 +1,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -42,6 +43,41 @@ class BudgetFaultTest : public ::testing::Test {
     uint32_t digest = 0;
   };
 
+  /// Stable-id lookup by rule *name*. Positional capture
+  /// (`s.function().rule(0)`) is wrong here: the ordering strategy
+  /// permutes the rule vector using *measured* feature costs, so which
+  /// rule sits at index 0 after a run is a timing coin-flip — the
+  /// original source of this suite's famous 27-vs-64 flake (the workload
+  /// sometimes edited r2 where it meant r1).
+  static RuleId RuleByName(const DebugSession& s, std::string_view name) {
+    const MatchingFunction& fn = s.function();
+    for (size_t i = 0; i < fn.num_rules(); ++i) {
+      if (fn.rule(i).name() == name) return fn.rule(i).id();
+    }
+    ADD_FAILURE() << "no rule named " << name;
+    return kInvalidRule;
+  }
+
+  static PredicateId FirstPredicateOf(const DebugSession& s, RuleId rid) {
+    const MatchingFunction& fn = s.function();
+    for (size_t i = 0; i < fn.num_rules(); ++i) {
+      if (fn.rule(i).id() == rid) return fn.rule(i).predicate(0).id;
+    }
+    ADD_FAILURE() << "no rule with id " << rid;
+    return kInvalidPredicate;
+  }
+
+  /// Formats the budget's denial log for failure messages: which
+  /// reservation sites actually absorbed the injected denials.
+  static std::string DeniedList(const MemoryBudget& budget) {
+    std::string out;
+    for (const std::string& d : budget.DeniedConsumers()) {
+      if (!out.empty()) out += ", ";
+      out += d;
+    }
+    return out.empty() ? "<none>" : out;
+  }
+
   std::unique_ptr<DebugSession> MakeSession(const DebugSession::Options& o) {
     GeneratedDataset ds = testing::SmallProducts();
     return std::make_unique<DebugSession>(
@@ -71,12 +107,12 @@ class BudgetFaultTest : public ::testing::Test {
           << r.status.message();
     }
     EXPECT_TRUE(s.has_run());
-    // Capture ids, not Rule references: AddRuleText/RemoveRule may
-    // reallocate the rule vector.
-    const RuleId r1_id = s.function().rule(0).id();
-    const PredicateId p1_id = s.function().rule(0).predicate(0).id;
+    // Capture ids by name, not position: the run above may have
+    // reordered the rule vector (see RuleByName).
+    const RuleId r1_id = RuleByName(s, "r1");
+    const PredicateId p1_id = FirstPredicateOf(s, r1_id);
     edit([&] { return s.SetThreshold(r1_id, p1_id, 0.62); });
-    edit([&] { return s.RemoveRule(s.function().rule(1).id()); });
+    edit([&] { return s.RemoveRule(RuleByName(s, "r2")); });
     edit([&] {
       return s.AddRuleText("r3: jaccard(title, title) >= 0.71").status();
     });
@@ -114,8 +150,10 @@ TEST_F(BudgetFaultTest, SingleDenialAtEveryReservationSiteIsHarmless) {
     o.budget = &budget;
     auto s = MakeSession(o);
     const Outcome got = RunWorkload(*s);
-    EXPECT_EQ(got.matches, want.matches) << "skip=" << skip;
-    EXPECT_EQ(got.digest, want.digest) << "skip=" << skip;
+    EXPECT_EQ(got.matches, want.matches)
+        << "skip=" << skip << " denied=[" << DeniedList(budget) << "]";
+    EXPECT_EQ(got.digest, want.digest)
+        << "skip=" << skip << " denied=[" << DeniedList(budget) << "]";
     FaultInjection::DisarmAll();
     // Everything the session billed must drain when it dies.
     s.reset();
@@ -155,18 +193,20 @@ TEST_F(BudgetFaultTest, PeriodicDenialsDegradeButNeverDiverge) {
       if (!s->Run(RunControl()).partial) break;
     }
     ASSERT_TRUE(s->has_run());
-    const RuleId r1_id = s->function().rule(0).id();
-    const PredicateId p1_id = s->function().rule(0).predicate(0).id;
+    const RuleId r1_id = RuleByName(*s, "r1");
+    const PredicateId p1_id = FirstPredicateOf(*s, r1_id);
     tolerant([&] { return s->SetThreshold(r1_id, p1_id, 0.62); });
-    tolerant([&] { return s->RemoveRule(s->function().rule(1).id()); });
+    tolerant([&] { return s->RemoveRule(RuleByName(*s, "r2")); });
     tolerant([&] {
       return s->AddRuleText("r3: jaccard(title, title) >= 0.71").status();
     });
     tolerant([&] { return s->SetThreshold(r1_id, p1_id, 0.55); });
     tolerant([&] { return s->Undo(); });
     FaultInjection::DisarmAll();
-    EXPECT_EQ(s->Run().Count(), want.matches) << "every=" << every;
-    EXPECT_EQ(SessionStateDigest(*s), want.digest) << "every=" << every;
+    EXPECT_EQ(s->Run().Count(), want.matches)
+        << "every=" << every << " denied=[" << DeniedList(budget) << "]";
+    EXPECT_EQ(SessionStateDigest(*s), want.digest)
+        << "every=" << every << " denied=[" << DeniedList(budget) << "]";
   }
 }
 

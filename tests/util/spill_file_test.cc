@@ -1,0 +1,219 @@
+/// SpillWriter/SpillReader: the CRC-framed byte streams under the
+/// out-of-core machinery. Round trips across frame boundaries, oversized
+/// single-write frames, clean-EOF vs corrupt-tail behavior, budget
+/// billing of the frame buffers, and the "spill.write"/"spill.read"
+/// fault sites.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/fault_injection.h"
+#include "src/util/memory_budget.h"
+#include "src/util/spill_file.h"
+
+namespace emdbg {
+namespace {
+
+class SpillFileTest : public ::testing::Test {
+ protected:
+  SpillFileTest() { FaultInjection::DisarmAll(); }
+  ~SpillFileTest() override { FaultInjection::DisarmAll(); }
+
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "spill_file_test_" + name + ".spill";
+  }
+};
+
+TEST_F(SpillFileTest, RoundTripsAcrossFrameBoundaries) {
+  const std::string path = Path("roundtrip");
+  // Minimum frame size is 4 KiB; write well past several frames.
+  SpillWriter::Options wopts;
+  wopts.frame_bytes = 4096;
+  auto writer = SpillWriter::Create(path, wopts);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    values.push_back(i * 2654435761u);
+    ASSERT_TRUE(writer->WritePod(values.back()).ok());
+  }
+  EXPECT_EQ(writer->payload_bytes(), values.size() * sizeof(uint64_t));
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = SpillReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  for (uint64_t expected : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(reader->Read(&got, sizeof(got)).ok());
+    ASSERT_EQ(got, expected);
+  }
+  EXPECT_TRUE(reader->AtEnd());
+  uint64_t extra = 0;
+  EXPECT_EQ(reader->Read(&extra, sizeof(extra)).code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, OversizedWriteBecomesItsOwnFrame) {
+  const std::string path = Path("oversized");
+  SpillWriter::Options wopts;
+  wopts.frame_bytes = 4096;
+  auto writer = SpillWriter::Create(path, wopts);
+  ASSERT_TRUE(writer.ok());
+  // One write far larger than the frame buffer, surrounded by small ones.
+  std::string big(64 * 1024, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i % 251);
+  ASSERT_TRUE(writer->Write("pre", 3).ok());
+  ASSERT_TRUE(writer->Write(big.data(), big.size()).ok());
+  ASSERT_TRUE(writer->Write("post", 4).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = SpillReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char pre[3], post[4];
+  std::string got(big.size(), 0);
+  ASSERT_TRUE(reader->Read(pre, 3).ok());
+  ASSERT_TRUE(reader->Read(&got[0], got.size()).ok());
+  ASSERT_TRUE(reader->Read(post, 4).ok());
+  EXPECT_EQ(std::memcmp(pre, "pre", 3), 0);
+  EXPECT_EQ(got, big);
+  EXPECT_EQ(std::memcmp(post, "post", 4), 0);
+  EXPECT_TRUE(reader->AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, CorruptPayloadSurfacesAsParseError) {
+  const std::string path = Path("corrupt");
+  auto writer = SpillWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  std::string payload(1000, 'a');
+  ASSERT_TRUE(writer->Write(payload.data(), payload.size()).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Flip one payload byte (past the 16-byte header + 8-byte frame meta).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 16 + 8 + 100, SEEK_SET), 0);
+    ASSERT_EQ(std::fputc('b', f), 'b');
+    std::fclose(f);
+  }
+  auto reader = SpillReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string got(payload.size(), 0);
+  EXPECT_EQ(reader->Read(&got[0], got.size()).code(),
+            StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, TruncatedTailSurfacesAsParseError) {
+  const std::string path = Path("truncated");
+  auto writer = SpillWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  std::string payload(1000, 'a');
+  ASSERT_TRUE(writer->Write(payload.data(), payload.size()).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  ASSERT_EQ(truncate(path.c_str(), 16 + 8 + 500), 0);
+  auto reader = SpillReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string got(payload.size(), 0);
+  EXPECT_EQ(reader->Read(&got[0], got.size()).code(),
+            StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, BadMagicAndVersionRejectedAtOpen) {
+  const std::string path = Path("magic");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NOTSPILLxxxxxxxx", 1, 16, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(SpillReader::Open(path).status().code(),
+            StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, FrameBuffersAreBilledAndReleased) {
+  MemoryBudget budget(1u << 20, "spill-test");
+  const std::string path = Path("billing");
+  {
+    SpillWriter::Options wopts;
+    wopts.budget = &budget;
+    auto writer = SpillWriter::Create(path, wopts);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_GT(budget.used(), 0u) << "writer frame buffer not billed";
+    uint64_t v = 42;
+    ASSERT_TRUE(writer->WritePod(v).ok());
+    ASSERT_TRUE(writer->Close().ok());
+    EXPECT_EQ(budget.used(), 0u) << "writer billing leaked after Close";
+
+    SpillReader::Options ropts;
+    ropts.budget = &budget;
+    auto reader = SpillReader::Open(path, ropts);
+    ASSERT_TRUE(reader.ok());
+    uint64_t got = 0;
+    ASSERT_TRUE(reader->Read(&got, sizeof(got)).ok());
+    EXPECT_EQ(got, 42u);
+    EXPECT_GT(budget.used(), 0u) << "reader frame buffer not billed";
+  }
+  EXPECT_EQ(budget.used(), 0u) << "billing leaked after destruction";
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, WriterDeniedByExhaustedBudget) {
+  MemoryBudget budget(1024, "tiny");  // smaller than the min frame buffer
+  SpillWriter::Options wopts;
+  wopts.budget = &budget;
+  auto writer = SpillWriter::Create(Path("denied"), wopts);
+  EXPECT_EQ(writer.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SpillFileTest, InjectedWriteFaultFailsCleanly) {
+  const std::string path = Path("wfault");
+  auto writer = SpillWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  std::string payload(100, 'z');
+  ASSERT_TRUE(writer->Write(payload.data(), payload.size()).ok());
+
+  FaultInjection::Plan plan;
+  plan.every = 1;
+  FaultInjection::Arm("spill.write", plan);
+  EXPECT_EQ(writer->Close().code(), StatusCode::kIoError);
+  FaultInjection::DisarmAll();
+  // The writer is dead after a failure; further writes refuse.
+  EXPECT_EQ(writer->Write(payload.data(), 1).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(SpillFileTest, InjectedReadFaultFailsCleanly) {
+  const std::string path = Path("rfault");
+  auto writer = SpillWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  std::string payload(100, 'z');
+  ASSERT_TRUE(writer->Write(payload.data(), payload.size()).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = SpillReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  FaultInjection::Plan plan;
+  plan.every = 1;
+  FaultInjection::Arm("spill.read", plan);
+  std::string got(payload.size(), 0);
+  EXPECT_EQ(reader->Read(&got[0], got.size()).code(), StatusCode::kIoError);
+  FaultInjection::DisarmAll();
+  EXPECT_EQ(reader->Read(&got[0], 1).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emdbg

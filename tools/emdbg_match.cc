@@ -8,19 +8,35 @@
 ///   emdbg_match --a=a.csv --b=b.csv --rules=r.rules
 ///               (--pairs=pairs.csv | --block-key=category)
 ///               [--out=matches.csv] [--threads=N] [--deadline-ms=N]
-///               [--block[=N]]
+///               [--block[=N] | --no-block]
+///               [--shards[=N]] [--spill-dir=DIR] [--mem-budget=BYTES]
 ///
-/// --block switches to columnar batch evaluation (one feature across a
-/// whole block of pairs at a time, see src/core/block_matcher.h): bare
-/// --block or --block=0 picks a cost-model-driven size, --block=N uses N
-/// pairs per block (rounded up to a multiple of 64). Results are
-/// bit-identical to the per-pair default.
+/// Engine selection: by default the tool picks between classic per-pair
+/// early-exit evaluation and columnar block evaluation (one feature
+/// across a whole block of pairs, see src/core/block_matcher.h) from the
+/// match rate observed on the cost-model sample — a high rate means
+/// pairs survive deep into the rules and columnar amortization pays; a
+/// near-zero rate means per-pair early exit kills most pairs on their
+/// first predicate. --block (bare or =0 auto-sized, =N explicit) forces
+/// columnar; --no-block forces per-pair. Results are bit-identical in
+/// every mode.
+///
+/// --shards streams the run through the out-of-core sharded driver
+/// (src/core/shard_driver.h): the memo exists one shard at a time, so
+/// candidate sets whose memo footprint exceeds RAM complete inside
+/// --mem-budget. Bare --shards (or =0) derives the shard size from the
+/// budget; =N uses N pairs per shard. --spill-dir keeps each shard's
+/// state on disk for later inspection (default: state is dropped as
+/// shards complete).
 ///
 /// Ctrl-C (SIGINT), SIGTERM, SIGHUP, or an exceeded --deadline-ms stops
 /// the run cleanly: the pairs evaluated so far are still written out,
 /// with a warning that the result is partial.
 
+#include <sys/stat.h>
+
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "src/block/key_blocker.h"
@@ -31,15 +47,20 @@
 #include "src/core/parallel_matcher.h"
 #include "src/core/rule_parser.h"
 #include "src/core/sampler.h"
+#include "src/core/shard_driver.h"
 #include "src/data/candidate_io.h"
 #include "src/data/table_io.h"
 #include "src/util/cancellation.h"
+#include "src/util/memory_budget.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 using namespace emdbg;
 
 namespace {
+
+enum class Engine { kAuto, kPerPair, kBlock };
 
 struct Args {
   std::string a_path;
@@ -48,9 +69,30 @@ struct Args {
   std::string pairs_path;
   std::string block_key;
   std::string out_path = "matches.csv";
+  std::string spill_dir;
   size_t threads = 1;
   int64_t deadline_ms = 0;  // 0 = no deadline
-  size_t block = 1;         // 1 = per-pair; 0 = auto; >=2 explicit
+  Engine engine = Engine::kAuto;
+  size_t block = 0;         // block size when engine == kBlock; 0 = auto
+  bool sharded = false;
+  size_t shard_pairs = 0;   // 0 = derive from budget
+  size_t mem_budget = 0;    // 0 = unbudgeted
+
+  /// "1048576", "64K", "16M", "1G" (case-insensitive suffix).
+  static bool ParseBytes(std::string_view s, size_t* out) {
+    size_t mult = 1;
+    if (!s.empty()) {
+      const char c = s.back();
+      if (c == 'k' || c == 'K') mult = size_t{1} << 10;
+      if (c == 'm' || c == 'M') mult = size_t{1} << 20;
+      if (c == 'g' || c == 'G') mult = size_t{1} << 30;
+      if (mult != 1) s.remove_suffix(1);
+    }
+    int64_t n = 0;
+    if (!ParseInt64(s, &n) || n < 0) return false;
+    *out = static_cast<size_t>(n) * mult;
+    return true;
+  }
 
   static bool Parse(int argc, char** argv, Args* out) {
     for (int i = 1; i < argc; ++i) {
@@ -68,6 +110,8 @@ struct Args {
         out->block_key = arg.substr(12);
       } else if (StartsWith(arg, "--out=")) {
         out->out_path = arg.substr(6);
+      } else if (StartsWith(arg, "--spill-dir=")) {
+        out->spill_dir = arg.substr(12);
       } else if (StartsWith(arg, "--threads=") &&
                  ParseInt64(arg.substr(10), &n) && n >= 0) {
         // 0 = all hardware threads.
@@ -76,10 +120,25 @@ struct Args {
                  ParseInt64(arg.substr(14), &n) && n > 0) {
         out->deadline_ms = n;
       } else if (arg == "--block") {
+        out->engine = Engine::kBlock;
         out->block = 0;  // bare flag = auto block size
       } else if (StartsWith(arg, "--block=") &&
                  ParseInt64(arg.substr(8), &n) && n >= 0) {
+        out->engine = Engine::kBlock;
         out->block = static_cast<size_t>(n);
+      } else if (arg == "--no-block") {
+        out->engine = Engine::kPerPair;
+      } else if (arg == "--shards") {
+        out->sharded = true;
+      } else if (StartsWith(arg, "--shards=") &&
+                 ParseInt64(arg.substr(9), &n) && n >= 0) {
+        out->sharded = true;
+        out->shard_pairs = static_cast<size_t>(n);
+      } else if (StartsWith(arg, "--mem-budget=")) {
+        if (!ParseBytes(std::string_view(arg).substr(13),
+                        &out->mem_budget)) {
+          return false;
+        }
       } else {
         return false;
       }
@@ -99,7 +158,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: emdbg_match --a=a.csv --b=b.csv --rules=r.rules "
         "(--pairs=p.csv | --block-key=attr) [--out=matches.csv] "
-        "[--threads=N] [--deadline-ms=N] [--block[=N]]\n");
+        "[--threads=N] [--deadline-ms=N] [--block[=N] | --no-block] "
+        "[--shards[=N]] [--spill-dir=DIR] [--mem-budget=BYTES]\n");
     return 1;
   }
 
@@ -141,11 +201,44 @@ int main(int argc, char** argv) {
   std::printf("%zu rules over %zu candidate pairs\n", fn->num_rules(),
               pairs.size());
 
-  PairContext ctx(*table_a, *table_b, catalog);
+  std::unique_ptr<MemoryBudget> budget;
+  if (args.mem_budget > 0) {
+    budget = std::make_unique<MemoryBudget>(args.mem_budget, "emdbg_match");
+  }
+
+  // The budget governs the O(pairs) matching state — memo shards, spill
+  // buffers, matcher scratch. The per-record text caches stay outside it
+  // (they are O(records) and shared by every engine; DESIGN.md Sec. 12),
+  // so a sharded run's budget is spent on shards, not tokenization.
+  PairContext ctx(*table_a, *table_b, catalog,
+                  PairContext::Options{
+                      .budget = args.sharded ? nullptr : budget.get()});
   Rng rng(1);
   const CandidateSet sample = SamplePairs(pairs, 0.01, rng, 100);
   const CostModel model = CostModel::EstimateForFunction(*fn, ctx, sample);
   ApplyOrdering(*fn, OrderingStrategy::kGreedyReduction, model, nullptr);
+
+  // Engine auto-selection: observe the match rate on the cost-model
+  // sample (already cached in ctx, so this is nearly free). Pairs that
+  // match survive every predicate of some rule — columnar per-feature
+  // evaluation amortizes that work; pairs that miss usually die on their
+  // first predicate — per-pair early exit skips the rest. A sample match
+  // rate >= 2% tips the balance to the block engine.
+  size_t block_size = 1;  // per-pair
+  if (args.engine == Engine::kBlock) {
+    block_size = args.block;
+  } else if (args.engine == Engine::kAuto && !sample.empty()) {
+    MemoMatcher probe(MemoMatcher::Options{.check_cache_first = true});
+    const MatchResult probe_result = probe.Run(*fn, sample, ctx);
+    const double match_rate =
+        static_cast<double>(probe_result.MatchCount()) /
+        static_cast<double>(sample.size());
+    const bool use_block = match_rate >= 0.02;
+    block_size = use_block ? 0 : 1;
+    std::printf("auto engine: %s (sample match rate %.1f%%)\n",
+                use_block ? "block (columnar)" : "per-pair",
+                match_rate * 100.0);
+  }
 
   // Ctrl-C, SIGTERM, and SIGHUP all trip the token; the matcher drains
   // and returns a partial result — written out below — instead of the
@@ -158,21 +251,39 @@ int main(int argc, char** argv) {
                                    static_cast<double>(args.deadline_ms)))
           : RunControl(cancel);
 
+  // Persistent pool (0 = all hardware threads): spawned once here, so a
+  // tool embedding several runs would reuse the same workers.
+  std::unique_ptr<ThreadPool> pool;
+  if (args.threads != 1) pool = std::make_unique<ThreadPool>(args.threads);
+
   Stopwatch timer;
   MatchResult result;
-  if (args.threads != 1) {
-    // Persistent pool (0 = all hardware threads): spawned once here, so a
-    // tool embedding several runs would reuse the same workers.
-    ThreadPool pool(args.threads);
+  if (args.sharded) {
+    if (!args.spill_dir.empty()) ::mkdir(args.spill_dir.c_str(), 0755);
+    ShardedMatchDriver driver(ShardedMatchDriver::Options{
+        .shard_pairs = args.shard_pairs,
+        .spill_dir = args.spill_dir,
+        .budget = budget.get(),
+        .pool = pool.get(),
+        .block_size = block_size,
+        .cost_model = &model,
+        .keep_state = !args.spill_dir.empty()});
+    result = driver.Run(*fn, pairs, ctx, control);
+    std::printf("sharded: %zu pairs/shard, %zu shards, %.1f MiB spilled\n",
+                driver.shard_pairs(), driver.shards().size(),
+                static_cast<double>(driver.spilled_bytes()) / (1u << 20));
+  } else if (pool != nullptr) {
     ParallelMemoMatcher matcher(ParallelMemoMatcher::Options{
         .check_cache_first = true,
-        .pool = &pool,
-        .block_size = args.block,
+        .pool = pool.get(),
+        .budget = budget.get(),
+        .block_size = block_size,
         .cost_model = &model});
     result = matcher.Run(*fn, pairs, ctx, control);
-  } else if (args.block != 1) {
-    BlockMatcher matcher(BlockMatcher::Options{.block_size = args.block,
-                                               .cost_model = &model});
+  } else if (block_size != 1) {
+    BlockMatcher matcher(BlockMatcher::Options{.block_size = block_size,
+                                               .cost_model = &model,
+                                               .budget = budget.get()});
     result = matcher.Run(*fn, pairs, ctx, control);
   } else {
     MemoMatcher matcher(MemoMatcher::Options{.check_cache_first = true});

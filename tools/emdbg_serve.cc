@@ -149,6 +149,12 @@ struct Args {
       } else if (StartsWith(arg, "--block=") &&
                  ParseInt64(arg.substr(8), &n) && n >= 0) {
         out->server.session_block_size = static_cast<size_t>(n);
+      } else if (arg == "--sharded") {
+        out->server.session_sharded = true;
+      } else if (StartsWith(arg, "--shard-pairs=") &&
+                 ParseInt64(arg.substr(14), &n) && n >= 0) {
+        out->server.session_sharded = true;
+        out->server.session_shard_pairs = static_cast<size_t>(n);
       } else if (StartsWith(arg, "--max-sessions=") &&
                  ParseInt64(arg.substr(15), &n) && n > 0) {
         out->server.max_sessions = static_cast<size_t>(n);
@@ -218,6 +224,7 @@ int main(int argc, char** argv) {
         stderr,
         "usage: emdbg_serve --dataset=NAME [--scale=F] [--seed=N] "
         "[--port=N] [--workers=N] [--session-threads=N] [--block[=N]] "
+        "[--sharded] [--shard-pairs=N] "
         "[--max-sessions=N] "
         "[--max-queue=N] [--max-conns=N] [--deadline-ms=N] "
         "[--checkpoint-every=N] [--durability-root=DIR] "
